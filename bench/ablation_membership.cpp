@@ -1,0 +1,79 @@
+// Membership dissemination via partial flooding lists — the name-dropper
+// effect (paper §1/§7.2, citing Harchol-Balter et al. [14]).
+//
+// "By using the partial random list of replicas to which a rumor has been
+// sent, we are also sending information about replicas hitherto unknown to
+// certain nodes, thus gradually propagating global information."
+//
+// Peers start with tiny views (the §2 assumption: "each replica knows a
+// minimal fraction of the complete set of replicas"); consecutive updates
+// grow the views, which in turn improves the spread of later updates.
+#include <iostream>
+
+#include "analysis/forward_probability.hpp"
+#include "bench_util.hpp"
+#include "sim/round_simulator.hpp"
+
+using namespace updp2p;
+
+namespace {
+
+double mean_view_size(const sim::RoundSimulator& simulator) {
+  common::RunningStats sizes;
+  for (std::uint32_t i = 0; i < simulator.population(); ++i) {
+    sizes.add(static_cast<double>(
+        simulator.node(common::PeerId(i)).view().size()));
+  }
+  return sizes.mean();
+}
+
+void run(bool with_list) {
+  sim::RoundSimConfig config;
+  config.population = 1'000;
+  config.gossip.estimated_total_replicas = config.population;
+  config.gossip.fanout_fraction = 0.03;
+  config.gossip.forward_probability = analysis::pf_constant(1.0);
+  config.gossip.partial_list.mode = with_list
+                                        ? gossip::PartialListMode::kUnbounded
+                                        : gossip::PartialListMode::kNone;
+  config.initial_view_size = 20;  // tiny initial knowledge
+  config.reconnect_pull = false;
+  config.round_timers = false;
+  config.seed = 99;
+  auto simulator = sim::make_push_phase_simulator(config, 0.5, 1.0);
+
+  common::TextTable table(
+      std::string("consecutive updates, partial list ") +
+      (with_list ? "ON" : "OFF (control)"));
+  table.header({"update #", "mean view size", "F_aware", "msgs/online peer"});
+  table.row()
+      .cell(std::string("start"))
+      .cell(mean_view_size(*simulator), 1)
+      .cell("-")
+      .cell("-");
+  for (int update = 1; update <= 5; ++update) {
+    const auto metrics = simulator->propagate_update(
+        std::nullopt, "item", "v" + std::to_string(update));
+    table.row()
+        .cell(static_cast<std::size_t>(update))
+        .cell(mean_view_size(*simulator), 1)
+        .cell(metrics.final_aware_fraction(), 4)
+        .cell(metrics.messages_per_initial_online(), 2);
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Ablation — membership growth through partial lists (name dropper)",
+      "1000 peers, initial views of 20 (2%), 50% online, five consecutive "
+      "updates");
+  run(/*with_list=*/true);
+  run(/*with_list=*/false);
+  std::cout << "  with the list, views snowball toward global knowledge and\n"
+            << "  update spread improves update over update; without it,\n"
+            << "  views grow only by meeting direct senders.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Ablation: the partial flooding list R_f (§4.2, §5.6).
+//
+// Quantifies, by simulation and by the capped-list analysis, what the list
+// buys: duplicate suppression and membership discovery, as a function of
+// the cap l_max and the discard policy (random / head / tail). The paper
+// predicts: awareness growth is unchanged by capping (extra messages are
+// all duplicates), l_max = 0 degenerates to Gnutella-style duplication.
+#include <iostream>
+
+#include "analysis/push_model.hpp"
+#include "bench_util.hpp"
+#include "sim/round_simulator.hpp"
+
+using namespace updp2p;
+
+namespace {
+
+sim::AggregateMetrics simulate(gossip::PartialListMode mode,
+                               std::size_t max_entries) {
+  sim::AggregateMetrics aggregate;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    sim::RoundSimConfig config;
+    config.population = 2'000;
+    config.gossip.estimated_total_replicas = config.population;
+    config.gossip.fanout_fraction = 0.02;
+    config.gossip.forward_probability = analysis::pf_constant(1.0);
+    config.gossip.partial_list.mode = mode;
+    config.gossip.partial_list.max_entries = max_entries;
+    config.reconnect_pull = false;
+    config.round_timers = false;
+    config.seed = 4242 + seed;
+    auto simulator = sim::make_push_phase_simulator(config, 0.2, 0.95);
+    aggregate.add(simulator->propagate_update());
+  }
+  return aggregate;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Ablation — partial flooding list",
+      "Population 2000, 20% online, sigma=0.95, f_r=0.02, PF=1; 5 seeds");
+
+  common::TextTable table("partial-list policies (simulation)");
+  table.header({"policy", "msgs/peer", "duplicates/update", "F_aware",
+                "rounds"});
+  struct Row {
+    const char* name;
+    gossip::PartialListMode mode;
+    std::size_t cap;
+  };
+  const Row rows[] = {
+      {"no list (Gnutella-like)", gossip::PartialListMode::kNone, 0},
+      {"unbounded list", gossip::PartialListMode::kUnbounded, 0},
+      {"capped 100, drop random", gossip::PartialListMode::kDropRandom, 100},
+      {"capped 100, drop head", gossip::PartialListMode::kDropHead, 100},
+      {"capped 100, drop tail", gossip::PartialListMode::kDropTail, 100},
+      {"capped 25, drop random", gossip::PartialListMode::kDropRandom, 25},
+  };
+  for (const Row& row : rows) {
+    const auto aggregate = simulate(row.mode, row.cap);
+    table.row()
+        .cell(row.name)
+        .cell(aggregate.messages_per_initial_online.mean(), 3)
+        .cell(aggregate.duplicates.mean(), 1)
+        .cell(aggregate.final_aware_fraction.mean(), 4)
+        .cell(aggregate.rounds_to_quiescence.mean(), 1);
+  }
+  table.print(std::cout);
+
+  // Capped-list analysis (normalised cap l_max = cap / R).
+  common::TextTable model("capped-list analytical model");
+  model.header({"l_max (normalised)", "msgs/peer", "F_aware"});
+  for (const double cap : {0.0, 0.025, 0.1, 1.0}) {
+    analysis::PushModelParams params;
+    params.total_replicas = 2'000;
+    params.initial_online = 400;
+    params.sigma = 0.95;
+    params.fanout_fraction = 0.02;
+    params.use_partial_list = cap > 0.0;
+    params.list_cap = cap > 0.0 ? cap : 1.0;
+    const auto trajectory = analysis::evaluate_push(params);
+    model.row()
+        .cell(cap, 3)
+        .cell(trajectory.messages_per_initial_online(), 3)
+        .cell(trajectory.final_aware(), 4);
+  }
+  model.print(std::cout);
+  std::cout << "  paper: capping the list costs duplicate messages only —\n"
+            << "  F_aware stays unchanged (§4.2).\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation: the §6 optimisations — acknowledgement-based suppression and
+// self-tuning of PF(t) from local duplicate/list-length observations.
+//
+// The paper describes these qualitatively; this bench quantifies them in
+// simulation: acks suppress pushes to presumed-offline peers across
+// consecutive updates, and the self-tuning controller cuts messages
+// without an a-priori PF schedule.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sim/round_simulator.hpp"
+
+using namespace updp2p;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  bool acks;
+  bool self_tuning;
+  analysis::PfSchedule pf;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Ablation — Section 6 optimisations (acks, self-tuning PF)",
+      "Population 2000, 20% online, sigma=0.97, f_r=0.02; three consecutive "
+      "updates so ack knowledge can pay off; 5 seeds");
+
+  const std::vector<Variant> variants = {
+      {"baseline PF=1", false, false, analysis::pf_constant(1.0)},
+      {"fixed schedule PF=0.9^t", false, false, analysis::pf_geometric(0.9)},
+      {"self-tuning PF (duplicates+list)", false, true,
+       analysis::pf_constant(1.0)},
+      {"acks + suppression", true, false, analysis::pf_constant(1.0)},
+      {"acks + self-tuning", true, true, analysis::pf_constant(1.0)},
+  };
+
+  common::TextTable table("Section 6 variants (3rd update of a sequence)");
+  table.header({"variant", "msgs/peer", "duplicates/update", "F_aware",
+                "rounds"});
+
+  for (const auto& variant : variants) {
+    sim::AggregateMetrics aggregate;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      sim::RoundSimConfig config;
+      config.population = 2'000;
+      config.gossip.estimated_total_replicas = config.population;
+      config.gossip.fanout_fraction = 0.02;
+      config.gossip.forward_probability = variant.pf;
+      config.gossip.self_tuning = variant.self_tuning;
+      config.gossip.acks.enabled = variant.acks;
+      config.gossip.acks.suppression_rounds = 10;
+      config.reconnect_pull = false;
+      config.round_timers = true;  // ack expiry needs timers
+      config.gossip.pull.no_update_timeout = 1'000'000;  // no timeout pulls
+      config.seed = 31337 + seed;
+      auto simulator = sim::make_push_phase_simulator(config, 0.2, 0.97);
+      // Two warm-up updates build ack knowledge; measure the third.
+      (void)simulator->propagate_update(std::nullopt, "item", "v1");
+      (void)simulator->propagate_update(std::nullopt, "item", "v2");
+      aggregate.add(simulator->propagate_update(std::nullopt, "item", "v3"));
+    }
+    table.row()
+        .cell(variant.name)
+        .cell(aggregate.messages_per_initial_online.mean(), 3)
+        .cell(aggregate.duplicates.mean(), 1)
+        .cell(aggregate.final_aware_fraction.mean(), 4)
+        .cell(aggregate.rounds_to_quiescence.mean(), 1);
+  }
+  table.print(std::cout);
+  std::cout << "  paper (§6): duplicates and list length are sufficient\n"
+            << "  local signals to tune PF; acks bias future pushes toward\n"
+            << "  provably-online peers.\n";
+  return 0;
+}

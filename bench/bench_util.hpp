@@ -1,0 +1,39 @@
+// Shared output helpers for the reproduction benches. Every bench binary
+// prints (1) the experiment's parameters, (2) the series/rows of the paper
+// figure or table it regenerates, and (3) where applicable the value the
+// paper reports, so EXPERIMENTS.md can be filled by reading bench output.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace updp2p::bench {
+
+inline void print_banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n================================================================\n"
+            << title << "\n" << paper_ref
+            << "\n================================================================\n";
+}
+
+/// Renders one trajectory per row: label, headline numbers, then the
+/// discrete (F_aware -> messages/R_on0) marks like the paper's plot points.
+inline void print_series(const std::string& title,
+                         const std::vector<common::Series>& series_list) {
+  common::TextTable table(title);
+  table.header({"configuration", "final msgs/R_on[0]", "final F_aware",
+                "points (F_aware->msgs/R_on[0])"});
+  for (const auto& series : series_list) {
+    table.row()
+        .cell(series.label)
+        .cell(series.empty() ? 0.0 : series.final_y(), 3)
+        .cell(series.empty() ? 0.0 : series.final_x(), 4)
+        .cell(common::format_trajectory(series.x, series.y, 2));
+  }
+  table.print(std::cout);
+}
+
+}  // namespace updp2p::bench

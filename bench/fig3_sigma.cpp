@@ -1,0 +1,34 @@
+// Reproduces Fig. 3: impact of σ, the probability that an online peer stays
+// online across a push round (PF = 1, R_on(0) = 1000, f_r = 0.01).
+//
+// Paper's findings: the algorithm is robust down to fairly low σ, and —
+// "curiously" — the message overhead *decreases* significantly when many
+// replicas fail to forward, the observation that motivated PF(t) < 1.
+#include <iostream>
+
+#include "analysis/push_model.hpp"
+#include "bench_util.hpp"
+
+using namespace updp2p;
+
+int main() {
+  bench::print_banner("Figure 3 — varying sigma",
+                      "Setup: R=10000, R_on[0]=1000, f_r=0.01, PF=1");
+
+  std::vector<common::Series> series;
+  for (const double sigma : {1.0, 0.95, 0.8, 0.7, 0.5}) {
+    analysis::PushModelParams params;
+    params.total_replicas = 10'000;
+    params.initial_online = 1'000;
+    params.sigma = sigma;
+    params.fanout_fraction = 0.01;
+    params.pf = analysis::pf_constant(1.0);
+    series.push_back(analysis::evaluate_push(params).to_series(
+        "Sigma = " + common::format_double(sigma, 2)));
+  }
+  bench::print_series("Fig. 3: messages vs awareness for each sigma", series);
+  std::cout << "  paper: overhead drops as sigma decreases (fewer forwarders"
+            << " => fewer duplicates);\n  spread remains nearly complete for"
+            << " sigma >= 0.7 and collapses around sigma = 0.5.\n";
+  return 0;
+}

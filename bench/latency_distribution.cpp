@@ -1,0 +1,102 @@
+// Dissemination latency in continuous time.
+//
+// The paper measures latency in synchronous push rounds (marks on the
+// Figs. 1–5 curves, the rounds column of Table 2). The event-driven engine
+// lets us measure the real thing: the wall-clock time until 90% of the
+// online population holds the update, under message latency jitter and
+// session churn — including the latency price of decaying PF(t) schedules
+// and of relying on pull alone.
+#include <iostream>
+
+#include "analysis/forward_probability.hpp"
+#include "bench_util.hpp"
+#include "sim/event_simulator.hpp"
+
+using namespace updp2p;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  analysis::PfSchedule pf;
+  double fanout_fraction;
+};
+
+/// Time from publish until 90% of the online population is aware
+/// (negative: never reached within the horizon).
+double measure_latency(const Variant& variant, std::uint64_t seed) {
+  sim::EventSimConfig config;
+  config.population = 300;
+  config.mean_online_time = 60.0;
+  config.mean_offline_time = 140.0;  // 30% availability
+  config.round_duration = 1.0;
+  config.latency = std::make_shared<net::UniformLatency>(0.2, 0.8);
+  config.gossip.estimated_total_replicas = config.population;
+  config.gossip.fanout_fraction = variant.fanout_fraction;
+  config.gossip.forward_probability = variant.pf;
+  config.gossip.pull.no_update_timeout = 10;
+  config.seed = seed;
+  sim::EventSimulator simulator(config);
+
+  constexpr double kPublishAt = 5.0;
+  constexpr double kHorizon = 120.0;
+  simulator.schedule_publish(kPublishAt, "item", "v1");
+  simulator.run_until(kPublishAt);
+  if (simulator.published().empty()) return -1.0;
+  const auto id = simulator.published().front().id;
+
+  for (double t = kPublishAt; t <= kHorizon; t += 0.5) {
+    simulator.run_until(t);
+    if (simulator.aware_fraction_online(id) >= 0.9) return t - kPublishAt;
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Dissemination latency distribution (event-driven, continuous time)",
+      "300 peers, 30% availability, jittered latency U(0.2,0.8) per hop; "
+      "time to 90% online awareness; 25 runs per variant");
+
+  const std::vector<Variant> variants = {
+      {"flooding PF=1, fanout 15", analysis::pf_constant(1.0), 0.05},
+      {"PF(t)=0.9^t, fanout 15", analysis::pf_geometric(0.9), 0.05},
+      {"PF(t)=0.8*0.7^t+0.2, fanout 15",
+       analysis::pf_offset_geometric(0.8, 0.7, 0.2), 0.05},
+      {"flooding PF=1, fanout 6 (near-critical)", analysis::pf_constant(1.0),
+       0.02},
+  };
+
+  common::TextTable table("time to 90% online awareness");
+  table.header({"variant", "reached", "p50", "p90", "max", "mean"});
+  for (const auto& variant : variants) {
+    std::vector<double> latencies;
+    std::size_t reached = 0;
+    constexpr int kRuns = 25;
+    for (int run = 1; run <= kRuns; ++run) {
+      const double latency =
+          measure_latency(variant, 40'000 + static_cast<std::uint64_t>(run));
+      if (latency >= 0.0) {
+        ++reached;
+        latencies.push_back(latency);
+      }
+    }
+    common::RunningStats stats;
+    for (const double v : latencies) stats.add(v);
+    table.row()
+        .cell(variant.name)
+        .cell(std::to_string(reached) + "/" + std::to_string(kRuns))
+        .cell(common::percentile(latencies, 0.5), 2)
+        .cell(common::percentile(latencies, 0.9), 2)
+        .cell(stats.max(), 2)
+        .cell(stats.mean(), 2);
+  }
+  table.print(std::cout);
+  std::cout << "  decaying PF(t) adds modest latency (the paper's ~1 extra\n"
+            << "  round), while near-critical fanouts often need the slow\n"
+            << "  pull path to reach 90% — the Fig. 1(a)/Fig. 4 trade-offs\n"
+            << "  in real time.\n";
+  return 0;
+}

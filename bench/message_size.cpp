@@ -1,0 +1,90 @@
+// Message-length analysis (§4.2): L_M(t) = U + R·α·l(t) with the partial
+// list growing as l(t) = 1 − (1−f_r)^(t+1), and the capped variant
+// l(t) = min(l_max, ·).
+//
+// The paper's plots ignore message size ("single messages can accommodate
+// the messages of maximal size"); §4.2 nonetheless derives the growth law
+// and the capping remedy. This bench (a) evaluates the analytical L_M(t)
+// series, and (b) cross-checks the wire-size model against the byte counts
+// of a simulation that encodes every message with the real binary codec.
+#include <iostream>
+
+#include "analysis/push_model.hpp"
+#include "bench_util.hpp"
+#include "sim/round_simulator.hpp"
+
+using namespace updp2p;
+
+namespace {
+
+void analytical_section() {
+  common::TextTable table(
+      "analytical message length per round (R=10000, f_r=0.01, U=100B, "
+      "alpha=10B)");
+  table.header({"round t", "l(t) uncapped", "L_M(t) bytes", "l(t) capped 0.05",
+                "L_M(t) capped bytes"});
+  analysis::PushModelParams params;
+  params.total_replicas = 10'000;
+  params.initial_online = 1'000;
+  params.sigma = 0.95;
+  params.fanout_fraction = 0.01;
+  auto capped = params;
+  capped.list_cap = 0.05;
+  const auto uncapped_run = analysis::evaluate_push(params);
+  const auto capped_run = analysis::evaluate_push(capped);
+  const std::size_t rounds =
+      std::min<std::size_t>({8, uncapped_run.rounds.size(),
+                             capped_run.rounds.size()});
+  for (std::size_t t = 0; t < rounds; ++t) {
+    table.row()
+        .cell(t)
+        .cell(uncapped_run.rounds[t].list_length, 4)
+        .cell(uncapped_run.rounds[t].message_bytes, 0)
+        .cell(capped_run.rounds[t].list_length, 4)
+        .cell(capped_run.rounds[t].message_bytes, 0);
+  }
+  table.print(std::cout);
+  std::cout << "  paper: l(t) = 1-(1-f_r)^(t+1); capping trades duplicate\n"
+            << "  messages for bounded per-message size.\n";
+}
+
+void wire_section() {
+  common::TextTable table(
+      "wire-size model vs real codec frames (simulation, 1000 peers)");
+  table.header({"accounting", "total bytes", "bytes/push message"});
+  for (const bool real_codec : {false, true}) {
+    sim::RoundSimConfig config;
+    config.population = 1'000;
+    config.gossip.estimated_total_replicas = config.population;
+    config.gossip.fanout_fraction = 0.015;
+    config.reconnect_pull = false;
+    config.round_timers = false;
+    config.serialize_messages = real_codec;
+    config.seed = 99;
+    auto simulator = sim::make_push_phase_simulator(config, 0.3, 1.0);
+    const auto metrics = simulator->propagate_update();
+    table.row()
+        .cell(real_codec ? "binary codec (actual frames)"
+                         : "analytical wire model")
+        .cell(static_cast<std::size_t>(metrics.total_bytes()))
+        .cell(static_cast<double>(metrics.total_bytes()) /
+                  static_cast<double>(std::max<std::uint64_t>(
+                      metrics.total_push_messages(), 1)),
+              1);
+  }
+  table.print(std::cout);
+  std::cout << "  both accountings agree on the order of magnitude; the\n"
+            << "  codec is leaner because varints beat the model's fixed\n"
+            << "  per-entry cost for small ids.\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Message sizes — L_M(t) growth, capping, and real "
+                      "codec frames (§4.2)",
+                      "Partial-list growth law and its bandwidth cost");
+  analytical_section();
+  wire_section();
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Microbenchmarks (google-benchmark) for the library's hot paths: version
+// vector comparison/merge, store apply/delta, replica-view sampling,
+// partial-list construction, one full simulated push round, and the
+// analytical-model evaluation itself.
+#include <benchmark/benchmark.h>
+
+#include "analysis/push_model.hpp"
+#include "common/rng.hpp"
+#include "gossip/node.hpp"
+#include "gossip/partial_list.hpp"
+#include "gossip/replica_view.hpp"
+#include "sim/round_simulator.hpp"
+#include "version/store.hpp"
+
+using namespace updp2p;
+
+namespace {
+
+version::VersionVector make_vector(std::size_t entries, std::uint64_t base) {
+  version::VersionVector vv;
+  for (std::size_t i = 0; i < entries; ++i) {
+    vv.observe(common::PeerId(static_cast<std::uint32_t>(i)), base + i);
+  }
+  return vv;
+}
+
+void BM_VersionVectorCompare(benchmark::State& state) {
+  const auto entries = static_cast<std::size_t>(state.range(0));
+  const auto a = make_vector(entries, 5);
+  auto b = make_vector(entries, 5);
+  b.increment(common::PeerId(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.compare(b));
+  }
+}
+BENCHMARK(BM_VersionVectorCompare)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_VersionVectorMerge(benchmark::State& state) {
+  const auto entries = static_cast<std::size_t>(state.range(0));
+  const auto a = make_vector(entries, 5);
+  const auto b = make_vector(entries, 9);
+  for (auto _ : state) {
+    version::VersionVector merged = a;
+    merged.merge(b);
+    benchmark::DoNotOptimize(merged);
+  }
+}
+BENCHMARK(BM_VersionVectorMerge)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_StoreApplyChain(benchmark::State& state) {
+  // Repeatedly apply a chain of dominating versions to one key.
+  for (auto _ : state) {
+    state.PauseTiming();
+    version::VersionedStore store;
+    version::LocalWriter writer(common::PeerId(1), common::Rng(7));
+    state.ResumeTiming();
+    for (int i = 0; i < 64; ++i) {
+      benchmark::DoNotOptimize(
+          writer.write(store, "key", "payload", static_cast<double>(i)));
+    }
+  }
+}
+BENCHMARK(BM_StoreApplyChain);
+
+void BM_StoreDelta(benchmark::State& state) {
+  version::VersionedStore rich;
+  version::LocalWriter writer(common::PeerId(1), common::Rng(7));
+  for (int i = 0; i < 128; ++i) {
+    (void)writer.write(rich, "key-" + std::to_string(i), "payload",
+                       static_cast<double>(i));
+  }
+  const version::VersionVector empty_summary;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rich.missing_given(empty_summary));
+  }
+}
+BENCHMARK(BM_StoreDelta);
+
+void BM_ViewSample(benchmark::State& state) {
+  const auto population = static_cast<std::uint32_t>(state.range(0));
+  gossip::ReplicaView view{common::PeerId(0)};
+  for (std::uint32_t i = 1; i < population; ++i) {
+    view.add(common::PeerId(i));
+  }
+  common::Rng rng(99);
+  const std::unordered_set<common::PeerId> exclude;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view.sample(rng, 32, exclude));
+  }
+}
+BENCHMARK(BM_ViewSample)->Arg(256)->Arg(4096);
+
+void BM_BuildForwardList(benchmark::State& state) {
+  gossip::PartialListConfig config;
+  config.mode = gossip::PartialListMode::kDropRandom;
+  config.max_entries = 128;
+  std::vector<common::PeerId> received;
+  std::vector<common::PeerId> targets;
+  for (std::uint32_t i = 0; i < 256; ++i) received.emplace_back(i);
+  for (std::uint32_t i = 200; i < 260; ++i) targets.emplace_back(i);
+  common::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gossip::build_forward_list(
+        config, received, targets, common::PeerId(1000), rng));
+  }
+}
+BENCHMARK(BM_BuildForwardList);
+
+void BM_AnalyticalPushModel(benchmark::State& state) {
+  analysis::PushModelParams params;
+  params.total_replicas = static_cast<double>(state.range(0));
+  params.initial_online = params.total_replicas * 0.1;
+  params.fanout_fraction = 100.0 / params.total_replicas;
+  params.pf = analysis::pf_offset_geometric(0.8, 0.7, 0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::evaluate_push(params));
+  }
+}
+BENCHMARK(BM_AnalyticalPushModel)->Arg(10'000)->Arg(1'000'000);
+
+void BM_SimulatedUpdate(benchmark::State& state) {
+  const auto population = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::RoundSimConfig config;
+    config.population = population;
+    config.gossip.estimated_total_replicas = population;
+    config.gossip.fanout_fraction = 0.02;
+    config.reconnect_pull = false;
+    config.round_timers = false;
+    auto simulator = sim::make_push_phase_simulator(config, 0.2, 0.95);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(simulator->propagate_update());
+  }
+}
+BENCHMARK(BM_SimulatedUpdate)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

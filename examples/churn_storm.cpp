@@ -1,0 +1,68 @@
+// Robustness under a catastrophic churn event.
+//
+// The paper's environment is "highly unreliable": peers vanish without
+// warning. This example propagates an update while 70% of the online
+// population disconnects mid-push (a deterministic TraceChurn schedule),
+// then shows the pull phase healing the damage as peers return.
+#include <iostream>
+
+#include "analysis/forward_probability.hpp"
+#include "common/table.hpp"
+#include "churn/churn_model.hpp"
+#include "sim/round_simulator.hpp"
+
+using namespace updp2p;
+
+int main() {
+  constexpr std::size_t kPopulation = 400;
+
+  // Build an explicit availability schedule:
+  //   rounds 0-2 : 200 peers online (ids 0..199)
+  //   rounds 3-9 : storm — only 60 remain (ids 0..59)
+  //   rounds 10+ : recovery — 240 peers online (ids 0..239), i.e. peers
+  //                60..239 (re)connect and must pull what they missed.
+  std::vector<std::vector<common::PeerId>> schedule;
+  auto range = [](std::uint32_t n) {
+    std::vector<common::PeerId> peers;
+    peers.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) peers.emplace_back(i);
+    return peers;
+  };
+  for (int r = 0; r < 3; ++r) schedule.push_back(range(200));
+  for (int r = 3; r < 10; ++r) schedule.push_back(range(60));
+  schedule.push_back(range(240));
+
+  sim::RoundSimConfig config;
+  config.population = kPopulation;
+  config.gossip.estimated_total_replicas = kPopulation;
+  config.gossip.fanout_fraction = 0.05;
+  config.gossip.forward_probability = analysis::pf_geometric(0.95);
+  config.gossip.pull.contacts_per_attempt = 3;
+  config.gossip.pull.no_update_timeout = 8;
+  config.max_rounds = 30;
+  config.quiescence_rounds = 40;  // run through the storm AND the recovery
+  config.seed = 77;
+  auto churn = std::make_unique<churn::TraceChurn>(kPopulation, schedule);
+  sim::RoundSimulator simulator(std::move(config), std::move(churn));
+
+  std::cout << "== churn storm: 200 online -> 60 (storm at round 3) -> 240 "
+               "(recovery at round 10) ==\n";
+  const auto metrics = simulator.propagate_update(
+      common::PeerId(0), "config", "new-topology-v2");
+
+  std::cout << "round  online  aware  push  pull  (per round)\n";
+  for (const auto& r : metrics.rounds) {
+    std::cout << "  " << r.round << "\t" << r.online << "\t" << r.aware_online
+              << "\t" << r.push_messages << "\t" << r.pull_messages << "\n";
+  }
+
+  std::cout << "\nfinal awareness among online peers: "
+            << common::format_double(100 * metrics.final_aware_fraction(), 1)
+            << "%\n"
+            << "push messages: " << metrics.total_push_messages()
+            << ", pull messages: " << metrics.total_pull_messages() << "\n"
+            << "The storm interrupts the push; returning peers reconcile via "
+               "pull,\nwhich is exactly the hybrid's division of labour "
+               "(paper §3, §7.2).\n";
+  return 0;
+}

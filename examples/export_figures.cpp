@@ -1,0 +1,139 @@
+// export_figures — regenerates the paper's figure series and writes them
+// as CSV for external plotting (gnuplot/matplotlib).
+//
+//   ./build/examples/export_figures --out /tmp/updp2p_figures
+//   ./build/examples/export_figures --out data --figure fig3
+//
+// Each CSV has rows (series-label, F_aware, messages_per_initial_online),
+// one file per figure — the exact series the bench binaries print.
+#include <iostream>
+#include <string>
+
+#include "analysis/push_model.hpp"
+#include "common/args.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+using namespace updp2p;
+
+namespace {
+
+std::vector<std::vector<std::string>> series_rows(
+    const std::vector<common::Series>& series_list) {
+  std::vector<std::vector<std::string>> rows{{"series", "f_aware",
+                                              "msgs_per_initial_online"}};
+  for (const auto& series : series_list) {
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      rows.push_back({series.label, common::format_double(series.x[i], 6),
+                      common::format_double(series.y[i], 6)});
+    }
+  }
+  return rows;
+}
+
+std::vector<common::Series> figure1() {
+  std::vector<common::Series> out;
+  for (const double online : {100.0, 500.0, 1'000.0, 3'000.0, 10'000.0}) {
+    analysis::PushModelParams params;
+    params.total_replicas = 10'000;
+    params.initial_online = online;
+    params.sigma = 0.95;
+    params.fanout_fraction = 0.01;
+    out.push_back(analysis::evaluate_push(params).to_series(
+        "R_on0=" + std::to_string(static_cast<int>(online))));
+  }
+  return out;
+}
+
+std::vector<common::Series> figure2() {
+  std::vector<common::Series> out;
+  for (const double f_r : {0.005, 0.01, 0.02, 0.05}) {
+    analysis::PushModelParams params;
+    params.total_replicas = 10'000;
+    params.initial_online = 1'000;
+    params.sigma = 0.9;
+    params.fanout_fraction = f_r;
+    out.push_back(analysis::evaluate_push(params).to_series(
+        "f_r=" + common::format_double(f_r, 3)));
+  }
+  return out;
+}
+
+std::vector<common::Series> figure3() {
+  std::vector<common::Series> out;
+  for (const double sigma : {1.0, 0.95, 0.8, 0.7, 0.5}) {
+    analysis::PushModelParams params;
+    params.total_replicas = 10'000;
+    params.initial_online = 1'000;
+    params.sigma = sigma;
+    params.fanout_fraction = 0.01;
+    out.push_back(analysis::evaluate_push(params).to_series(
+        "sigma=" + common::format_double(sigma, 2)));
+  }
+  return out;
+}
+
+std::vector<common::Series> figure4() {
+  std::vector<common::Series> out;
+  const std::vector<analysis::PfSchedule> schedules = {
+      analysis::pf_constant(1.0),     analysis::pf_constant(0.8),
+      analysis::pf_linear_decay(0.1), analysis::pf_geometric(0.9),
+      analysis::pf_geometric(0.7),    analysis::pf_geometric(0.5)};
+  for (const auto& schedule : schedules) {
+    analysis::PushModelParams params;
+    params.total_replicas = 10'000;
+    params.initial_online = 1'000;
+    params.sigma = 0.9;
+    params.fanout_fraction = 0.01;
+    params.pf = schedule;
+    out.push_back(analysis::evaluate_push(params).to_series(schedule.label));
+  }
+  return out;
+}
+
+std::vector<common::Series> figure5() {
+  std::vector<common::Series> out;
+  for (const double total : {1e4, 1e5, 1e6, 1e7, 1e8}) {
+    analysis::PushModelParams params;
+    params.total_replicas = total;
+    params.initial_online = 0.1 * total;
+    params.sigma = 1.0;
+    params.fanout_fraction = 100.0 / total;
+    params.pf = analysis::pf_offset_geometric(0.8, 0.7, 0.2);
+    char label[32];
+    std::snprintf(label, sizeof label, "R=%.0e", total);
+    out.push_back(analysis::evaluate_push(params).to_series(label));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::Args args(argc, argv);
+  const std::string out_dir = args.get_string("out", ".");
+  const std::string only = args.get_string("figure", "");
+
+  const std::pair<const char*, std::vector<common::Series> (*)()> figures[] =
+      {{"fig1", figure1}, {"fig2", figure2}, {"fig3", figure3},
+       {"fig4", figure4}, {"fig5", figure5}};
+
+  int written = 0;
+  for (const auto& [name, generate] : figures) {
+    if (!only.empty() && only != name) continue;
+    if (common::write_csv_file(out_dir, name, series_rows(generate()))) {
+      std::cout << "wrote " << out_dir << "/" << name << ".csv\n";
+      ++written;
+    } else {
+      std::cerr << "FAILED to write " << out_dir << "/" << name << ".csv\n";
+      return 1;
+    }
+  }
+  if (written == 0) {
+    std::cerr << "unknown --figure value; use fig1..fig5\n";
+    return 1;
+  }
+  std::cout << written << " file(s) written. Plot columns 2 (x=F_aware) vs "
+               "3 (y=msgs/R_on[0]) grouped by column 1.\n";
+  return 0;
+}

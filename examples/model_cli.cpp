@@ -1,0 +1,162 @@
+// model_cli — the paper's evaluation program as a command-line tool.
+//
+// "For the evaluation of the recursive analytical functions a C-program
+// has been developed" (§5). This is that program, usable:
+//
+//   ./build/examples/model_cli --R 10000 --online 1000 --sigma 0.95
+//       --fr 0.01 --pf geometric:0.9 --no-list --trajectory
+//   (one line; wrapped here for width)
+//
+// PF schedules: const:<p>, linear:<slope>, geometric:<base>,
+// offset:<scale>,<base>,<offset>, haas:<p>,<k>.
+#include <iostream>
+#include <string>
+
+#include "analysis/push_model.hpp"
+#include "analysis/tuning.hpp"
+#include "common/args.hpp"
+#include "common/table.hpp"
+
+using namespace updp2p;
+
+namespace {
+
+analysis::PfSchedule parse_pf(const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::string params =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  auto split = [&params]() {
+    std::vector<double> values;
+    std::size_t start = 0;
+    while (start <= params.size()) {
+      const auto comma = params.find(',', start);
+      const std::string token =
+          params.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+      if (!token.empty()) values.push_back(std::stod(token));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    return values;
+  };
+  const auto values = split();
+  auto value_or = [&values](std::size_t i, double fallback) {
+    return i < values.size() ? values[i] : fallback;
+  };
+  if (kind == "linear") return analysis::pf_linear_decay(value_or(0, 0.1));
+  if (kind == "geometric") return analysis::pf_geometric(value_or(0, 0.9));
+  if (kind == "offset") {
+    return analysis::pf_offset_geometric(value_or(0, 0.8), value_or(1, 0.7),
+                                         value_or(2, 0.2));
+  }
+  if (kind == "haas") {
+    return analysis::pf_haas(value_or(0, 0.8),
+                             static_cast<common::Round>(value_or(1, 2)));
+  }
+  return analysis::pf_constant(value_or(0, 1.0));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::Args args(argc, argv);
+  if (args.has("help")) {
+    std::cout
+        << "usage: model_cli [--R N] [--online N] [--sigma S] [--fr F]\n"
+        << "                 [--pf SPEC] [--no-list] [--list-cap L]\n"
+        << "                 [--update-bytes U] [--entry-bytes A]\n"
+        << "                 [--max-rounds N] [--trajectory]\n"
+        << "PF SPEC: const:<p> | linear:<slope> | geometric:<base> |\n"
+        << "         offset:<scale>,<base>,<offset> | haas:<p>,<k>\n";
+    return 0;
+  }
+
+  if (args.has("recommend")) {
+    // Inverse problem: find the cheapest (f_r, PF decay) configuration
+    // meeting a coverage/latency target in this environment.
+    analysis::TuningRequest request;
+    request.total_replicas = static_cast<double>(args.get_int("R", 10'000));
+    request.online_fraction = args.get_double("availability", 0.2);
+    request.sigma = args.get_double("sigma", 0.95);
+    request.target_aware = args.get_double("target", 0.99);
+    request.max_rounds99 =
+        static_cast<common::Round>(args.get_int("max-rounds99", 30));
+    const auto result = analysis::recommend_parameters(request);
+    if (!result.feasible) {
+      std::cout << "no feasible configuration in range for this "
+                   "environment/target\n";
+      return 2;
+    }
+    std::cout << "recommended f_r:       " << result.fanout_fraction << " ("
+              << common::format_double(
+                     result.fanout_fraction * request.total_replicas, 0)
+              << " peers per push)\n"
+              << "recommended PF(t):     "
+              << (result.pf_decay_base >= 1.0
+                      ? std::string("1 (flooding)")
+                      : common::format_double(result.pf_decay_base, 2) + "^t")
+              << "\npredicted msgs/peer:   "
+              << common::format_double(result.messages_per_online, 2)
+              << "\npredicted F_aware:     "
+              << common::format_double(result.predicted_aware, 4)
+              << "\npredicted rounds(99%): " << result.predicted_rounds99
+              << "\n";
+    return 0;
+  }
+
+  analysis::PushModelParams params;
+  params.total_replicas = static_cast<double>(args.get_int("R", 10'000));
+  params.initial_online = static_cast<double>(args.get_int("online", 1'000));
+  params.sigma = args.get_double("sigma", 0.95);
+  params.fanout_fraction = args.get_double("fr", 0.01);
+  params.pf = parse_pf(args.get_string("pf", "const:1"));
+  params.use_partial_list = !args.get_bool("no-list", false);
+  params.list_cap = args.get_double("list-cap", 1.0);
+  params.update_size_bytes = args.get_double("update-bytes", 100.0);
+  params.replica_entry_bytes = args.get_double("entry-bytes", 10.0);
+  params.max_rounds =
+      static_cast<common::Round>(args.get_int("max-rounds", 500));
+
+  const auto trajectory = analysis::evaluate_push(params);
+
+  std::cout << "R=" << params.total_replicas
+            << " R_on(0)=" << params.initial_online
+            << " sigma=" << params.sigma << " f_r=" << params.fanout_fraction
+            << " PF=" << params.pf.label
+            << " partial-list=" << (params.use_partial_list ? "on" : "off")
+            << "\n\n"
+            << "total messages:            " << trajectory.total_messages()
+            << "\nmessages per online peer:  "
+            << common::format_double(trajectory.messages_per_initial_online(),
+                                     3)
+            << "\nfinal F_aware:             "
+            << common::format_double(trajectory.final_aware(), 4)
+            << "\nrounds (99% of final):     "
+            << trajectory.rounds_to_fraction(0.99)
+            << "\nrounds (model tail):       " << trajectory.rounds_used()
+            << "\nrumor died (<99% aware):   "
+            << (trajectory.died() ? "yes" : "no")
+            << "\ntotal bytes (wire model):  "
+            << common::format_double(trajectory.total_bytes(), 0) << "\n";
+
+  if (args.get_bool("trajectory", false)) {
+    common::TextTable table("per-round trajectory");
+    table.header({"t", "online", "forwarders", "f_new", "F_aware", "M(t)",
+                  "cum M", "l(t)", "L_M(t) B"});
+    for (const auto& r : trajectory.rounds) {
+      table.row()
+          .cell(static_cast<std::size_t>(r.t))
+          .cell(r.online, 0)
+          .cell(r.forwarders, 1)
+          .cell(r.new_aware, 4)
+          .cell(r.aware, 4)
+          .cell(r.messages, 1)
+          .cell(r.cum_messages, 1)
+          .cell(r.list_length, 4)
+          .cell(r.message_bytes, 0);
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "analysis/flooding_model.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/ensure.hpp"
+
+namespace updp2p::analysis {
+
+double expected_online(double total_replicas, double p_online) {
+  UPDP2P_ENSURE(p_online >= 0.0 && p_online <= 1.0, "p_online in [0,1]");
+  return total_replicas * p_online;
+}
+
+double expected_reached(double online, double attempts, double total) {
+  UPDP2P_ENSURE(total > 0.0, "total must be positive");
+  return online * attempts / total;
+}
+
+double expected_attempts_to_reach(double targets, double total_replicas,
+                                  double p_online) {
+  UPDP2P_ENSURE(targets > 0.0, "need a positive target count");
+  UPDP2P_ENSURE(p_online > 0.0 && p_online <= 1.0, "p_online in (0,1]");
+  const double lambda = total_replicas * p_online;  // E[online] (Poisson mean)
+  // P(fewer than `targets` replicas online) — if the whole network has too
+  // few online peers the expectation is driven by that tail.
+  double tail = 0.0;
+  double term = std::exp(-lambda);
+  for (double i = 0.0; i < targets && term > 0.0; i += 1.0) {
+    tail += term;
+    term *= lambda / (i + 1.0);
+  }
+  const double reachable = 1.0 - tail;
+  if (reachable <= 0.0) return std::numeric_limits<double>::infinity();
+  return targets / (p_online * reachable);
+}
+
+double pure_flooding_messages(double absolute_fanout, common::Round rounds) {
+  UPDP2P_ENSURE(absolute_fanout > 0.0, "fanout must be positive");
+  if (absolute_fanout == 1.0) return static_cast<double>(rounds) + 1.0;
+  // 1 + k + k^2 + ... + k^rounds
+  return (std::pow(absolute_fanout, static_cast<double>(rounds) + 1.0) - 1.0) /
+         (absolute_fanout - 1.0);
+}
+
+common::Round flooding_rounds_to_cover(double absolute_fanout, double p_online,
+                                       double online_peers) {
+  UPDP2P_ENSURE(online_peers >= 1.0, "need at least one online peer");
+  const double effective = absolute_fanout * p_online;
+  if (effective <= 1.0) return 0;  // subcritical: flooding never covers
+  const double rounds = std::log(online_peers) / std::log(effective);
+  return static_cast<common::Round>(std::ceil(rounds - 1e-9));
+}
+
+double duplicate_avoidance_messages_per_peer(double absolute_fanout) {
+  return absolute_fanout;
+}
+
+}  // namespace updp2p::analysis

@@ -1,0 +1,52 @@
+// Closed-form expectations for simple flooding (paper §5.6).
+//
+// The paper positions the push scheme against Gnutella-style flooding:
+// attempts needed to reach online replicas under Poisson availability, the
+// geometric message sum of pure flooding, and the fanout×online-count total
+// of flooding with duplicate avoidance.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace updp2p::analysis {
+
+/// E(R_on) = p_on · R.
+[[nodiscard]] double expected_online(double total_replicas, double p_online);
+
+/// Expected number of online peers reached by `attempts` distinct random
+/// contacts when exactly `online` of `total` replicas are online:
+/// online · attempts / total (§5.6).
+[[nodiscard]] double expected_reached(double online, double attempts,
+                                      double total);
+
+/// Expected attempts E_x to reach `targets` online replicas when each
+/// replica is online independently with probability p_on and the number of
+/// online replicas is Poisson-distributed with mean R·p_on (§5.6):
+///   E_x ≈ (x / p_on) · (1 − e^{−R·p_on} Σ_{i<x} (R·p_on)^i / i!)⁻¹-ish;
+/// the correction term is negligible for R·p_on ≫ x, giving E_x → x / p_on.
+[[nodiscard]] double expected_attempts_to_reach(double targets,
+                                                double total_replicas,
+                                                double p_online);
+
+/// Total expected messages of pure flooding WITHOUT duplicate avoidance
+/// after `rounds` rounds with absolute fanout k = R·f_r: the geometric sum
+/// 1 + k + k² + … + k^rounds (§5.6).
+[[nodiscard]] double pure_flooding_messages(double absolute_fanout,
+                                            common::Round rounds);
+
+/// Rounds for fanout-k flooding to cover `online` peers (latency metric):
+/// smallest d with k_eff^d ≥ online, where k_eff = k·p_on is the expected
+/// number of *online* peers reached per push.
+[[nodiscard]] common::Round flooding_rounds_to_cover(double absolute_fanout,
+                                                     double p_online,
+                                                     double online_peers);
+
+/// Gnutella-style flooding WITH duplicate avoidance: every online peer that
+/// learns the rumor forwards exactly once to `absolute_fanout` random
+/// replicas, so the total is fanout × (aware online peers) and the per-peer
+/// overhead equals the fanout (§5.6: "there will be on average f_r messages
+/// per online peer").
+[[nodiscard]] double duplicate_avoidance_messages_per_peer(
+    double absolute_fanout);
+
+}  // namespace updp2p::analysis

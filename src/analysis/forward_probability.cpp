@@ -1,0 +1,56 @@
+#include "analysis/forward_probability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+#include "common/table.hpp"
+
+namespace updp2p::analysis {
+
+PfSchedule pf_constant(double p) {
+  UPDP2P_ENSURE(p >= 0.0 && p <= 1.0, "PF constant must be in [0,1]");
+  return PfSchedule{"PF=" + common::format_double(p, 2),
+                    [p](common::Round) { return p; }};
+}
+
+PfSchedule pf_linear_decay(double slope) {
+  UPDP2P_ENSURE(slope >= 0.0, "decay slope must be non-negative");
+  return PfSchedule{
+      "PF(t)=1-" + common::format_double(slope, 2) + "t",
+      [slope](common::Round t) {
+        return std::max(0.0, 1.0 - slope * static_cast<double>(t));
+      }};
+}
+
+PfSchedule pf_geometric(double base) {
+  UPDP2P_ENSURE(base > 0.0 && base <= 1.0, "geometric base must be in (0,1]");
+  return PfSchedule{"PF(t)=" + common::format_double(base, 2) + "^t",
+                    [base](common::Round t) {
+                      return std::pow(base, static_cast<double>(t));
+                    }};
+}
+
+PfSchedule pf_offset_geometric(double scale, double base, double offset) {
+  UPDP2P_ENSURE(base > 0.0 && base <= 1.0, "geometric base must be in (0,1]");
+  UPDP2P_ENSURE(scale >= 0.0 && offset >= 0.0 && scale + offset <= 1.0,
+                "scale+offset must keep PF within [0,1]");
+  return PfSchedule{
+      "PF(t)=" + common::format_double(scale, 2) + "*" +
+          common::format_double(base, 2) + "^t+" +
+          common::format_double(offset, 2),
+      [scale, base, offset](common::Round t) {
+        return scale * std::pow(base, static_cast<double>(t)) + offset;
+      }};
+}
+
+PfSchedule pf_haas(double p, common::Round flood_rounds) {
+  UPDP2P_ENSURE(p >= 0.0 && p <= 1.0, "Haas p must be in [0,1]");
+  return PfSchedule{"G(" + common::format_double(p, 2) + "," +
+                        std::to_string(flood_rounds) + ")",
+                    [p, flood_rounds](common::Round t) {
+                      return t <= flood_rounds ? 1.0 : p;
+                    }};
+}
+
+}  // namespace updp2p::analysis

@@ -1,0 +1,41 @@
+// The PF(t) forwarding-probability family.
+//
+// Paper §4.1/Table 1: PF(t) is "the probability that a peer pushes an update
+// in round t if it received it in round t−1"; it "can be any function" and
+// is the main self-tuning knob (§5.4, §6). The factories below cover every
+// shape evaluated in the paper:
+//   constant(1)            — plain flooding (Gnutella-like),
+//   constant(p)            — blind coin-flip gossip,
+//   linear_decay           — PF(t) = 1 − 0.1t (Fig. 4),
+//   geometric(a)           — PF(t) = a^t (Fig. 4, Table 2),
+//   offset_geometric(a,b,c)— PF(t) = a·b^t + c (Fig. 5),
+//   haas(p, k)             — GOSSIP1(p,k) of Haas et al. [13]: flood for k
+//                            rounds, then forward with probability p.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace updp2p::analysis {
+
+/// A named forwarding-probability schedule. Values are clamped to [0,1]
+/// by consumers; the schedule itself may be any function of the round.
+struct PfSchedule {
+  std::string label;
+  std::function<double(common::Round)> probability;
+
+  [[nodiscard]] double operator()(common::Round t) const {
+    return probability(t);
+  }
+};
+
+[[nodiscard]] PfSchedule pf_constant(double p);
+[[nodiscard]] PfSchedule pf_linear_decay(double slope);
+[[nodiscard]] PfSchedule pf_geometric(double base);
+[[nodiscard]] PfSchedule pf_offset_geometric(double scale, double base,
+                                             double offset);
+[[nodiscard]] PfSchedule pf_haas(double p, common::Round flood_rounds);
+
+}  // namespace updp2p::analysis

@@ -1,0 +1,46 @@
+#include "analysis/pull_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace updp2p::analysis {
+
+double pull_success_probability(double online_replicas, double aware_fraction,
+                                double total_replicas, unsigned attempts) {
+  UPDP2P_ENSURE(total_replicas > 0.0, "total replicas must be positive");
+  const double hit = std::clamp(
+      online_replicas * aware_fraction / total_replicas, 0.0, 1.0);
+  if (hit <= 0.0) return 0.0;
+  if (hit >= 1.0) return attempts > 0 ? 1.0 : 0.0;
+  return 1.0 - std::pow(1.0 - hit, static_cast<double>(attempts));
+}
+
+unsigned pull_attempts_for_confidence(double online_replicas,
+                                      double aware_fraction,
+                                      double total_replicas,
+                                      double confidence) {
+  UPDP2P_ENSURE(confidence > 0.0 && confidence < 1.0,
+                "confidence must be in (0,1)");
+  const double hit = std::clamp(
+      online_replicas * aware_fraction / total_replicas, 0.0, 1.0);
+  if (hit <= 0.0) return 0;
+  if (hit >= 1.0) return 1;
+  const double n = std::log(1.0 - confidence) / std::log(1.0 - hit);
+  return static_cast<unsigned>(std::ceil(n));
+}
+
+double push_catchup_probability(double online_replicas, double f_new_prev,
+                                double sigma, double pf,
+                                double fanout_fraction, double list_length) {
+  const double pushers = online_replicas * f_new_prev * sigma *
+                         std::clamp(pf, 0.0, 1.0);
+  const double reach =
+      std::clamp(fanout_fraction * (1.0 - list_length), 0.0, 1.0);
+  if (pushers <= 0.0 || reach <= 0.0) return 0.0;
+  if (reach >= 1.0) return 1.0;
+  return 1.0 - std::exp(pushers * std::log1p(-reach));
+}
+
+}  // namespace updp2p::analysis

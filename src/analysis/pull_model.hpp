@@ -1,0 +1,35 @@
+// Analytical model of the pull phase (paper §4.3) and of query servicing
+// (§4.4, which reuses the pull analysis).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace updp2p::analysis {
+
+/// Probability that a replica coming online while F_aware of the R_on
+/// online replicas are aware obtains the update within `attempts` random
+/// pull contacts (worst case — ignores concurrent pushes):
+///   P = 1 − (1 − R_on·F_aware / R)^n                          (§4.3)
+[[nodiscard]] double pull_success_probability(double online_replicas,
+                                              double aware_fraction,
+                                              double total_replicas,
+                                              unsigned attempts);
+
+/// Smallest number of pull attempts n such that the success probability
+/// reaches `confidence`. Returns 0 if the target is unreachable (nobody
+/// aware) — callers treat that as "keep retrying later".
+[[nodiscard]] unsigned pull_attempts_for_confidence(double online_replicas,
+                                                    double aware_fraction,
+                                                    double total_replicas,
+                                                    double confidence);
+
+/// Probability that a peer coming online *during* the push phase receives
+/// the update via push in the current round, when f_new_prev of the online
+/// population became aware in the previous round and keeps pushing (§4.3):
+///   P = 1 − (1 − f_r·(1 − l))^{R_on·f_new_prev·σ·PF}
+[[nodiscard]] double push_catchup_probability(double online_replicas,
+                                              double f_new_prev, double sigma,
+                                              double pf, double fanout_fraction,
+                                              double list_length);
+
+}  // namespace updp2p::analysis

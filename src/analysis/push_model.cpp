@@ -1,0 +1,138 @@
+#include "analysis/push_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace updp2p::analysis {
+
+double PushTrajectory::total_bytes() const {
+  double total = 0.0;
+  for (const auto& r : rounds) total += r.messages * r.message_bytes;
+  return total;
+}
+
+double PushTrajectory::messages_per_initial_online() const {
+  return initial_online > 0.0 ? total_messages() / initial_online : 0.0;
+}
+
+common::Round PushTrajectory::rounds_to_fraction(double quantile) const {
+  const double target = quantile * final_aware();
+  for (const auto& r : rounds) {
+    if (r.aware >= target) return r.t;
+  }
+  return rounds_used();
+}
+
+common::Series PushTrajectory::to_series(std::string label) const {
+  common::Series series;
+  series.label = std::move(label);
+  for (const auto& r : rounds) {
+    series.push(r.aware, initial_online > 0.0 ? r.cum_messages / initial_online
+                                              : 0.0);
+  }
+  return series;
+}
+
+PushTrajectory evaluate_push(const PushModelParams& params) {
+  UPDP2P_ENSURE(params.total_replicas >= 1.0, "need at least one replica");
+  UPDP2P_ENSURE(params.initial_online >= 1.0 &&
+                    params.initial_online <= params.total_replicas,
+                "R_on(0) must be within [1, R]");
+  UPDP2P_ENSURE(params.sigma >= 0.0 && params.sigma <= 1.0,
+                "sigma must be in [0,1]");
+  UPDP2P_ENSURE(params.fanout_fraction > 0.0 && params.fanout_fraction <= 1.0,
+                "f_r must be in (0,1]");
+  UPDP2P_ENSURE(params.list_cap >= 0.0 && params.list_cap <= 1.0,
+                "normalised list cap must be in [0,1]");
+
+  const double r_total = params.total_replicas;
+  const double f_r = params.fanout_fraction;
+
+  PushTrajectory trajectory;
+  trajectory.initial_online = params.initial_online;
+
+  // --- Round 0: the initiator pushes to f_r·R random replicas. -------------
+  PushRoundState round0;
+  round0.t = 0;
+  round0.online = params.initial_online;
+  round0.forwarders = 1.0;
+  round0.messages = r_total * f_r;
+  round0.cum_messages = round0.messages;
+  round0.new_aware = f_r;  // each online replica is hit with probability f_r
+  round0.aware = f_r;
+  round0.list_length = std::min(params.list_cap, f_r);
+  round0.duplicates =
+      std::max(0.0, round0.messages - round0.new_aware * round0.online);
+  round0.message_bytes = params.update_size_bytes +
+                         r_total * params.replica_entry_bytes *
+                             (params.use_partial_list ? round0.list_length : 0.0);
+  trajectory.rounds.push_back(round0);
+
+  double online = params.initial_online;
+  double f_new_prev = round0.new_aware;
+  double aware = round0.aware;
+  double list_len = round0.list_length;
+  double cum_messages = round0.messages;
+
+  for (common::Round t = 1; t <= params.max_rounds; ++t) {
+    const double pf = std::clamp(params.pf(t), 0.0, 1.0);
+
+    // k(t): replicas that became aware in round t−1, are still online and
+    // decide to forward.
+    const double forwarders = online * f_new_prev * params.sigma * pf;
+
+    // The population thins before this round's sends are processed.
+    const double online_now = online * params.sigma;
+
+    // Partial list suppresses the fraction of targets already contacted.
+    const double suppression = params.use_partial_list ? list_len : 0.0;
+    const double messages = forwarders * r_total * f_r * (1.0 - suppression);
+
+    // Probability an uninformed online replica is missed by all k(t)
+    // independent pushes of f_r·R random targets each: (1−f_r)^k(t).
+    const double miss = forwarders > 0.0
+                            ? std::exp(static_cast<double>(forwarders) *
+                                       std::log1p(-f_r))
+                            : 1.0;
+    const double f_new = (1.0 - aware) * (1.0 - miss);
+    const double new_aware_ceiling = std::min(f_new, 1.0 - aware);  // §4.2
+
+    aware = std::min(1.0, aware + new_aware_ceiling);
+    cum_messages += messages;
+
+    // Partial-list growth: l(t) = l(t−1) + f_r·(1 − l(t−1)), capped at
+    // l_max; growth law proved by induction in §4.2.
+    const double grown = list_len + f_r * (1.0 - list_len);
+    list_len = std::min(params.list_cap, grown);
+
+    PushRoundState state;
+    state.t = t;
+    state.online = online_now;
+    state.forwarders = forwarders;
+    state.new_aware = new_aware_ceiling;
+    state.aware = aware;
+    state.messages = messages;
+    state.cum_messages = cum_messages;
+    state.duplicates =
+        std::max(0.0, messages - new_aware_ceiling * online_now);
+    state.list_length = list_len;
+    state.message_bytes =
+        params.update_size_bytes +
+        r_total * params.replica_entry_bytes *
+            (params.use_partial_list ? list_len : 0.0);
+    trajectory.rounds.push_back(state);
+
+    online = online_now;
+    f_new_prev = new_aware_ceiling;
+
+    // Terminate once the expected number of newly aware replicas in the
+    // *next* round would be negligible: no forwarders means no messages.
+    if (f_new_prev < params.min_new_aware || aware >= 1.0 - 1e-12) break;
+  }
+
+  return trajectory;
+}
+
+}  // namespace updp2p::analysis

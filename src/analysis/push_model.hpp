@@ -1,0 +1,101 @@
+// Analytical model of the push phase (paper §4.1–§4.2).
+//
+// The model evaluates, round by round, the recurrences of §4.2:
+//
+//   R_on(t)      = R_on(t−1) · σ                                (Table 1, §4.1)
+//   k(t)         = R_on(t−1) · f_new(t−1) · σ · PF(t)           forwarders
+//   f_new(t)     = (1 − F_aware(t−1)) · (1 − (1−f_r)^{k(t)})    newly aware
+//   F_aware(t)   = min(1, F_aware(t−1) + f_new(t))              (ceiling, §4.2)
+//   l(t)         = 1 − (1−f_r)^{t+1}                            partial-list
+//                  (capped variant: l(t) = min(l_max, l(t−1)+f_r(1−l(t−1))))
+//   M(t)         = k(t) · R · f_r · (1 − l_eff(t−1))            messages
+//   L_M(t)       = U + R · α · l(t)                             bytes/message
+//
+// with round 0 seeded by the initiator: M(0) = R·f_r, f_new(0) = f_r,
+// l(0) = f_r. Setting l_eff ≡ 0 recovers flooding without partial lists
+// (Gnutella-style duplicate counting); PF schedules select the paper's
+// variants (see forward_probability.hpp).
+//
+// Peers coming online during the push are neglected exactly as the paper
+// argues (§4.1: "peers coming online need to execute pull anyway").
+#pragma once
+
+#include <vector>
+
+#include "analysis/forward_probability.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace updp2p::analysis {
+
+struct PushModelParams {
+  double total_replicas = 10'000;   ///< R
+  double initial_online = 1'000;    ///< R_on(0)
+  double sigma = 1.0;               ///< σ, P(stay online per round)
+  double fanout_fraction = 0.01;    ///< f_r
+  PfSchedule pf = pf_constant(1.0); ///< PF(t)
+  bool use_partial_list = true;     ///< propagate flooding list R_f
+  double list_cap = 1.0;            ///< l_max (normalised); 1 = uncapped
+  double update_size_bytes = 100.0; ///< |U|
+  double replica_entry_bytes = 10.0;///< α (paper suggests ~10 bytes)
+  common::Round max_rounds = 500;
+  double min_new_aware = 1e-9;      ///< termination: rumor considered dead
+
+  /// Absolute fanout R·f_r, the quantity Table 2 reports against.
+  [[nodiscard]] double absolute_fanout() const {
+    return total_replicas * fanout_fraction;
+  }
+};
+
+/// One evaluated round of the recurrence.
+struct PushRoundState {
+  common::Round t = 0;
+  double online = 0.0;          ///< R_on(t)
+  double forwarders = 0.0;      ///< k(t)
+  double new_aware = 0.0;       ///< f_new(t), fraction of online
+  double aware = 0.0;           ///< F_aware(t), fraction of online
+  double messages = 0.0;        ///< M(t)
+  double cum_messages = 0.0;    ///< Σ M(τ), τ ≤ t
+  double duplicates = 0.0;      ///< messages to already-aware/offline peers
+  double list_length = 0.0;     ///< l(t), normalised partial-list length
+  double message_bytes = 0.0;   ///< L_M(t)
+};
+
+struct PushTrajectory {
+  std::vector<PushRoundState> rounds;
+
+  [[nodiscard]] double final_aware() const {
+    return rounds.empty() ? 0.0 : rounds.back().aware;
+  }
+  [[nodiscard]] double total_messages() const {
+    return rounds.empty() ? 0.0 : rounds.back().cum_messages;
+  }
+  [[nodiscard]] double total_bytes() const;
+  /// The paper's y-axis: total messages per member of the initial online
+  /// population (§5, "number of messages generated per member of the
+  /// initial online population").
+  [[nodiscard]] double messages_per_initial_online() const;
+  /// Push rounds actually used (latency metric of Table 2).
+  [[nodiscard]] common::Round rounds_used() const {
+    return rounds.empty() ? 0 : rounds.back().t;
+  }
+  /// First round at which awareness reached `quantile` of its final value —
+  /// the practically relevant latency (decaying PF(t) schedules have a long
+  /// tail of vanishing activity that rounds_used() includes).
+  [[nodiscard]] common::Round rounds_to_fraction(double quantile = 0.99) const;
+  /// True when the rumor failed to reach (almost) the whole online
+  /// population — the Fig. 1(a) "dies out" regime.
+  [[nodiscard]] bool died(double threshold = 0.99) const {
+    return final_aware() < threshold;
+  }
+  /// (x = F_aware, y = cumulative messages / R_on(0)) series as plotted in
+  /// Figs. 1–5.
+  [[nodiscard]] common::Series to_series(std::string label) const;
+
+  double initial_online = 0.0;
+};
+
+/// Evaluates the recurrences. Pure function of the parameters.
+[[nodiscard]] PushTrajectory evaluate_push(const PushModelParams& params);
+
+}  // namespace updp2p::analysis

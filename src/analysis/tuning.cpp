@@ -1,0 +1,84 @@
+#include "analysis/tuning.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace updp2p::analysis {
+
+namespace {
+
+PushTrajectory evaluate(const TuningRequest& request, double f_r,
+                        double base) {
+  PushModelParams params;
+  params.total_replicas = request.total_replicas;
+  params.initial_online = request.online_fraction * request.total_replicas;
+  params.sigma = request.sigma;
+  params.fanout_fraction = f_r;
+  params.pf = base >= 1.0 ? pf_constant(1.0) : pf_geometric(base);
+  return evaluate_push(params);
+}
+
+bool meets(const TuningRequest& request, const PushTrajectory& trajectory) {
+  return trajectory.final_aware() >= request.target_aware &&
+         trajectory.rounds_to_fraction(0.99) <= request.max_rounds99;
+}
+
+}  // namespace
+
+TuningResult recommend_parameters(const TuningRequest& request) {
+  UPDP2P_ENSURE(request.total_replicas >= 2.0, "need at least two replicas");
+  UPDP2P_ENSURE(request.online_fraction > 0.0 && request.online_fraction <= 1.0,
+                "online fraction in (0,1]");
+  UPDP2P_ENSURE(request.target_aware > 0.0 && request.target_aware < 1.0,
+                "target coverage in (0,1)");
+
+  TuningResult best;
+  const double min_f_r = 1.0 / request.total_replicas;  // fanout 1
+
+  // Decay grid from gentle to aggressive, plus plain flooding.
+  for (const double base : {1.0, 0.98, 0.95, 0.9, 0.85, 0.8}) {
+    // Feasibility at the top of the fanout range?
+    double high = std::min(1.0, 4'000.0 / request.total_replicas);
+    if (!meets(request, evaluate(request, high, base))) continue;
+
+    // Smallest feasible fanout for this base: coverage is monotone in f_r,
+    // so binary-search the threshold, then take the cheapest feasible
+    // point (cost is monotone increasing in f_r above the threshold).
+    double low = min_f_r;
+    if (!meets(request, evaluate(request, low, base))) {
+      for (int iteration = 0; iteration < 40; ++iteration) {
+        const double mid = 0.5 * (low + high);
+        if (meets(request, evaluate(request, mid, base))) {
+          high = mid;
+        } else {
+          low = mid;
+        }
+      }
+    } else {
+      high = low;  // even fanout 1 suffices
+    }
+
+    // Round the threshold up to a whole-peer fanout and re-verify (the
+    // model is continuous; deployments push to integer peer counts).
+    const double fanout_peers =
+        std::ceil(high * request.total_replicas - 1e-9);
+    const double f_r = fanout_peers / request.total_replicas;
+    const auto trajectory = evaluate(request, f_r, base);
+    if (!meets(request, trajectory)) continue;
+
+    const double cost = trajectory.messages_per_initial_online();
+    if (!best.feasible || cost < best.messages_per_online) {
+      best.feasible = true;
+      best.fanout_fraction = f_r;
+      best.pf_decay_base = base;
+      best.messages_per_online = cost;
+      best.predicted_aware = trajectory.final_aware();
+      best.predicted_rounds99 = trajectory.rounds_to_fraction(0.99);
+    }
+  }
+  return best;
+}
+
+}  // namespace updp2p::analysis

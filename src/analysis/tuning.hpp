@@ -1,0 +1,37 @@
+// Parameter recommendation — the §6 tuning question answered offline.
+//
+// Given the environment (R, availability, σ) and a target coverage, search
+// the analytical model for the cheapest (fanout, PF-decay) configuration
+// that still meets the target. This turns the paper's tuning heuristics
+// ("it is essential to properly tune PF(t), lest the update is not
+// propagated") into a reproducible procedure operators can run before
+// provisioning a replica group.
+#pragma once
+
+#include "analysis/push_model.hpp"
+
+namespace updp2p::analysis {
+
+struct TuningRequest {
+  double total_replicas = 1'000;
+  double online_fraction = 0.2;    ///< expected R_on(0)/R
+  double sigma = 0.95;
+  double target_aware = 0.99;      ///< required final F_aware
+  common::Round max_rounds99 = 30; ///< latency budget (rounds to 99% of final)
+};
+
+struct TuningResult {
+  bool feasible = false;
+  double fanout_fraction = 0.0;       ///< recommended f_r
+  double pf_decay_base = 1.0;         ///< recommended PF(t) = base^t
+  double messages_per_online = 0.0;   ///< predicted cost at the recommendation
+  double predicted_aware = 0.0;
+  common::Round predicted_rounds99 = 0;
+};
+
+/// Grid-searches PF decay bases and binary-searches the fanout per base,
+/// returning the feasible configuration with the lowest predicted message
+/// cost. Pure function of the request (model-based; no simulation).
+[[nodiscard]] TuningResult recommend_parameters(const TuningRequest& request);
+
+}  // namespace updp2p::analysis

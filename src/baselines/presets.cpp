@@ -1,0 +1,77 @@
+#include "baselines/presets.hpp"
+
+#include "common/ensure.hpp"
+
+namespace updp2p::baselines {
+
+namespace {
+gossip::GossipConfig base_config(std::size_t total_replicas,
+                                 std::size_t absolute_fanout) {
+  UPDP2P_ENSURE(absolute_fanout > 0 && absolute_fanout <= total_replicas,
+                "fanout must be in [1, R]");
+  gossip::GossipConfig config;
+  config.estimated_total_replicas = total_replicas;
+  config.fanout_fraction = static_cast<double>(absolute_fanout) /
+                           static_cast<double>(total_replicas);
+  // Baseline comparisons isolate the push phase.
+  config.pull.lazy = false;
+  config.acks.enabled = false;
+  return config;
+}
+}  // namespace
+
+Scheme gnutella(std::size_t total_replicas, std::size_t absolute_fanout,
+                common::Round ttl) {
+  auto config = base_config(total_replicas, absolute_fanout);
+  // TTL-limited flood: PF = 1 up to the TTL, 0 afterwards — G(0, ttl).
+  config.forward_probability = analysis::pf_haas(0.0, ttl);
+  config.partial_list.mode = gossip::PartialListMode::kNone;
+  return Scheme{"Gnutella", std::move(config)};
+}
+
+Scheme partial_list_flooding(std::size_t total_replicas,
+                             std::size_t absolute_fanout) {
+  auto config = base_config(total_replicas, absolute_fanout);
+  config.forward_probability = analysis::pf_constant(1.0);
+  config.partial_list.mode = gossip::PartialListMode::kUnbounded;
+  return Scheme{"Using Partial List", std::move(config)};
+}
+
+Scheme haas_gossip(std::size_t total_replicas, std::size_t absolute_fanout,
+                   double p, common::Round flood_rounds) {
+  auto config = base_config(total_replicas, absolute_fanout);
+  config.forward_probability = analysis::pf_haas(p, flood_rounds);
+  config.partial_list.mode = gossip::PartialListMode::kNone;
+  return Scheme{"Haas et al. " + config.forward_probability.label,
+                std::move(config)};
+}
+
+Scheme datta_scheme(std::size_t total_replicas, std::size_t absolute_fanout,
+                    double pf_base) {
+  auto config = base_config(total_replicas, absolute_fanout);
+  config.forward_probability = analysis::pf_geometric(pf_base);
+  config.partial_list.mode = gossip::PartialListMode::kUnbounded;
+  return Scheme{"Our Scheme, " + config.forward_probability.label,
+                std::move(config)};
+}
+
+Scheme datta_scheme_offset(std::size_t total_replicas,
+                           std::size_t absolute_fanout, double scale,
+                           double base, double offset) {
+  auto config = base_config(total_replicas, absolute_fanout);
+  config.forward_probability = analysis::pf_offset_geometric(scale, base, offset);
+  config.partial_list.mode = gossip::PartialListMode::kUnbounded;
+  return Scheme{"Our Scheme, " + config.forward_probability.label,
+                std::move(config)};
+}
+
+Scheme blind_gossip(std::size_t total_replicas, std::size_t absolute_fanout,
+                    double p) {
+  auto config = base_config(total_replicas, absolute_fanout);
+  config.forward_probability = analysis::pf_constant(p);
+  config.partial_list.mode = gossip::PartialListMode::kNone;
+  return Scheme{"Blind gossip " + config.forward_probability.label,
+                std::move(config)};
+}
+
+}  // namespace updp2p::baselines

@@ -1,0 +1,59 @@
+// Comparison-scheme presets (paper §5.6, Table 2).
+//
+// The paper's central modelling claim is that the classic flooding/gossip
+// variants are special cases of the generic push scheme: Gnutella is
+// PF(t)=1 for TTL rounds with no partial list; Haas et al.'s GOSSIP1(p,k)
+// floods for k rounds then forwards with probability p; "using partial
+// list" is plain flooding plus R_f. These factory functions configure the
+// same ReplicaNode the core scheme uses, so simulated comparisons differ
+// only in the parameters — exactly the paper's setup.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "gossip/config.hpp"
+
+namespace updp2p::baselines {
+
+/// A named protocol configuration for comparison tables.
+struct Scheme {
+  std::string name;
+  gossip::GossipConfig config;
+};
+
+/// Gnutella-style limited flooding: fixed fanout, TTL rounds of PF=1, no
+/// partial list; duplicate avoidance happens receiver-side (seen-cache),
+/// which suppresses re-forwarding but not redundant transmissions (§5.6).
+[[nodiscard]] Scheme gnutella(std::size_t total_replicas,
+                              std::size_t absolute_fanout,
+                              common::Round ttl = 64);
+
+/// Plain flooding + the partial flooding list R_f (paper's first
+/// improvement step in Table 2).
+[[nodiscard]] Scheme partial_list_flooding(std::size_t total_replicas,
+                                           std::size_t absolute_fanout);
+
+/// Haas, Halpern, Li "Gossip-based ad hoc routing" GOSSIP1(p,k): pure
+/// flooding for the first k rounds, then forward with probability p. No
+/// partial list.
+[[nodiscard]] Scheme haas_gossip(std::size_t total_replicas,
+                                 std::size_t absolute_fanout, double p,
+                                 common::Round flood_rounds);
+
+/// The paper's scheme: partial list plus decaying PF(t) = base^t.
+[[nodiscard]] Scheme datta_scheme(std::size_t total_replicas,
+                                  std::size_t absolute_fanout,
+                                  double pf_base = 0.9);
+
+/// The paper's scheme with the Fig. 5 schedule PF(t) = a·b^t + c.
+[[nodiscard]] Scheme datta_scheme_offset(std::size_t total_replicas,
+                                         std::size_t absolute_fanout,
+                                         double scale, double base,
+                                         double offset);
+
+/// Blind probabilistic gossip: constant PF = p every round, no list.
+[[nodiscard]] Scheme blind_gossip(std::size_t total_replicas,
+                                  std::size_t absolute_fanout, double p);
+
+}  // namespace updp2p::baselines

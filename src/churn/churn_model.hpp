@@ -1,0 +1,176 @@
+// Peer availability (churn) processes.
+//
+// Paper §3: "peers can go offline at any time according to a random process
+// that models the behaviour when peers are online", with σ = P(an online
+// peer stays online across one push round) and p_j = P(an offline peer comes
+// online in a round). §4.1 analyses the push phase with constant σ and
+// p_j ≈ 0; the simulator supports the full process so the simplifications
+// can be validated (paper §8 future work).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace updp2p::churn {
+
+/// Dense online/offline membership of a population, with O(1) count.
+class OnlineSet {
+ public:
+  explicit OnlineSet(std::size_t population) : online_(population, false) {}
+
+  void set(common::PeerId peer, bool online) noexcept;
+  [[nodiscard]] bool is_online(common::PeerId peer) const noexcept {
+    return online_[peer.value()];
+  }
+  [[nodiscard]] std::size_t population() const noexcept { return online_.size(); }
+  [[nodiscard]] std::size_t online_count() const noexcept { return count_; }
+  [[nodiscard]] double online_fraction() const noexcept {
+    return population() == 0
+               ? 0.0
+               : static_cast<double>(count_) / static_cast<double>(population());
+  }
+  /// Materialises the ids of all online peers (for metrics/tests).
+  [[nodiscard]] std::vector<common::PeerId> online_peers() const;
+
+ private:
+  std::vector<bool> online_;
+  std::size_t count_ = 0;
+};
+
+/// Round-synchronous churn process, matching the analysis model's timebase.
+class ChurnModel {
+ public:
+  virtual ~ChurnModel() = default;
+
+  /// (Re)initialises the round-0 online set.
+  virtual void reset(common::Rng& rng) = 0;
+
+  /// Advances the process by one push round.
+  virtual void advance(common::Rng& rng) = 0;
+
+  [[nodiscard]] const OnlineSet& online() const noexcept { return online_; }
+  [[nodiscard]] bool is_online(common::PeerId peer) const noexcept {
+    return online_.is_online(peer);
+  }
+  [[nodiscard]] std::size_t population() const noexcept {
+    return online_.population();
+  }
+  [[nodiscard]] std::size_t online_count() const noexcept {
+    return online_.online_count();
+  }
+
+ protected:
+  explicit ChurnModel(std::size_t population) : online_(population) {}
+  OnlineSet& mutable_online() noexcept { return online_; }
+
+ private:
+  OnlineSet online_;
+};
+
+/// σ = 1, p_j = 0: a fixed fraction is online for the whole push phase.
+/// Exactly the population model behind Fig. 5 (Sigma = 1).
+class StaticChurn final : public ChurnModel {
+ public:
+  StaticChurn(std::size_t population, double online_fraction);
+
+  void reset(common::Rng& rng) override;
+  void advance(common::Rng& /*rng*/) override {}
+
+ private:
+  double online_fraction_;
+};
+
+/// The paper's per-round process: online peers stay with probability σ,
+/// offline peers join with probability p_j.
+class BernoulliChurn final : public ChurnModel {
+ public:
+  BernoulliChurn(std::size_t population, double initial_online_fraction,
+                 double sigma, double p_join);
+
+  void reset(common::Rng& rng) override;
+  void advance(common::Rng& rng) override;
+
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+  [[nodiscard]] double p_join() const noexcept { return p_join_; }
+  /// Stationary online fraction p_j / (p_j + (1 - σ)).
+  [[nodiscard]] double stationary_fraction() const noexcept;
+
+ private:
+  double initial_online_fraction_;
+  double sigma_;
+  double p_join_;
+};
+
+/// Two-state Markov churn parameterised by mean session lengths (in rounds)
+/// instead of transition probabilities: E[online session] = 1/(1-σ),
+/// E[offline session] = 1/p_j. Convenience wrapper over BernoulliChurn
+/// for workload descriptions phrased in session durations.
+class SessionChurn final : public ChurnModel {
+ public:
+  SessionChurn(std::size_t population, double mean_online_rounds,
+               double mean_offline_rounds);
+
+  void reset(common::Rng& rng) override;
+  void advance(common::Rng& rng) override;
+
+  [[nodiscard]] double availability() const noexcept;
+
+ private:
+  double stay_prob_;
+  double join_prob_;
+};
+
+/// Replays an explicit per-round schedule (deterministic regression tests,
+/// catastrophe scenarios like mass disconnections).
+class TraceChurn final : public ChurnModel {
+ public:
+  /// `schedule[r]` lists the peers online in round r; rounds past the end
+  /// of the schedule repeat the last entry.
+  TraceChurn(std::size_t population,
+             std::vector<std::vector<common::PeerId>> schedule);
+
+  void reset(common::Rng& rng) override;
+  void advance(common::Rng& rng) override;
+
+  [[nodiscard]] std::size_t current_round() const noexcept { return round_; }
+
+ private:
+  void apply_round(std::size_t round);
+
+  std::vector<std::vector<common::PeerId>> schedule_;
+  std::size_t round_ = 0;
+};
+
+/// Continuous-time alternating-renewal availability for the event-driven
+/// simulator: exponential online/offline session durations.
+class SessionProcess {
+ public:
+  SessionProcess(double mean_online_time, double mean_offline_time);
+
+  struct Transition {
+    common::SimTime at;
+    bool goes_online;
+  };
+
+  /// Initial state sampled from the stationary distribution; returns whether
+  /// the peer starts online and the time of its first transition.
+  [[nodiscard]] std::pair<bool, common::SimTime> start(common::Rng& rng) const;
+
+  /// Next transition after a state change at `now` into state `online`.
+  [[nodiscard]] common::SimTime next_transition(common::Rng& rng, bool online,
+                                                common::SimTime now) const;
+
+  [[nodiscard]] double availability() const noexcept {
+    return mean_online_ / (mean_online_ + mean_offline_);
+  }
+
+ private:
+  double mean_online_;
+  double mean_offline_;
+};
+
+}  // namespace updp2p::churn

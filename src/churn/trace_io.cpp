@@ -1,0 +1,74 @@
+#include "churn/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace updp2p::churn {
+
+void write_trace(std::ostream& out, const TraceSchedule& schedule) {
+  for (std::size_t round = 0; round < schedule.size(); ++round) {
+    out << round;
+    for (const common::PeerId peer : schedule[round]) {
+      out << ',' << peer.value();
+    }
+    out << '\n';
+  }
+}
+
+std::optional<TraceSchedule> read_trace(std::istream& in,
+                                        std::size_t population) {
+  TraceSchedule schedule;
+  std::string line;
+  std::size_t expected_round = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string field;
+    if (!std::getline(fields, field, ',')) return std::nullopt;
+
+    // Strict numeric parse of the round number.
+    std::size_t round = 0;
+    try {
+      std::size_t consumed = 0;
+      round = std::stoull(field, &consumed);
+      if (consumed != field.size()) return std::nullopt;
+    } catch (...) {
+      return std::nullopt;
+    }
+    if (round != expected_round) return std::nullopt;  // contiguity
+    ++expected_round;
+
+    std::vector<common::PeerId> online;
+    while (std::getline(fields, field, ',')) {
+      unsigned long long id = 0;
+      try {
+        std::size_t consumed = 0;
+        id = std::stoull(field, &consumed);
+        if (consumed != field.size()) return std::nullopt;
+      } catch (...) {
+        return std::nullopt;
+      }
+      if (id >= population) return std::nullopt;
+      online.emplace_back(static_cast<std::uint32_t>(id));
+    }
+    schedule.push_back(std::move(online));
+  }
+  if (schedule.empty()) return std::nullopt;
+  return schedule;
+}
+
+bool save_trace(const std::string& path, const TraceSchedule& schedule) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  write_trace(out, schedule);
+  return static_cast<bool>(out);
+}
+
+std::optional<TraceSchedule> load_trace(const std::string& path,
+                                        std::size_t population) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return read_trace(in, population);
+}
+
+}  // namespace updp2p::churn

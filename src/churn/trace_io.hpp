@@ -1,0 +1,37 @@
+// Availability-trace import/export.
+//
+// Trace-driven churn (TraceChurn) lets experiments replay measured peer
+// uptime — e.g. converted Overnet/Skype availability datasets — instead of
+// synthetic processes. The interchange format is one CSV line per round:
+//
+//   round,peer_id[,peer_id...]
+//
+// Rounds must be contiguous from 0; a round with no online peer is a line
+// with just the round number.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace updp2p::churn {
+
+using TraceSchedule = std::vector<std::vector<common::PeerId>>;
+
+/// Serialises a schedule to the CSV interchange format.
+void write_trace(std::ostream& out, const TraceSchedule& schedule);
+
+/// Parses a schedule; nullopt on malformed input (non-numeric fields,
+/// missing/misordered round numbers, ids ≥ `population`).
+[[nodiscard]] std::optional<TraceSchedule> read_trace(std::istream& in,
+                                                      std::size_t population);
+
+/// File-based convenience wrappers. Return false / nullopt on I/O errors.
+bool save_trace(const std::string& path, const TraceSchedule& schedule);
+[[nodiscard]] std::optional<TraceSchedule> load_trace(const std::string& path,
+                                                      std::size_t population);
+
+}  // namespace updp2p::churn

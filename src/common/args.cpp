@@ -1,0 +1,73 @@
+#include "common/args.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace updp2p::common {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.size() < 3 || token.substr(0, 2) != "--") {
+      positional_.push_back(token);
+      continue;
+    }
+    const std::string body = token.substr(2);
+    const auto equals = body.find('=');
+    if (equals != std::string::npos) {
+      values_[body.substr(0, equals)] = body.substr(equals + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).substr(0, 2) != "--") {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "";  // bare boolean flag
+    }
+  }
+}
+
+std::string Args::get_string(const std::string& name,
+                             std::string fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? std::move(fallback) : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& name,
+                           std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+  return end != nullptr && *end == '\0' ? parsed : fallback;
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(it->second.c_str(), &end);
+  return end != nullptr && *end == '\0' ? parsed : fallback;
+}
+
+bool Args::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::string value = it->second;
+  std::transform(value.begin(), value.end(), value.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (value.empty() || value == "1" || value == "true" || value == "yes" ||
+      value == "on") {
+    return true;
+  }
+  if (value == "0" || value == "false" || value == "no" || value == "off") {
+    return false;
+  }
+  return fallback;
+}
+
+std::vector<std::string> Args::flag_names() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [name, value] : values_) names.push_back(name);
+  return names;
+}
+
+}  // namespace updp2p::common

@@ -1,0 +1,45 @@
+// Minimal command-line flag parsing for the bench/example binaries.
+//
+// Flags use `--name value` or `--name=value`; `--flag` alone is a boolean
+// true. Unknown flags are collected so callers can reject or ignore them.
+// No global state, no registration macros — one Args object per main().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace updp2p::common {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return values_.contains(name);
+  }
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       std::string fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  /// --name, --name=true/1/yes/on => true; --name=false/0/no/off => false.
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Non-flag positional arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+  /// Flag names seen on the command line (for unknown-flag checks).
+  [[nodiscard]] std::vector<std::string> flag_names() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace updp2p::common

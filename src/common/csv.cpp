@@ -1,0 +1,64 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace updp2p::common {
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string quoted = "\"";
+  for (const char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+CsvWriter& CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  return *this;
+}
+
+CsvWriter& CsvWriter::series(const Series& s, int precision) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    row({s.label, format_double(s.x[i], precision),
+         format_double(s.y[i], precision)});
+  }
+  return *this;
+}
+
+bool write_csv_file(const std::string& directory, const std::string& name,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) return false;
+  const std::string path = directory + "/" + name + ".csv";
+  std::ostringstream buffer;
+  CsvWriter writer(buffer);
+  for (const auto& r : rows) writer.row(r);
+
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return false;
+  file << buffer.str();
+  file.close();
+  if (!file) {
+    std::remove(path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace updp2p::common

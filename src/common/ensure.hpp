@@ -1,0 +1,27 @@
+// Precondition/invariant checking.
+//
+// Per the Core Guidelines (I.6/E.12): programming errors abort loudly;
+// recoverable protocol conditions are modelled as values, never as these
+// checks. UPDP2P_ENSURE stays active in release builds because simulation
+// results silently corrupted by a violated invariant are worse than a crash.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace updp2p::common::detail {
+[[noreturn]] inline void ensure_fail(const char* expr, const char* file,
+                                     int line, const char* message) {
+  std::fprintf(stderr, "updp2p invariant violated: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, message);
+  std::abort();
+}
+}  // namespace updp2p::common::detail
+
+#define UPDP2P_ENSURE(expr, message)                                        \
+  do {                                                                      \
+    if (!(expr)) [[unlikely]] {                                             \
+      ::updp2p::common::detail::ensure_fail(#expr, __FILE__, __LINE__,      \
+                                            message);                      \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,45 @@
+#include "common/hash.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace updp2p::common {
+
+std::uint64_t fnv1a64(std::string_view text) noexcept {
+  return fnv1a64(std::as_bytes(std::span(text.data(), text.size())));
+}
+
+std::string Digest128::to_hex() const {
+  char buffer[33];
+  std::snprintf(buffer, sizeof buffer, "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return std::string(buffer);
+}
+
+std::ostream& operator<<(std::ostream& os, const Digest128& digest) {
+  return os << digest.to_hex();
+}
+
+Digest128 digest128(std::span<const std::uint64_t> words) noexcept {
+  // Two independent FNV-ish accumulation lanes with distinct primes, then a
+  // final avalanche per lane. Not cryptographic; collision probability for
+  // simulator-scale id counts (~2^30) is negligible at 128 bits.
+  std::uint64_t hi = 0x6c62272e07bb0142ULL;
+  std::uint64_t lo = 0xcbf29ce484222325ULL;
+  for (const std::uint64_t w : words) {
+    hi = hash_combine(hi, w);
+    lo = hash_combine(lo ^ 0x94d049bb133111ebULL, w + 0x9e3779b97f4a7c15ULL);
+  }
+  auto avalanche = [](std::uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+  };
+  return Digest128{avalanche(hi), avalanche(lo)};
+}
+
+}  // namespace updp2p::common

@@ -1,0 +1,66 @@
+// Hashing utilities: FNV-1a for byte strings, a 128-bit digest used for
+// version identifiers, and hash combining for composite keys.
+//
+// The paper (fn. 1, §3) computes version identifiers by applying a
+// cryptographically secure hash to (date/time ++ IP address ++ large random
+// number). In the simulator we do not need cryptographic strength — only
+// universal uniqueness within a run — so we use a seeded 128-bit mix of the
+// same ingredients (peer id, logical timestamp, random nonce).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace updp2p::common {
+
+/// 64-bit FNV-1a over a byte span.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(
+    std::span<const std::byte> bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view text) noexcept;
+
+/// boost-style hash combining with 64-bit golden-ratio mixing.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                                   std::uint64_t value) noexcept {
+  // Murmur-inspired finalizer of the value before mixing into the seed.
+  value *= 0xff51afd7ed558ccdULL;
+  value ^= value >> 33;
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// A 128-bit digest. Used as the representation of version identifiers.
+struct Digest128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend constexpr auto operator<=>(const Digest128&,
+                                    const Digest128&) noexcept = default;
+
+  [[nodiscard]] std::string to_hex() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Digest128& digest);
+
+/// Deterministic 128-bit mix of arbitrary 64-bit words.
+[[nodiscard]] Digest128 digest128(std::span<const std::uint64_t> words) noexcept;
+
+}  // namespace updp2p::common
+
+template <>
+struct std::hash<updp2p::common::Digest128> {
+  std::size_t operator()(const updp2p::common::Digest128& d) const noexcept {
+    return static_cast<std::size_t>(d.hi ^ (d.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};

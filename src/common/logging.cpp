@@ -1,0 +1,31 @@
+#include "common/logging.hpp"
+
+#include <iostream>
+
+namespace updp2p::common {
+
+LogLevel Logger::level_ = LogLevel::kWarn;
+std::ostream* Logger::sink_ = nullptr;
+
+namespace {
+constexpr std::string_view level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view message) {
+  std::ostream& out = sink_ ? *sink_ : std::clog;
+  out << '[' << level_name(level) << "] [" << component << "] " << message
+      << '\n';
+}
+
+}  // namespace updp2p::common

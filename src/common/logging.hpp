@@ -1,0 +1,69 @@
+// Minimal leveled logger. Simulation hot loops must stay allocation-free,
+// so log statements below the active level cost a single branch.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string_view>
+
+namespace updp2p::common {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log configuration. Not thread-safe by design: the simulator
+/// is single-threaded and benches set the level once at startup.
+class Logger {
+ public:
+  static void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] static LogLevel level() noexcept { return level_; }
+  [[nodiscard]] static bool enabled(LogLevel level) noexcept {
+    return level >= level_;
+  }
+  /// Redirects output (default: std::clog). Pass nullptr to restore default.
+  static void set_sink(std::ostream* sink) noexcept { sink_ = sink; }
+
+  static void write(LogLevel level, std::string_view component,
+                    std::string_view message);
+
+ private:
+  static LogLevel level_;
+  static std::ostream* sink_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Logger::write(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace updp2p::common
+
+#define UPDP2P_LOG(level, component)                                  \
+  if (!::updp2p::common::Logger::enabled(level)) {                    \
+  } else                                                              \
+    ::updp2p::common::detail::LogLine(level, component)
+
+#define UPDP2P_LOG_DEBUG(component) \
+  UPDP2P_LOG(::updp2p::common::LogLevel::kDebug, component)
+#define UPDP2P_LOG_INFO(component) \
+  UPDP2P_LOG(::updp2p::common::LogLevel::kInfo, component)
+#define UPDP2P_LOG_WARN(component) \
+  UPDP2P_LOG(::updp2p::common::LogLevel::kWarn, component)
+#define UPDP2P_LOG_ERROR(component) \
+  UPDP2P_LOG(::updp2p::common::LogLevel::kError, component)

@@ -1,0 +1,82 @@
+// Streaming statistics and simple series containers used by the simulator's
+// metrics pipeline and the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace updp2p::common {
+
+/// Welford streaming mean/variance plus min/max. O(1) memory.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than two samples).
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram over [lo, hi) with overflow/underflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t bucket(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  /// Approximate quantile by linear interpolation within the hit bucket.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Exact percentile of a copied sample set (for small vectors in tests).
+[[nodiscard]] double percentile(std::vector<double> values, double q) noexcept;
+
+/// One (x, y) trajectory — e.g. messages-per-peer vs fraction aware — as
+/// plotted in the paper's figures.
+struct Series {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+
+  void push(double xv, double yv) {
+    x.push_back(xv);
+    y.push_back(yv);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return x.size(); }
+  [[nodiscard]] bool empty() const noexcept { return x.empty(); }
+  [[nodiscard]] double final_x() const { return x.back(); }
+  [[nodiscard]] double final_y() const { return y.back(); }
+};
+
+}  // namespace updp2p::common

@@ -1,0 +1,85 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/ensure.hpp"
+
+namespace updp2p::common {
+
+std::string format_double(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return std::string(buffer);
+}
+
+std::string format_trajectory(const std::vector<double>& x,
+                              const std::vector<double>& y, int precision) {
+  UPDP2P_ENSURE(x.size() == y.size(), "trajectory arrays must align");
+  std::ostringstream out;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (i > 0) out << "  ";
+    out << format_double(x[i], precision) << "->"
+        << format_double(y[i], precision);
+  }
+  return out.str();
+}
+
+TextTable& TextTable::header(std::vector<std::string> columns) {
+  header_ = std::move(columns);
+  return *this;
+}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(std::string value) {
+  UPDP2P_ENSURE(!rows_.empty(), "call row() before cell()");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+TextTable& TextTable::cell(double value, int precision) {
+  return cell(format_double(value, precision));
+}
+
+TextTable& TextTable::cell(std::size_t value) {
+  return cell(std::to_string(value));
+}
+
+TextTable& TextTable::cell(long long value) { return cell(std::to_string(value)); }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  os << "== " << title_ << " ==\n";
+  auto print_row = [&os, &widths](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& text = i < cells.size() ? cells[i] : std::string{};
+      os << "  " << text;
+      os << std::string(widths[i] - std::min(widths[i], text.size()), ' ');
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    std::size_t total = 0;
+    for (const std::size_t w : widths) total += w + 2;
+    os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+  }
+  for (const auto& r : rows_) print_row(r);
+}
+
+}  // namespace updp2p::common

@@ -1,0 +1,47 @@
+// Aligned text-table rendering for the benchmark harness: every bench binary
+// prints the rows/series of one paper table or figure through this.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace updp2p::common {
+
+/// Column-aligned table with a title, header row and string cells.
+/// Numeric convenience overloads format with a fixed precision.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  TextTable& header(std::vector<std::string> columns);
+
+  /// Begins a new row; subsequent cell() calls append to it.
+  TextTable& row();
+  TextTable& cell(std::string value);
+  TextTable& cell(const char* value) { return cell(std::string(value)); }
+  TextTable& cell(double value, int precision = 3);
+  TextTable& cell(std::size_t value);
+  TextTable& cell(long long value);
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` digits after the point.
+[[nodiscard]] std::string format_double(double value, int precision = 3);
+
+/// Renders a series of (x, y) points as a compact "x->y" listing, used by
+/// figure benches to show discrete round marks like the paper's plots.
+[[nodiscard]] std::string format_trajectory(const std::vector<double>& x,
+                                            const std::vector<double>& y,
+                                            int precision = 3);
+
+}  // namespace updp2p::common

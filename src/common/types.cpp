@@ -1,0 +1,15 @@
+#include "common/types.hpp"
+
+#include <ostream>
+
+namespace updp2p::common {
+
+std::ostream& operator<<(std::ostream& os, PeerId id) {
+  return os << "peer#" << id.value();
+}
+
+std::ostream& operator<<(std::ostream& os, UpdateId id) {
+  return os << "update#" << id.value();
+}
+
+}  // namespace updp2p::common

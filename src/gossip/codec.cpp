@@ -1,0 +1,333 @@
+#include "gossip/codec.hpp"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+namespace updp2p::gossip {
+
+namespace {
+
+constexpr std::byte kMagic0{0xD5};
+constexpr std::byte kMagic1{0x2B};
+
+enum class Kind : std::uint8_t {
+  kPush = 1,
+  kPullRequest = 2,
+  kPullResponse = 3,
+  kAck = 4,
+  kQueryRequest = 5,
+  kQueryReply = 6,
+};
+
+void put_u8(WireBytes& out, std::uint8_t value) {
+  out.push_back(static_cast<std::byte>(value));
+}
+
+std::optional<std::uint8_t> get_u8(std::span<const std::byte> bytes,
+                                   std::size_t& offset) {
+  if (offset >= bytes.size()) return std::nullopt;
+  return static_cast<std::uint8_t>(bytes[offset++]);
+}
+
+void put_u64(WireBytes& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::byte>((value >> shift) & 0xFF));
+  }
+}
+
+std::optional<std::uint64_t> get_u64(std::span<const std::byte> bytes,
+                                     std::size_t& offset) {
+  if (offset + 8 > bytes.size()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    value |= static_cast<std::uint64_t>(bytes[offset++]) << shift;
+  }
+  return value;
+}
+
+void put_f64(WireBytes& out, double value) {
+  put_u64(out, std::bit_cast<std::uint64_t>(value));
+}
+
+std::optional<double> get_f64(std::span<const std::byte> bytes,
+                              std::size_t& offset) {
+  const auto raw = get_u64(bytes, offset);
+  if (!raw) return std::nullopt;
+  return std::bit_cast<double>(*raw);
+}
+
+void put_string(WireBytes& out, std::string_view text) {
+  put_varint(out, text.size());
+  const auto* data = reinterpret_cast<const std::byte*>(text.data());
+  out.insert(out.end(), data, data + text.size());
+}
+
+std::optional<std::string> get_string(std::span<const std::byte> bytes,
+                                      std::size_t& offset) {
+  const auto length = get_varint(bytes, offset);
+  if (!length || offset + *length > bytes.size()) return std::nullopt;
+  std::string text(reinterpret_cast<const char*>(bytes.data() + offset),
+                   *length);
+  offset += *length;
+  return text;
+}
+
+void put_digest(WireBytes& out, const common::Digest128& digest) {
+  put_u64(out, digest.hi);
+  put_u64(out, digest.lo);
+}
+
+std::optional<common::Digest128> get_digest(std::span<const std::byte> bytes,
+                                            std::size_t& offset) {
+  const auto hi = get_u64(bytes, offset);
+  const auto lo = get_u64(bytes, offset);
+  if (!hi || !lo) return std::nullopt;
+  return common::Digest128{*hi, *lo};
+}
+
+void put_version_vector(WireBytes& out, const version::VersionVector& vv) {
+  put_varint(out, vv.entry_count());
+  for (const auto& [peer, counter] : vv.entries()) {
+    put_varint(out, peer.value());
+    put_varint(out, counter);
+  }
+}
+
+std::optional<version::VersionVector> get_version_vector(
+    std::span<const std::byte> bytes, std::size_t& offset) {
+  const auto count = get_varint(bytes, offset);
+  if (!count) return std::nullopt;
+  // Each entry needs at least two bytes; reject absurd counts early so a
+  // hostile length prefix cannot make us loop for long.
+  if (*count > bytes.size()) return std::nullopt;
+  version::VersionVector vv;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto peer = get_varint(bytes, offset);
+    const auto counter = get_varint(bytes, offset);
+    if (!peer || !counter ||
+        *peer > std::numeric_limits<common::PeerId::rep_type>::max()) {
+      return std::nullopt;
+    }
+    vv.observe(common::PeerId(static_cast<std::uint32_t>(*peer)), *counter);
+  }
+  return vv;
+}
+
+void put_value(WireBytes& out, const version::VersionedValue& value) {
+  put_string(out, value.key);
+  put_string(out, value.payload);
+  put_digest(out, value.id.digest());
+  put_version_vector(out, value.history);
+  put_u8(out, value.tombstone ? 1 : 0);
+  put_f64(out, value.written_at);
+}
+
+std::optional<version::VersionedValue> get_value(
+    std::span<const std::byte> bytes, std::size_t& offset) {
+  version::VersionedValue value;
+  auto key = get_string(bytes, offset);
+  auto payload = get_string(bytes, offset);
+  auto digest = get_digest(bytes, offset);
+  auto history = get_version_vector(bytes, offset);
+  auto flags = get_u8(bytes, offset);
+  auto written_at = get_f64(bytes, offset);
+  if (!key || !payload || !digest || !history || !flags || !written_at) {
+    return std::nullopt;
+  }
+  value.key = std::move(*key);
+  value.payload = std::move(*payload);
+  value.id = version::VersionId(*digest);
+  value.history = std::move(*history);
+  value.tombstone = (*flags & 1) != 0;
+  value.written_at = *written_at;
+  return value;
+}
+
+void put_peer_list(WireBytes& out, const std::vector<common::PeerId>& peers) {
+  put_varint(out, peers.size());
+  for (const common::PeerId peer : peers) put_varint(out, peer.value());
+}
+
+std::optional<std::vector<common::PeerId>> get_peer_list(
+    std::span<const std::byte> bytes, std::size_t& offset) {
+  const auto count = get_varint(bytes, offset);
+  if (!count || *count > bytes.size()) return std::nullopt;
+  std::vector<common::PeerId> peers;
+  peers.reserve(*count);
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto peer = get_varint(bytes, offset);
+    if (!peer ||
+        *peer > std::numeric_limits<common::PeerId::rep_type>::max()) {
+      return std::nullopt;
+    }
+    peers.emplace_back(static_cast<std::uint32_t>(*peer));
+  }
+  return peers;
+}
+
+}  // namespace
+
+void put_varint(WireBytes& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::byte>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(value));
+}
+
+std::optional<std::uint64_t> get_varint(std::span<const std::byte> bytes,
+                                        std::size_t& offset) {
+  std::uint64_t value = 0;
+  for (int shift = 0; shift < 70; shift += 7) {
+    if (offset >= bytes.size() || shift > 63) return std::nullopt;
+    const auto byte = static_cast<std::uint8_t>(bytes[offset++]);
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+  }
+  return std::nullopt;
+}
+
+WireBytes encode(const GossipPayload& payload) {
+  WireBytes out;
+  out.reserve(64);
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  put_u8(out, kCodecVersion);
+  std::visit(
+      [&out](const auto& message) {
+        using T = std::decay_t<decltype(message)>;
+        if constexpr (std::is_same_v<T, PushMessage>) {
+          put_u8(out, static_cast<std::uint8_t>(Kind::kPush));
+          put_value(out, message.value);
+          put_varint(out, message.round);
+          put_peer_list(out, message.flooding_list);
+        } else if constexpr (std::is_same_v<T, PullRequest>) {
+          put_u8(out, static_cast<std::uint8_t>(Kind::kPullRequest));
+          put_version_vector(out, message.summary);
+          put_varint(out, message.have.size());
+          for (const auto& id : message.have) put_digest(out, id.digest());
+          put_digest(out, message.store_digest);
+        } else if constexpr (std::is_same_v<T, PullResponse>) {
+          put_u8(out, static_cast<std::uint8_t>(Kind::kPullResponse));
+          put_version_vector(out, message.summary);
+          put_u8(out, message.confident ? 1 : 0);
+          put_varint(out, message.missing.size());
+          for (const auto& value : message.missing) put_value(out, value);
+        } else if constexpr (std::is_same_v<T, AckMessage>) {
+          put_u8(out, static_cast<std::uint8_t>(Kind::kAck));
+          put_digest(out, message.acked.digest());
+        } else if constexpr (std::is_same_v<T, QueryRequest>) {
+          put_u8(out, static_cast<std::uint8_t>(Kind::kQueryRequest));
+          put_string(out, message.key);
+          put_varint(out, message.nonce);
+        } else {
+          static_assert(std::is_same_v<T, QueryReply>);
+          put_u8(out, static_cast<std::uint8_t>(Kind::kQueryReply));
+          put_string(out, message.key);
+          put_varint(out, message.nonce);
+          put_u8(out, message.confident ? 1 : 0);
+          put_varint(out, message.versions.size());
+          for (const auto& value : message.versions) put_value(out, value);
+        }
+      },
+      payload);
+  return out;
+}
+
+std::optional<GossipPayload> decode(std::span<const std::byte> bytes) {
+  std::size_t offset = 0;
+  if (bytes.size() < 4 || bytes[0] != kMagic0 || bytes[1] != kMagic1) {
+    return std::nullopt;
+  }
+  offset = 2;
+  const auto version = get_u8(bytes, offset);
+  if (!version || *version != kCodecVersion) return std::nullopt;
+  const auto kind = get_u8(bytes, offset);
+  if (!kind) return std::nullopt;
+
+  switch (static_cast<Kind>(*kind)) {
+    case Kind::kPush: {
+      auto value = get_value(bytes, offset);
+      auto round = get_varint(bytes, offset);
+      auto list = get_peer_list(bytes, offset);
+      if (!value || !round || !list ||
+          *round > std::numeric_limits<common::Round>::max()) {
+        return std::nullopt;
+      }
+      return GossipPayload{PushMessage{std::move(*value), std::move(*list),
+                                       static_cast<common::Round>(*round)}};
+    }
+    case Kind::kPullRequest: {
+      auto summary = get_version_vector(bytes, offset);
+      auto have_count = get_varint(bytes, offset);
+      if (!summary || !have_count || *have_count > bytes.size()) {
+        return std::nullopt;
+      }
+      PullRequest request;
+      request.summary = std::move(*summary);
+      request.have.reserve(*have_count);
+      for (std::uint64_t i = 0; i < *have_count; ++i) {
+        auto digest = get_digest(bytes, offset);
+        if (!digest) return std::nullopt;
+        request.have.emplace_back(*digest);
+      }
+      auto store_digest = get_digest(bytes, offset);
+      if (!store_digest) return std::nullopt;
+      request.store_digest = *store_digest;
+      return GossipPayload{std::move(request)};
+    }
+    case Kind::kPullResponse: {
+      auto summary = get_version_vector(bytes, offset);
+      auto confident = get_u8(bytes, offset);
+      auto count = get_varint(bytes, offset);
+      if (!summary || !confident || !count || *count > bytes.size()) {
+        return std::nullopt;
+      }
+      PullResponse response;
+      response.summary = std::move(*summary);
+      response.confident = (*confident & 1) != 0;
+      response.missing.reserve(*count);
+      for (std::uint64_t i = 0; i < *count; ++i) {
+        auto value = get_value(bytes, offset);
+        if (!value) return std::nullopt;
+        response.missing.push_back(std::move(*value));
+      }
+      return GossipPayload{std::move(response)};
+    }
+    case Kind::kAck: {
+      auto digest = get_digest(bytes, offset);
+      if (!digest) return std::nullopt;
+      return GossipPayload{AckMessage{version::VersionId(*digest)}};
+    }
+    case Kind::kQueryRequest: {
+      auto key = get_string(bytes, offset);
+      auto nonce = get_varint(bytes, offset);
+      if (!key || !nonce) return std::nullopt;
+      return GossipPayload{QueryRequest{std::move(*key), *nonce}};
+    }
+    case Kind::kQueryReply: {
+      auto key = get_string(bytes, offset);
+      auto nonce = get_varint(bytes, offset);
+      auto confident = get_u8(bytes, offset);
+      auto count = get_varint(bytes, offset);
+      if (!key || !nonce || !confident || !count || *count > bytes.size()) {
+        return std::nullopt;
+      }
+      QueryReply reply;
+      reply.key = std::move(*key);
+      reply.nonce = *nonce;
+      reply.confident = (*confident & 1) != 0;
+      reply.versions.reserve(*count);
+      for (std::uint64_t i = 0; i < *count; ++i) {
+        auto value = get_value(bytes, offset);
+        if (!value) return std::nullopt;
+        reply.versions.push_back(std::move(*value));
+      }
+      return GossipPayload{std::move(reply)};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace updp2p::gossip

@@ -1,0 +1,53 @@
+// Binary wire codec for the gossip protocol messages.
+//
+// The simulators exchange in-memory payloads, but a deployment sends bytes.
+// This codec defines a compact, versioned, self-describing encoding for
+// every GossipPayload alternative:
+//
+//   frame   := magic(2) version(1) kind(1) body
+//   varint  := LEB128 unsigned
+//   string  := varint length || bytes
+//   vv      := varint count || (varint peer, varint counter)*
+//   value   := string key || string payload || digest128(16) || vv ||
+//              flags(1) || float64 written_at
+//   push    := value || varint round || varint count || varint peer*
+//   pullreq := vv
+//   pullresp:= vv || flags(1) || varint count || value*
+//   ack     := digest128(16)
+//
+// Decoding is fail-safe: malformed input yields std::nullopt, never UB —
+// a peer must survive garbage from the network.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gossip/messages.hpp"
+
+namespace updp2p::gossip {
+
+using WireBytes = std::vector<std::byte>;
+
+/// Codec format version; bump on incompatible change.
+inline constexpr std::uint8_t kCodecVersion = 1;
+
+/// Serialises any protocol payload into a framed byte string.
+[[nodiscard]] WireBytes encode(const GossipPayload& payload);
+
+/// Parses a framed byte string; nullopt on any malformation (bad magic,
+/// unknown version/kind, truncation, overlong varint).
+[[nodiscard]] std::optional<GossipPayload> decode(
+    std::span<const std::byte> bytes);
+
+// --- low-level primitives (exposed for tests and reuse) ---------------------
+
+void put_varint(WireBytes& out, std::uint64_t value);
+
+/// Reads a varint at `offset`, advancing it. nullopt on truncation or a
+/// varint longer than 10 bytes.
+[[nodiscard]] std::optional<std::uint64_t> get_varint(
+    std::span<const std::byte> bytes, std::size_t& offset);
+
+}  // namespace updp2p::gossip

@@ -1,0 +1,88 @@
+// Protocol messages of the hybrid push/pull scheme.
+//
+// Push(U, V, R_f, t) carries the updated item with its version, the partial
+// flooding list R_f and the push-round counter t (paper §3 pseudocode).
+// Pull is a summary exchange: the puller sends its version-vector summary,
+// the pulled party answers with every version the summary does not cover
+// (§3: "Inquire for missed updates based on version vectors").
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gossip/config.hpp"
+#include "version/store.hpp"
+#include "version/version_vector.hpp"
+
+namespace updp2p::gossip {
+
+struct PushMessage {
+  version::VersionedValue value;            ///< (U, V)
+  std::vector<common::PeerId> flooding_list; ///< R_f
+  common::Round round = 0;                  ///< t
+};
+
+struct PullRequest {
+  version::VersionVector summary;  ///< everything the puller has seen
+  /// Ids of the versions the puller currently stores. Required for precise
+  /// reconciliation: summary coverage alone misses concurrent siblings the
+  /// puller never stored (see VersionedStore::missing_for).
+  std::vector<version::VersionId> have;
+  /// Order-insensitive digest of `have`; matching digests short-circuit
+  /// the exchange (the common already-in-sync case).
+  common::Digest128 store_digest{};
+};
+
+struct PullResponse {
+  std::vector<version::VersionedValue> missing;  ///< delta for the puller
+  version::VersionVector summary;                ///< responder's own summary
+  bool confident = true;  ///< responder believes it is in sync (§3)
+};
+
+struct AckMessage {
+  version::VersionId acked;  ///< version whose push is acknowledged (§6)
+};
+
+/// §4.4 query servicing: ask a replica for its versions of one key.
+struct QueryRequest {
+  std::string key;
+  std::uint64_t nonce = 0;  ///< correlates replies with the issuing query
+};
+
+struct QueryReply {
+  std::string key;
+  std::uint64_t nonce = 0;
+  /// The responder's causally-maximal versions (empty: key unknown).
+  std::vector<version::VersionedValue> versions;
+  bool confident = true;  ///< responder believes it is in sync (§3)
+};
+
+using GossipPayload = std::variant<PushMessage, PullRequest, PullResponse,
+                                   AckMessage, QueryRequest, QueryReply>;
+
+/// Variant indices (stable; used by simulators to classify traffic).
+inline constexpr std::size_t kPushIndex = 0;
+inline constexpr std::size_t kPullRequestIndex = 1;
+inline constexpr std::size_t kPullResponseIndex = 2;
+inline constexpr std::size_t kAckIndex = 3;
+inline constexpr std::size_t kQueryRequestIndex = 4;
+inline constexpr std::size_t kQueryReplyIndex = 5;
+
+/// A message the protocol wants transmitted; the hosting simulator (or a
+/// real transport) decides how. Size follows the wire model so the
+/// bandwidth accounting matches the analysis' L_M(t).
+struct OutboundMessage {
+  common::PeerId to;
+  GossipPayload payload;
+  std::uint64_t size_bytes = 0;
+};
+
+[[nodiscard]] std::uint64_t wire_size(const GossipPayload& payload,
+                                      const WireSizeConfig& wire);
+
+/// Human-readable payload kind (diagnostics and tests).
+[[nodiscard]] const char* payload_kind(const GossipPayload& payload) noexcept;
+
+}  // namespace updp2p::gossip

@@ -1,0 +1,404 @@
+#include "gossip/node.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "gossip/partial_list.hpp"
+
+namespace updp2p::gossip {
+
+ReplicaNode::ReplicaNode(common::PeerId self, GossipConfig config,
+                         common::Rng rng)
+    : self_(self),
+      config_(std::move(config)),
+      rng_(rng),
+      view_(self),
+      writer_(self, rng.split_for(self.value())),
+      forward_(config_) {
+  config_.validate();
+  view_.set_preferred_weight(config_.acks.preferred_weight);
+}
+
+void ReplicaNode::bootstrap(std::span<const common::PeerId> initial_view) {
+  view_.merge(initial_view);
+}
+
+void ReplicaNode::seed_fixed_neighbors(
+    std::span<const common::PeerId> neighbors) {
+  fixed_neighbors_.assign(neighbors.begin(), neighbors.end());
+  std::erase(fixed_neighbors_, self_);
+  view_.merge(neighbors);
+}
+
+OutboundMessage ReplicaNode::wrap(common::PeerId to, GossipPayload payload) {
+  const std::uint64_t size = wire_size(payload, config_.wire);
+  stats_.bytes_sent += size;
+  return OutboundMessage{to, std::move(payload), size};
+}
+
+// --- push phase ---------------------------------------------------------------
+
+std::vector<common::PeerId> ReplicaNode::select_targets(std::size_t count,
+                                                        common::Round now) {
+  if (config_.target_selection == TargetSelection::kRandomPerPush) {
+    return view_.sample(rng_, count, {}, now);
+  }
+  // Fixed-neighbor overlay: the target set is drawn once and reused for
+  // every update (topology-dependent gossip à la [20]).
+  if (fixed_neighbors_.empty()) {
+    fixed_neighbors_ = view_.sample(rng_, config_.absolute_fanout(), {}, now);
+  }
+  if (count >= fixed_neighbors_.size()) return fixed_neighbors_;
+  return std::vector<common::PeerId>(fixed_neighbors_.begin(),
+                                     fixed_neighbors_.begin() +
+                                         static_cast<std::ptrdiff_t>(count));
+}
+
+std::vector<OutboundMessage> ReplicaNode::start_push(
+    version::VersionedValue value, common::Round now) {
+  ++stats_.updates_originated;
+  seen_versions_.emplace(value.id, 0);
+  note_activity(now);
+
+  // Round 0: the initiator selects f_r·R replicas (§4.2).
+  const std::vector<common::PeerId> targets =
+      select_targets(config_.absolute_fanout(), now);
+  const std::vector<common::PeerId> list = build_forward_list(
+      config_.partial_list, /*received=*/{}, targets, self_, rng_);
+
+  std::vector<OutboundMessage> out;
+  out.reserve(targets.size());
+  for (const common::PeerId target : targets) {
+    out.push_back(wrap(target, PushMessage{value, list, /*round=*/0}));
+    ++stats_.pushes_forwarded;
+    if (config_.acks.enabled) pending_acks_[target] = PendingAck{now};
+  }
+  return out;
+}
+
+std::vector<OutboundMessage> ReplicaNode::publish(std::string_view key,
+                                                  std::string payload,
+                                                  common::Round now) {
+  version::VersionedValue value = writer_.write(
+      store_, key, std::move(payload), static_cast<common::SimTime>(now));
+  return start_push(std::move(value), now);
+}
+
+std::vector<OutboundMessage> ReplicaNode::remove(std::string_view key,
+                                                 common::Round now) {
+  version::VersionedValue tombstone =
+      writer_.erase(store_, key, static_cast<common::SimTime>(now));
+  return start_push(std::move(tombstone), now);
+}
+
+std::vector<OutboundMessage> ReplicaNode::handle_push(common::PeerId from,
+                                                      const PushMessage& push,
+                                                      common::Round now) {
+  ++stats_.pushes_received;
+  view_.add(from);
+  view_.clear_presumed_offline(from);  // it is evidently online
+  stats_.members_discovered += view_.merge(push.flooding_list);
+
+  std::vector<OutboundMessage> out;
+
+  auto [seen_it, first_receipt] = seen_versions_.emplace(push.value.id, 0u);
+  if (!first_receipt) {
+    ++seen_it->second;
+    ++stats_.duplicate_pushes;
+    forward_.observe_push(/*duplicate=*/true);
+    return out;  // ProcessedUpdate(U,V) == TRUE: push at most once (§3)
+  }
+  forward_.observe_push(/*duplicate=*/false);
+
+  const version::ApplyOutcome outcome = store_.apply(push.value);
+  if (outcome == version::ApplyOutcome::kApplied ||
+      outcome == version::ApplyOutcome::kCoexisting) {
+    ++stats_.updates_learned_push;
+  }
+  note_activity(now);
+
+  // §6 lazy pull: the first push after reconnect identifies a live, likely
+  // up-to-date peer — reconcile with exactly that peer.
+  if (lazy_waiting_) {
+    lazy_waiting_ = false;
+    auto pulls = make_pull(now, from);
+    std::move(pulls.begin(), pulls.end(), std::back_inserter(out));
+  }
+
+  // §6 acknowledgement to the first pusher(s).
+  if (config_.acks.enabled &&
+      seen_it->second < config_.acks.ack_first_k) {
+    out.push_back(wrap(from, AckMessage{push.value.id}));
+    ++stats_.acks_sent;
+  }
+
+  // Forward with probability PF(t+1); the hop counter in the message is the
+  // round the sender pushed in, so we push in round push.round + 1.
+  const common::Round next_round = push.round + 1;
+  const double list_fraction =
+      static_cast<double>(push.flooding_list.size()) /
+      static_cast<double>(config_.estimated_total_replicas);
+  if (!forward_.should_forward(rng_, next_round, list_fraction)) {
+    ++stats_.forwards_suppressed;
+    return out;
+  }
+
+  // Select R_p (f_r·R random replicas; f_r itself shrinks under §6
+  // self-tuning), then push to R_p \ R_f: peers already on the flooding
+  // list are *dropped*, not re-drawn — that is what shrinks the message
+  // count by the (1−l(t)) factor of §4.2.
+  std::vector<common::PeerId> targets = select_targets(
+      forward_.effective_fanout(config_.absolute_fanout(), list_fraction),
+      now);
+  const std::unordered_set<common::PeerId> covered(push.flooding_list.begin(),
+                                                   push.flooding_list.end());
+  std::erase_if(targets, [&covered, from](common::PeerId peer) {
+    return peer == from || covered.contains(peer);
+  });
+  if (targets.empty()) return out;
+
+  const std::vector<common::PeerId> list = build_forward_list(
+      config_.partial_list, push.flooding_list, targets, self_, rng_);
+  for (const common::PeerId target : targets) {
+    out.push_back(wrap(target, PushMessage{push.value, list, next_round}));
+    ++stats_.pushes_forwarded;
+    if (config_.acks.enabled) pending_acks_[target] = PendingAck{now};
+  }
+  return out;
+}
+
+// --- pull phase ---------------------------------------------------------------
+
+std::vector<OutboundMessage> ReplicaNode::make_pull(
+    common::Round now, std::optional<common::PeerId> target) {
+  std::vector<common::PeerId> contacts;
+  if (target.has_value()) {
+    contacts.push_back(*target);
+  } else {
+    contacts = view_.sample(rng_, config_.pull.contacts_per_attempt, {}, now);
+  }
+  std::vector<OutboundMessage> out;
+  out.reserve(contacts.size());
+  const PullRequest request{store_.summary(), store_.stored_ids(),
+                            store_.content_digest()};
+  for (const common::PeerId contact : contacts) {
+    out.push_back(wrap(contact, request));
+    ++stats_.pull_requests_sent;
+  }
+  last_pull_round_ = now;
+  return out;
+}
+
+std::vector<OutboundMessage> ReplicaNode::handle_pull_request(
+    common::PeerId from, const PullRequest& request, common::Round now) {
+  ++stats_.pull_requests_received;
+  view_.add(from);
+  view_.clear_presumed_offline(from);
+
+  std::vector<OutboundMessage> out;
+  const bool am_confident = confident(now);
+  // Matching content digests mean identical stores: answer with an empty
+  // (16-byte) response instead of computing and shipping deltas.
+  const bool in_sync = request.store_digest == store_.content_digest();
+  out.push_back(wrap(
+      from, PullResponse{in_sync ? std::vector<version::VersionedValue>{}
+                                 : store_.missing_for(request.have),
+                         store_.summary(), am_confident}));
+
+  // §3: "receives a pull request, but [is] not sure to have the latest
+  // update" — the pulled party itself enters the pull phase.
+  if (!am_confident && now > last_pull_round_) {
+    auto pulls = make_pull(now);
+    std::move(pulls.begin(), pulls.end(), std::back_inserter(out));
+  }
+  return out;
+}
+
+std::vector<OutboundMessage> ReplicaNode::handle_pull_response(
+    common::PeerId from, const PullResponse& response, common::Round now) {
+  ++stats_.pull_responses_received;
+  view_.add(from);
+
+  for (const auto& value : response.missing) {
+    const version::ApplyOutcome outcome = store_.apply(value);
+    seen_versions_.emplace(value.id, 0u);
+    if (outcome == version::ApplyOutcome::kApplied ||
+        outcome == version::ApplyOutcome::kCoexisting) {
+      ++stats_.updates_learned_pull;
+    }
+  }
+  // Reconciled with a peer; if that peer was confident we are in sync.
+  needs_sync_ = needs_sync_ && !response.confident;
+  lazy_waiting_ = false;
+  note_activity(now);
+  return {};
+}
+
+void ReplicaNode::handle_ack(common::PeerId from, const AckMessage& /*ack*/) {
+  ++stats_.acks_received;
+  pending_acks_.erase(from);
+  view_.mark_preferred(from);
+  view_.clear_presumed_offline(from);
+}
+
+// --- query phase (§4.4) --------------------------------------------------------
+
+StartedQuery ReplicaNode::begin_query(std::string_view key, QueryRule rule,
+                                      std::size_t replicas_to_ask,
+                                      common::Round now) {
+  StartedQuery started;
+  started.nonce = next_query_nonce_++;
+  PendingQuery pending;
+  pending.key = std::string(key);
+  pending.rule = rule;
+  pending.started = now;
+  // This node's own store always participates in the vote.
+  pending.answers.push_back(
+      QueryAnswer{self_, store_.read(key), confident(now)});
+
+  const std::vector<common::PeerId> targets =
+      view_.sample(rng_, replicas_to_ask, {}, now);
+  pending.asked = targets.size();
+  started.messages.reserve(targets.size());
+  for (const common::PeerId target : targets) {
+    started.messages.push_back(
+        wrap(target, QueryRequest{pending.key, started.nonce}));
+  }
+  ++stats_.queries_issued;
+  pending_queries_.emplace(started.nonce, std::move(pending));
+  return started;
+}
+
+QueryOutcome ReplicaNode::poll_query(std::uint64_t nonce, common::Round now) {
+  QueryOutcome outcome;
+  const auto it = pending_queries_.find(nonce);
+  if (it == pending_queries_.end()) {
+    outcome.complete = true;  // unknown or already consumed
+    return outcome;
+  }
+  PendingQuery& pending = it->second;
+  outcome.asked = pending.asked;
+  outcome.replies = pending.answers.size() - 1;  // minus the local answer
+  const bool all_in = outcome.replies >= pending.asked;
+  const bool timed_out = now - pending.started >= kQueryTimeoutRounds;
+  if (!all_in && !timed_out) return outcome;  // still collecting
+
+  outcome.complete = true;
+  outcome.value = resolve_query(pending.answers, pending.rule);
+  pending_queries_.erase(it);
+  return outcome;
+}
+
+std::vector<OutboundMessage> ReplicaNode::handle_query_request(
+    common::PeerId from, const QueryRequest& request, common::Round now) {
+  ++stats_.query_requests_received;
+  view_.add(from);
+
+  std::vector<OutboundMessage> out;
+  QueryReply reply;
+  reply.key = request.key;
+  reply.nonce = request.nonce;
+  reply.versions = store_.versions(request.key);
+  reply.confident = confident(now);
+  out.push_back(wrap(from, std::move(reply)));
+
+  // §6: a replica that cannot answer confidently "will itself have to
+  // initiate a pull".
+  if (!confident(now) && now > last_pull_round_) {
+    auto pulls = make_pull(now);
+    std::move(pulls.begin(), pulls.end(), std::back_inserter(out));
+  }
+  return out;
+}
+
+void ReplicaNode::handle_query_reply(common::PeerId from,
+                                     const QueryReply& reply) {
+  ++stats_.query_replies_received;
+  const auto it = pending_queries_.find(reply.nonce);
+  if (it == pending_queries_.end()) return;  // late reply; query resolved
+  if (it->second.key != reply.key) return;   // stale/mismatched nonce reuse
+  // Reduce the responder's maximal set to its deterministic winner — one
+  // vote per replica, as the majority logic of §4.4 requires.
+  it->second.answers.push_back(
+      QueryAnswer{from, local_winner(reply.versions), reply.confident});
+}
+
+// --- event dispatch --------------------------------------------------------------
+
+std::vector<OutboundMessage> ReplicaNode::handle_message(
+    common::PeerId from, const GossipPayload& payload, common::Round now) {
+  return std::visit(
+      [this, from, now](const auto& message) -> std::vector<OutboundMessage> {
+        using T = std::decay_t<decltype(message)>;
+        if constexpr (std::is_same_v<T, PushMessage>) {
+          return handle_push(from, message, now);
+        } else if constexpr (std::is_same_v<T, PullRequest>) {
+          return handle_pull_request(from, message, now);
+        } else if constexpr (std::is_same_v<T, PullResponse>) {
+          return handle_pull_response(from, message, now);
+        } else if constexpr (std::is_same_v<T, AckMessage>) {
+          handle_ack(from, message);
+          return {};
+        } else if constexpr (std::is_same_v<T, QueryRequest>) {
+          return handle_query_request(from, message, now);
+        } else {
+          static_assert(std::is_same_v<T, QueryReply>);
+          handle_query_reply(from, message);
+          return {};
+        }
+      },
+      payload);
+}
+
+std::vector<OutboundMessage> ReplicaNode::on_reconnect(common::Round now) {
+  needs_sync_ = true;
+  note_activity(now);
+  if (config_.pull.lazy) {
+    lazy_waiting_ = true;  // wait for the first push, then pull from there
+    return {};
+  }
+  return make_pull(now);
+}
+
+std::vector<OutboundMessage> ReplicaNode::on_round_start(common::Round now) {
+  std::vector<OutboundMessage> out;
+
+  // §6: push targets that never acked are presumed offline for a while.
+  if (config_.acks.enabled && config_.acks.suppression_rounds > 0) {
+    for (auto it = pending_acks_.begin(); it != pending_acks_.end();) {
+      if (now >= it->second.pushed_at + kAckWaitRounds) {
+        view_.mark_presumed_offline(it->first,
+                                    now + config_.acks.suppression_rounds);
+        it = pending_acks_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // §3: no update received within time T -> pull to resynchronise.
+  const bool stale =
+      now > last_activity_round_ &&
+      now - last_activity_round_ > config_.pull.no_update_timeout;
+  const bool pull_cooled_down =
+      now > last_pull_round_ &&
+      now - last_pull_round_ > config_.pull.no_update_timeout;
+  if (stale && pull_cooled_down && !view_.empty()) {
+    auto pulls = make_pull(now);
+    std::move(pulls.begin(), pulls.end(), std::back_inserter(out));
+  }
+  return out;
+}
+
+void ReplicaNode::on_disconnect(common::Round /*now*/) {
+  // In-flight expectations die with the session.
+  pending_acks_.clear();
+  lazy_waiting_ = false;
+}
+
+bool ReplicaNode::confident(common::Round now) const {
+  if (needs_sync_) return false;
+  return now - last_activity_round_ <= config_.pull.no_update_timeout;
+}
+
+}  // namespace updp2p::gossip

@@ -1,0 +1,224 @@
+// ReplicaNode — one peer's complete hybrid push/pull protocol state.
+//
+// This is the library's primary public type. A node owns its versioned
+// store, its partial replica view and the push/pull/ack state machines of
+// the paper's §3 pseudocode plus the §6 optimisations. It is transport-
+// agnostic: every event handler returns the messages the node wants sent,
+// and the hosting environment (the bundled simulators, or a real network
+// stack) delivers them — mirroring the paper's claim that propagation "may
+// employ any point-to-point/multicast/ad-hoc communication mechanism".
+//
+// Timebase: handlers take the current push-round number. The event-driven
+// simulator maps continuous time onto rounds; PF(t) itself depends only on
+// the hop counter carried inside push messages, exactly as analysed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "gossip/config.hpp"
+#include "gossip/forward_policy.hpp"
+#include "gossip/messages.hpp"
+#include "gossip/query.hpp"
+#include "gossip/replica_view.hpp"
+#include "version/store.hpp"
+
+namespace updp2p::gossip {
+
+/// Per-node protocol counters (all monotone; used by metrics & tests).
+struct NodeStats {
+  std::uint64_t pushes_received = 0;
+  std::uint64_t duplicate_pushes = 0;     ///< push for an already-known version
+  std::uint64_t pushes_forwarded = 0;     ///< outgoing push messages
+  std::uint64_t forwards_suppressed = 0;  ///< PF(t) coin said no
+  std::uint64_t updates_originated = 0;
+  std::uint64_t updates_learned_push = 0;
+  std::uint64_t updates_learned_pull = 0;
+  std::uint64_t pull_requests_sent = 0;
+  std::uint64_t pull_requests_received = 0;
+  std::uint64_t pull_responses_received = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t members_discovered = 0;   ///< peers learned from partial lists
+  std::uint64_t queries_issued = 0;
+  std::uint64_t query_requests_received = 0;
+  std::uint64_t query_replies_received = 0;
+  std::uint64_t bytes_sent = 0;           ///< wire-model bytes of all sends
+};
+
+/// A multi-replica query in flight (§4.4).
+struct StartedQuery {
+  std::uint64_t nonce = 0;
+  std::vector<OutboundMessage> messages;  ///< requests to transmit
+};
+
+/// Progress/result of a pending query.
+struct QueryOutcome {
+  std::optional<version::VersionedValue> value;
+  std::size_t asked = 0;
+  std::size_t replies = 0;
+  bool complete = false;  ///< all replicas answered, or the query timed out
+};
+
+class ReplicaNode {
+ public:
+  ReplicaNode(common::PeerId self, GossipConfig config, common::Rng rng);
+
+  /// Seeds the initial membership view ("each replica knows a minimal
+  /// fraction of the complete set of replicas", §2).
+  void bootstrap(std::span<const common::PeerId> initial_view);
+
+  /// kFixedNeighbors mode: supplies the static target set — the "topology
+  /// knowledge" a directional-gossip-like scheme [20] would maintain (e.g.
+  /// peers observed online at bootstrap). Peers are also added to the view.
+  void seed_fixed_neighbors(std::span<const common::PeerId> neighbors);
+
+  // --- application-facing API ------------------------------------------------
+
+  /// Writes locally and initiates the push phase (round 0 of the update).
+  [[nodiscard]] std::vector<OutboundMessage> publish(std::string_view key,
+                                                     std::string payload,
+                                                     common::Round now);
+
+  /// Deletes via tombstone and propagates the death certificate.
+  [[nodiscard]] std::vector<OutboundMessage> remove(std::string_view key,
+                                                    common::Round now);
+
+  /// Local read (§4.4 "version scheme": deterministic winner); may be stale
+  /// — check confident() or use query.hpp's multi-replica resolution.
+  [[nodiscard]] std::optional<version::VersionedValue> read(
+      std::string_view key) const {
+    return store_.read(key);
+  }
+
+  /// §3: a peer is confident when it synced recently and nothing suggests
+  /// it missed updates while offline.
+  [[nodiscard]] bool confident(common::Round now) const;
+
+  /// Issues a §4.4 query: asks up to `replicas_to_ask` sampled replicas for
+  /// their versions of `key`. Transmit the returned messages, then call
+  /// poll_query(nonce) as replies arrive.
+  [[nodiscard]] StartedQuery begin_query(std::string_view key,
+                                         QueryRule rule,
+                                         std::size_t replicas_to_ask,
+                                         common::Round now);
+
+  /// Progress of a pending query. Once `complete` (all replies in, or
+  /// kQueryTimeoutRounds elapsed) the resolved value reflects every answer
+  /// received — including this node's own store — and the query state is
+  /// released; later polls report an empty, complete outcome.
+  [[nodiscard]] QueryOutcome poll_query(std::uint64_t nonce,
+                                        common::Round now);
+
+  // --- environment-driven events --------------------------------------------
+
+  /// Delivers one protocol message; returns the node's reactions.
+  [[nodiscard]] std::vector<OutboundMessage> handle_message(
+      common::PeerId from, const GossipPayload& payload, common::Round now);
+
+  /// The peer just came back online: enter the pull phase (§3), or arm the
+  /// lazy-pull trigger (§6).
+  [[nodiscard]] std::vector<OutboundMessage> on_reconnect(common::Round now);
+
+  /// Per-round timer processing: ack timeouts (§6 suppression) and the
+  /// no-update-for-too-long pull trigger (§3).
+  [[nodiscard]] std::vector<OutboundMessage> on_round_start(common::Round now);
+
+  /// The peer went offline; in-flight expectations are abandoned.
+  void on_disconnect(common::Round now);
+
+  // --- introspection ----------------------------------------------------------
+
+  [[nodiscard]] common::PeerId id() const noexcept { return self_; }
+  [[nodiscard]] const version::VersionedStore& store() const noexcept {
+    return store_;
+  }
+  [[nodiscard]] version::VersionedStore& store() noexcept { return store_; }
+  [[nodiscard]] const ReplicaView& view() const noexcept { return view_; }
+  [[nodiscard]] ReplicaView& view() noexcept { return view_; }
+  [[nodiscard]] const NodeStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const GossipConfig& config() const noexcept { return config_; }
+  /// True while a lazy-pull is armed (reconnected, waiting for first push).
+  [[nodiscard]] bool lazy_pull_armed() const noexcept { return lazy_waiting_; }
+  /// Has this node stored the given version?
+  [[nodiscard]] bool knows_version(const version::VersionId& id) const {
+    return seen_versions_.contains(id);
+  }
+
+ private:
+  [[nodiscard]] std::vector<OutboundMessage> start_push(
+      version::VersionedValue value, common::Round now);
+  [[nodiscard]] std::vector<OutboundMessage> handle_push(
+      common::PeerId from, const PushMessage& push, common::Round now);
+  [[nodiscard]] std::vector<OutboundMessage> handle_pull_request(
+      common::PeerId from, const PullRequest& request, common::Round now);
+  [[nodiscard]] std::vector<OutboundMessage> handle_pull_response(
+      common::PeerId from, const PullResponse& response, common::Round now);
+  void handle_ack(common::PeerId from, const AckMessage& ack);
+  [[nodiscard]] std::vector<OutboundMessage> handle_query_request(
+      common::PeerId from, const QueryRequest& request, common::Round now);
+  void handle_query_reply(common::PeerId from, const QueryReply& reply);
+
+  /// Emits pull requests to `contacts_per_attempt` sampled peers (or to an
+  /// explicit target for the lazy-pull-from-pusher case).
+  [[nodiscard]] std::vector<OutboundMessage> make_pull(
+      common::Round now, std::optional<common::PeerId> target = std::nullopt);
+
+  void note_activity(common::Round now) noexcept {
+    last_activity_round_ = now;
+  }
+  [[nodiscard]] OutboundMessage wrap(common::PeerId to, GossipPayload payload);
+
+  common::PeerId self_;
+  GossipConfig config_;
+  common::Rng rng_;
+  ReplicaView view_;
+  version::VersionedStore store_;
+  version::LocalWriter writer_;
+  ForwardDecider forward_;
+  NodeStats stats_;
+
+  /// Chooses push targets per the configured TargetSelection policy.
+  [[nodiscard]] std::vector<common::PeerId> select_targets(std::size_t count,
+                                                           common::Round now);
+
+  /// Versions already processed — the pseudocode's ProcessedUpdate set.
+  std::unordered_map<version::VersionId, unsigned> seen_versions_;
+
+  /// kFixedNeighbors: the static target set, drawn once lazily.
+  std::vector<common::PeerId> fixed_neighbors_;
+
+  /// §6 ack bookkeeping: push targets we await an ack from.
+  struct PendingAck {
+    common::Round pushed_at;
+  };
+  std::unordered_map<common::PeerId, PendingAck> pending_acks_;
+
+  /// §4.4 client-side query state, keyed by nonce.
+  struct PendingQuery {
+    std::string key;
+    QueryRule rule = QueryRule::kHybrid;
+    std::size_t asked = 0;
+    std::vector<QueryAnswer> answers;
+    common::Round started = 0;
+  };
+  std::unordered_map<std::uint64_t, PendingQuery> pending_queries_;
+  std::uint64_t next_query_nonce_ = 1;
+
+  common::Round last_activity_round_ = 0;
+  common::Round last_pull_round_ = 0;
+  bool needs_sync_ = false;     ///< reconnected and not yet reconciled
+  bool lazy_waiting_ = false;   ///< §6 lazy pull armed
+
+  static constexpr common::Round kAckWaitRounds = 2;
+  static constexpr common::Round kQueryTimeoutRounds = 4;
+};
+
+}  // namespace updp2p::gossip

@@ -1,0 +1,27 @@
+// Partial flooding-list maintenance.
+//
+// §4.2: the list may be bounded by a threshold length, "achieved by
+// discarding either random entries or the head or tail of the partial
+// list"; forwarding nodes then "pay the penalty of forwarding extra
+// messages" but awareness growth is unchanged.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "gossip/config.hpp"
+
+namespace updp2p::gossip {
+
+/// Merges the received list with the newly chosen targets (plus the
+/// forwarder itself), de-duplicates preserving order of first appearance,
+/// and applies the configured cap. Returns the list to attach to the
+/// outgoing push. kNone yields an empty list.
+[[nodiscard]] std::vector<common::PeerId> build_forward_list(
+    const PartialListConfig& config,
+    const std::vector<common::PeerId>& received,
+    const std::vector<common::PeerId>& new_targets, common::PeerId self,
+    common::Rng& rng);
+
+}  // namespace updp2p::gossip

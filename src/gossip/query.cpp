@@ -1,0 +1,109 @@
+#include "gossip/query.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace updp2p::gossip {
+
+const char* to_string(QueryRule rule) noexcept {
+  switch (rule) {
+    case QueryRule::kLatestVersion: return "latest-version";
+    case QueryRule::kMajority: return "majority";
+    case QueryRule::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+namespace {
+
+/// True when `a` is a strictly better "latest" candidate than `b`:
+/// causally dominating, else more total events, else larger id (the same
+/// global tiebreak as VersionedStore::read, so query and local reads agree).
+bool fresher(const version::VersionedValue& a, const version::VersionedValue& b) {
+  switch (a.history.compare(b.history)) {
+    case version::Causality::kDominates: return true;
+    case version::Causality::kDominatedBy: return false;
+    case version::Causality::kEqual:
+    case version::Causality::kConcurrent:
+      break;
+  }
+  if (a.history.total_events() != b.history.total_events()) {
+    return a.history.total_events() > b.history.total_events();
+  }
+  return a.id > b.id;
+}
+
+std::optional<version::VersionedValue> resolve(
+    const std::vector<const version::VersionedValue*>& values, QueryRule rule) {
+  if (values.empty()) return std::nullopt;
+
+  switch (rule) {
+    case QueryRule::kLatestVersion: {
+      const version::VersionedValue* best = values.front();
+      for (const auto* v : values) {
+        if (fresher(*v, *best)) best = v;
+      }
+      return *best;
+    }
+    case QueryRule::kMajority: {
+      std::map<version::VersionId, std::size_t> votes;
+      for (const auto* v : values) ++votes[v->id];
+      const version::VersionedValue* best = nullptr;
+      std::size_t best_votes = 0;
+      for (const auto* v : values) {
+        const std::size_t n = votes[v->id];
+        if (n > best_votes || (n == best_votes && best && fresher(*v, *best))) {
+          best = v;
+          best_votes = n;
+        }
+      }
+      return *best;
+    }
+    case QueryRule::kHybrid: {
+      // Keep only causally maximal versions, then majority among them:
+      // dominated (stale) replicas cannot outvote a fresh minority.
+      std::vector<const version::VersionedValue*> maximal;
+      for (const auto* candidate : values) {
+        const bool dominated = std::any_of(
+            values.begin(), values.end(), [candidate](const auto* other) {
+              return other->history.compare(candidate->history) ==
+                     version::Causality::kDominates;
+            });
+        if (!dominated) maximal.push_back(candidate);
+      }
+      return resolve(maximal, QueryRule::kMajority);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<version::VersionedValue> local_winner(
+    std::span<const version::VersionedValue> versions) {
+  if (versions.empty()) return std::nullopt;
+  const version::VersionedValue* best = &versions.front();
+  for (const auto& v : versions) {
+    if (fresher(v, *best)) best = &v;
+  }
+  if (best->tombstone) return std::nullopt;
+  return *best;
+}
+
+std::optional<version::VersionedValue> resolve_query(
+    std::span<const QueryAnswer> answers, QueryRule rule) {
+  std::vector<const version::VersionedValue*> confident_values;
+  std::vector<const version::VersionedValue*> all_values;
+  for (const QueryAnswer& answer : answers) {
+    if (!answer.value.has_value()) continue;
+    all_values.push_back(&*answer.value);
+    if (answer.confident) confident_values.push_back(&*answer.value);
+  }
+  // Prefer confident replicas (§3: the pulled party itself may be out of
+  // sync); fall back to whatever is available.
+  auto result = resolve(confident_values, rule);
+  return result.has_value() ? result : resolve(all_values, rule);
+}
+
+}  // namespace updp2p::gossip

@@ -1,0 +1,45 @@
+// Query servicing under updates (paper §4.4).
+//
+// "Since requests are more sensitive … we may define some majority logic,
+// or use a version scheme for identifying latest updates, or a hybrid of
+// the two." A query client contacts several online replicas (like a pull),
+// collects their answers, and resolves with one of the three rules.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "common/types.hpp"
+#include "version/store.hpp"
+
+namespace updp2p::gossip {
+
+/// One replica's answer to a query for a key.
+struct QueryAnswer {
+  common::PeerId from;
+  std::optional<version::VersionedValue> value;  ///< nullopt: unknown/deleted
+  bool confident = true;                         ///< responder's own judgement
+};
+
+enum class QueryRule {
+  kLatestVersion,  ///< causally greatest version wins (version scheme)
+  kMajority,       ///< most frequent version id wins (majority logic)
+  kHybrid,         ///< majority among the causally maximal versions
+};
+
+[[nodiscard]] const char* to_string(QueryRule rule) noexcept;
+
+/// Resolves a set of answers under the given rule. Returns nullopt when no
+/// replica returned a value (key unknown everywhere or deleted). Answers
+/// from unconfident replicas are used only if no confident answer exists.
+[[nodiscard]] std::optional<version::VersionedValue> resolve_query(
+    std::span<const QueryAnswer> answers, QueryRule rule);
+
+/// Deterministic single-peer winner among a set of (possibly concurrent)
+/// versions — causal dominance, then total event count, then version id;
+/// the same rule VersionedStore::read applies. nullopt for an empty set or
+/// when the winner is a tombstone.
+[[nodiscard]] std::optional<version::VersionedValue> local_winner(
+    std::span<const version::VersionedValue> versions);
+
+}  // namespace updp2p::gossip

@@ -1,0 +1,86 @@
+#include "gossip/replica_view.hpp"
+
+#include <algorithm>
+
+namespace updp2p::gossip {
+
+bool ReplicaView::add(common::PeerId peer) {
+  if (peer == self_ || index_.contains(peer)) return false;
+  index_.insert(peer);
+  members_.push_back(peer);
+  return true;
+}
+
+std::size_t ReplicaView::merge(std::span<const common::PeerId> peers) {
+  std::size_t added = 0;
+  for (const common::PeerId peer : peers) {
+    if (add(peer)) ++added;
+  }
+  return added;
+}
+
+bool ReplicaView::is_presumed_offline(common::PeerId peer,
+                                      common::Round now) const {
+  const auto it = presumed_offline_until_.find(peer);
+  return it != presumed_offline_until_.end() && now < it->second;
+}
+
+std::size_t ReplicaView::presumed_offline_count(common::Round now) const {
+  std::size_t count = 0;
+  for (const auto& [peer, until] : presumed_offline_until_) {
+    if (now < until) ++count;
+  }
+  return count;
+}
+
+void ReplicaView::mark_preferred(common::PeerId peer) {
+  if (peer != self_) preferred_.insert(peer);
+}
+
+void ReplicaView::mark_presumed_offline(common::PeerId peer,
+                                        common::Round until_round) {
+  auto& slot = presumed_offline_until_[peer];
+  slot = std::max(slot, until_round);
+}
+
+void ReplicaView::clear_presumed_offline(common::PeerId peer) {
+  presumed_offline_until_.erase(peer);
+}
+
+std::vector<common::PeerId> ReplicaView::sample(
+    common::Rng& rng, std::size_t count,
+    const std::unordered_set<common::PeerId>& exclude,
+    common::Round now) const {
+  std::vector<common::PeerId> out;
+  if (count == 0 || members_.empty()) return out;
+
+  // Candidate pool: view minus exclusions minus presumed-offline peers.
+  // Preferred pushers (§6 acks) appear `preferred_weight_` times in the
+  // pool, raising their selection odds without breaking distinctness.
+  std::vector<common::PeerId> pool;
+  pool.reserve(members_.size() + preferred_.size() * preferred_weight_);
+  for (const common::PeerId peer : members_) {
+    if (exclude.contains(peer) || is_presumed_offline(peer, now)) continue;
+    pool.push_back(peer);
+    if (preferred_weight_ > 1 && preferred_.contains(peer)) {
+      for (unsigned w = 1; w < preferred_weight_; ++w) pool.push_back(peer);
+    }
+  }
+  if (pool.empty()) return out;
+
+  out.reserve(std::min(count, pool.size()));
+  std::unordered_set<common::PeerId> chosen;
+  chosen.reserve(count * 2);
+  // Partial Fisher–Yates over the weighted pool, de-duplicating picks.
+  std::size_t remaining = pool.size();
+  while (chosen.size() < count && remaining > 0) {
+    const std::size_t pick = rng.pick_index(remaining);
+    const common::PeerId peer = pool[pick];
+    std::swap(pool[pick], pool[remaining - 1]);
+    --remaining;
+    if (chosen.insert(peer).second) out.push_back(peer);
+  }
+  return out;
+}
+
+}  // namespace updp2p::gossip

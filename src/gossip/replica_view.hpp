@@ -1,0 +1,85 @@
+// A peer's partial view of its replica group.
+//
+// Paper §2: "each replica knows a minimal fraction of the complete set of
+// replicas … additionally replicas get known through the update mechanism"
+// — the partial flooding list doubles as membership dissemination (the
+// name-dropper effect, §7.2/[14]). The view also tracks the §6 ack state:
+// preferred pushers (peers that acked us) and presumed-offline peers
+// (pushed, never acked) that are temporarily skipped.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace updp2p::gossip {
+
+class ReplicaView {
+ public:
+  explicit ReplicaView(common::PeerId self) : self_(self) {}
+
+  /// Adds a peer; returns true if it was previously unknown. The owner
+  /// itself is never stored.
+  bool add(common::PeerId peer);
+
+  /// Merges a received partial list; returns how many peers were new
+  /// (membership knowledge gained through gossip).
+  std::size_t merge(std::span<const common::PeerId> peers);
+
+  [[nodiscard]] bool contains(common::PeerId peer) const {
+    return index_.contains(peer);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
+  [[nodiscard]] const std::vector<common::PeerId>& members() const noexcept {
+    return members_;
+  }
+  [[nodiscard]] common::PeerId self() const noexcept { return self_; }
+
+  /// Samples up to `count` distinct peers, excluding `exclude` and peers
+  /// currently presumed offline (§6 suppression). Preferred pushers are
+  /// `preferred_weight()` times as likely to be picked first. Returns fewer
+  /// than `count` when the view is small.
+  [[nodiscard]] std::vector<common::PeerId> sample(
+      common::Rng& rng, std::size_t count,
+      const std::unordered_set<common::PeerId>& exclude,
+      common::Round now = 0) const;
+
+  /// How strongly §6-preferred peers are oversampled (1 = no preference).
+  void set_preferred_weight(unsigned weight) noexcept {
+    preferred_weight_ = weight == 0 ? 1 : weight;
+  }
+  [[nodiscard]] unsigned preferred_weight() const noexcept {
+    return preferred_weight_;
+  }
+
+  /// §6: the ack told us `peer` is a responsive target.
+  void mark_preferred(common::PeerId peer);
+  /// §6: no ack came back — presume `peer` offline until round
+  /// `until_round` and skip it when sampling.
+  void mark_presumed_offline(common::PeerId peer, common::Round until_round);
+  /// Clears the presumed-offline mark (e.g. the peer contacted us).
+  void clear_presumed_offline(common::PeerId peer);
+
+  [[nodiscard]] bool is_preferred(common::PeerId peer) const {
+    return preferred_.contains(peer);
+  }
+  [[nodiscard]] bool is_presumed_offline(common::PeerId peer,
+                                         common::Round now) const;
+  [[nodiscard]] std::size_t presumed_offline_count(common::Round now) const;
+
+ private:
+  common::PeerId self_;
+  unsigned preferred_weight_ = 2;
+  std::vector<common::PeerId> members_;
+  std::unordered_set<common::PeerId> index_;
+  std::unordered_set<common::PeerId> preferred_;
+  std::unordered_map<common::PeerId, common::Round> presumed_offline_until_;
+};
+
+}  // namespace updp2p::gossip

@@ -1,0 +1,120 @@
+// Simulated point-to-point transport.
+//
+// Paper §3 deliberately ignores physical connectivity: "if two peers are
+// online a communication channel may be established between them", and a
+// peer that cannot be reached is indistinguishable from an offline peer.
+// The bus therefore models only what the protocol observes — delivery to
+// online peers, loss to offline ones, optional random loss — plus the
+// bookkeeping the evaluation measures (message and byte counts, §4.1).
+//
+// The bus is round-synchronous: messages sent during round t are delivered
+// at the start of round t+1, matching the discrete-time analysis model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/ensure.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace updp2p::net {
+
+/// Aggregate transport statistics for one protocol run.
+struct BusStats {
+  std::uint64_t messages_sent = 0;       ///< all sends, incl. to offline peers
+  std::uint64_t messages_delivered = 0;  ///< receiver was online
+  std::uint64_t messages_to_offline = 0; ///< receiver offline: silently lost
+  std::uint64_t messages_dropped = 0;    ///< random loss (loss_probability)
+  std::uint64_t bytes_sent = 0;
+
+  [[nodiscard]] double delivery_ratio() const noexcept {
+    return messages_sent == 0
+               ? 1.0
+               : static_cast<double>(messages_delivered) /
+                     static_cast<double>(messages_sent);
+  }
+};
+
+/// In-flight or delivered message envelope.
+template <typename Payload>
+struct Envelope {
+  common::PeerId from;
+  common::PeerId to;
+  Payload payload;
+  std::uint64_t size_bytes = 0;
+  common::Round sent_round = 0;
+};
+
+/// Round-synchronous message bus.
+///
+/// Usage per round: protocol calls send() any number of times; the driver
+/// then calls deliver_round(online_probe) which applies loss, filters
+/// messages addressed to offline peers, and returns the deliverable batch.
+template <typename Payload>
+class MessageBus {
+ public:
+  using EnvelopeT = Envelope<Payload>;
+
+  explicit MessageBus(double loss_probability = 0.0)
+      : loss_probability_(loss_probability) {
+    UPDP2P_ENSURE(loss_probability >= 0.0 && loss_probability <= 1.0,
+                  "loss probability must be in [0,1]");
+  }
+
+  void send(common::PeerId from, common::PeerId to, Payload payload,
+            std::uint64_t size_bytes, common::Round round) {
+    ++stats_.messages_sent;
+    stats_.bytes_sent += size_bytes;
+    pending_.push_back(
+        EnvelopeT{from, to, std::move(payload), size_bytes, round});
+  }
+
+  /// Installs a connectivity predicate: a message is deliverable only when
+  /// `filter(from, to)` is true. Models network partitions — peers across a
+  /// cut "simply perceive each other to be offline" (§3). Pass nullptr to
+  /// heal all partitions.
+  void set_link_filter(
+      std::function<bool(common::PeerId, common::PeerId)> filter) {
+    link_filter_ = std::move(filter);
+  }
+
+  /// Flushes the pending batch. `is_online(PeerId)` decides deliverability.
+  template <typename OnlineProbe>
+  [[nodiscard]] std::vector<EnvelopeT> deliver_round(OnlineProbe&& is_online,
+                                                     common::Rng& rng) {
+    std::vector<EnvelopeT> delivered;
+    delivered.reserve(pending_.size());
+    for (auto& envelope : pending_) {
+      if (!is_online(envelope.to) ||
+          (link_filter_ && !link_filter_(envelope.from, envelope.to))) {
+        ++stats_.messages_to_offline;
+        continue;
+      }
+      if (loss_probability_ > 0.0 && rng.bernoulli(loss_probability_)) {
+        ++stats_.messages_dropped;
+        continue;
+      }
+      ++stats_.messages_delivered;
+      delivered.push_back(std::move(envelope));
+    }
+    pending_.clear();
+    return delivered;
+  }
+
+  [[nodiscard]] std::size_t pending_count() const noexcept {
+    return pending_.size();
+  }
+  [[nodiscard]] const BusStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = BusStats{}; }
+
+ private:
+  double loss_probability_;
+  std::function<bool(common::PeerId, common::PeerId)> link_filter_;
+  std::vector<EnvelopeT> pending_;
+  BusStats stats_;
+};
+
+}  // namespace updp2p::net

@@ -1,0 +1,87 @@
+#include "pgrid/bit_path.hpp"
+
+#include <ostream>
+
+#include "common/hash.hpp"
+
+namespace updp2p::pgrid {
+
+BitPath::BitPath(std::uint64_t bits, std::uint8_t length) : length_(length) {
+  UPDP2P_ENSURE(length <= 64, "paths hold at most 64 bits");
+  // Zero everything beyond `length` so equality is well-defined.
+  bits_ = length == 0 ? 0 : bits & (~std::uint64_t{0} << (64 - length));
+}
+
+BitPath BitPath::parse(std::string_view text) {
+  UPDP2P_ENSURE(text.size() <= 64, "paths hold at most 64 bits");
+  std::uint64_t bits = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    UPDP2P_ENSURE(text[i] == '0' || text[i] == '1',
+                  "path text must be binary digits");
+    if (text[i] == '1') bits |= std::uint64_t{1} << (63 - i);
+  }
+  return BitPath(bits, static_cast<std::uint8_t>(text.size()));
+}
+
+BitPath BitPath::from_key(std::string_view key, std::uint8_t depth) {
+  // FNV-1a distributes its low bits much better than its high bits, and the
+  // path uses the most-significant bits; finalise with an avalanche mix so
+  // short, similar keys spread uniformly over partitions.
+  std::uint64_t h = common::fnv1a64(key);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return BitPath(h, depth);
+}
+
+bool BitPath::bit(std::uint8_t i) const {
+  UPDP2P_ENSURE(i < length_, "bit index out of range");
+  return (bits_ >> (63 - i)) & 1;
+}
+
+BitPath BitPath::appended(bool b) const {
+  UPDP2P_ENSURE(length_ < 64, "path is full");
+  std::uint64_t bits = bits_;
+  if (b) bits |= std::uint64_t{1} << (63 - length_);
+  return BitPath(bits, static_cast<std::uint8_t>(length_ + 1));
+}
+
+BitPath BitPath::prefix(std::uint8_t n) const {
+  UPDP2P_ENSURE(n <= length_, "prefix longer than path");
+  return BitPath(bits_, n);
+}
+
+BitPath BitPath::sibling_at(std::uint8_t i) const {
+  UPDP2P_ENSURE(i < length_, "sibling level out of range");
+  const std::uint64_t flipped = bits_ ^ (std::uint64_t{1} << (63 - i));
+  return BitPath(flipped, static_cast<std::uint8_t>(i + 1));
+}
+
+bool BitPath::is_prefix_of(const BitPath& other) const {
+  if (length_ > other.length_) return false;
+  return other.prefix(length_).raw_bits() == bits_;
+}
+
+std::uint8_t BitPath::common_prefix_length(const BitPath& other) const {
+  const std::uint8_t max =
+      static_cast<std::uint8_t>(std::min(length_, other.length_));
+  for (std::uint8_t i = 0; i < max; ++i) {
+    if (bit(i) != other.bit(i)) return i;
+  }
+  return max;
+}
+
+std::string BitPath::to_string() const {
+  std::string out;
+  out.reserve(length_);
+  for (std::uint8_t i = 0; i < length_; ++i) out.push_back(bit(i) ? '1' : '0');
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const BitPath& path) {
+  return os << path.to_string();
+}
+
+}  // namespace updp2p::pgrid

@@ -1,0 +1,77 @@
+// Binary key-space paths for the P-Grid trie (Aberer, CoopIS 2001).
+//
+// P-Grid associates each peer with a binary path — the partition of the
+// key space it is responsible for — and data keys map to paths by hashing.
+// Peers whose paths are equal replicate the same partition; these replica
+// groups are exactly the population the paper's update algorithm serves.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "common/ensure.hpp"
+
+namespace updp2p::pgrid {
+
+/// A big-endian bit string of length ≤ 64 ("0" = left subtree).
+class BitPath {
+ public:
+  constexpr BitPath() noexcept = default;
+  BitPath(std::uint64_t bits, std::uint8_t length);
+
+  /// Parses a textual path like "0110".
+  [[nodiscard]] static BitPath parse(std::string_view text);
+
+  /// Maps an application key into the key space: the first `depth` bits of
+  /// a 64-bit hash of the key.
+  [[nodiscard]] static BitPath from_key(std::string_view key,
+                                        std::uint8_t depth);
+
+  [[nodiscard]] std::uint8_t length() const noexcept { return length_; }
+  [[nodiscard]] bool empty() const noexcept { return length_ == 0; }
+
+  /// Bit at position `i` (0 = most significant / root decision).
+  [[nodiscard]] bool bit(std::uint8_t i) const;
+
+  /// Path extended by one bit.
+  [[nodiscard]] BitPath appended(bool b) const;
+
+  /// First `n` bits of this path.
+  [[nodiscard]] BitPath prefix(std::uint8_t n) const;
+
+  /// Prefix of length i+1 with bit i flipped: the "other side" of the trie
+  /// at level i — the subtree a routing reference at level i points into.
+  [[nodiscard]] BitPath sibling_at(std::uint8_t i) const;
+
+  [[nodiscard]] bool is_prefix_of(const BitPath& other) const;
+  [[nodiscard]] std::uint8_t common_prefix_length(const BitPath& other) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Left-aligned raw bit storage (hashing, serialisation).
+  [[nodiscard]] constexpr std::uint64_t raw_bits() const noexcept {
+    return bits_;
+  }
+
+  friend constexpr auto operator<=>(const BitPath&, const BitPath&) noexcept =
+      default;
+
+ private:
+  std::uint64_t bits_ = 0;  // left-aligned: bit i is (bits_ >> (63 - i)) & 1
+  std::uint8_t length_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const BitPath& path);
+
+}  // namespace updp2p::pgrid
+
+template <>
+struct std::hash<updp2p::pgrid::BitPath> {
+  std::size_t operator()(const updp2p::pgrid::BitPath& path) const noexcept {
+    // bits and length jointly identify the path
+    return std::hash<std::uint64_t>{}(path.raw_bits() * 31 + path.length());
+  }
+};

@@ -1,0 +1,300 @@
+#include "sim/event_simulator.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace updp2p::sim {
+
+EventSimulator::EventSimulator(EventSimConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      sessions_(config_.mean_online_time, config_.mean_offline_time) {
+  UPDP2P_ENSURE(config_.population > 0, "population must be positive");
+  UPDP2P_ENSURE(config_.round_duration > 0.0, "round duration must be positive");
+  if (!config_.latency) {
+    config_.latency =
+        std::make_shared<net::ConstantLatency>(config_.round_duration / 2.0);
+  }
+
+  nodes_.reserve(config_.population);
+  online_.resize(config_.population);
+  std::vector<common::PeerId> everyone;
+  everyone.reserve(config_.population);
+  for (std::uint32_t i = 0; i < config_.population; ++i) {
+    everyone.emplace_back(i);
+  }
+
+  for (std::uint32_t i = 0; i < config_.population; ++i) {
+    const common::PeerId self(i);
+    nodes_.push_back(std::make_unique<gossip::ReplicaNode>(
+        self, config_.gossip, rng_.split_for(i)));
+    if (config_.initial_view_size == 0 ||
+        config_.initial_view_size >= config_.population) {
+      nodes_.back()->bootstrap(everyone);
+    } else {
+      std::vector<common::PeerId> sample;
+      for (const std::uint32_t idx : rng_.sample_without_replacement(
+               static_cast<std::uint32_t>(config_.population),
+               static_cast<std::uint32_t>(config_.initial_view_size))) {
+        sample.emplace_back(idx);
+      }
+      nodes_.back()->bootstrap(sample);
+    }
+
+    // Stationary initial state + first session transition.
+    const auto [starts_online, first_transition] = sessions_.start(rng_);
+    online_[i] = starts_online;
+    Event transition;
+    transition.at = first_transition;
+    transition.kind = EventKind::kTransition;
+    transition.peer = self;
+    push_event(std::move(transition));
+
+    // Per-peer timer ticks, staggered to avoid a thundering herd.
+    Event tick;
+    tick.at = config_.round_duration * (1.0 + rng_.uniform01());
+    tick.kind = EventKind::kTimerTick;
+    tick.peer = self;
+    push_event(std::move(tick));
+  }
+}
+
+void EventSimulator::push_event(Event event) {
+  event.seq = next_seq_++;
+  queue_.push(std::move(event));
+}
+
+void EventSimulator::send_all(common::PeerId from,
+                              std::vector<gossip::OutboundMessage> out) {
+  for (auto& message : out) {
+    ++stats_.messages_sent;
+    stats_.bytes_sent += message.size_bytes;
+    switch (message.payload.index()) {
+      case gossip::kPushIndex: ++stats_.push_messages; break;
+      case gossip::kPullRequestIndex:
+      case gossip::kPullResponseIndex: ++stats_.pull_messages; break;
+      case gossip::kAckIndex: ++stats_.ack_messages; break;
+      default: ++stats_.query_messages; break;
+    }
+    Event delivery;
+    delivery.at = now_ + config_.latency->sample(rng_);
+    delivery.kind = EventKind::kDelivery;
+    delivery.peer = message.to;
+    delivery.from = from;
+    delivery.payload =
+        std::make_shared<gossip::GossipPayload>(std::move(message.payload));
+    delivery.size_bytes = message.size_bytes;
+    push_event(std::move(delivery));
+  }
+}
+
+void EventSimulator::execute(Event& event) {
+  const common::Round round = round_of(now_);
+  switch (event.kind) {
+    case EventKind::kDelivery: {
+      const auto idx = event.peer.value();
+      if (loss_ > 0.0 && rng_.bernoulli(loss_)) {
+        ++stats_.messages_lost;  // brownout window
+        return;
+      }
+      if (!online_[idx]) {
+        // §3: an unreachable peer is indistinguishable from an offline one.
+        ++stats_.messages_to_offline;
+        return;
+      }
+      ++stats_.messages_delivered;
+      send_all(event.peer,
+               nodes_[idx]->handle_message(event.from, *event.payload, round));
+      return;
+    }
+    case EventKind::kTransition: {
+      const auto idx = event.peer.value();
+      online_[idx] = !online_[idx];
+      if (online_[idx]) {
+        ++stats_.reconnects;
+        send_all(event.peer, nodes_[idx]->on_reconnect(round));
+      } else {
+        nodes_[idx]->on_disconnect(round);
+      }
+      Event next;
+      next.at = sessions_.next_transition(rng_, online_[idx], now_);
+      next.kind = EventKind::kTransition;
+      next.peer = event.peer;
+      push_event(std::move(next));
+      return;
+    }
+    case EventKind::kTimerTick: {
+      const auto idx = event.peer.value();
+      if (online_[idx]) {
+        send_all(event.peer, nodes_[idx]->on_round_start(round));
+      }
+      Event next;
+      next.at = now_ + config_.round_duration;
+      next.kind = EventKind::kTimerTick;
+      next.peer = event.peer;
+      push_event(std::move(next));
+      return;
+    }
+    case EventKind::kPublish: {
+      common::PeerId publisher = event.peer;
+      if (!event.has_publisher || !online_[publisher.value()]) {
+        // Choose an online peer — preferring confident (recently synced)
+        // ones, where a user would realistically originate a write; drop
+        // the publish when the network is dark.
+        std::vector<common::PeerId> online_peers;
+        std::vector<common::PeerId> confident_peers;
+        for (std::uint32_t i = 0; i < config_.population; ++i) {
+          if (!online_[i]) continue;
+          online_peers.emplace_back(i);
+          if (nodes_[i]->confident(round)) confident_peers.emplace_back(i);
+        }
+        if (online_peers.empty()) return;
+        const auto& pool =
+            confident_peers.empty() ? online_peers : confident_peers;
+        publisher = pool[rng_.pick_index(pool.size())];
+      }
+      auto& node = *nodes_[publisher.value()];
+      if (event.tombstone) {
+        send_all(publisher, node.remove(event.key, round));
+        return;
+      }
+      send_all(publisher, node.publish(event.key, std::move(event.value), round));
+      const auto value = node.read(event.key);
+      UPDP2P_ENSURE(value.has_value(), "publish must leave a readable value");
+      published_.push_back(
+          PublishedUpdate{event.key, value->id, now_, publisher});
+      return;
+    }
+    case EventKind::kLossChange: {
+      loss_ = event.loss;
+      return;
+    }
+  }
+}
+
+void EventSimulator::schedule_publish(common::SimTime at, std::string key,
+                                      std::string payload,
+                                      std::optional<common::PeerId> publisher) {
+  UPDP2P_ENSURE(at >= now_, "cannot schedule a publish in the past");
+  Event event;
+  event.at = at;
+  event.kind = EventKind::kPublish;
+  event.key = std::move(key);
+  event.value = std::move(payload);
+  if (publisher.has_value()) {
+    event.peer = *publisher;
+    event.has_publisher = true;
+  }
+  push_event(std::move(event));
+}
+
+void EventSimulator::schedule_remove(common::SimTime at, std::string key,
+                                     std::optional<common::PeerId> publisher) {
+  UPDP2P_ENSURE(at >= now_, "cannot schedule a removal in the past");
+  Event event;
+  event.at = at;
+  event.kind = EventKind::kPublish;
+  event.key = std::move(key);
+  event.tombstone = true;
+  if (publisher.has_value()) {
+    event.peer = *publisher;
+    event.has_publisher = true;
+  }
+  push_event(std::move(event));
+}
+
+void EventSimulator::schedule_loss_window(common::SimTime at,
+                                          common::SimTime until, double loss) {
+  UPDP2P_ENSURE(at >= now_ && until >= at, "window must lie in the future");
+  UPDP2P_ENSURE(loss >= 0.0 && loss <= 1.0, "loss probability in [0,1]");
+  Event begin;
+  begin.at = at;
+  begin.kind = EventKind::kLossChange;
+  begin.loss = loss;
+  push_event(std::move(begin));
+  Event end;
+  end.at = until;
+  end.kind = EventKind::kLossChange;
+  end.loss = 0.0;
+  push_event(std::move(end));
+}
+
+void EventSimulator::run_until(common::SimTime end) {
+  while (!queue_.empty() && queue_.top().at <= end) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.at;
+    execute(event);
+  }
+  now_ = std::max(now_, end);
+}
+
+std::size_t EventSimulator::online_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count(online_.begin(), online_.end(), true));
+}
+
+double EventSimulator::aware_fraction_online(
+    const version::VersionId& id) const {
+  std::size_t online = 0;
+  std::size_t aware = 0;
+  for (std::uint32_t i = 0; i < config_.population; ++i) {
+    if (!online_[i]) continue;
+    ++online;
+    if (nodes_[i]->knows_version(id)) ++aware;
+  }
+  return online == 0 ? 0.0
+                     : static_cast<double>(aware) / static_cast<double>(online);
+}
+
+double EventSimulator::aware_fraction_total(
+    const version::VersionId& id) const {
+  std::size_t aware = 0;
+  for (std::uint32_t i = 0; i < config_.population; ++i) {
+    if (nodes_[i]->knows_version(id)) ++aware;
+  }
+  return static_cast<double>(aware) / static_cast<double>(config_.population);
+}
+
+std::uint64_t EventSimulator::begin_query(common::PeerId issuer,
+                                          std::string_view key,
+                                          gossip::QueryRule rule,
+                                          std::size_t replicas_to_ask) {
+  if (!online_[issuer.value()]) return 0;
+  auto started = nodes_[issuer.value()]->begin_query(key, rule,
+                                                     replicas_to_ask,
+                                                     round_of(now_));
+  send_all(issuer, std::move(started.messages));
+  return started.nonce;
+}
+
+gossip::QueryOutcome EventSimulator::poll_query(common::PeerId issuer,
+                                                std::uint64_t nonce) {
+  return nodes_[issuer.value()]->poll_query(nonce, round_of(now_));
+}
+
+std::optional<version::VersionedValue> EventSimulator::query(
+    std::string_view key, std::size_t replicas_to_ask,
+    gossip::QueryRule rule) {
+  std::vector<common::PeerId> online_peers;
+  for (std::uint32_t i = 0; i < config_.population; ++i) {
+    if (online_[i]) online_peers.emplace_back(i);
+  }
+  if (online_peers.empty()) return std::nullopt;
+
+  rng_.shuffle(std::span<common::PeerId>(online_peers));
+  const std::size_t ask = std::min(replicas_to_ask, online_peers.size());
+  const common::Round round = round_of(now_);
+
+  std::vector<gossip::QueryAnswer> answers;
+  answers.reserve(ask);
+  for (std::size_t i = 0; i < ask; ++i) {
+    const auto& node = *nodes_[online_peers[i].value()];
+    answers.push_back(gossip::QueryAnswer{online_peers[i], node.read(key),
+                                          node.confident(round)});
+  }
+  return gossip::resolve_query(answers, rule);
+}
+
+}  // namespace updp2p::sim

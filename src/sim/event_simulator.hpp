@@ -1,0 +1,184 @@
+// Continuous-time, event-driven simulator.
+//
+// The round model (round_simulator.hpp) matches the paper's push-phase
+// analysis; this engine covers everything the analysis abstracts away:
+// peers with exponential online/offline sessions (churn::SessionProcess),
+// per-message latency, pull-on-reconnect, lazy pull, overlapping push and
+// pull phases, and query servicing while updates propagate (§4.3, §4.4,
+// §6). Push rounds are recovered from the hop counter inside push messages,
+// so PF(t) behaves identically in both engines.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "churn/churn_model.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "gossip/node.hpp"
+#include "gossip/query.hpp"
+#include "net/latency.hpp"
+
+namespace updp2p::sim {
+
+struct EventSimConfig {
+  std::size_t population = 200;
+  gossip::GossipConfig gossip;
+  /// Exponential session parameters; availability is on/(on+off).
+  double mean_online_time = 100.0;
+  double mean_offline_time = 900.0;
+  /// SimTime per push round; also the cadence of per-peer timer ticks.
+  double round_duration = 1.0;
+  /// One-way message latency model; defaults to round_duration / 2.
+  std::shared_ptr<net::LatencyModel> latency;
+  std::size_t initial_view_size = 0;  ///< 0 = full membership
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Record of one published update.
+struct PublishedUpdate {
+  std::string key;
+  version::VersionId id;
+  common::SimTime published_at = 0.0;
+  common::PeerId publisher;
+};
+
+/// Network-level counters of the event engine.
+struct EventSimStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_to_offline = 0;
+  std::uint64_t messages_lost = 0;  ///< dropped by a loss window
+  std::uint64_t push_messages = 0;
+  std::uint64_t pull_messages = 0;
+  std::uint64_t ack_messages = 0;
+  std::uint64_t query_messages = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t reconnects = 0;
+};
+
+class EventSimulator {
+ public:
+  explicit EventSimulator(EventSimConfig config);
+
+  /// Schedules a publish at `at`; when `publisher` is nullopt an online
+  /// peer is chosen at publish time. The resulting version id is available
+  /// from published() once the event has executed.
+  void schedule_publish(common::SimTime at, std::string key,
+                        std::string payload,
+                        std::optional<common::PeerId> publisher = std::nullopt);
+
+  /// Schedules a deletion: a tombstone/death certificate is written and
+  /// pushed exactly like an update (paper §3).
+  void schedule_remove(common::SimTime at, std::string key,
+                       std::optional<common::PeerId> publisher = std::nullopt);
+
+  /// Failure injection: from `at` until `until`, every message is lost with
+  /// probability `loss` (a network brownout; 1.0 = total blackout). Windows
+  /// may be scheduled back to back; the loss rate reverts to 0 afterwards.
+  void schedule_loss_window(common::SimTime at, common::SimTime until,
+                            double loss);
+
+  [[nodiscard]] double current_loss() const noexcept { return loss_; }
+
+  /// Runs the event loop until `end` (inclusive of events at `end`).
+  void run_until(common::SimTime end);
+
+  /// Issues a query now: contacts up to `replicas_to_ask` online replicas
+  /// and resolves their answers (§4.4). Returns nullopt when nothing was
+  /// found or nobody was online. This is the *omniscient* variant (reads
+  /// stores directly); use begin_query/poll_query for the message-based
+  /// protocol.
+  [[nodiscard]] std::optional<version::VersionedValue> query(
+      std::string_view key, std::size_t replicas_to_ask,
+      gossip::QueryRule rule);
+
+  /// Message-based §4.4 query issued by `issuer` (must be online): query
+  /// requests travel the network like any other message. Returns the nonce
+  /// to poll with, or 0 if the issuer is offline.
+  std::uint64_t begin_query(common::PeerId issuer, std::string_view key,
+                            gossip::QueryRule rule,
+                            std::size_t replicas_to_ask);
+
+  /// Polls a message-based query at the issuer; complete once all replies
+  /// arrived or the node-side timeout elapsed.
+  [[nodiscard]] gossip::QueryOutcome poll_query(common::PeerId issuer,
+                                                std::uint64_t nonce);
+
+  [[nodiscard]] common::SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool is_online(common::PeerId peer) const {
+    return online_[peer.value()];
+  }
+  [[nodiscard]] std::size_t online_count() const noexcept;
+  [[nodiscard]] gossip::ReplicaNode& node(common::PeerId peer) {
+    return *nodes_.at(peer.value());
+  }
+  [[nodiscard]] const gossip::ReplicaNode& node(common::PeerId peer) const {
+    return *nodes_.at(peer.value());
+  }
+  [[nodiscard]] std::size_t population() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] const std::vector<PublishedUpdate>& published() const noexcept {
+    return published_;
+  }
+  [[nodiscard]] const EventSimStats& stats() const noexcept { return stats_; }
+
+  /// Fraction of currently-online peers that know version `id`.
+  [[nodiscard]] double aware_fraction_online(const version::VersionId& id) const;
+  /// Fraction of the *whole* population that knows version `id`.
+  [[nodiscard]] double aware_fraction_total(const version::VersionId& id) const;
+
+ private:
+  enum class EventKind : std::uint8_t {
+    kDelivery,
+    kTransition,
+    kTimerTick,
+    kPublish,
+    kLossChange,
+  };
+
+  struct Event {
+    common::SimTime at = 0.0;
+    std::uint64_t seq = 0;  // FIFO tiebreak for equal times
+    EventKind kind = EventKind::kDelivery;
+    common::PeerId peer;                    // transition/timer/publish target
+    common::PeerId from;                    // delivery sender
+    std::shared_ptr<gossip::GossipPayload> payload;  // delivery
+    std::uint64_t size_bytes = 0;
+    std::string key;      // publish
+    std::string value;    // publish
+    bool has_publisher = false;
+    bool tombstone = false;    // publish: remove instead of write
+    double loss = 0.0;         // loss-change events
+
+    friend bool operator>(const Event& a, const Event& b) {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  void push_event(Event event);
+  void execute(Event& event);
+  void send_all(common::PeerId from, std::vector<gossip::OutboundMessage> out);
+  [[nodiscard]] common::Round round_of(common::SimTime t) const {
+    return static_cast<common::Round>(t / config_.round_duration);
+  }
+
+  EventSimConfig config_;
+  common::Rng rng_;
+  churn::SessionProcess sessions_;
+  std::vector<std::unique_ptr<gossip::ReplicaNode>> nodes_;
+  std::vector<bool> online_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::uint64_t next_seq_ = 0;
+  common::SimTime now_ = 0.0;
+  double loss_ = 0.0;  // current brownout loss probability
+  std::vector<PublishedUpdate> published_;
+  EventSimStats stats_;
+};
+
+}  // namespace updp2p::sim

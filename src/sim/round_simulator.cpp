@@ -1,0 +1,224 @@
+#include "sim/round_simulator.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+#include "common/logging.hpp"
+#include "gossip/codec.hpp"
+
+namespace updp2p::sim {
+
+RoundSimulator::RoundSimulator(RoundSimConfig config,
+                               std::unique_ptr<churn::ChurnModel> churn)
+    : config_(std::move(config)),
+      churn_(std::move(churn)),
+      rng_(config_.seed),
+      bus_(config_.message_loss) {
+  UPDP2P_ENSURE(churn_ != nullptr, "a churn model is required");
+  UPDP2P_ENSURE(churn_->population() == config_.population,
+                "churn population must match simulator population");
+
+  nodes_.reserve(config_.population);
+  for (std::uint32_t i = 0; i < config_.population; ++i) {
+    const common::PeerId self(i);
+    nodes_.push_back(std::make_unique<gossip::ReplicaNode>(
+        self, config_.gossip, rng_.split_for(i)));
+  }
+
+  // Bootstrap membership: either the full replica set (analysis
+  // assumption) or a random sample of the configured size.
+  std::vector<common::PeerId> everyone;
+  everyone.reserve(config_.population);
+  for (std::uint32_t i = 0; i < config_.population; ++i) {
+    everyone.emplace_back(i);
+  }
+  for (auto& node : nodes_) {
+    if (config_.initial_view_size == 0 ||
+        config_.initial_view_size >= config_.population) {
+      node->bootstrap(everyone);
+    } else {
+      std::vector<common::PeerId> sample;
+      sample.reserve(config_.initial_view_size);
+      for (const std::uint32_t idx : rng_.sample_without_replacement(
+               static_cast<std::uint32_t>(config_.population),
+               static_cast<std::uint32_t>(config_.initial_view_size))) {
+        sample.emplace_back(idx);
+      }
+      node->bootstrap(sample);
+    }
+  }
+
+  churn_->reset(rng_);
+  was_online_.resize(config_.population);
+  for (std::uint32_t i = 0; i < config_.population; ++i) {
+    was_online_[i] = churn_->is_online(common::PeerId(i));
+  }
+}
+
+void RoundSimulator::dispatch(common::PeerId from,
+                              std::vector<gossip::OutboundMessage> out) {
+  for (auto& message : out) {
+    switch (message.payload.index()) {
+      case gossip::kPushIndex: ++round_push_; break;
+      case gossip::kPullRequestIndex:
+      case gossip::kPullResponseIndex: ++round_pull_; break;
+      case gossip::kAckIndex: ++round_ack_; break;
+      default: ++round_query_; break;
+    }
+    std::uint64_t size = message.size_bytes;
+    if (config_.serialize_messages) {
+      // Full wire round-trip: what a deployment would actually transmit.
+      const gossip::WireBytes frame = gossip::encode(message.payload);
+      size = frame.size();
+      auto decoded = gossip::decode(frame);
+      UPDP2P_ENSURE(decoded.has_value(),
+                    "own encoder output must always decode");
+      message.payload = std::move(*decoded);
+    }
+    round_bytes_ += size;
+    bus_.send(from, message.to, std::move(message.payload), size, round_);
+  }
+}
+
+std::uint64_t RoundSimulator::sum_duplicates() const {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->stats().duplicate_pushes;
+  return total;
+}
+
+std::size_t RoundSimulator::aware_online(const version::VersionId& id) const {
+  std::size_t count = 0;
+  for (std::uint32_t i = 0; i < config_.population; ++i) {
+    const common::PeerId peer(i);
+    if (churn_->is_online(peer) && nodes_[i]->knows_version(id)) ++count;
+  }
+  return count;
+}
+
+double RoundSimulator::aware_fraction(const version::VersionId& id) const {
+  const std::size_t online = churn_->online_count();
+  return online == 0 ? 0.0
+                     : static_cast<double>(aware_online(id)) /
+                           static_cast<double>(online);
+}
+
+void RoundSimulator::step_round(RunMetrics* metrics,
+                                const version::VersionId* tracked) {
+  ++round_;
+  round_push_ = round_pull_ = round_ack_ = round_query_ = 0;
+  round_bytes_ = 0;
+  const std::uint64_t duplicates_before = sum_duplicates();
+
+  // 1. Deliver messages sent last round to peers that are online *now*.
+  auto delivered = bus_.deliver_round(
+      [this](common::PeerId to) { return churn_->is_online(to); }, rng_);
+  for (auto& envelope : delivered) {
+    auto reactions = nodes_[envelope.to.value()]->handle_message(
+        envelope.from, envelope.payload, round_);
+    dispatch(envelope.to, std::move(reactions));
+  }
+
+  // 2. Per-round timers for online peers.
+  if (config_.round_timers) {
+    for (std::uint32_t i = 0; i < config_.population; ++i) {
+      const common::PeerId peer(i);
+      if (!churn_->is_online(peer)) continue;
+      dispatch(peer, nodes_[i]->on_round_start(round_));
+    }
+  }
+
+  // 3. Record metrics for the state reached in this round.
+  if (metrics != nullptr) {
+    RoundMetrics rm;
+    rm.round = round_;
+    rm.online = churn_->online_count();
+    rm.aware_online = tracked != nullptr ? aware_online(*tracked) : 0;
+    rm.push_messages = round_push_;
+    rm.pull_messages = round_pull_;
+    rm.ack_messages = round_ack_;
+    rm.query_messages = round_query_;
+    rm.messages = round_push_ + round_pull_ + round_ack_ + round_query_;
+    rm.duplicates = sum_duplicates() - duplicates_before;
+    rm.bytes = round_bytes_;
+    metrics->rounds.push_back(rm);
+  }
+
+  // 4. Churn transition into the next round; fire reconnect/disconnect
+  //    hooks for peers whose state flipped.
+  churn_->advance(rng_);
+  for (std::uint32_t i = 0; i < config_.population; ++i) {
+    const common::PeerId peer(i);
+    const bool online = churn_->is_online(peer);
+    if (online == was_online_[i]) continue;
+    was_online_[i] = online;
+    if (online) {
+      if (config_.reconnect_pull) {
+        dispatch(peer, nodes_[i]->on_reconnect(round_ + 1));
+      }
+    } else {
+      nodes_[i]->on_disconnect(round_ + 1);
+    }
+  }
+}
+
+RunMetrics RoundSimulator::propagate_update(
+    std::optional<common::PeerId> initiator, std::string key,
+    std::string payload) {
+  // Pick an online initiator when none given.
+  common::PeerId publisher = initiator.value_or(common::PeerId::invalid());
+  if (!initiator.has_value()) {
+    const auto online_peers = churn_->online().online_peers();
+    UPDP2P_ENSURE(!online_peers.empty(), "no online peer to publish from");
+    publisher = online_peers[rng_.pick_index(online_peers.size())];
+  }
+  UPDP2P_ENSURE(churn_->is_online(publisher),
+                "the initiator must be online to publish");
+
+  RunMetrics metrics;
+  metrics.population = config_.population;
+  metrics.initial_online = churn_->online_count();
+
+  // Round 0: publish.
+  round_push_ = round_pull_ = round_ack_ = round_query_ = 0;
+  round_bytes_ = 0;
+  auto out =
+      nodes_[publisher.value()]->publish(key, std::move(payload), round_);
+  const version::VersionedValue written =
+      nodes_[publisher.value()]->read(key).value();
+  const version::VersionId tracked = written.id;
+  dispatch(publisher, std::move(out));
+
+  RoundMetrics round0;
+  round0.round = round_;
+  round0.online = churn_->online_count();
+  round0.aware_online = aware_online(tracked);
+  round0.push_messages = round_push_;
+  round0.messages = round_push_;
+  round0.bytes = round_bytes_;
+  metrics.rounds.push_back(round0);
+
+  // Subsequent rounds until quiescence.
+  common::Round quiet = 0;
+  for (common::Round t = 0; t < config_.max_rounds; ++t) {
+    step_round(&metrics, &tracked);
+    const RoundMetrics& last = metrics.rounds.back();
+    quiet = last.messages == 0 ? quiet + 1 : 0;
+    if (quiet >= config_.quiescence_rounds) break;
+  }
+  return metrics;
+}
+
+void RoundSimulator::run_rounds(common::Round rounds) {
+  for (common::Round t = 0; t < rounds; ++t) {
+    step_round(nullptr, nullptr);
+  }
+}
+
+std::unique_ptr<RoundSimulator> make_push_phase_simulator(
+    RoundSimConfig config, double initial_online_fraction, double sigma) {
+  auto churn = std::make_unique<churn::BernoulliChurn>(
+      config.population, initial_online_fraction, sigma, /*p_join=*/0.0);
+  return std::make_unique<RoundSimulator>(std::move(config), std::move(churn));
+}
+
+}  // namespace updp2p::sim

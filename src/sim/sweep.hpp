@@ -1,0 +1,64 @@
+// Parallel seed sweeps.
+//
+// Every evaluation in this repository averages independent simulation runs
+// over seeds. Each run owns its simulator (no shared mutable state), so a
+// sweep is embarrassingly parallel; this helper fans runs out over a thread
+// pool and merges the per-run metrics deterministically (merge order is by
+// seed, not completion order — results are independent of scheduling).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/ensure.hpp"
+#include "sim/metrics.hpp"
+
+namespace updp2p::sim {
+
+/// Runs `body(seed)` for seeds base+1 .. base+runs in parallel and returns
+/// the results ordered by seed. `Body` must be a pure function of the seed
+/// (it may build and run entire simulators internally).
+template <typename Result>
+std::vector<Result> sweep_seeds(std::uint64_t base_seed, unsigned runs,
+                                const std::function<Result(std::uint64_t)>&
+                                    body,
+                                unsigned max_threads = 0) {
+  UPDP2P_ENSURE(runs > 0, "a sweep needs at least one run");
+  if (max_threads == 0) {
+    max_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  std::vector<Result> results(runs);
+  std::vector<std::future<void>> inflight;
+  inflight.reserve(max_threads);
+  unsigned next = 0;
+  while (next < runs || !inflight.empty()) {
+    while (next < runs && inflight.size() < max_threads) {
+      const unsigned index = next++;
+      inflight.push_back(std::async(std::launch::async, [&, index] {
+        results[index] = body(base_seed + index + 1);
+      }));
+    }
+    inflight.front().get();
+    inflight.erase(inflight.begin());
+  }
+  return results;
+}
+
+/// Convenience: sweeps a RunMetrics-producing body and aggregates.
+inline AggregateMetrics sweep_aggregate(
+    std::uint64_t base_seed, unsigned runs,
+    const std::function<RunMetrics(std::uint64_t)>& body,
+    unsigned max_threads = 0) {
+  AggregateMetrics aggregate;
+  for (const auto& metrics :
+       sweep_seeds<RunMetrics>(base_seed, runs, body, max_threads)) {
+    aggregate.add(metrics);
+  }
+  return aggregate;
+}
+
+}  // namespace updp2p::sim

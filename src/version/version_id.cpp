@@ -1,0 +1,23 @@
+#include "version/version_id.hpp"
+
+#include <array>
+#include <bit>
+#include <ostream>
+
+namespace updp2p::version {
+
+std::ostream& operator<<(std::ostream& os, const VersionId& id) {
+  return os << id.digest();
+}
+
+VersionId VersionIdFactory::mint(common::SimTime logical_time) noexcept {
+  const std::array<std::uint64_t, 4> words{
+      static_cast<std::uint64_t>(owner_.value()),
+      std::bit_cast<std::uint64_t>(logical_time),
+      rng_(),           // the "large random number"
+      ++counter_,       // monotone tie-breaker within one peer/instant
+  };
+  return VersionId(common::digest128(words));
+}
+
+}  // namespace updp2p::version

@@ -1,0 +1,88 @@
+#include "version/version_vector.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace updp2p::version {
+
+const char* to_string(Causality c) noexcept {
+  switch (c) {
+    case Causality::kEqual: return "equal";
+    case Causality::kDominates: return "dominates";
+    case Causality::kDominatedBy: return "dominated-by";
+    case Causality::kConcurrent: return "concurrent";
+  }
+  return "?";
+}
+
+std::uint64_t VersionVector::increment(common::PeerId peer) {
+  return ++counters_[peer];
+}
+
+void VersionVector::observe(common::PeerId peer, std::uint64_t counter) {
+  if (counter == 0) return;  // zero entries stay implicit
+  auto& slot = counters_[peer];
+  slot = std::max(slot, counter);
+}
+
+std::uint64_t VersionVector::get(common::PeerId peer) const noexcept {
+  const auto it = counters_.find(peer);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void VersionVector::merge(const VersionVector& other) {
+  for (const auto& [peer, counter] : other.counters_) observe(peer, counter);
+}
+
+Causality VersionVector::compare(const VersionVector& other) const noexcept {
+  bool some_greater = false;
+  bool some_less = false;
+  // Walk both sorted maps in lockstep; a missing entry counts as zero.
+  auto it_a = counters_.begin();
+  auto it_b = other.counters_.begin();
+  while (it_a != counters_.end() || it_b != other.counters_.end()) {
+    if (it_b == other.counters_.end() ||
+        (it_a != counters_.end() && it_a->first < it_b->first)) {
+      if (it_a->second > 0) some_greater = true;
+      ++it_a;
+    } else if (it_a == counters_.end() || it_b->first < it_a->first) {
+      if (it_b->second > 0) some_less = true;
+      ++it_b;
+    } else {
+      if (it_a->second > it_b->second) some_greater = true;
+      if (it_a->second < it_b->second) some_less = true;
+      ++it_a;
+      ++it_b;
+    }
+    if (some_greater && some_less) return Causality::kConcurrent;
+  }
+  if (some_greater) return Causality::kDominates;
+  if (some_less) return Causality::kDominatedBy;
+  return Causality::kEqual;
+}
+
+std::uint64_t VersionVector::total_events() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [peer, counter] : counters_) total += counter;
+  return total;
+}
+
+std::string VersionVector::to_string() const {
+  std::ostringstream out;
+  out << *this;
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const VersionVector& vv) {
+  os << '{';
+  bool first = true;
+  for (const auto& [peer, counter] : vv.entries()) {
+    if (!first) os << ", ";
+    first = false;
+    os << peer.value() << ':' << counter;
+  }
+  return os << '}';
+}
+
+}  // namespace updp2p::version

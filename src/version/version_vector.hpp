@@ -1,0 +1,74 @@
+// Version vectors for causal comparison and anti-entropy reconciliation.
+//
+// Paper §3: pull-phase peers "inquire for missed updates based on version
+// vectors". The vector maps an updating peer to the count of updates it has
+// originated; component-wise comparison classifies two replica states as
+// equal, dominated, dominating or concurrent.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace updp2p::version {
+
+enum class Causality {
+  kEqual,        ///< identical histories
+  kDominates,    ///< this vector has seen strictly more
+  kDominatedBy,  ///< the other vector has seen strictly more
+  kConcurrent,   ///< conflicting histories (each saw something the other missed)
+};
+
+[[nodiscard]] const char* to_string(Causality c) noexcept;
+
+/// Sparse version vector. Absent entries are implicitly zero, so comparing
+/// vectors over disjoint updater sets behaves correctly.
+class VersionVector {
+ public:
+  VersionVector() = default;
+
+  /// Records one more update originated by `peer`; returns the new counter.
+  std::uint64_t increment(common::PeerId peer);
+
+  /// Sets the counter for `peer` to max(current, counter).
+  void observe(common::PeerId peer, std::uint64_t counter);
+
+  [[nodiscard]] std::uint64_t get(common::PeerId peer) const noexcept;
+
+  /// Component-wise maximum (join in the lattice of histories).
+  void merge(const VersionVector& other);
+
+  [[nodiscard]] Causality compare(const VersionVector& other) const noexcept;
+
+  /// True iff every event in this vector is also covered by `other`.
+  [[nodiscard]] bool covered_by(const VersionVector& other) const noexcept {
+    const Causality c = compare(other);
+    return c == Causality::kEqual || c == Causality::kDominatedBy;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return counters_.empty(); }
+  [[nodiscard]] std::size_t entry_count() const noexcept {
+    return counters_.size();
+  }
+  /// Total number of update events summarised by this vector.
+  [[nodiscard]] std::uint64_t total_events() const noexcept;
+
+  [[nodiscard]] const std::map<common::PeerId, std::uint64_t>& entries()
+      const noexcept {
+    return counters_;
+  }
+
+  friend bool operator==(const VersionVector&, const VersionVector&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::map<common::PeerId, std::uint64_t> counters_;
+};
+
+std::ostream& operator<<(std::ostream& os, const VersionVector& vv);
+
+}  // namespace updp2p::version

@@ -1,0 +1,65 @@
+#include "analysis/flooding_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace updp2p::analysis {
+namespace {
+
+TEST(FloodingModel, ExpectedOnline) {
+  EXPECT_DOUBLE_EQ(expected_online(10'000, 0.1), 1'000.0);
+  EXPECT_DOUBLE_EQ(expected_online(500, 0.0), 0.0);
+}
+
+TEST(FloodingModel, ExpectedReached) {
+  // E[reached in k attempts with x online of R] = x*k/R (§5.6).
+  EXPECT_DOUBLE_EQ(expected_reached(100, 50, 1'000), 5.0);
+}
+
+TEST(FloodingModel, ExpectedAttemptsAsymptote) {
+  // With R*p_on >> targets, E_x ≈ x / p_on.
+  EXPECT_NEAR(expected_attempts_to_reach(10, 10'000, 0.1), 100.0, 0.5);
+  EXPECT_NEAR(expected_attempts_to_reach(1, 1'000, 0.1), 10.0, 0.1);
+}
+
+TEST(FloodingModel, ExpectedAttemptsBlowUpWhenTooFewOnline) {
+  // If the expected online count is far below the target, the correction
+  // term dominates and the expectation explodes.
+  const double scarce = expected_attempts_to_reach(50, 100, 0.1);
+  EXPECT_GT(scarce, 1'000.0);
+}
+
+TEST(FloodingModel, ExpectedAttemptsInfiniteWhenNobodyOnline) {
+  const double impossible = expected_attempts_to_reach(5, 10, 1e-9);
+  EXPECT_TRUE(std::isinf(impossible) || impossible > 1e6);
+}
+
+TEST(FloodingModel, PureFloodingGeometricSum) {
+  // 1 + k + k^2 for 2 rounds with k = 3 -> 13.
+  EXPECT_DOUBLE_EQ(pure_flooding_messages(3.0, 2), 13.0);
+  EXPECT_DOUBLE_EQ(pure_flooding_messages(1.0, 4), 5.0);
+}
+
+TEST(FloodingModel, RoundsToCoverLogarithm) {
+  // fanout 4, everyone online, 10^4 peers: ceil(log_4 10^4) = 7 (§5.6 /
+  // Table 2 Gnutella latency).
+  EXPECT_EQ(flooding_rounds_to_cover(4.0, 1.0, 10'000), 7u);
+  // fanout 40 at 10% online -> effective 4; covering 100 peers: ceil(log_4
+  // 100) = 4.
+  EXPECT_EQ(flooding_rounds_to_cover(40.0, 0.1, 100), 4u);
+}
+
+TEST(FloodingModel, SubcriticalFloodNeverCovers) {
+  EXPECT_EQ(flooding_rounds_to_cover(5.0, 0.1, 1'000), 0u);
+}
+
+TEST(FloodingModel, DuplicateAvoidancePerPeerCost) {
+  // §5.6: "there will be on an average f_r messages per online peer".
+  EXPECT_DOUBLE_EQ(duplicate_avoidance_messages_per_peer(4.0), 4.0);
+  EXPECT_DOUBLE_EQ(duplicate_avoidance_messages_per_peer(40.0), 40.0);
+}
+
+}  // namespace
+}  // namespace updp2p::analysis

@@ -1,0 +1,62 @@
+#include "analysis/forward_probability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace updp2p::analysis {
+namespace {
+
+TEST(PfSchedule, ConstantIsConstant) {
+  const auto pf = pf_constant(0.7);
+  EXPECT_DOUBLE_EQ(pf(0), 0.7);
+  EXPECT_DOUBLE_EQ(pf(100), 0.7);
+  EXPECT_EQ(pf.label, "PF=0.70");
+}
+
+TEST(PfSchedule, LinearDecayClampsAtZero) {
+  const auto pf = pf_linear_decay(0.1);
+  EXPECT_DOUBLE_EQ(pf(0), 1.0);
+  EXPECT_DOUBLE_EQ(pf(5), 0.5);
+  EXPECT_DOUBLE_EQ(pf(10), 0.0);
+  EXPECT_DOUBLE_EQ(pf(50), 0.0);
+}
+
+TEST(PfSchedule, GeometricDecay) {
+  const auto pf = pf_geometric(0.9);
+  EXPECT_DOUBLE_EQ(pf(0), 1.0);
+  EXPECT_DOUBLE_EQ(pf(1), 0.9);
+  EXPECT_NEAR(pf(10), 0.34867844, 1e-8);
+}
+
+TEST(PfSchedule, OffsetGeometricFloorsAtOffset) {
+  const auto pf = pf_offset_geometric(0.8, 0.7, 0.2);
+  EXPECT_DOUBLE_EQ(pf(0), 1.0);
+  EXPECT_NEAR(pf(1), 0.76, 1e-12);
+  EXPECT_NEAR(pf(50), 0.2, 1e-7);  // asymptote = offset
+}
+
+TEST(PfSchedule, HaasFloodsThenGossips) {
+  const auto pf = pf_haas(0.8, 2);
+  EXPECT_DOUBLE_EQ(pf(0), 1.0);
+  EXPECT_DOUBLE_EQ(pf(1), 1.0);
+  EXPECT_DOUBLE_EQ(pf(2), 1.0);
+  EXPECT_DOUBLE_EQ(pf(3), 0.8);
+  EXPECT_DOUBLE_EQ(pf(100), 0.8);
+}
+
+TEST(PfSchedule, GnutellaTtlAsHaasZero) {
+  // TTL-limited flooding: PF=1 for TTL rounds then 0 (used by baselines).
+  const auto pf = pf_haas(0.0, 7);
+  EXPECT_DOUBLE_EQ(pf(7), 1.0);
+  EXPECT_DOUBLE_EQ(pf(8), 0.0);
+}
+
+TEST(PfSchedule, LabelsAreDescriptive) {
+  EXPECT_EQ(pf_geometric(0.9).label, "PF(t)=0.90^t");
+  EXPECT_EQ(pf_linear_decay(0.1).label, "PF(t)=1-0.10t");
+  EXPECT_EQ(pf_haas(0.8, 2).label, "G(0.80,2)");
+  EXPECT_EQ(pf_offset_geometric(0.8, 0.7, 0.2).label,
+            "PF(t)=0.80*0.70^t+0.20");
+}
+
+}  // namespace
+}  // namespace updp2p::analysis

@@ -1,0 +1,91 @@
+#include "analysis/pull_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace updp2p::analysis {
+namespace {
+
+TEST(PullModel, ZeroAttemptsNeverSucceed) {
+  EXPECT_DOUBLE_EQ(pull_success_probability(100, 1.0, 1'000, 0), 0.0);
+}
+
+TEST(PullModel, MatchesClosedForm) {
+  // P = 1 - (1 - R_on*F/R)^n (§4.3).
+  const double p = pull_success_probability(100, 0.5, 1'000, 3);
+  EXPECT_NEAR(p, 1.0 - std::pow(1.0 - 0.05, 3), 1e-12);
+}
+
+TEST(PullModel, MonotoneInAttempts) {
+  double previous = 0.0;
+  for (unsigned n = 1; n <= 20; ++n) {
+    const double p = pull_success_probability(100, 0.5, 1'000, n);
+    EXPECT_GT(p, previous);
+    previous = p;
+  }
+  EXPECT_LT(previous, 1.0);
+}
+
+TEST(PullModel, NobodyAwareMeansZero) {
+  EXPECT_DOUBLE_EQ(pull_success_probability(100, 0.0, 1'000, 50), 0.0);
+}
+
+TEST(PullModel, EveryoneOnlineAndAwareIsCertain) {
+  EXPECT_DOUBLE_EQ(pull_success_probability(1'000, 1.0, 1'000, 1), 1.0);
+}
+
+TEST(PullModel, AttemptsForConfidenceInverts) {
+  const unsigned n =
+      pull_attempts_for_confidence(100, 1.0, 1'000, 0.999);
+  // Paper §2-style arithmetic: 10% online needs ~65-66 attempts for 99.9%.
+  EXPECT_GE(n, 60u);
+  EXPECT_LE(n, 70u);
+  // The returned n indeed achieves the confidence; n-1 does not.
+  EXPECT_GE(pull_success_probability(100, 1.0, 1'000, n), 0.999);
+  EXPECT_LT(pull_success_probability(100, 1.0, 1'000, n - 1), 0.999);
+}
+
+TEST(PullModel, AttemptsForConfidenceEdges) {
+  EXPECT_EQ(pull_attempts_for_confidence(0, 1.0, 1'000, 0.99), 0u);
+  EXPECT_EQ(pull_attempts_for_confidence(1'000, 1.0, 1'000, 0.99), 1u);
+}
+
+TEST(PullModel, ConstantAttemptsSufficeAtHighAwareness) {
+  // Paper §4.3: "a constant number of pull attempts should give the update
+  // information with high probability" once the push has spread.
+  const unsigned n =
+      pull_attempts_for_confidence(300, 0.95, 1'000, 0.99);
+  EXPECT_LE(n, 14u);
+}
+
+TEST(PushCatchup, ZeroWhenNobodyPushes) {
+  EXPECT_DOUBLE_EQ(push_catchup_probability(1'000, 0.0, 1.0, 1.0, 0.01, 0.0),
+                   0.0);
+  EXPECT_DOUBLE_EQ(push_catchup_probability(1'000, 0.1, 1.0, 0.0, 0.01, 0.0),
+                   0.0);
+}
+
+TEST(PushCatchup, MatchesClosedForm) {
+  // P = 1 - (1 - f_r*(1-l))^(R_on*f_new*sigma*PF) (§4.3).
+  const double pushers = 1'000 * 0.1 * 0.9 * 0.8;
+  const double reach = 0.01 * (1.0 - 0.3);
+  const double expected = 1.0 - std::exp(pushers * std::log1p(-reach));
+  EXPECT_NEAR(push_catchup_probability(1'000, 0.1, 0.9, 0.8, 0.01, 0.3),
+              expected, 1e-12);
+}
+
+TEST(PushCatchup, LongerListLowersCatchup) {
+  const double short_list =
+      push_catchup_probability(1'000, 0.1, 1.0, 1.0, 0.01, 0.1);
+  const double long_list =
+      push_catchup_probability(1'000, 0.1, 1.0, 1.0, 0.01, 0.9);
+  EXPECT_GT(short_list, long_list);
+}
+
+TEST(PushCatchup, FullReachIsCertain) {
+  EXPECT_DOUBLE_EQ(push_catchup_probability(10, 1.0, 1.0, 1.0, 1.0, 0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace updp2p::analysis

@@ -1,0 +1,119 @@
+#include "analysis/tuning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace updp2p::analysis {
+namespace {
+
+TuningRequest typical() {
+  TuningRequest request;
+  request.total_replicas = 1'000;
+  request.online_fraction = 0.2;
+  request.sigma = 0.95;
+  request.target_aware = 0.99;
+  request.max_rounds99 = 30;
+  return request;
+}
+
+TEST(Tuning, TypicalEnvironmentIsFeasible) {
+  const auto result = recommend_parameters(typical());
+  ASSERT_TRUE(result.feasible);
+  EXPECT_GT(result.fanout_fraction, 0.0);
+  EXPECT_LE(result.fanout_fraction, 1.0);
+  EXPECT_GE(result.predicted_aware, 0.99);
+  EXPECT_LE(result.predicted_rounds99, 30u);
+}
+
+TEST(Tuning, RecommendationVerifiesInTheModel) {
+  const auto request = typical();
+  const auto result = recommend_parameters(request);
+  ASSERT_TRUE(result.feasible);
+  PushModelParams params;
+  params.total_replicas = request.total_replicas;
+  params.initial_online = request.online_fraction * request.total_replicas;
+  params.sigma = request.sigma;
+  params.fanout_fraction = result.fanout_fraction;
+  params.pf = result.pf_decay_base >= 1.0
+                  ? pf_constant(1.0)
+                  : pf_geometric(result.pf_decay_base);
+  const auto trajectory = evaluate_push(params);
+  EXPECT_GE(trajectory.final_aware(), request.target_aware);
+  EXPECT_NEAR(trajectory.messages_per_initial_online(),
+              result.messages_per_online, 1e-9);
+}
+
+TEST(Tuning, DecayBeatsPlainFloodingOnCost) {
+  // The optimizer should never recommend a configuration more expensive
+  // than plain flooding at the same feasible fanout.
+  const auto request = typical();
+  const auto result = recommend_parameters(request);
+  ASSERT_TRUE(result.feasible);
+  PushModelParams flood;
+  flood.total_replicas = request.total_replicas;
+  flood.initial_online = request.online_fraction * request.total_replicas;
+  flood.sigma = request.sigma;
+  flood.fanout_fraction = result.fanout_fraction;
+  const auto flooding = evaluate_push(flood);
+  if (flooding.final_aware() >= request.target_aware) {
+    EXPECT_LE(result.messages_per_online,
+              flooding.messages_per_initial_online() + 1e-9);
+  }
+}
+
+TEST(Tuning, HigherTargetCostsMore) {
+  auto modest = typical();
+  modest.target_aware = 0.90;
+  auto strict = typical();
+  strict.target_aware = 0.999;
+  const auto cheap = recommend_parameters(modest);
+  const auto expensive = recommend_parameters(strict);
+  ASSERT_TRUE(cheap.feasible);
+  ASSERT_TRUE(expensive.feasible);
+  EXPECT_LE(cheap.messages_per_online, expensive.messages_per_online);
+}
+
+TEST(Tuning, InfeasibleEnvironmentReportedHonestly) {
+  // Large population (so the fanout search cap of 4000 peers binds), almost
+  // nobody online, heavy thinning, and a 3-round latency budget: no
+  // configuration in range can deliver 99.9% coverage.
+  TuningRequest impossible;
+  impossible.total_replicas = 100'000;
+  impossible.online_fraction = 0.001;
+  impossible.sigma = 0.5;
+  impossible.target_aware = 0.999;
+  impossible.max_rounds99 = 3;
+  const auto result = recommend_parameters(impossible);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(Tuning, TightLatencyBudgetForcesWiderFanout) {
+  auto relaxed = typical();
+  relaxed.max_rounds99 = 30;
+  auto tight = typical();
+  tight.max_rounds99 = 4;
+  const auto slow = recommend_parameters(relaxed);
+  const auto fast = recommend_parameters(tight);
+  ASSERT_TRUE(slow.feasible);
+  if (fast.feasible) {
+    EXPECT_GE(fast.fanout_fraction, slow.fanout_fraction);
+    EXPECT_LE(fast.predicted_rounds99, 4u);
+  }
+}
+
+TEST(Tuning, SmallGroupsGetWholeGroupFanouts) {
+  TuningRequest request;
+  request.total_replicas = 20;
+  request.online_fraction = 0.5;
+  request.sigma = 1.0;
+  request.target_aware = 0.95;
+  const auto result = recommend_parameters(request);
+  ASSERT_TRUE(result.feasible);
+  // Fanout is a whole number of peers.
+  const double fanout_peers = result.fanout_fraction * 20.0;
+  EXPECT_NEAR(fanout_peers, std::round(fanout_peers), 1e-9);
+}
+
+}  // namespace
+}  // namespace updp2p::analysis

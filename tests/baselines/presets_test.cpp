@@ -1,0 +1,67 @@
+#include "baselines/presets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace updp2p::baselines {
+namespace {
+
+TEST(Presets, GnutellaIsFloodingWithoutList) {
+  const auto scheme = gnutella(10'000, 4, /*ttl=*/7);
+  EXPECT_EQ(scheme.name, "Gnutella");
+  EXPECT_EQ(scheme.config.partial_list.mode, gossip::PartialListMode::kNone);
+  EXPECT_EQ(scheme.config.absolute_fanout(), 4u);
+  EXPECT_DOUBLE_EQ(scheme.config.forward_probability(7), 1.0);   // within TTL
+  EXPECT_DOUBLE_EQ(scheme.config.forward_probability(8), 0.0);  // beyond TTL
+}
+
+TEST(Presets, PartialListFlooding) {
+  const auto scheme = partial_list_flooding(1'000, 40);
+  EXPECT_EQ(scheme.config.partial_list.mode,
+            gossip::PartialListMode::kUnbounded);
+  EXPECT_DOUBLE_EQ(scheme.config.forward_probability(99), 1.0);
+  EXPECT_EQ(scheme.config.absolute_fanout(), 40u);
+}
+
+TEST(Presets, HaasGossip) {
+  const auto scheme = haas_gossip(1'000, 40, 0.8, 2);
+  EXPECT_EQ(scheme.config.partial_list.mode, gossip::PartialListMode::kNone);
+  EXPECT_DOUBLE_EQ(scheme.config.forward_probability(2), 1.0);
+  EXPECT_DOUBLE_EQ(scheme.config.forward_probability(3), 0.8);
+  EXPECT_NE(scheme.name.find("Haas"), std::string::npos);
+}
+
+TEST(Presets, DattaScheme) {
+  const auto scheme = datta_scheme(1'000, 40, 0.9);
+  EXPECT_EQ(scheme.config.partial_list.mode,
+            gossip::PartialListMode::kUnbounded);
+  EXPECT_DOUBLE_EQ(scheme.config.forward_probability(0), 1.0);
+  EXPECT_DOUBLE_EQ(scheme.config.forward_probability(1), 0.9);
+}
+
+TEST(Presets, DattaOffsetScheme) {
+  const auto scheme = datta_scheme_offset(1'000, 40, 0.8, 0.7, 0.2);
+  EXPECT_DOUBLE_EQ(scheme.config.forward_probability(0), 1.0);
+  EXPECT_NEAR(scheme.config.forward_probability(100), 0.2, 1e-9);
+}
+
+TEST(Presets, BlindGossip) {
+  const auto scheme = blind_gossip(1'000, 40, 0.6);
+  EXPECT_DOUBLE_EQ(scheme.config.forward_probability(0), 0.6);
+  EXPECT_DOUBLE_EQ(scheme.config.forward_probability(50), 0.6);
+  EXPECT_EQ(scheme.config.partial_list.mode, gossip::PartialListMode::kNone);
+}
+
+TEST(Presets, FanoutFractionRoundTrips) {
+  for (const std::size_t fanout : {1u, 4u, 40u, 100u}) {
+    const auto scheme = gnutella(10'000, fanout);
+    EXPECT_EQ(scheme.config.absolute_fanout(), fanout);
+  }
+}
+
+TEST(Presets, RejectsInvalidFanout) {
+  EXPECT_DEATH((void)gnutella(100, 0), "fanout");
+  EXPECT_DEATH((void)gnutella(100, 101), "fanout");
+}
+
+}  // namespace
+}  // namespace updp2p::baselines

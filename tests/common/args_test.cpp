@@ -1,0 +1,80 @@
+#include "common/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace updp2p::common {
+namespace {
+
+Args parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"binary"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, EmptyCommandLine) {
+  const auto args = parse({});
+  EXPECT_FALSE(args.has("anything"));
+  EXPECT_TRUE(args.positional().empty());
+  EXPECT_EQ(args.get_int("n", 7), 7);
+}
+
+TEST(Args, EqualsSyntax) {
+  const auto args = parse({"--population=500", "--rate=0.25"});
+  EXPECT_EQ(args.get_int("population", 0), 500);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 0.25);
+}
+
+TEST(Args, SpaceSyntax) {
+  const auto args = parse({"--seed", "42", "--label", "hello"});
+  EXPECT_EQ(args.get_int("seed", 0), 42);
+  EXPECT_EQ(args.get_string("label", ""), "hello");
+}
+
+TEST(Args, BareBooleanFlag) {
+  const auto args = parse({"--verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_FALSE(args.get_bool("quiet", false));
+}
+
+TEST(Args, BooleanSpellings) {
+  EXPECT_TRUE(parse({"--x=yes"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=ON"}).get_bool("x", false));
+  EXPECT_FALSE(parse({"--x=no"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=0"}).get_bool("x", true));
+  // Unparseable keeps the fallback.
+  EXPECT_TRUE(parse({"--x=maybe"}).get_bool("x", true));
+}
+
+TEST(Args, Positional) {
+  const auto args = parse({"input.txt", "--n", "3", "output.txt"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.positional()[1], "output.txt");
+}
+
+TEST(Args, MalformedNumbersFallBack) {
+  const auto args = parse({"--n=abc", "--d=1.2.3"});
+  EXPECT_EQ(args.get_int("n", -1), -1);
+  EXPECT_DOUBLE_EQ(args.get_double("d", -2.5), -2.5);
+}
+
+TEST(Args, NegativeNumbers) {
+  const auto args = parse({"--n=-17", "--d=-0.5"});
+  EXPECT_EQ(args.get_int("n", 0), -17);
+  EXPECT_DOUBLE_EQ(args.get_double("d", 0.0), -0.5);
+}
+
+TEST(Args, FlagNamesListed) {
+  const auto args = parse({"--alpha=1", "--beta"});
+  const auto names = args.flag_names();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST(Args, LastOccurrenceWins) {
+  const auto args = parse({"--n=1", "--n=2"});
+  EXPECT_EQ(args.get_int("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace updp2p::common

@@ -1,0 +1,64 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace updp2p::common {
+namespace {
+
+TEST(Csv, PlainRow) {
+  std::ostringstream out;
+  CsvWriter(out).row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, SeriesRows) {
+  Series series;
+  series.label = "curve";
+  series.push(0.5, 1.0);
+  series.push(1.0, 2.0);
+  std::ostringstream out;
+  CsvWriter(out).series(series, 1);
+  EXPECT_EQ(out.str(), "curve,0.5,1.0\ncurve,1.0,2.0\n");
+}
+
+TEST(Csv, WriteFileRoundTrip) {
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(write_csv_file(dir, "updp2p_csv_test",
+                             {{"h1", "h2"}, {"1", "two,2"}}));
+  std::ifstream in(dir + "/updp2p_csv_test.csv");
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "h1,h2\n1,\"two,2\"\n");
+  std::remove((dir + "/updp2p_csv_test.csv").c_str());
+}
+
+TEST(Csv, WriteFileFailsGracefully) {
+  // A regular file cannot serve as the target directory.
+  const std::string blocker = ::testing::TempDir() + "/updp2p_blocker";
+  std::ofstream(blocker) << "occupied";
+  EXPECT_FALSE(write_csv_file(blocker, "x", {{"a"}}));
+  std::remove(blocker.c_str());
+}
+
+TEST(Csv, WriteFileCreatesMissingDirectories) {
+  const std::string dir = ::testing::TempDir() + "/updp2p_csv_nested/deeper";
+  ASSERT_TRUE(write_csv_file(dir, "t", {{"a"}}));
+  std::ifstream in(dir + "/t.csv");
+  EXPECT_TRUE(in.good());
+  std::remove((dir + "/t.csv").c_str());
+}
+
+}  // namespace
+}  // namespace updp2p::common

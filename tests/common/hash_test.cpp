@@ -1,0 +1,74 @@
+#include "common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <unordered_set>
+
+namespace updp2p::common {
+namespace {
+
+TEST(Fnv1a64, KnownVectors) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a64, Deterministic) {
+  EXPECT_EQ(fnv1a64("updp2p"), fnv1a64("updp2p"));
+  EXPECT_NE(fnv1a64("updp2p"), fnv1a64("updp2q"));
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1), 2),
+            hash_combine(hash_combine(0, 2), 1));
+}
+
+TEST(HashCombine, SeedSensitive) {
+  EXPECT_NE(hash_combine(1, 42), hash_combine(2, 42));
+}
+
+TEST(Digest128, DeterministicAndInputSensitive) {
+  const std::array<std::uint64_t, 3> a{1, 2, 3};
+  const std::array<std::uint64_t, 3> b{1, 2, 4};
+  EXPECT_EQ(digest128(a), digest128(a));
+  EXPECT_NE(digest128(a), digest128(b));
+}
+
+TEST(Digest128, OrderSensitive) {
+  const std::array<std::uint64_t, 2> ab{1, 2};
+  const std::array<std::uint64_t, 2> ba{2, 1};
+  EXPECT_NE(digest128(ab), digest128(ba));
+}
+
+TEST(Digest128, EmptyInputIsStable) {
+  EXPECT_EQ(digest128({}), digest128({}));
+}
+
+TEST(Digest128, HexFormat) {
+  const auto digest = digest128(std::array<std::uint64_t, 1>{7});
+  const std::string hex = digest.to_hex();
+  EXPECT_EQ(hex.size(), 32u);
+  for (const char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+  }
+}
+
+TEST(Digest128, NoCollisionsOverSequentialInputs) {
+  std::unordered_set<Digest128> seen;
+  for (std::uint64_t i = 0; i < 100'000; ++i) {
+    const std::array<std::uint64_t, 2> words{i, i * 31};
+    EXPECT_TRUE(seen.insert(digest128(words)).second) << "collision at " << i;
+  }
+}
+
+TEST(Digest128, ComparisonIsTotal) {
+  const auto a = digest128(std::array<std::uint64_t, 1>{1});
+  const auto b = digest128(std::array<std::uint64_t, 1>{2});
+  EXPECT_TRUE((a < b) || (b < a) || (a == b));
+  EXPECT_EQ(a < b, !(b < a || a == b));
+}
+
+}  // namespace
+}  // namespace updp2p::common

@@ -1,0 +1,54 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace updp2p::common {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::set_sink(&captured_);
+    Logger::set_level(LogLevel::kDebug);
+  }
+  void TearDown() override {
+    Logger::set_sink(nullptr);
+    Logger::set_level(LogLevel::kWarn);
+  }
+  std::ostringstream captured_;
+};
+
+TEST_F(LoggingTest, WritesLevelComponentAndMessage) {
+  UPDP2P_LOG_INFO("push") << "forwarded " << 3 << " messages";
+  const std::string text = captured_.str();
+  EXPECT_NE(text.find("INFO"), std::string::npos);
+  EXPECT_NE(text.find("[push]"), std::string::npos);
+  EXPECT_NE(text.find("forwarded 3 messages"), std::string::npos);
+}
+
+TEST_F(LoggingTest, FiltersBelowActiveLevel) {
+  Logger::set_level(LogLevel::kError);
+  UPDP2P_LOG_INFO("x") << "hidden";
+  UPDP2P_LOG_WARN("x") << "also hidden";
+  EXPECT_TRUE(captured_.str().empty());
+  UPDP2P_LOG_ERROR("x") << "visible";
+  EXPECT_NE(captured_.str().find("visible"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  Logger::set_level(LogLevel::kOff);
+  UPDP2P_LOG_ERROR("x") << "nope";
+  EXPECT_TRUE(captured_.str().empty());
+}
+
+TEST_F(LoggingTest, EnabledReflectsLevel) {
+  Logger::set_level(LogLevel::kInfo);
+  EXPECT_FALSE(Logger::enabled(LogLevel::kDebug));
+  EXPECT_TRUE(Logger::enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::enabled(LogLevel::kError));
+}
+
+}  // namespace
+}  // namespace updp2p::common

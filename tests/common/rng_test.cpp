@@ -1,0 +1,239 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+namespace updp2p::common {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentSequences) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GE(differing, 30);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(7);
+  Rng child = parent.split();
+  // Child and parent should not mirror each other.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, SplitForIsDeterministicPerId) {
+  const Rng parent(7);
+  Rng a = parent.split_for(5);
+  Rng b = parent.split_for(5);
+  EXPECT_EQ(a(), b());
+  Rng c = parent.split_for(6);
+  Rng d = parent.split_for(5);
+  EXPECT_NE(c(), d());
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01Mean) {
+  Rng rng(3);
+  double sum = 0.0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(Rng, UniformBelowRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.uniform_below(17), 17u);
+  }
+  // bound 1 must always give 0
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_below(1), 0u);
+}
+
+TEST(Rng, UniformBelowCoversRange) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(rng.uniform_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1'000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(8);
+  double sum = 0.0;
+  constexpr int kSamples = 200'000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, GeometricEdge) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(9);
+  double sum = 0.0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(rng.geometric(0.25));
+  }
+  // mean of failures-before-success geometric = (1-p)/p = 3.
+  EXPECT_NEAR(sum / kSamples, 3.0, 0.1);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(10);
+  double sum = 0.0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(rng.poisson(4.0));
+  }
+  EXPECT_NEAR(sum / kSamples, 4.0, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanUsesApproximation) {
+  Rng rng(10);
+  double sum = 0.0;
+  constexpr int kSamples = 50'000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(rng.poisson(200.0));
+  }
+  EXPECT_NEAR(sum / kSamples, 200.0, 2.0);
+}
+
+TEST(Rng, PoissonZero) {
+  Rng rng(1);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(12);
+  const auto sample = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::unordered_set<std::uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const auto v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullRange) {
+  Rng rng(13);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  EXPECT_EQ(sample.size(), 10u);
+  std::set<std::uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementOverask) {
+  Rng rng(13);
+  EXPECT_EQ(rng.sample_without_replacement(5, 50).size(), 5u);
+}
+
+TEST(Rng, SampleWithoutReplacementEmpty) {
+  Rng rng(13);
+  EXPECT_TRUE(rng.sample_without_replacement(0, 5).empty());
+  EXPECT_TRUE(rng.sample_without_replacement(5, 0).empty());
+}
+
+TEST(Rng, SampleIsApproximatelyUniform) {
+  Rng rng(14);
+  std::vector<int> counts(10, 0);
+  constexpr int kTrials = 20'000;
+  for (int i = 0; i < kTrials; ++i) {
+    for (const auto v : rng.sample_without_replacement(10, 3)) ++counts[v];
+  }
+  // Each element expected in 3/10 of the trials.
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.3, 0.02);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(15);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = values;
+  rng.shuffle(std::span<int>(copy));
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, values);
+}
+
+TEST(Rng, PickIndexInRange) {
+  Rng rng(16);
+  for (int i = 0; i < 1'000; ++i) EXPECT_LT(rng.pick_index(7), 7u);
+}
+
+// Property sweep: uniform_below is unbiased across bounds.
+class RngUniformSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngUniformSweep, MeanMatchesHalfBound) {
+  const std::uint64_t bound = GetParam();
+  Rng rng(bound * 31 + 1);
+  double sum = 0.0;
+  constexpr int kSamples = 50'000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(rng.uniform_below(bound));
+  }
+  const double expected = (static_cast<double>(bound) - 1.0) / 2.0;
+  EXPECT_NEAR(sum / kSamples, expected, static_cast<double>(bound) * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngUniformSweep,
+                         ::testing::Values(2, 3, 10, 100, 1'000, 1'000'000));
+
+}  // namespace
+}  // namespace updp2p::common

@@ -1,0 +1,147 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace updp2p::common {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_TRUE(stats.empty());
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 0.0);
+  EXPECT_EQ(stats.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(5.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_EQ(stats.mean(), 5.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 5.0);
+  EXPECT_EQ(stats.max(), 5.0);
+}
+
+TEST(RunningStats, MatchesExactComputation) {
+  RunningStats stats;
+  const double values[] = {1.0, 2.0, 4.0, 8.0, 16.0};
+  double sum = 0.0;
+  for (const double v : values) {
+    stats.add(v);
+    sum += v;
+  }
+  const double mean = sum / 5.0;
+  double ss = 0.0;
+  for (const double v : values) ss += (v - mean) * (v - mean);
+  EXPECT_DOUBLE_EQ(stats.mean(), mean);
+  EXPECT_NEAR(stats.variance(), ss / 4.0, 1e-12);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(ss / 4.0), 1e-12);
+  EXPECT_EQ(stats.min(), 1.0);
+  EXPECT_EQ(stats.max(), 16.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), sum);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double v = i * 0.7 - 3.0;
+    all.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.mean(), mean);
+}
+
+TEST(RunningStats, Reset) {
+  RunningStats stats;
+  stats.add(9.0);
+  stats.reset();
+  EXPECT_TRUE(stats.empty());
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(5.5);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(42.0);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(5), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+}
+
+TEST(Histogram, QuantileApproximation) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+}
+
+TEST(Histogram, QuantileEmpty) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Percentile, ExactValues) {
+  std::vector<double> values{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 0.25), 2.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> values{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.5), 5.0);
+}
+
+TEST(Percentile, Empty) { EXPECT_EQ(percentile({}, 0.5), 0.0); }
+
+TEST(Series, PushAndAccess) {
+  Series s;
+  s.label = "test";
+  s.push(0.1, 1.0);
+  s.push(0.5, 2.0);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_DOUBLE_EQ(s.final_x(), 0.5);
+  EXPECT_DOUBLE_EQ(s.final_y(), 2.0);
+}
+
+}  // namespace
+}  // namespace updp2p::common

@@ -1,0 +1,59 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace updp2p::common {
+namespace {
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.14159, 0), "3");
+  EXPECT_EQ(format_double(-0.5, 3), "-0.500");
+}
+
+TEST(FormatTrajectory, PairsUp) {
+  const std::string text = format_trajectory({0.1, 0.9}, {1.0, 2.0}, 1);
+  EXPECT_EQ(text, "0.1->1.0  0.9->2.0");
+}
+
+TEST(FormatTrajectory, Empty) {
+  EXPECT_EQ(format_trajectory({}, {}, 2), "");
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table("demo");
+  table.header({"name", "value"});
+  table.row().cell("alpha").cell(std::size_t{7});
+  table.row().cell("b").cell(1.25, 2);
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("== demo =="), std::string::npos);
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+  EXPECT_NE(text.find("1.25"), std::string::npos);
+  // Each row terminates with newline; 1 title + 1 header + 1 rule + 2 rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 5);
+}
+
+TEST(TextTable, RowCount) {
+  TextTable table("demo");
+  EXPECT_EQ(table.row_count(), 0u);
+  table.row().cell("x");
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(TextTable, HandlesRaggedRows) {
+  TextTable table("ragged");
+  table.header({"a", "b"});
+  table.row().cell("only-one");
+  std::ostringstream out;
+  table.print(out);  // must not crash or misalign
+  EXPECT_NE(out.str().find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace updp2p::common

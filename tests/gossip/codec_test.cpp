@@ -1,0 +1,270 @@
+#include "gossip/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "version/version_id.hpp"
+
+namespace updp2p::gossip {
+namespace {
+
+using common::PeerId;
+using common::Rng;
+
+version::VersionedValue sample_value(std::uint64_t seed = 1) {
+  version::VersionedValue value;
+  value.key = "calendar/fri-10am";
+  value.payload = "standup @ 10:30";
+  version::VersionIdFactory factory(PeerId(3), Rng(seed));
+  value.id = factory.mint(12.5);
+  value.history.observe(PeerId(3), 7);
+  value.history.observe(PeerId(900), 2);
+  value.tombstone = false;
+  value.written_at = 12.5;
+  return value;
+}
+
+TEST(Codec, VarintRoundTrip) {
+  for (const std::uint64_t value :
+       {0ULL, 1ULL, 127ULL, 128ULL, 300ULL, 16'383ULL, 16'384ULL,
+        0xFFFFFFFFULL, ~0ULL}) {
+    WireBytes out;
+    put_varint(out, value);
+    std::size_t offset = 0;
+    const auto back = get_varint(out, offset);
+    ASSERT_TRUE(back.has_value()) << value;
+    EXPECT_EQ(*back, value);
+    EXPECT_EQ(offset, out.size());
+  }
+}
+
+TEST(Codec, VarintRejectsTruncation) {
+  WireBytes out;
+  put_varint(out, ~0ULL);
+  out.pop_back();
+  std::size_t offset = 0;
+  EXPECT_FALSE(get_varint(out, offset).has_value());
+}
+
+TEST(Codec, PushRoundTrip) {
+  PushMessage push;
+  push.value = sample_value();
+  push.flooding_list = {PeerId(1), PeerId(42), PeerId(65'000)};
+  push.round = 5;
+  const auto bytes = encode(GossipPayload{push});
+  const auto decoded = decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  const auto* back = std::get_if<PushMessage>(&*decoded);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->value, push.value);
+  EXPECT_EQ(back->flooding_list, push.flooding_list);
+  EXPECT_EQ(back->round, 5u);
+}
+
+TEST(Codec, PushWithTombstoneRoundTrip) {
+  PushMessage push;
+  push.value = sample_value();
+  push.value.tombstone = true;
+  push.value.payload.clear();
+  const auto decoded = decode(encode(GossipPayload{push}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(std::get<PushMessage>(*decoded).value.tombstone);
+}
+
+TEST(Codec, PullRequestRoundTrip) {
+  PullRequest request;
+  request.summary.observe(PeerId(1), 10);
+  request.summary.observe(PeerId(2), 20);
+  version::VersionIdFactory factory(PeerId(5), Rng(8));
+  request.have.push_back(factory.mint(1.0));
+  request.have.push_back(factory.mint(2.0));
+  request.store_digest = common::Digest128{0x1234, 0x5678};
+  const auto decoded = decode(encode(GossipPayload{request}));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& back = std::get<PullRequest>(*decoded);
+  EXPECT_EQ(back.summary, request.summary);
+  EXPECT_EQ(back.have, request.have);
+  EXPECT_EQ(back.store_digest, request.store_digest);
+}
+
+TEST(Codec, EmptyPullRequestRoundTrip) {
+  const auto decoded = decode(encode(GossipPayload{PullRequest{}}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(std::get<PullRequest>(*decoded).summary.empty());
+}
+
+TEST(Codec, PullResponseRoundTrip) {
+  PullResponse response;
+  response.summary.observe(PeerId(7), 3);
+  response.confident = false;
+  response.missing.push_back(sample_value(1));
+  response.missing.push_back(sample_value(2));
+  const auto decoded = decode(encode(GossipPayload{response}));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& back = std::get<PullResponse>(*decoded);
+  EXPECT_EQ(back.summary, response.summary);
+  EXPECT_FALSE(back.confident);
+  ASSERT_EQ(back.missing.size(), 2u);
+  EXPECT_EQ(back.missing[0], response.missing[0]);
+  EXPECT_EQ(back.missing[1], response.missing[1]);
+}
+
+TEST(Codec, AckRoundTrip) {
+  version::VersionIdFactory factory(PeerId(9), Rng(4));
+  AckMessage ack{factory.mint(1.0)};
+  const auto decoded = decode(encode(GossipPayload{ack}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<AckMessage>(*decoded).acked, ack.acked);
+}
+
+TEST(Codec, QueryRequestRoundTrip) {
+  QueryRequest request{"catalogue/item-7", 123'456'789};
+  const auto decoded = decode(encode(GossipPayload{request}));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& back = std::get<QueryRequest>(*decoded);
+  EXPECT_EQ(back.key, request.key);
+  EXPECT_EQ(back.nonce, request.nonce);
+}
+
+TEST(Codec, QueryReplyRoundTrip) {
+  QueryReply reply;
+  reply.key = "doc";
+  reply.nonce = 42;
+  reply.confident = false;
+  reply.versions.push_back(sample_value(5));
+  reply.versions.push_back(sample_value(6));
+  const auto decoded = decode(encode(GossipPayload{reply}));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& back = std::get<QueryReply>(*decoded);
+  EXPECT_EQ(back.key, "doc");
+  EXPECT_EQ(back.nonce, 42u);
+  EXPECT_FALSE(back.confident);
+  ASSERT_EQ(back.versions.size(), 2u);
+  EXPECT_EQ(back.versions[0], reply.versions[0]);
+}
+
+TEST(Codec, EmptyQueryReplyRoundTrip) {
+  QueryReply reply;
+  reply.key = "missing";
+  reply.nonce = 1;
+  const auto decoded = decode(encode(GossipPayload{reply}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(std::get<QueryReply>(*decoded).versions.empty());
+}
+
+TEST(Codec, RejectsBadMagic) {
+  auto bytes = encode(GossipPayload{PullRequest{}});
+  bytes[0] = std::byte{0x00};
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, RejectsWrongVersion) {
+  auto bytes = encode(GossipPayload{PullRequest{}});
+  bytes[2] = std::byte{99};
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, RejectsUnknownKind) {
+  auto bytes = encode(GossipPayload{PullRequest{}});
+  bytes[3] = std::byte{77};
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, RejectsEmptyAndTinyInput) {
+  EXPECT_FALSE(decode({}).has_value());
+  const WireBytes tiny{std::byte{0xD5}, std::byte{0x2B}};
+  EXPECT_FALSE(decode(tiny).has_value());
+}
+
+TEST(Codec, RejectsEveryTruncation) {
+  PushMessage push;
+  push.value = sample_value();
+  push.flooding_list = {PeerId(1), PeerId(2)};
+  push.round = 3;
+  const auto bytes = encode(GossipPayload{push});
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::span<const std::byte> prefix(bytes.data(), cut);
+    EXPECT_FALSE(decode(prefix).has_value()) << "cut at " << cut;
+  }
+}
+
+TEST(Codec, SurvivesRandomGarbage) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 2'000; ++trial) {
+    WireBytes garbage(rng.uniform_below(64));
+    for (auto& byte : garbage) {
+      byte = static_cast<std::byte>(rng.uniform_below(256));
+    }
+    // Must not crash; decoding may or may not succeed (random bytes can
+    // accidentally be a valid tiny frame).
+    (void)decode(garbage);
+  }
+}
+
+TEST(Codec, SurvivesRandomCorruptionOfValidFrames) {
+  PushMessage push;
+  push.value = sample_value();
+  push.flooding_list = {PeerId(1), PeerId(2), PeerId(3)};
+  const auto bytes = encode(GossipPayload{push});
+  Rng rng(777);
+  for (int trial = 0; trial < 2'000; ++trial) {
+    auto corrupted = bytes;
+    const std::size_t index = rng.pick_index(corrupted.size());
+    corrupted[index] = static_cast<std::byte>(rng.uniform_below(256));
+    (void)decode(corrupted);  // must not crash / hang
+  }
+}
+
+TEST(Codec, EncodedSizeIsCompact) {
+  // A push with a 100-entry list stays close to the analytical wire model.
+  PushMessage push;
+  push.value = sample_value();
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    push.flooding_list.emplace_back(i);
+  }
+  const auto bytes = encode(GossipPayload{push});
+  // value (~70 B) + 100 small varints + framing: well under 400 bytes.
+  EXPECT_LT(bytes.size(), 400u);
+}
+
+// Property: encode∘decode == identity over randomized payloads.
+class CodecProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecProperty, RandomPayloadRoundTrip) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    PushMessage push;
+    push.value.key = "k" + std::to_string(rng.uniform_below(1000));
+    push.value.payload.assign(rng.uniform_below(200), 'x');
+    version::VersionIdFactory factory(
+        PeerId(static_cast<std::uint32_t>(rng.uniform_below(100))),
+        rng.split());
+    push.value.id = factory.mint(rng.uniform01());
+    const auto entries = rng.uniform_below(10);
+    for (std::uint64_t i = 0; i < entries; ++i) {
+      push.value.history.observe(
+          PeerId(static_cast<std::uint32_t>(rng.uniform_below(1'000'000))),
+          rng.uniform_below(1'000'000) + 1);
+    }
+    push.value.tombstone = rng.bernoulli(0.2);
+    push.value.written_at = rng.uniform01() * 1e6;
+    push.round = static_cast<common::Round>(rng.uniform_below(100));
+    const auto peers = rng.uniform_below(50);
+    for (std::uint64_t i = 0; i < peers; ++i) {
+      push.flooding_list.emplace_back(
+          static_cast<std::uint32_t>(rng.uniform_below(1'000'000)));
+    }
+    const auto decoded = decode(encode(GossipPayload{push}));
+    ASSERT_TRUE(decoded.has_value());
+    const auto& back = std::get<PushMessage>(*decoded);
+    EXPECT_EQ(back.value, push.value);
+    EXPECT_EQ(back.flooding_list, push.flooding_list);
+    EXPECT_EQ(back.round, push.round);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecProperty,
+                         ::testing::Values(1, 2, 3, 42, 1000));
+
+}  // namespace
+}  // namespace updp2p::gossip

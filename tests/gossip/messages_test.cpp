@@ -1,0 +1,75 @@
+#include "gossip/messages.hpp"
+
+#include <gtest/gtest.h>
+
+namespace updp2p::gossip {
+namespace {
+
+using common::PeerId;
+
+WireSizeConfig wire() {
+  WireSizeConfig config;
+  config.header_bytes = 16;
+  config.update_payload_bytes = 100;
+  config.replica_entry_bytes = 10;
+  return config;
+}
+
+version::VersionedValue value_with_history(int entries) {
+  version::VersionedValue value;
+  value.key = "key";  // 3 bytes
+  for (int i = 0; i < entries; ++i) {
+    value.history.increment(PeerId(static_cast<std::uint32_t>(i)));
+  }
+  return value;
+}
+
+TEST(WireSize, PushGrowsWithFloodingList) {
+  PushMessage small{value_with_history(1), {PeerId(1)}, 0};
+  PushMessage large{value_with_history(1),
+                    {PeerId(1), PeerId(2), PeerId(3)}, 0};
+  const auto small_size = wire_size(GossipPayload{small}, wire());
+  const auto large_size = wire_size(GossipPayload{large}, wire());
+  EXPECT_EQ(large_size - small_size, 2 * 10u);  // alpha per extra entry
+}
+
+TEST(WireSize, PushAccountsForEverything) {
+  PushMessage push{value_with_history(2), {PeerId(1), PeerId(2)}, 3};
+  // header 16 + payload 100 + key 3 + vv 2*10 + vid 16 + list 2*10 + round 4
+  EXPECT_EQ(wire_size(GossipPayload{push}, wire()),
+            16u + 100u + 3u + 20u + 16u + 20u + sizeof(common::Round));
+}
+
+TEST(WireSize, PullRequestScalesWithSummaryAndHave) {
+  PullRequest request;
+  request.summary.increment(PeerId(1));
+  request.summary.increment(PeerId(2));
+  // header 16 + summary 2*10 + store digest 16.
+  EXPECT_EQ(wire_size(GossipPayload{request}, wire()), 16u + 20u + 16u);
+  request.have.emplace_back();
+  EXPECT_EQ(wire_size(GossipPayload{request}, wire()), 16u + 20u + 16u + 16u);
+}
+
+TEST(WireSize, PullResponseSumsValues) {
+  PullResponse response;
+  response.missing.push_back(value_with_history(1));
+  response.missing.push_back(value_with_history(1));
+  response.summary.increment(PeerId(9));
+  const auto size = wire_size(GossipPayload{response}, wire());
+  // header 16 + summary 10 + 2*(100+3+10+16)
+  EXPECT_EQ(size, 16u + 10u + 2u * (100u + 3u + 10u + 16u));
+}
+
+TEST(WireSize, AckIsTiny) {
+  EXPECT_EQ(wire_size(GossipPayload{AckMessage{}}, wire()), 16u + 16u);
+}
+
+TEST(PayloadKind, NamesAllAlternatives) {
+  EXPECT_STREQ(payload_kind(GossipPayload{PushMessage{}}), "push");
+  EXPECT_STREQ(payload_kind(GossipPayload{PullRequest{}}), "pull-request");
+  EXPECT_STREQ(payload_kind(GossipPayload{PullResponse{}}), "pull-response");
+  EXPECT_STREQ(payload_kind(GossipPayload{AckMessage{}}), "ack");
+}
+
+}  // namespace
+}  // namespace updp2p::gossip

@@ -1,0 +1,124 @@
+#include "gossip/partial_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace updp2p::gossip {
+namespace {
+
+using common::PeerId;
+using common::Rng;
+
+std::vector<PeerId> ids(std::initializer_list<std::uint32_t> values) {
+  std::vector<PeerId> out;
+  for (const auto v : values) out.emplace_back(v);
+  return out;
+}
+
+TEST(PartialList, NoneModeYieldsEmptyList) {
+  PartialListConfig config;
+  config.mode = PartialListMode::kNone;
+  Rng rng(1);
+  EXPECT_TRUE(build_forward_list(config, ids({1, 2}), ids({3}), PeerId(9), rng)
+                  .empty());
+}
+
+TEST(PartialList, UnboundedMergesReceivedSelfAndTargets) {
+  PartialListConfig config;
+  config.mode = PartialListMode::kUnbounded;
+  Rng rng(1);
+  const auto list =
+      build_forward_list(config, ids({1, 2}), ids({3, 4}), PeerId(9), rng);
+  EXPECT_EQ(list, ids({1, 2, 9, 3, 4}));
+}
+
+TEST(PartialList, Deduplicates) {
+  PartialListConfig config;
+  config.mode = PartialListMode::kUnbounded;
+  Rng rng(1);
+  const auto list =
+      build_forward_list(config, ids({1, 2, 9}), ids({2, 3}), PeerId(9), rng);
+  EXPECT_EQ(list, ids({1, 2, 9, 3}));
+}
+
+TEST(PartialList, DropTailKeepsOldestEntries) {
+  PartialListConfig config;
+  config.mode = PartialListMode::kDropTail;
+  config.max_entries = 3;
+  Rng rng(1);
+  const auto list =
+      build_forward_list(config, ids({1, 2, 3, 4}), ids({5}), PeerId(9), rng);
+  EXPECT_EQ(list, ids({1, 2, 3}));
+}
+
+TEST(PartialList, DropHeadKeepsNewestEntries) {
+  PartialListConfig config;
+  config.mode = PartialListMode::kDropHead;
+  config.max_entries = 3;
+  Rng rng(1);
+  const auto list =
+      build_forward_list(config, ids({1, 2, 3, 4}), ids({5}), PeerId(9), rng);
+  // merged = 1 2 3 4 9 5 -> keep last 3.
+  EXPECT_EQ(list, ids({4, 9, 5}));
+}
+
+TEST(PartialList, DropRandomKeepsCapSizedSubset) {
+  PartialListConfig config;
+  config.mode = PartialListMode::kDropRandom;
+  config.max_entries = 4;
+  Rng rng(2);
+  const auto received = ids({1, 2, 3, 4, 5, 6, 7, 8});
+  const auto list =
+      build_forward_list(config, received, ids({10}), PeerId(9), rng);
+  EXPECT_EQ(list.size(), 4u);
+  std::unordered_set<PeerId> unique(list.begin(), list.end());
+  EXPECT_EQ(unique.size(), 4u);
+  // Every survivor came from the merged input.
+  auto merged = received;
+  merged.emplace_back(9);
+  merged.emplace_back(10);
+  for (const PeerId peer : list) {
+    EXPECT_NE(std::find(merged.begin(), merged.end(), peer), merged.end());
+  }
+}
+
+TEST(PartialList, CapNotExceededNotTruncatedBelow) {
+  PartialListConfig config;
+  config.mode = PartialListMode::kDropRandom;
+  config.max_entries = 10;
+  Rng rng(3);
+  const auto list =
+      build_forward_list(config, ids({1, 2}), ids({3}), PeerId(9), rng);
+  EXPECT_EQ(list.size(), 4u);  // under cap: everything kept
+}
+
+TEST(PartialList, DropRandomIsUnbiasedish) {
+  PartialListConfig config;
+  config.mode = PartialListMode::kDropRandom;
+  config.max_entries = 2;
+  Rng rng(4);
+  std::unordered_map<PeerId, int> kept;
+  constexpr int kTrials = 6'000;
+  for (int i = 0; i < kTrials; ++i) {
+    for (const PeerId peer :
+         build_forward_list(config, ids({1, 2, 3}), {}, PeerId(9), rng)) {
+      ++kept[peer];
+    }
+  }
+  // 4 candidates (1,2,3,self=9), 2 kept -> each expected kTrials/2.
+  for (const auto& [peer, count] : kept) {
+    EXPECT_NEAR(static_cast<double>(count) / kTrials, 0.5, 0.05)
+        << "peer " << peer.value();
+  }
+}
+
+TEST(PartialListMode, ToString) {
+  EXPECT_STREQ(to_string(PartialListMode::kNone), "none");
+  EXPECT_STREQ(to_string(PartialListMode::kDropRandom), "drop-random");
+}
+
+}  // namespace
+}  // namespace updp2p::gossip

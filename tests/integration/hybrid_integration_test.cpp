@@ -1,0 +1,174 @@
+// End-to-end integration of the hybrid push/pull protocol: multiple
+// updates, heavy churn, deletions, conflicting writers — asserting the
+// paper's headline property: eventual quasi-consistency with probabilistic
+// guarantees, achieved with push for bulk dissemination and pull for
+// recovery.
+#include <gtest/gtest.h>
+
+#include "analysis/forward_probability.hpp"
+#include "sim/event_simulator.hpp"
+#include "sim/round_simulator.hpp"
+
+namespace updp2p {
+namespace {
+
+using common::PeerId;
+
+TEST(HybridIntegration, SequentialUpdatesConvergeUnderChurn) {
+  sim::EventSimConfig config;
+  config.population = 150;
+  config.mean_online_time = 30.0;
+  config.mean_offline_time = 90.0;  // 25% availability
+  config.gossip.estimated_total_replicas = 150;
+  config.gossip.fanout_fraction = 0.07;
+  config.gossip.forward_probability = analysis::pf_geometric(0.9);
+  config.gossip.pull.contacts_per_attempt = 3;
+  config.gossip.pull.no_update_timeout = 20;
+  config.seed = 7;
+  sim::EventSimulator simulator(config);
+
+  simulator.schedule_publish(5.0, "doc", "v1");
+  simulator.schedule_publish(100.0, "doc", "v2");
+  simulator.schedule_publish(200.0, "doc", "v3");
+  simulator.run_until(900.0);
+
+  ASSERT_EQ(simulator.published().size(), 3u);
+  const auto& latest = simulator.published().back();
+  // Nearly the whole population (online or not) converged to v3.
+  EXPECT_GT(simulator.aware_fraction_total(latest.id), 0.9);
+  // And queries against online replicas return v3.
+  const auto result =
+      simulator.query("doc", 5, gossip::QueryRule::kLatestVersion);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->payload, "v3");
+}
+
+TEST(HybridIntegration, ConcurrentWritersCoexistThenResolve) {
+  sim::EventSimConfig config;
+  config.population = 100;
+  config.mean_online_time = 1e6;  // no churn: isolate conflict handling
+  config.mean_offline_time = 1.0;
+  config.gossip.estimated_total_replicas = 100;
+  config.gossip.fanout_fraction = 0.10;
+  config.seed = 21;
+  sim::EventSimulator simulator(config);
+
+  // Two peers write the same key at (almost) the same instant.
+  PeerId a = PeerId::invalid(), b = PeerId::invalid();
+  for (std::uint32_t i = 0; i < 100 && !b.is_valid(); ++i) {
+    if (!simulator.is_online(PeerId(i))) continue;
+    if (!a.is_valid()) {
+      a = PeerId(i);
+    } else {
+      b = PeerId(i);
+    }
+  }
+  ASSERT_TRUE(b.is_valid());
+  simulator.schedule_publish(1.0, "key", "from-a", a);
+  simulator.schedule_publish(1.01, "key", "from-b", b);
+  simulator.run_until(60.0);
+
+  // Both versions coexist somewhere; every replica resolves the SAME winner.
+  const auto winner =
+      simulator.query("key", 10, gossip::QueryRule::kLatestVersion);
+  ASSERT_TRUE(winner.has_value());
+  std::size_t holding_winner = 0;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    const auto local = simulator.node(PeerId(i)).read("key");
+    if (local.has_value()) {
+      EXPECT_EQ(local->id, winner->id)
+          << "replica " << i << " resolves a different winner";
+      ++holding_winner;
+    }
+  }
+  EXPECT_GT(holding_winner, 90u);
+}
+
+TEST(HybridIntegration, DeletionsConvergeAsWell) {
+  sim::EventSimConfig config;
+  config.population = 80;
+  config.mean_online_time = 40.0;
+  config.mean_offline_time = 60.0;
+  config.gossip.estimated_total_replicas = 80;
+  config.gossip.fanout_fraction = 0.1;
+  config.gossip.pull.no_update_timeout = 15;
+  config.seed = 13;
+  sim::EventSimulator simulator(config);
+  simulator.schedule_publish(1.0, "temp", "data");
+  simulator.run_until(80.0);
+  simulator.schedule_remove(80.0, "temp");
+  simulator.run_until(500.0);
+
+  std::size_t deleted = 0;
+  std::size_t still_live = 0;
+  for (std::uint32_t i = 0; i < 80; ++i) {
+    const auto& store = simulator.node(PeerId(i)).store();
+    if (store.is_deleted("temp")) {
+      ++deleted;
+    } else if (store.read("temp").has_value()) {
+      ++still_live;
+    }
+  }
+  EXPECT_GT(deleted, 70u);
+  EXPECT_LT(still_live, 8u);
+}
+
+TEST(HybridIntegration, PushAloneMissesOfflinePeersPullFixesIt) {
+  // The division of labour the paper's hybrid design rests on.
+  sim::RoundSimConfig config;
+  config.population = 200;
+  config.gossip.estimated_total_replicas = 200;
+  config.gossip.fanout_fraction = 0.05;
+  config.gossip.pull.no_update_timeout = 10;
+  config.max_rounds = 100;
+  config.quiescence_rounds = 120;  // run the whole window
+  config.seed = 31;
+  // 30% online; offline peers return at 3%/round.
+  auto churn = std::make_unique<churn::BernoulliChurn>(200, 0.3, 0.99, 0.03);
+  sim::RoundSimulator simulator(config, std::move(churn));
+
+  const auto metrics = simulator.propagate_update(std::nullopt, "k", "v");
+  const auto value_id = [&simulator] {
+    for (std::uint32_t i = 0; i < 200; ++i) {
+      if (const auto v = simulator.node(PeerId(i)).read("k")) return v->id;
+    }
+    return version::VersionId{};
+  }();
+
+  // Count whole-population awareness (online + offline).
+  std::size_t aware_total = 0;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    if (simulator.node(PeerId(i)).knows_version(value_id)) ++aware_total;
+  }
+  // Push reached the online population fast…
+  EXPECT_GT(metrics.final_aware_fraction(), 0.9);
+  // …and pull extended it far beyond the initially-online 30%.
+  EXPECT_GT(static_cast<double>(aware_total) / 200.0, 0.6);
+  EXPECT_GT(metrics.total_pull_messages(), 0u);
+}
+
+TEST(HybridIntegration, SelfTuningSurvivesWithoutSchedule) {
+  // Self-tuning PF with no a-priori decay still spreads the update and uses
+  // fewer messages than blind flooding.
+  sim::RoundSimConfig flood_config;
+  flood_config.population = 500;
+  flood_config.gossip.estimated_total_replicas = 500;
+  flood_config.gossip.fanout_fraction = 0.04;
+  flood_config.reconnect_pull = false;
+  flood_config.round_timers = false;
+  flood_config.seed = 17;
+  auto tuned_config = flood_config;
+  tuned_config.gossip.self_tuning = true;
+
+  auto flood = sim::make_push_phase_simulator(flood_config, 0.4, 0.98);
+  auto tuned = sim::make_push_phase_simulator(tuned_config, 0.4, 0.98);
+  const auto flood_metrics = flood->propagate_update();
+  const auto tuned_metrics = tuned->propagate_update();
+
+  EXPECT_GT(tuned_metrics.final_aware_fraction(), 0.9);
+  EXPECT_LT(tuned_metrics.total_push_messages(),
+            flood_metrics.total_push_messages());
+}
+
+}  // namespace
+}  // namespace updp2p

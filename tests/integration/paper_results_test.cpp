@@ -1,0 +1,180 @@
+// Regression tests pinning the paper's qualitative results (Figs. 1–5,
+// Table 2) to the analytical model. If a refactor changes the recurrences,
+// these tests catch the drift; EXPERIMENTS.md documents the quantitative
+// comparison in full.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/flooding_model.hpp"
+#include "analysis/push_model.hpp"
+
+namespace updp2p::analysis {
+namespace {
+
+PushModelParams fig_base() {
+  PushModelParams params;
+  params.total_replicas = 10'000;
+  params.initial_online = 1'000;
+  params.sigma = 0.95;
+  params.fanout_fraction = 0.01;
+  params.pf = pf_constant(1.0);
+  return params;
+}
+
+TEST(PaperResults, Fig1a_TinyOnlinePopulationKillsTheRumor) {
+  auto params = fig_base();
+  params.initial_online = 100;
+  const auto trajectory = evaluate_push(params);
+  EXPECT_TRUE(trajectory.died());
+  EXPECT_LT(trajectory.final_aware(), 0.1);
+}
+
+TEST(PaperResults, Fig1b_OverheadRoughlyIndependentOfOnlinePopulation) {
+  // Paper: "message overhead is relatively independent of the online
+  // population … around 80 messages per online peer".
+  std::vector<double> overheads;
+  for (const double online : {500.0, 1'000.0, 3'000.0}) {
+    auto params = fig_base();
+    params.initial_online = online;
+    const auto trajectory = evaluate_push(params);
+    EXPECT_GT(trajectory.final_aware(), 0.97);
+    overheads.push_back(trajectory.messages_per_initial_online());
+  }
+  for (const double overhead : overheads) {
+    EXPECT_GT(overhead, 60.0);
+    EXPECT_LT(overhead, 100.0);  // "around 80"
+  }
+  const auto [min_it, max_it] =
+      std::minmax_element(overheads.begin(), overheads.end());
+  EXPECT_LT(*max_it / *min_it, 1.25);  // "relatively independent"
+}
+
+TEST(PaperResults, Fig2_LargerFanoutManyMoreMessagesSameCoverage) {
+  auto small = fig_base();
+  small.sigma = 0.9;
+  small.fanout_fraction = 0.005;
+  auto large = small;
+  large.fanout_fraction = 0.05;
+  const auto small_traj = evaluate_push(small);
+  const auto large_traj = evaluate_push(large);
+  // Paper: "eight to ten times more duplicate messages" for the big fanout.
+  const double ratio = large_traj.messages_per_initial_online() /
+                       small_traj.messages_per_initial_online();
+  EXPECT_GT(ratio, 8.0);
+  EXPECT_LT(ratio, 16.0);
+  EXPECT_GT(large_traj.final_aware(), 0.99);
+}
+
+TEST(PaperResults, Fig3_LowerSigmaCutsOverheadUntilSpreadCollapses) {
+  auto params = fig_base();
+  params.sigma = 1.0;
+  const double at_1 = evaluate_push(params).messages_per_initial_online();
+  params.sigma = 0.8;
+  const auto at_08 = evaluate_push(params);
+  params.sigma = 0.5;
+  const auto at_05 = evaluate_push(params);
+  EXPECT_LT(at_08.messages_per_initial_online(), at_1);
+  EXPECT_GT(at_08.final_aware(), 0.95);  // robust down to 0.8
+  EXPECT_TRUE(at_05.died());             // collapses at 0.5
+}
+
+TEST(PaperResults, Fig4_DecayingPfOrderingMatchesPaper) {
+  auto params = fig_base();
+  params.sigma = 0.9;
+  auto run = [&params](PfSchedule pf) {
+    params.pf = std::move(pf);
+    return evaluate_push(params);
+  };
+  const auto flood = run(pf_constant(1.0));
+  const auto constant08 = run(pf_constant(0.8));
+  const auto linear = run(pf_linear_decay(0.1));
+  const auto geo09 = run(pf_geometric(0.9));
+  const auto geo05 = run(pf_geometric(0.5));
+
+  // Overhead ordering as plotted in Fig. 4.
+  EXPECT_GT(flood.messages_per_initial_online(),
+            constant08.messages_per_initial_online());
+  EXPECT_GT(constant08.messages_per_initial_online(),
+            geo09.messages_per_initial_online());
+  EXPECT_GT(geo09.messages_per_initial_online(),
+            geo05.messages_per_initial_online());
+  // Moderate decay preserves the spread; aggressive decay kills it.
+  EXPECT_GT(geo09.final_aware(), 0.95);
+  EXPECT_GT(linear.final_aware(), 0.95);
+  EXPECT_TRUE(geo05.died());
+  // Fig. 4's y-range: flood tops out below ~70 msgs/peer.
+  EXPECT_LT(flood.messages_per_initial_online(), 75.0);
+}
+
+TEST(PaperResults, Fig5_OverheadLowAndDecreasingWithPopulation) {
+  std::vector<double> overheads;
+  for (const double total : {1e4, 1e6, 1e8}) {
+    PushModelParams params;
+    params.total_replicas = total;
+    params.initial_online = 0.1 * total;
+    params.sigma = 1.0;
+    params.fanout_fraction = 100.0 / total;
+    params.pf = pf_offset_geometric(0.8, 0.7, 0.2);
+    overheads.push_back(
+        evaluate_push(params).messages_per_initial_online());
+  }
+  // Paper: "with the increase in total population, the number of messages
+  // per online peer is decreasing", staying around 20–45.
+  EXPECT_GT(overheads[0], overheads[1]);
+  EXPECT_GT(overheads[1], overheads[2]);
+  for (const double overhead : overheads) {
+    EXPECT_GT(overhead, 10.0);
+    EXPECT_LT(overhead, 50.0);
+  }
+}
+
+TEST(PaperResults, Table2_SchemeOrderingBothSettings) {
+  struct Setting {
+    double total, online, fanout, our_base;
+  };
+  for (const auto& s : {Setting{10'000, 10'000, 4, 0.95},
+                        Setting{1'000, 100, 40, 0.85}}) {
+    PushModelParams params;
+    params.total_replicas = s.total;
+    params.initial_online = s.online;
+    params.sigma = 1.0;
+    params.fanout_fraction = s.fanout / s.total;
+
+    params.use_partial_list = false;
+    params.pf = pf_constant(1.0);
+    const auto gnutella = evaluate_push(params);
+    params.use_partial_list = true;
+    const auto partial = evaluate_push(params);
+    params.use_partial_list = false;
+    params.pf = pf_haas(0.8, 2);
+    const auto haas = evaluate_push(params);
+    params.use_partial_list = true;
+    params.pf = pf_geometric(s.our_base);
+    const auto ours = evaluate_push(params);
+
+    // Table 2 ordering: ours < Haas < partial-list < Gnutella.
+    EXPECT_LT(partial.messages_per_initial_online(),
+              gnutella.messages_per_initial_online());
+    EXPECT_LT(haas.messages_per_initial_online(),
+              partial.messages_per_initial_online());
+    EXPECT_LT(ours.messages_per_initial_online(),
+              haas.messages_per_initial_online());
+    // Latency penalty of the decaying scheme is small (paper: ~1 round).
+    EXPECT_LE(ours.rounds_to_fraction(0.99),
+              gnutella.rounds_to_fraction(0.99) + 6);
+    // Gnutella per-peer cost equals the fanout (§5.6 duplicate avoidance).
+    EXPECT_NEAR(gnutella.messages_per_initial_online(),
+                s.fanout * gnutella.final_aware(), s.fanout * 0.05);
+  }
+}
+
+TEST(PaperResults, Motivation_SerialSearchAttempts) {
+  // §2: 99.9% success at 10% availability needs ~65 serial attempts.
+  const double attempts = std::ceil(std::log(0.001) / std::log(0.9));
+  EXPECT_NEAR(attempts, 66.0, 1.0);
+}
+
+}  // namespace
+}  // namespace updp2p::analysis

@@ -1,0 +1,51 @@
+#include "net/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace updp2p::net {
+namespace {
+
+TEST(ConstantLatency, AlwaysSameDelay) {
+  ConstantLatency latency(0.5);
+  common::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(latency.sample(rng), 0.5);
+  }
+}
+
+TEST(UniformLatency, StaysWithinBounds) {
+  UniformLatency latency(0.1, 0.3);
+  common::Rng rng(2);
+  common::RunningStats stats;
+  for (int i = 0; i < 50'000; ++i) {
+    const double d = latency.sample(rng);
+    EXPECT_GE(d, 0.1);
+    EXPECT_LE(d, 0.3);
+    stats.add(d);
+  }
+  EXPECT_NEAR(stats.mean(), 0.2, 0.002);
+}
+
+TEST(ExponentialLatency, BasePlusTail) {
+  ExponentialLatency latency(0.05, 0.1);
+  common::Rng rng(3);
+  common::RunningStats stats;
+  for (int i = 0; i < 100'000; ++i) {
+    const double d = latency.sample(rng);
+    EXPECT_GE(d, 0.05);
+    stats.add(d);
+  }
+  EXPECT_NEAR(stats.mean(), 0.15, 0.005);
+}
+
+TEST(LatencyModels, UsableThroughBasePointer) {
+  std::unique_ptr<LatencyModel> model =
+      std::make_unique<ConstantLatency>(1.0);
+  common::Rng rng(4);
+  EXPECT_DOUBLE_EQ(model->sample(rng), 1.0);
+}
+
+}  // namespace
+}  // namespace updp2p::net

@@ -1,0 +1,121 @@
+#include "pgrid/bit_path.hpp"
+
+#include <gtest/gtest.h>
+
+namespace updp2p::pgrid {
+namespace {
+
+TEST(BitPath, DefaultIsEmpty) {
+  BitPath path;
+  EXPECT_TRUE(path.empty());
+  EXPECT_EQ(path.length(), 0u);
+  EXPECT_EQ(path.to_string(), "");
+}
+
+TEST(BitPath, ParseRoundTrips) {
+  for (const std::string text : {"0", "1", "0110", "10101010", ""}) {
+    EXPECT_EQ(BitPath::parse(text).to_string(), text);
+  }
+}
+
+TEST(BitPath, BitsAccessible) {
+  const auto path = BitPath::parse("0110");
+  EXPECT_FALSE(path.bit(0));
+  EXPECT_TRUE(path.bit(1));
+  EXPECT_TRUE(path.bit(2));
+  EXPECT_FALSE(path.bit(3));
+}
+
+TEST(BitPath, AppendExtends) {
+  const auto path = BitPath::parse("01");
+  EXPECT_EQ(path.appended(true).to_string(), "011");
+  EXPECT_EQ(path.appended(false).to_string(), "010");
+  // Original unchanged (value semantics).
+  EXPECT_EQ(path.to_string(), "01");
+}
+
+TEST(BitPath, PrefixTruncates) {
+  const auto path = BitPath::parse("0110");
+  EXPECT_EQ(path.prefix(2).to_string(), "01");
+  EXPECT_EQ(path.prefix(0).to_string(), "");
+  EXPECT_EQ(path.prefix(4), path);
+}
+
+TEST(BitPath, SiblingFlipsLastBit) {
+  const auto path = BitPath::parse("0110");
+  EXPECT_EQ(path.sibling_at(0).to_string(), "1");
+  EXPECT_EQ(path.sibling_at(1).to_string(), "00");
+  EXPECT_EQ(path.sibling_at(3).to_string(), "0111");
+}
+
+TEST(BitPath, IsPrefixOf) {
+  const auto p = BitPath::parse("01");
+  EXPECT_TRUE(p.is_prefix_of(BitPath::parse("0110")));
+  EXPECT_TRUE(p.is_prefix_of(p));
+  EXPECT_TRUE(BitPath().is_prefix_of(p));  // empty prefixes everything
+  EXPECT_FALSE(p.is_prefix_of(BitPath::parse("00")));
+  EXPECT_FALSE(BitPath::parse("0110").is_prefix_of(p));  // longer
+}
+
+TEST(BitPath, CommonPrefixLength) {
+  EXPECT_EQ(BitPath::parse("0110").common_prefix_length(BitPath::parse("0111")),
+            3u);
+  EXPECT_EQ(BitPath::parse("10").common_prefix_length(BitPath::parse("01")),
+            0u);
+  EXPECT_EQ(BitPath::parse("01").common_prefix_length(BitPath::parse("0110")),
+            2u);
+}
+
+TEST(BitPath, FromKeyIsDeterministicAndDepthBounded) {
+  const auto a = BitPath::from_key("hello", 16);
+  const auto b = BitPath::from_key("hello", 16);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.length(), 16u);
+  EXPECT_NE(BitPath::from_key("hello", 16), BitPath::from_key("world", 16));
+}
+
+TEST(BitPath, FromKeyPrefixConsistency) {
+  // Deeper hash of the same key extends the shallower one.
+  const auto shallow = BitPath::from_key("item", 4);
+  const auto deep = BitPath::from_key("item", 12);
+  EXPECT_TRUE(shallow.is_prefix_of(deep));
+}
+
+TEST(BitPath, EqualityIncludesLength) {
+  EXPECT_NE(BitPath::parse("0"), BitPath::parse("00"));
+  EXPECT_EQ(BitPath::parse("01"), BitPath::parse("01"));
+}
+
+TEST(BitPath, HashDistinguishesLengths) {
+  std::hash<BitPath> hasher;
+  EXPECT_NE(hasher(BitPath::parse("0")), hasher(BitPath::parse("00")));
+}
+
+TEST(BitPath, RejectsInvalidInput) {
+  EXPECT_DEATH((void)BitPath::parse("012"), "binary");
+  EXPECT_DEATH((void)BitPath::parse("0").bit(5), "range");
+}
+
+// Sweep: from_key distributes keys near-uniformly over partitions.
+class BitPathDistribution : public ::testing::TestWithParam<std::uint8_t> {};
+
+TEST_P(BitPathDistribution, KeysSpreadAcrossPartitions) {
+  const std::uint8_t depth = GetParam();
+  const std::size_t partitions = std::size_t{1} << depth;
+  std::vector<int> counts(partitions, 0);
+  constexpr int kKeys = 8'000;
+  for (int i = 0; i < kKeys; ++i) {
+    const auto path = BitPath::from_key("key-" + std::to_string(i), depth);
+    ++counts[path.raw_bits() >> (64 - depth)];
+  }
+  const double expected = static_cast<double>(kKeys) / partitions;
+  for (const int count : counts) {
+    EXPECT_NEAR(count, expected, expected * 0.5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, BitPathDistribution,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace updp2p::pgrid

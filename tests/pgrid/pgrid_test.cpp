@@ -1,0 +1,176 @@
+#include "pgrid/pgrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace updp2p::pgrid {
+namespace {
+
+using common::PeerId;
+using common::Rng;
+
+PGridConfig small_config() {
+  PGridConfig config;
+  config.peers = 64;
+  config.depth = 3;
+  config.refs_per_level = 3;
+  config.seed = 5;
+  return config;
+}
+
+auto all_online = [](PeerId) { return true; };
+
+TEST(PGrid, BuildBalancesPartitions) {
+  const auto network = PGridNetwork::build(small_config());
+  EXPECT_EQ(network.peer_count(), 64u);
+  // 8 partitions × 8 replicas each.
+  std::unordered_map<BitPath, int> sizes;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const auto& peer = network.peer(PeerId(i));
+    EXPECT_EQ(peer.path.length(), 3u);
+    ++sizes[peer.path];
+  }
+  EXPECT_EQ(sizes.size(), 8u);
+  for (const auto& [path, count] : sizes) EXPECT_EQ(count, 8);
+}
+
+TEST(PGrid, ReplicaListsExcludeSelfAndShareThePath) {
+  const auto network = PGridNetwork::build(small_config());
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const auto& peer = network.peer(PeerId(i));
+    EXPECT_EQ(peer.replicas.size(), 7u);
+    for (const PeerId other : peer.replicas) {
+      EXPECT_NE(other, peer.id);
+      EXPECT_EQ(network.peer(other).path, peer.path);
+    }
+  }
+}
+
+TEST(PGrid, RoutingTablesPointIntoSiblingSubtrees) {
+  const auto network = PGridNetwork::build(small_config());
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const auto& peer = network.peer(PeerId(i));
+    ASSERT_EQ(peer.routing.size(), 3u);
+    for (std::uint8_t level = 0; level < 3; ++level) {
+      const auto& entry = peer.routing[level];
+      EXPECT_EQ(entry.sibling_prefix, peer.path.sibling_at(level));
+      EXPECT_FALSE(entry.refs.empty());
+      for (const PeerId ref : entry.refs) {
+        EXPECT_TRUE(
+            entry.sibling_prefix.is_prefix_of(network.peer(ref).path));
+      }
+    }
+  }
+}
+
+TEST(PGrid, SearchFindsResponsiblePeerWhenAllOnline) {
+  const auto network = PGridNetwork::build(small_config());
+  Rng rng(7);
+  for (int q = 0; q < 200; ++q) {
+    const auto key = BitPath::from_key("key" + std::to_string(q), 64);
+    const PeerId origin(static_cast<std::uint32_t>(rng.uniform_below(64)));
+    const auto result = network.search(origin, key, all_online, rng);
+    ASSERT_TRUE(result.found) << "query " << q;
+    EXPECT_TRUE(network.peer(result.responsible).path.is_prefix_of(key));
+    EXPECT_LE(result.hops, 3u);
+  }
+}
+
+TEST(PGrid, SearchFromResponsiblePeerIsZeroHops) {
+  const auto network = PGridNetwork::build(small_config());
+  Rng rng(8);
+  const auto key = BitPath::from_key("x", 64);
+  const auto origin = network.replica_group(key).front();
+  const auto result = network.search(origin, key, all_online, rng);
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.hops, 0u);
+  EXPECT_EQ(result.responsible, origin);
+}
+
+TEST(PGrid, PartitionOfReturnsDepthPrefix) {
+  const auto network = PGridNetwork::build(small_config());
+  const auto key = BitPath::from_key("item", 64);
+  EXPECT_EQ(network.partition_of(key), key.prefix(3));
+}
+
+TEST(PGrid, ReplicaGroupHoldsAllPartitionPeers) {
+  const auto network = PGridNetwork::build(small_config());
+  const auto key = BitPath::from_key("item", 64);
+  const auto& group = network.replica_group(key);
+  EXPECT_EQ(group.size(), 8u);
+  for (const PeerId peer : group) {
+    EXPECT_EQ(network.peer(peer).path, network.partition_of(key));
+  }
+}
+
+TEST(PGrid, SearchFailsWhenRouteIsDark) {
+  const auto network = PGridNetwork::build(small_config());
+  Rng rng(9);
+  const auto key = BitPath::from_key("item", 64);
+  // Everyone offline except the (non-responsible) origin: routing must fail
+  // rather than hang or fabricate a result.
+  const auto& group = network.replica_group(key);
+  const std::unordered_set<PeerId> responsible(group.begin(), group.end());
+  PeerId origin = PeerId::invalid();
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    if (!responsible.contains(PeerId(i))) {
+      origin = PeerId(i);
+      break;
+    }
+  }
+  const auto result = network.search(
+      origin, key, [origin](PeerId p) { return p == origin; }, rng);
+  EXPECT_FALSE(result.found);
+}
+
+TEST(PGrid, RetriesImproveSuccessUnderChurn) {
+  const auto network = PGridNetwork::build(PGridConfig{
+      .peers = 256, .depth = 3, .refs_per_level = 3, .seed = 21});
+  Rng rng(10);
+  // 30% availability, fixed per query round.
+  Rng availability_rng(11);
+  std::vector<bool> online(256);
+  for (std::size_t i = 0; i < 256; ++i) {
+    online[i] = availability_rng.bernoulli(0.3);
+  }
+  const auto probe = [&online](PeerId p) { return online[p.value()]; };
+
+  int single = 0;
+  int with_retries = 0;
+  constexpr int kQueries = 300;
+  for (int q = 0; q < kQueries; ++q) {
+    const auto key = BitPath::from_key("k" + std::to_string(q), 64);
+    PeerId origin(static_cast<std::uint32_t>(rng.uniform_below(256)));
+    while (!probe(origin)) {
+      origin = PeerId(static_cast<std::uint32_t>(rng.uniform_below(256)));
+    }
+    if (network.search(origin, key, probe, rng).found) ++single;
+    if (network.search_with_retries(origin, key, probe, rng, 8).found) {
+      ++with_retries;
+    }
+  }
+  EXPECT_GT(with_retries, single);
+  EXPECT_GT(static_cast<double>(with_retries) / kQueries, 0.6);
+}
+
+TEST(PGrid, BuildRejectsInvalidConfigs) {
+  EXPECT_DEATH((void)PGridNetwork::build(PGridConfig{
+                   .peers = 4, .depth = 3, .refs_per_level = 1, .seed = 1}),
+               "partition");
+  EXPECT_DEATH((void)PGridNetwork::build(PGridConfig{
+                   .peers = 8, .depth = 0, .refs_per_level = 1, .seed = 1}),
+               "depth");
+}
+
+TEST(PGrid, DeterministicForSameSeed) {
+  const auto a = PGridNetwork::build(small_config());
+  const auto b = PGridNetwork::build(small_config());
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.peer(PeerId(i)).path, b.peer(PeerId(i)).path);
+  }
+}
+
+}  // namespace
+}  // namespace updp2p::pgrid

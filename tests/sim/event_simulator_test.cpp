@@ -1,0 +1,290 @@
+#include "sim/event_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace updp2p::sim {
+namespace {
+
+using common::PeerId;
+
+EventSimConfig base_config() {
+  EventSimConfig config;
+  config.population = 100;
+  config.mean_online_time = 50.0;
+  config.mean_offline_time = 50.0;  // 50% availability
+  config.round_duration = 1.0;
+  config.gossip.estimated_total_replicas = 100;
+  config.gossip.fanout_fraction = 0.08;
+  config.gossip.forward_probability = analysis::pf_constant(1.0);
+  config.gossip.pull.contacts_per_attempt = 2;
+  config.gossip.pull.no_update_timeout = 15;
+  config.seed = 99;
+  return config;
+}
+
+TEST(EventSimulator, TimeAdvancesMonotonically) {
+  EventSimulator simulator(base_config());
+  EXPECT_DOUBLE_EQ(simulator.now(), 0.0);
+  simulator.run_until(10.0);
+  EXPECT_DOUBLE_EQ(simulator.now(), 10.0);
+  simulator.run_until(25.0);
+  EXPECT_DOUBLE_EQ(simulator.now(), 25.0);
+}
+
+TEST(EventSimulator, PublishRecordsUpdate) {
+  EventSimulator simulator(base_config());
+  simulator.schedule_publish(5.0, "key", "value");
+  EXPECT_TRUE(simulator.published().empty());
+  simulator.run_until(6.0);
+  ASSERT_EQ(simulator.published().size(), 1u);
+  EXPECT_EQ(simulator.published()[0].key, "key");
+  EXPECT_DOUBLE_EQ(simulator.published()[0].published_at, 5.0);
+}
+
+TEST(EventSimulator, UpdateSpreadsAmongOnlinePeers) {
+  EventSimulator simulator(base_config());
+  simulator.schedule_publish(1.0, "key", "value");
+  simulator.run_until(60.0);
+  ASSERT_FALSE(simulator.published().empty());
+  EXPECT_GT(simulator.aware_fraction_online(simulator.published()[0].id),
+            0.85);
+  EXPECT_GT(simulator.stats().push_messages, 0u);
+}
+
+TEST(EventSimulator, OfflinePeersEventuallyCatchUpViaPull) {
+  auto config = base_config();
+  config.mean_online_time = 20.0;
+  config.mean_offline_time = 60.0;  // 25% availability: heavy churn
+  EventSimulator simulator(config);
+  simulator.schedule_publish(1.0, "key", "value");
+  simulator.run_until(600.0);
+  ASSERT_FALSE(simulator.published().empty());
+  // Across the WHOLE population, not just online peers.
+  EXPECT_GT(simulator.aware_fraction_total(simulator.published()[0].id), 0.9);
+  EXPECT_GT(simulator.stats().pull_messages, 0u);
+  EXPECT_GT(simulator.stats().reconnects, 0u);
+}
+
+TEST(EventSimulator, QueryFindsPublishedValue) {
+  EventSimulator simulator(base_config());
+  simulator.schedule_publish(1.0, "key", "value");
+  simulator.run_until(60.0);
+  const auto result =
+      simulator.query("key", 5, gossip::QueryRule::kLatestVersion);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->payload, "value");
+}
+
+TEST(EventSimulator, QueryUnknownKeyIsEmpty) {
+  EventSimulator simulator(base_config());
+  simulator.run_until(5.0);
+  EXPECT_FALSE(
+      simulator.query("nothing", 5, gossip::QueryRule::kMajority).has_value());
+}
+
+TEST(EventSimulator, NewerVersionWinsQueries) {
+  EventSimulator simulator(base_config());
+  simulator.schedule_publish(1.0, "key", "v1");
+  simulator.run_until(50.0);
+  simulator.schedule_publish(50.0, "key", "v2");
+  simulator.run_until(120.0);
+  const auto result =
+      simulator.query("key", 7, gossip::QueryRule::kLatestVersion);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->payload, "v2");
+}
+
+TEST(EventSimulator, RemoveTombstonesValue) {
+  EventSimulator simulator(base_config());
+  simulator.schedule_publish(1.0, "key", "value");
+  simulator.run_until(40.0);
+  simulator.schedule_remove(40.0, "key");
+  simulator.run_until(150.0);
+  EXPECT_FALSE(
+      simulator.query("key", 7, gossip::QueryRule::kLatestVersion)
+          .has_value());
+}
+
+TEST(EventSimulator, ExplicitPublisherUsedWhenOnline) {
+  auto config = base_config();
+  config.mean_online_time = 1e9;  // everyone stays in the initial state
+  config.mean_offline_time = 1.0;
+  EventSimulator simulator(config);
+  // Find an online peer.
+  PeerId online_peer = PeerId::invalid();
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    if (simulator.is_online(PeerId(i))) {
+      online_peer = PeerId(i);
+      break;
+    }
+  }
+  ASSERT_TRUE(online_peer.is_valid());
+  simulator.schedule_publish(1.0, "key", "v", online_peer);
+  simulator.run_until(2.0);
+  ASSERT_EQ(simulator.published().size(), 1u);
+  EXPECT_EQ(simulator.published()[0].publisher, online_peer);
+}
+
+TEST(EventSimulator, LazyPullReducesPullTraffic) {
+  auto eager_config = base_config();
+  eager_config.gossip.pull.lazy = false;
+  auto lazy_config = base_config();
+  lazy_config.gossip.pull.lazy = true;
+  // Disable the staleness timer so only reconnect behaviour differs.
+  eager_config.gossip.pull.no_update_timeout = 1'000'000;
+  lazy_config.gossip.pull.no_update_timeout = 1'000'000;
+
+  EventSimulator eager(eager_config);
+  EventSimulator lazy(lazy_config);
+  for (auto* simulator : {&eager, &lazy}) {
+    simulator->schedule_publish(1.0, "key", "v");
+    simulator->run_until(300.0);
+  }
+  EXPECT_LT(lazy.stats().pull_messages, eager.stats().pull_messages);
+}
+
+TEST(EventSimulator, StatsAreConsistent) {
+  EventSimulator simulator(base_config());
+  simulator.schedule_publish(1.0, "key", "v");
+  simulator.run_until(100.0);
+  const auto& stats = simulator.stats();
+  // Some messages may still be in flight when the clock stops.
+  EXPECT_GE(stats.messages_sent,
+            stats.messages_delivered + stats.messages_to_offline);
+  EXPECT_LE(stats.messages_sent,
+            stats.messages_delivered + stats.messages_to_offline + 20);
+  EXPECT_EQ(stats.messages_sent,
+            stats.push_messages + stats.pull_messages + stats.ack_messages +
+                stats.query_messages);
+  EXPECT_GT(stats.bytes_sent, 0u);
+}
+
+TEST(EventSimulator, SchedulingInThePastDies) {
+  EventSimulator simulator(base_config());
+  simulator.run_until(10.0);
+  EXPECT_DEATH(simulator.schedule_publish(5.0, "key", "v"), "past");
+}
+
+TEST(EventSimulator, DeterministicForSameSeed) {
+  auto run_once = []() {
+    EventSimulator simulator(base_config());
+    simulator.schedule_publish(1.0, "key", "v");
+    simulator.run_until(80.0);
+    return std::make_tuple(simulator.stats().messages_sent,
+                           simulator.stats().push_messages,
+                           simulator.stats().reconnects,
+                           simulator.online_count());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(EventSimulator, HigherLatencySlowsDissemination) {
+  auto fast_config = base_config();
+  fast_config.latency = std::make_shared<net::ConstantLatency>(0.1);
+  auto slow_config = base_config();
+  slow_config.latency = std::make_shared<net::ConstantLatency>(3.0);
+
+  auto measure = [](EventSimConfig config) {
+    EventSimulator simulator(std::move(config));
+    simulator.schedule_publish(1.0, "key", "v");
+    simulator.run_until(8.0);  // early snapshot
+    return simulator.published().empty()
+               ? 0.0
+               : simulator.aware_fraction_online(simulator.published()[0].id);
+  };
+  EXPECT_GT(measure(fast_config), measure(slow_config));
+}
+
+TEST(EventSimulator, MessageBasedQueryMatchesOmniscientQuery) {
+  EventSimulator simulator(base_config());
+  simulator.schedule_publish(1.0, "key", "value");
+  simulator.run_until(60.0);
+
+  // Find an online issuer.
+  common::PeerId issuer = common::PeerId::invalid();
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    if (simulator.is_online(PeerId(i))) {
+      issuer = PeerId(i);
+      break;
+    }
+  }
+  ASSERT_TRUE(issuer.is_valid());
+  const auto nonce =
+      simulator.begin_query(issuer, "key", gossip::QueryRule::kLatestVersion, 4);
+  ASSERT_NE(nonce, 0u);
+  simulator.run_until(simulator.now() + 10.0);  // requests + replies travel
+  const auto outcome = simulator.poll_query(issuer, nonce);
+  EXPECT_TRUE(outcome.complete);
+  ASSERT_TRUE(outcome.value.has_value());
+  EXPECT_EQ(outcome.value->payload, "value");
+}
+
+TEST(EventSimulator, OfflineIssuerCannotQuery) {
+  EventSimulator simulator(base_config());
+  common::PeerId offline_peer = common::PeerId::invalid();
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    if (!simulator.is_online(PeerId(i))) {
+      offline_peer = PeerId(i);
+      break;
+    }
+  }
+  ASSERT_TRUE(offline_peer.is_valid());
+  EXPECT_EQ(simulator.begin_query(offline_peer, "key",
+                                  gossip::QueryRule::kHybrid, 3),
+            0u);
+}
+
+TEST(EventSimulator, BlackoutStopsDeliveryThenRecovers) {
+  EventSimulator simulator(base_config());
+  // Total blackout while the push would spread.
+  simulator.schedule_loss_window(0.5, 40.0, 1.0);
+  simulator.schedule_publish(1.0, "key", "v");
+  simulator.run_until(30.0);
+  ASSERT_FALSE(simulator.published().empty());
+  const auto id = simulator.published()[0].id;
+  // Only the publisher knows it: every delivery was lost.
+  EXPECT_LT(simulator.aware_fraction_total(id), 0.05);
+  EXPECT_GT(simulator.stats().messages_lost, 0u);
+
+  // After the window, pull traffic (staleness timers) heals the network.
+  simulator.run_until(400.0);
+  EXPECT_GT(simulator.aware_fraction_online(id), 0.7);
+}
+
+TEST(EventSimulator, PartialBrownoutSlowsButDoesNotStopSpread) {
+  auto config = base_config();
+  EventSimulator simulator(config);
+  simulator.schedule_loss_window(0.5, 200.0, 0.5);
+  simulator.schedule_publish(1.0, "key", "v");
+  simulator.run_until(150.0);
+  ASSERT_FALSE(simulator.published().empty());
+  EXPECT_GT(simulator.aware_fraction_online(simulator.published()[0].id),
+            0.35);
+  EXPECT_DOUBLE_EQ(simulator.current_loss(), 0.5);
+  simulator.run_until(201.0);
+  EXPECT_DOUBLE_EQ(simulator.current_loss(), 0.0);
+}
+
+TEST(EventSimulator, NodeByteCountersAccumulate) {
+  EventSimulator simulator(base_config());
+  simulator.schedule_publish(1.0, "key", "v");
+  simulator.run_until(60.0);
+  std::uint64_t node_bytes = 0;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    node_bytes += simulator.node(PeerId(i)).stats().bytes_sent;
+  }
+  EXPECT_EQ(node_bytes, simulator.stats().bytes_sent);
+}
+
+TEST(EventSimulator, OnlineCountTracksAvailability) {
+  auto config = base_config();
+  config.population = 2'000;
+  EventSimulator simulator(config);
+  simulator.run_until(200.0);
+  const double fraction = static_cast<double>(simulator.online_count()) /
+                          static_cast<double>(simulator.population());
+  EXPECT_NEAR(fraction, 0.5, 0.07);
+}
+
+}  // namespace
+}  // namespace updp2p::sim

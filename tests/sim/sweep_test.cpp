@@ -1,0 +1,76 @@
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "sim/round_simulator.hpp"
+
+namespace updp2p::sim {
+namespace {
+
+TEST(Sweep, ResultsOrderedBySeed) {
+  const auto results = sweep_seeds<std::uint64_t>(
+      100, 16, [](std::uint64_t seed) { return seed; }, 4);
+  ASSERT_EQ(results.size(), 16u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], 101 + i);
+  }
+}
+
+TEST(Sweep, RunsEveryBodyExactlyOnce) {
+  std::atomic<int> calls{0};
+  (void)sweep_seeds<int>(0, 32, [&calls](std::uint64_t) {
+    return ++calls;
+  });
+  EXPECT_EQ(calls.load(), 32);
+}
+
+TEST(Sweep, SingleThreadFallback) {
+  const auto results = sweep_seeds<std::uint64_t>(
+      0, 4, [](std::uint64_t seed) { return seed * 2; }, 1);
+  EXPECT_EQ(results, (std::vector<std::uint64_t>{2, 4, 6, 8}));
+}
+
+TEST(Sweep, DeterministicRegardlessOfThreadCount) {
+  const auto body = [](std::uint64_t seed) {
+    RoundSimConfig config;
+    config.population = 300;
+    config.gossip.estimated_total_replicas = 300;
+    config.gossip.fanout_fraction = 0.05;
+    config.reconnect_pull = false;
+    config.round_timers = false;
+    config.seed = seed;
+    auto simulator = make_push_phase_simulator(config, 0.3, 1.0);
+    return simulator->propagate_update();
+  };
+  const auto serial = sweep_aggregate(7'000, 6, body, 1);
+  const auto parallel = sweep_aggregate(7'000, 6, body, 8);
+  EXPECT_DOUBLE_EQ(serial.messages_per_initial_online.mean(),
+                   parallel.messages_per_initial_online.mean());
+  EXPECT_DOUBLE_EQ(serial.final_aware_fraction.mean(),
+                   parallel.final_aware_fraction.mean());
+}
+
+TEST(Sweep, AggregateCountsRuns) {
+  const auto aggregate = sweep_aggregate(0, 5, [](std::uint64_t) {
+    RunMetrics metrics;
+    metrics.initial_online = 10;
+    RoundMetrics round;
+    round.push_messages = 20;
+    round.online = 10;
+    round.aware_online = 10;
+    metrics.rounds.push_back(round);
+    return metrics;
+  });
+  EXPECT_EQ(aggregate.messages_per_initial_online.count(), 5u);
+  EXPECT_DOUBLE_EQ(aggregate.messages_per_initial_online.mean(), 2.0);
+}
+
+TEST(Sweep, RejectsZeroRuns) {
+  EXPECT_DEATH((void)sweep_seeds<int>(0, 0, [](std::uint64_t) { return 0; }),
+               "at least one");
+}
+
+}  // namespace
+}  // namespace updp2p::sim
