@@ -4,6 +4,10 @@
 // paper reports, so EXPERIMENTS.md can be filled by reading bench output.
 #pragma once
 
+#include <sys/resource.h>
+
+#include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -34,6 +38,44 @@ inline void print_series(const std::string& title,
         .cell(common::format_trajectory(series.x, series.y, 2));
   }
   table.print(std::cout);
+}
+
+// --- machine-readable microbench output ------------------------------------
+//
+// micro_core emits BENCH_core.json so performance runs can be diffed by
+// tooling instead of eyeballed: one record per benchmark (ns/op plus, where
+// the bench counts protocol traffic, messages/sec) and the process peak RSS.
+
+/// One benchmark's result in BENCH_core.json.
+struct CoreBenchRecord {
+  std::string name;
+  double ns_per_op = 0.0;
+  double messages_per_sec = 0.0;  ///< 0 when the bench counts no messages
+};
+
+/// Peak resident set size of this process in kilobytes (Linux ru_maxrss).
+inline std::int64_t peak_rss_kb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<std::int64_t>(usage.ru_maxrss);
+}
+
+/// Writes `records` (plus the current peak RSS) as JSON to `path`.
+/// Returns false when the file cannot be written.
+inline bool write_core_bench_json(const std::string& path,
+                                  const std::vector<CoreBenchRecord>& records) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const CoreBenchRecord& record = records[i];
+    out << "    {\"name\": \"" << record.name << "\", \"ns_per_op\": "
+        << record.ns_per_op << ", \"messages_per_sec\": "
+        << record.messages_per_sec << "}";
+    out << (i + 1 < records.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n  \"peak_rss_kb\": " << peak_rss_kb() << "\n}\n";
+  return static_cast<bool>(out);
 }
 
 }  // namespace updp2p::bench

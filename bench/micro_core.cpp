@@ -1,10 +1,25 @@
 // Microbenchmarks (google-benchmark) for the library's hot paths: version
 // vector comparison/merge, store apply/delta, replica-view sampling,
-// partial-list construction, one full simulated push round, and the
+// partial-list construction, full simulated push phases, and the
 // analytical-model evaluation itself.
+//
+// Usage:
+//   micro_core                  full run; writes BENCH_core.json (ns/op,
+//                               messages/sec, peak RSS) to the working dir
+//   micro_core --smoke          one quick pass over every bench, no JSON —
+//                               the sanitizer-build sanity check
+//   micro_core --json=<path>    override the JSON output path
+// Any other flags pass through to google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "analysis/push_model.hpp"
+#include "bench_util.hpp"
+#include "common/dense_peer_set.hpp"
 #include "common/rng.hpp"
 #include "gossip/node.hpp"
 #include "gossip/partial_list.hpp"
@@ -90,6 +105,23 @@ void BM_ViewSample(benchmark::State& state) {
 }
 BENCHMARK(BM_ViewSample)->Arg(256)->Arg(4096);
 
+void BM_ViewSampleInto(benchmark::State& state) {
+  // The allocation-free path the simulators actually run: scratch output
+  // vector plus the view's own epoch-stamped scratch sets.
+  const auto population = static_cast<std::uint32_t>(state.range(0));
+  gossip::ReplicaView view{common::PeerId(0)};
+  for (std::uint32_t i = 1; i < population; ++i) {
+    view.add(common::PeerId(i));
+  }
+  common::Rng rng(99);
+  std::vector<common::PeerId> out;
+  for (auto _ : state) {
+    view.sample_into(rng, 32, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ViewSampleInto)->Arg(256)->Arg(4096);
+
 void BM_BuildForwardList(benchmark::State& state) {
   gossip::PartialListConfig config;
   config.mode = gossip::PartialListMode::kDropRandom;
@@ -106,6 +138,25 @@ void BM_BuildForwardList(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildForwardList);
 
+void BM_BuildForwardListInto(benchmark::State& state) {
+  gossip::PartialListConfig config;
+  config.mode = gossip::PartialListMode::kDropRandom;
+  config.max_entries = 128;
+  std::vector<common::PeerId> received;
+  std::vector<common::PeerId> targets;
+  for (std::uint32_t i = 0; i < 256; ++i) received.emplace_back(i);
+  for (std::uint32_t i = 200; i < 260; ++i) targets.emplace_back(i);
+  common::Rng rng(3);
+  common::DensePeerSet seen;
+  std::vector<common::PeerId> out;
+  for (auto _ : state) {
+    gossip::build_forward_list_into(config, received, targets,
+                                    common::PeerId(1000), rng, seen, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_BuildForwardListInto);
+
 void BM_AnalyticalPushModel(benchmark::State& state) {
   analysis::PushModelParams params;
   params.total_replicas = static_cast<double>(state.range(0));
@@ -120,6 +171,7 @@ BENCHMARK(BM_AnalyticalPushModel)->Arg(10'000)->Arg(1'000'000);
 
 void BM_SimulatedUpdate(benchmark::State& state) {
   const auto population = static_cast<std::size_t>(state.range(0));
+  std::uint64_t messages = 0;
   for (auto _ : state) {
     state.PauseTiming();
     sim::RoundSimConfig config;
@@ -130,11 +182,102 @@ void BM_SimulatedUpdate(benchmark::State& state) {
     config.round_timers = false;
     auto simulator = sim::make_push_phase_simulator(config, 0.2, 0.95);
     state.ResumeTiming();
-    benchmark::DoNotOptimize(simulator->propagate_update());
+    const sim::RunMetrics metrics = simulator->propagate_update();
+    messages += metrics.total_messages();
+    benchmark::DoNotOptimize(&metrics);
   }
+  state.counters["messages"] =
+      benchmark::Counter(static_cast<double>(messages));
 }
 BENCHMARK(BM_SimulatedUpdate)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
 
+void BM_SimulatedUpdate10k(benchmark::State& state) {
+  // The acceptance-scale run: 10k replicas, 20% online, fanout 100. One
+  // iteration is a full propagate_update (roughly 175k protocol messages
+  // over 8 rounds), so this measures the whole step_round pipeline —
+  // delivery, handling, forward-list building, dispatch — at scale.
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::RoundSimConfig config;
+    config.population = 10'000;
+    config.gossip.estimated_total_replicas = 10'000;
+    config.gossip.fanout_fraction = 0.01;
+    config.reconnect_pull = false;
+    config.round_timers = false;
+    config.seed = 5;
+    auto simulator = sim::make_push_phase_simulator(config, 0.2, 0.95);
+    state.ResumeTiming();
+    const sim::RunMetrics metrics = simulator->propagate_update();
+    messages += metrics.total_messages();
+    benchmark::DoNotOptimize(&metrics);
+  }
+  state.counters["messages"] =
+      benchmark::Counter(static_cast<double>(messages));
+}
+BENCHMARK(BM_SimulatedUpdate10k)->Unit(benchmark::kMillisecond);
+
+/// Console output plus a record of every run for BENCH_core.json.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      bench::CoreBenchRecord record;
+      record.name = run.benchmark_name();
+      record.ns_per_op = run.real_accumulated_time /
+                         static_cast<double>(run.iterations) * 1e9;
+      const auto counter = run.counters.find("messages");
+      if (counter != run.counters.end() && run.real_accumulated_time > 0) {
+        record.messages_per_sec =
+            counter->second.value / run.real_accumulated_time;
+      }
+      records.push_back(std::move(record));
+    }
+  }
+  std::vector<bench::CoreBenchRecord> records;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_core.json";
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = std::string(arg.substr(7));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  // Smoke mode: one quick pass over every bench — exercises all hot paths
+  // (the sanitizer-build check) without paying for stable statistics.
+  char min_time_flag[] = "--benchmark_min_time=0.001";
+  if (smoke) args.push_back(min_time_flag);
+
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  std::cout << "peak_rss_kb: " << updp2p::bench::peak_rss_kb() << "\n";
+  if (!smoke) {
+    if (!updp2p::bench::write_core_bench_json(json_path, reporter.records)) {
+      std::cerr << "failed to write " << json_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << json_path << " (" << reporter.records.size()
+              << " benchmarks)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full verify flow: tier-1 tests in Release, then an ASan+UBSan build that
+# re-runs the test suite and a micro_core smoke pass (one quick iteration of
+# every hot-path bench) under the sanitizers.
+#
+# Usage: scripts/verify.sh [--skip-sanitizers]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc)"
+SKIP_SAN=0
+[[ "${1:-}" == "--skip-sanitizers" ]] && SKIP_SAN=1
+
+echo "==> tier-1: Release build + ctest"
+cmake --preset release
+cmake --build --preset release -j "${JOBS}"
+ctest --preset release -j "${JOBS}"
+
+if [[ "${SKIP_SAN}" == "1" ]]; then
+  echo "==> sanitizers skipped (--skip-sanitizers)"
+  exit 0
+fi
+
+echo "==> sanitizers: ASan+UBSan build + ctest + micro_core --smoke"
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "${JOBS}"
+ctest --preset asan-ubsan -j "${JOBS}"
+./build-asan/bench/micro_core --smoke
+
+echo "==> verify OK"

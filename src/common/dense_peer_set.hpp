@@ -1,0 +1,92 @@
+// Epoch-stamped membership set over dense peer ids.
+//
+// The simulation hot path (target sampling, forward-list dedup, exclusion
+// checks) used to churn std::unordered_set instances: one heap allocation
+// plus hashing per call. PeerIds are dense (0..N-1 per population, see
+// types.hpp), so membership can instead be a stamp array: slot i holds the
+// epoch in which peer i was last inserted, and `clear()` is a single epoch
+// increment — O(1), no deallocation, no rehash. A cleared set is reusable
+// immediately, which is what makes per-round scratch buffers allocation-free
+// once they reach steady-state capacity.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/ensure.hpp"
+#include "common/types.hpp"
+
+namespace updp2p::common {
+
+class DensePeerSet {
+ public:
+  DensePeerSet() = default;
+  /// Pre-sizes the stamp array for ids in [0, capacity).
+  explicit DensePeerSet(std::size_t capacity) { reserve_ids(capacity); }
+
+  /// Grows the stamp array so ids in [0, count) insert without resizing.
+  void reserve_ids(std::size_t count) {
+    if (count > stamps_.size()) stamps_.resize(count, 0);
+  }
+
+  /// Empties the set in O(1) by advancing the epoch; capacity is retained.
+  void clear() noexcept {
+    if (epoch_ == ~std::uint32_t{0}) {
+      // Epoch wrapped: stale stamps could alias the new epoch, so reset.
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      epoch_ = 0;
+    }
+    ++epoch_;
+    size_ = 0;
+  }
+
+  /// Inserts `peer`; returns true when it was not already present.
+  bool insert(PeerId peer) {
+    const std::size_t id = index_of(peer);
+    if (id >= stamps_.size()) {
+      // Grow geometrically: ids often arrive in ascending order (merged
+      // flooding lists), and growing one slot at a time costs a zero-fill
+      // per insert instead of an amortized one.
+      stamps_.resize(std::max(id + 1, stamps_.size() * 2), 0);
+    }
+    if (stamps_[id] == epoch_) return false;
+    stamps_[id] = epoch_;
+    ++size_;
+    return true;
+  }
+
+  /// Hints the cache that `peer`'s stamp slot is about to be probed.
+  /// Lookups over merged peer lists are random accesses into a stamp array
+  /// that is usually cold (every delivery targets a different node), so
+  /// issuing prefetches a few entries ahead overlaps the memory latency.
+  void prefetch(PeerId peer) const noexcept {
+    const std::size_t id = peer.value();
+    if (id < stamps_.size()) __builtin_prefetch(&stamps_[id], 1, 1);
+  }
+
+  [[nodiscard]] bool contains(PeerId peer) const noexcept {
+    const std::size_t id = peer.value();
+    return id < stamps_.size() && stamps_[id] == epoch_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  /// Ids the stamp array currently covers without growing.
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return stamps_.size();
+  }
+
+ private:
+  static std::size_t index_of(PeerId peer) {
+    UPDP2P_ENSURE(peer.is_valid(),
+                  "DensePeerSet requires dense, valid peer ids");
+    return peer.value();
+  }
+
+  std::vector<std::uint32_t> stamps_;  ///< stamps_[id] == epoch_ <=> present
+  std::uint32_t epoch_ = 1;
+  std::size_t size_ = 0;
+};
+
+}  // namespace updp2p::common

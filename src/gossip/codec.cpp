@@ -144,7 +144,7 @@ std::optional<version::VersionedValue> get_value(
   return value;
 }
 
-void put_peer_list(WireBytes& out, const std::vector<common::PeerId>& peers) {
+void put_peer_list(WireBytes& out, std::span<const common::PeerId> peers) {
   put_varint(out, peers.size());
   for (const common::PeerId peer : peers) put_varint(out, peer.value());
 }

@@ -7,7 +7,11 @@
 // (§3: "Inquire for missed updates based on version vectors").
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
 #include <variant>
 #include <vector>
 
@@ -18,10 +22,71 @@
 
 namespace updp2p::gossip {
 
+/// Flooding list R_f shared across one forward's fan-out.
+///
+/// A forward sends the *same* list to ~f_r·R targets; carrying it by value
+/// made every extra message an O(|R_f|) vector copy plus an allocation —
+/// the dominant allocator traffic of a large push phase. The entries are
+/// immutable once the message is built, so the copies can share one buffer:
+/// copying a SharedPeerList is a reference-count bump. Mutating accessors
+/// (used while *building* a list, e.g. codec decode and tests) copy on
+/// write, preserving value semantics.
+class SharedPeerList {
+ public:
+  SharedPeerList() = default;
+  SharedPeerList(std::vector<common::PeerId> entries)  // NOLINT(google-explicit-constructor)
+      : data_(entries.empty()
+                  ? nullptr
+                  : std::make_shared<std::vector<common::PeerId>>(
+                        std::move(entries))) {}
+  SharedPeerList(std::initializer_list<common::PeerId> entries)
+      : SharedPeerList(std::vector<common::PeerId>(entries)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return data_ ? data_->size() : 0;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] const common::PeerId* begin() const noexcept {
+    return data_ ? data_->data() : nullptr;
+  }
+  [[nodiscard]] const common::PeerId* end() const noexcept {
+    return data_ ? data_->data() + data_->size() : nullptr;
+  }
+  [[nodiscard]] common::PeerId operator[](std::size_t i) const {
+    return (*data_)[i];
+  }
+  operator std::span<const common::PeerId>() const noexcept {  // NOLINT
+    return {begin(), size()};
+  }
+
+  void push_back(common::PeerId peer) { mutable_entries().push_back(peer); }
+  template <typename... Args>
+  void emplace_back(Args&&... args) {
+    mutable_entries().emplace_back(std::forward<Args>(args)...);
+  }
+
+  friend bool operator==(const SharedPeerList& a, const SharedPeerList& b) {
+    return a.data_ == b.data_ ||
+           std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  std::vector<common::PeerId>& mutable_entries() {
+    if (!data_) {
+      data_ = std::make_shared<std::vector<common::PeerId>>();
+    } else if (data_.use_count() > 1) {
+      data_ = std::make_shared<std::vector<common::PeerId>>(*data_);
+    }
+    return *data_;
+  }
+
+  std::shared_ptr<std::vector<common::PeerId>> data_;
+};
+
 struct PushMessage {
-  version::VersionedValue value;            ///< (U, V)
-  std::vector<common::PeerId> flooding_list; ///< R_f
-  common::Round round = 0;                  ///< t
+  version::VersionedValue value;  ///< (U, V)
+  SharedPeerList flooding_list;   ///< R_f (shared across the fan-out)
+  common::Round round = 0;        ///< t
 };
 
 struct PullRequest {

@@ -1,7 +1,6 @@
 #include "gossip/node.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "gossip/partial_list.hpp"
 
@@ -38,42 +37,46 @@ OutboundMessage ReplicaNode::wrap(common::PeerId to, GossipPayload payload) {
 
 // --- push phase ---------------------------------------------------------------
 
-std::vector<common::PeerId> ReplicaNode::select_targets(std::size_t count,
-                                                        common::Round now) {
+std::vector<common::PeerId>& ReplicaNode::select_targets(std::size_t count,
+                                                         common::Round now) {
   if (config_.target_selection == TargetSelection::kRandomPerPush) {
-    return view_.sample(rng_, count, {}, now);
+    view_.sample_into(rng_, count, targets_scratch_, nullptr, now);
+    return targets_scratch_;
   }
   // Fixed-neighbor overlay: the target set is drawn once and reused for
   // every update (topology-dependent gossip à la [20]).
   if (fixed_neighbors_.empty()) {
-    fixed_neighbors_ = view_.sample(rng_, config_.absolute_fanout(), {}, now);
+    view_.sample_into(rng_, config_.absolute_fanout(), fixed_neighbors_,
+                      nullptr, now);
   }
-  if (count >= fixed_neighbors_.size()) return fixed_neighbors_;
-  return std::vector<common::PeerId>(fixed_neighbors_.begin(),
-                                     fixed_neighbors_.begin() +
-                                         static_cast<std::ptrdiff_t>(count));
+  const std::size_t take = std::min(count, fixed_neighbors_.size());
+  targets_scratch_.assign(fixed_neighbors_.begin(),
+                          fixed_neighbors_.begin() +
+                              static_cast<std::ptrdiff_t>(take));
+  return targets_scratch_;
 }
 
-std::vector<OutboundMessage> ReplicaNode::start_push(
-    version::VersionedValue value, common::Round now) {
+void ReplicaNode::start_push(version::VersionedValue value, common::Round now,
+                             std::vector<OutboundMessage>& out) {
   ++stats_.updates_originated;
   seen_versions_.emplace(value.id, 0);
   note_activity(now);
 
   // Round 0: the initiator selects f_r·R replicas (§4.2).
-  const std::vector<common::PeerId> targets =
+  const std::vector<common::PeerId>& targets =
       select_targets(config_.absolute_fanout(), now);
-  const std::vector<common::PeerId> list = build_forward_list(
-      config_.partial_list, /*received=*/{}, targets, self_, rng_);
+  build_forward_list_into(config_.partial_list, /*received=*/{}, targets,
+                          self_, rng_, list_seen_scratch_, list_scratch_);
 
-  std::vector<OutboundMessage> out;
-  out.reserve(targets.size());
+  // One shared buffer serves the whole fan-out: each message copy is a
+  // refcount bump, not an O(|R_f|) vector copy.
+  const SharedPeerList list(list_scratch_);
+  out.reserve(out.size() + targets.size());
   for (const common::PeerId target : targets) {
     out.push_back(wrap(target, PushMessage{value, list, /*round=*/0}));
     ++stats_.pushes_forwarded;
     if (config_.acks.enabled) pending_acks_[target] = PendingAck{now};
   }
-  return out;
 }
 
 std::vector<OutboundMessage> ReplicaNode::publish(std::string_view key,
@@ -81,32 +84,34 @@ std::vector<OutboundMessage> ReplicaNode::publish(std::string_view key,
                                                   common::Round now) {
   version::VersionedValue value = writer_.write(
       store_, key, std::move(payload), static_cast<common::SimTime>(now));
-  return start_push(std::move(value), now);
+  std::vector<OutboundMessage> out;
+  start_push(std::move(value), now, out);
+  return out;
 }
 
 std::vector<OutboundMessage> ReplicaNode::remove(std::string_view key,
                                                  common::Round now) {
   version::VersionedValue tombstone =
       writer_.erase(store_, key, static_cast<common::SimTime>(now));
-  return start_push(std::move(tombstone), now);
+  std::vector<OutboundMessage> out;
+  start_push(std::move(tombstone), now, out);
+  return out;
 }
 
-std::vector<OutboundMessage> ReplicaNode::handle_push(common::PeerId from,
-                                                      const PushMessage& push,
-                                                      common::Round now) {
+void ReplicaNode::handle_push(common::PeerId from, const PushMessage& push,
+                              common::Round now,
+                              std::vector<OutboundMessage>& out) {
   ++stats_.pushes_received;
   view_.add(from);
   view_.clear_presumed_offline(from);  // it is evidently online
   stats_.members_discovered += view_.merge(push.flooding_list);
-
-  std::vector<OutboundMessage> out;
 
   auto [seen_it, first_receipt] = seen_versions_.emplace(push.value.id, 0u);
   if (!first_receipt) {
     ++seen_it->second;
     ++stats_.duplicate_pushes;
     forward_.observe_push(/*duplicate=*/true);
-    return out;  // ProcessedUpdate(U,V) == TRUE: push at most once (§3)
+    return;  // ProcessedUpdate(U,V) == TRUE: push at most once (§3)
   }
   forward_.observe_push(/*duplicate=*/false);
 
@@ -121,8 +126,7 @@ std::vector<OutboundMessage> ReplicaNode::handle_push(common::PeerId from,
   // up-to-date peer — reconcile with exactly that peer.
   if (lazy_waiting_) {
     lazy_waiting_ = false;
-    auto pulls = make_pull(now, from);
-    std::move(pulls.begin(), pulls.end(), std::back_inserter(out));
+    make_pull(now, out, from);
   }
 
   // §6 acknowledgement to the first pusher(s).
@@ -140,62 +144,70 @@ std::vector<OutboundMessage> ReplicaNode::handle_push(common::PeerId from,
       static_cast<double>(config_.estimated_total_replicas);
   if (!forward_.should_forward(rng_, next_round, list_fraction)) {
     ++stats_.forwards_suppressed;
-    return out;
+    return;
   }
 
   // Select R_p (f_r·R random replicas; f_r itself shrinks under §6
   // self-tuning), then push to R_p \ R_f: peers already on the flooding
   // list are *dropped*, not re-drawn — that is what shrinks the message
   // count by the (1−l(t)) factor of §4.2.
-  std::vector<common::PeerId> targets = select_targets(
+  std::vector<common::PeerId>& targets = select_targets(
       forward_.effective_fanout(config_.absolute_fanout(), list_fraction),
       now);
-  const std::unordered_set<common::PeerId> covered(push.flooding_list.begin(),
-                                                   push.flooding_list.end());
-  std::erase_if(targets, [&covered, from](common::PeerId peer) {
-    return peer == from || covered.contains(peer);
+  // The list was merged above, so the view's id range covers every entry;
+  // one exact reservation beats repeated geometric growth.
+  covered_scratch_.reserve_ids(view_.id_capacity());
+  covered_scratch_.clear();
+  for (const common::PeerId peer : push.flooding_list) {
+    covered_scratch_.insert(peer);
+  }
+  std::erase_if(targets, [this, from](common::PeerId peer) {
+    return peer == from || covered_scratch_.contains(peer);
   });
-  if (targets.empty()) return out;
+  if (targets.empty()) return;
 
-  const std::vector<common::PeerId> list = build_forward_list(
-      config_.partial_list, push.flooding_list, targets, self_, rng_);
+  list_seen_scratch_.reserve_ids(view_.id_capacity());
+  build_forward_list_into(config_.partial_list, push.flooding_list, targets,
+                          self_, rng_, list_seen_scratch_, list_scratch_);
+  const SharedPeerList list(list_scratch_);
+  out.reserve(out.size() + targets.size());
   for (const common::PeerId target : targets) {
     out.push_back(wrap(target, PushMessage{push.value, list, next_round}));
     ++stats_.pushes_forwarded;
     if (config_.acks.enabled) pending_acks_[target] = PendingAck{now};
   }
-  return out;
 }
 
 // --- pull phase ---------------------------------------------------------------
 
-std::vector<OutboundMessage> ReplicaNode::make_pull(
-    common::Round now, std::optional<common::PeerId> target) {
-  std::vector<common::PeerId> contacts;
+void ReplicaNode::make_pull(common::Round now,
+                            std::vector<OutboundMessage>& out,
+                            std::optional<common::PeerId> target) {
   if (target.has_value()) {
-    contacts.push_back(*target);
+    contacts_scratch_.clear();
+    contacts_scratch_.push_back(*target);
   } else {
-    contacts = view_.sample(rng_, config_.pull.contacts_per_attempt, {}, now);
+    view_.sample_into(rng_, config_.pull.contacts_per_attempt,
+                      contacts_scratch_, nullptr, now);
   }
-  std::vector<OutboundMessage> out;
-  out.reserve(contacts.size());
   const PullRequest request{store_.summary(), store_.stored_ids(),
                             store_.content_digest()};
-  for (const common::PeerId contact : contacts) {
+  out.reserve(out.size() + contacts_scratch_.size());
+  for (const common::PeerId contact : contacts_scratch_) {
     out.push_back(wrap(contact, request));
     ++stats_.pull_requests_sent;
   }
   last_pull_round_ = now;
-  return out;
 }
 
-std::vector<OutboundMessage> ReplicaNode::handle_pull_request(
-    common::PeerId from, const PullRequest& request, common::Round now) {
+void ReplicaNode::handle_pull_request(common::PeerId from,
+                                      const PullRequest& request,
+                                      common::Round now,
+                                      std::vector<OutboundMessage>& out) {
   ++stats_.pull_requests_received;
   view_.add(from);
   view_.clear_presumed_offline(from);
 
-  std::vector<OutboundMessage> out;
   const bool am_confident = confident(now);
   // Matching content digests mean identical stores: answer with an empty
   // (16-byte) response instead of computing and shipping deltas.
@@ -208,14 +220,13 @@ std::vector<OutboundMessage> ReplicaNode::handle_pull_request(
   // §3: "receives a pull request, but [is] not sure to have the latest
   // update" — the pulled party itself enters the pull phase.
   if (!am_confident && now > last_pull_round_) {
-    auto pulls = make_pull(now);
-    std::move(pulls.begin(), pulls.end(), std::back_inserter(out));
+    make_pull(now, out);
   }
-  return out;
 }
 
-std::vector<OutboundMessage> ReplicaNode::handle_pull_response(
-    common::PeerId from, const PullResponse& response, common::Round now) {
+void ReplicaNode::handle_pull_response(common::PeerId from,
+                                       const PullResponse& response,
+                                       common::Round now) {
   ++stats_.pull_responses_received;
   view_.add(from);
 
@@ -231,7 +242,6 @@ std::vector<OutboundMessage> ReplicaNode::handle_pull_response(
   needs_sync_ = needs_sync_ && !response.confident;
   lazy_waiting_ = false;
   note_activity(now);
-  return {};
 }
 
 void ReplicaNode::handle_ack(common::PeerId from, const AckMessage& /*ack*/) {
@@ -256,8 +266,8 @@ StartedQuery ReplicaNode::begin_query(std::string_view key, QueryRule rule,
   pending.answers.push_back(
       QueryAnswer{self_, store_.read(key), confident(now)});
 
-  const std::vector<common::PeerId> targets =
-      view_.sample(rng_, replicas_to_ask, {}, now);
+  view_.sample_into(rng_, replicas_to_ask, targets_scratch_, nullptr, now);
+  const std::vector<common::PeerId>& targets = targets_scratch_;
   pending.asked = targets.size();
   started.messages.reserve(targets.size());
   for (const common::PeerId target : targets) {
@@ -289,12 +299,13 @@ QueryOutcome ReplicaNode::poll_query(std::uint64_t nonce, common::Round now) {
   return outcome;
 }
 
-std::vector<OutboundMessage> ReplicaNode::handle_query_request(
-    common::PeerId from, const QueryRequest& request, common::Round now) {
+void ReplicaNode::handle_query_request(common::PeerId from,
+                                       const QueryRequest& request,
+                                       common::Round now,
+                                       std::vector<OutboundMessage>& out) {
   ++stats_.query_requests_received;
   view_.add(from);
 
-  std::vector<OutboundMessage> out;
   QueryReply reply;
   reply.key = request.key;
   reply.nonce = request.nonce;
@@ -305,10 +316,8 @@ std::vector<OutboundMessage> ReplicaNode::handle_query_request(
   // §6: a replica that cannot answer confidently "will itself have to
   // initiate a pull".
   if (!confident(now) && now > last_pull_round_) {
-    auto pulls = make_pull(now);
-    std::move(pulls.begin(), pulls.end(), std::back_inserter(out));
+    make_pull(now, out);
   }
-  return out;
 }
 
 void ReplicaNode::handle_query_reply(common::PeerId from,
@@ -325,44 +334,57 @@ void ReplicaNode::handle_query_reply(common::PeerId from,
 
 // --- event dispatch --------------------------------------------------------------
 
-std::vector<OutboundMessage> ReplicaNode::handle_message(
-    common::PeerId from, const GossipPayload& payload, common::Round now) {
-  return std::visit(
-      [this, from, now](const auto& message) -> std::vector<OutboundMessage> {
+void ReplicaNode::handle_message(common::PeerId from,
+                                 const GossipPayload& payload,
+                                 common::Round now,
+                                 std::vector<OutboundMessage>& out) {
+  std::visit(
+      [this, from, now, &out](const auto& message) {
         using T = std::decay_t<decltype(message)>;
         if constexpr (std::is_same_v<T, PushMessage>) {
-          return handle_push(from, message, now);
+          handle_push(from, message, now, out);
         } else if constexpr (std::is_same_v<T, PullRequest>) {
-          return handle_pull_request(from, message, now);
+          handle_pull_request(from, message, now, out);
         } else if constexpr (std::is_same_v<T, PullResponse>) {
-          return handle_pull_response(from, message, now);
+          handle_pull_response(from, message, now);
         } else if constexpr (std::is_same_v<T, AckMessage>) {
           handle_ack(from, message);
-          return {};
         } else if constexpr (std::is_same_v<T, QueryRequest>) {
-          return handle_query_request(from, message, now);
+          handle_query_request(from, message, now, out);
         } else {
           static_assert(std::is_same_v<T, QueryReply>);
           handle_query_reply(from, message);
-          return {};
         }
       },
       payload);
 }
 
-std::vector<OutboundMessage> ReplicaNode::on_reconnect(common::Round now) {
+std::vector<OutboundMessage> ReplicaNode::handle_message(
+    common::PeerId from, const GossipPayload& payload, common::Round now) {
+  std::vector<OutboundMessage> out;
+  handle_message(from, payload, now, out);
+  return out;
+}
+
+void ReplicaNode::on_reconnect(common::Round now,
+                               std::vector<OutboundMessage>& out) {
   needs_sync_ = true;
   note_activity(now);
   if (config_.pull.lazy) {
     lazy_waiting_ = true;  // wait for the first push, then pull from there
-    return {};
+    return;
   }
-  return make_pull(now);
+  make_pull(now, out);
 }
 
-std::vector<OutboundMessage> ReplicaNode::on_round_start(common::Round now) {
+std::vector<OutboundMessage> ReplicaNode::on_reconnect(common::Round now) {
   std::vector<OutboundMessage> out;
+  on_reconnect(now, out);
+  return out;
+}
 
+void ReplicaNode::on_round_start(common::Round now,
+                                 std::vector<OutboundMessage>& out) {
   // §6: push targets that never acked are presumed offline for a while.
   if (config_.acks.enabled && config_.acks.suppression_rounds > 0) {
     for (auto it = pending_acks_.begin(); it != pending_acks_.end();) {
@@ -384,9 +406,13 @@ std::vector<OutboundMessage> ReplicaNode::on_round_start(common::Round now) {
       now > last_pull_round_ &&
       now - last_pull_round_ > config_.pull.no_update_timeout;
   if (stale && pull_cooled_down && !view_.empty()) {
-    auto pulls = make_pull(now);
-    std::move(pulls.begin(), pulls.end(), std::back_inserter(out));
+    make_pull(now, out);
   }
+}
+
+std::vector<OutboundMessage> ReplicaNode::on_round_start(common::Round now) {
+  std::vector<OutboundMessage> out;
+  on_round_start(now, out);
   return out;
 }
 

@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/dense_peer_set.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "gossip/config.hpp"
@@ -123,13 +124,24 @@ class ReplicaNode {
   [[nodiscard]] std::vector<OutboundMessage> handle_message(
       common::PeerId from, const GossipPayload& payload, common::Round now);
 
+  /// Hot-path variant: appends the node's reactions to `out` instead of
+  /// returning a fresh vector, so a driver can reuse one buffer across the
+  /// whole round. With warm scratch buffers a push round performs no
+  /// per-call container allocation beyond the outbound payloads themselves.
+  void handle_message(common::PeerId from, const GossipPayload& payload,
+                      common::Round now, std::vector<OutboundMessage>& out);
+
   /// The peer just came back online: enter the pull phase (§3), or arm the
   /// lazy-pull trigger (§6).
   [[nodiscard]] std::vector<OutboundMessage> on_reconnect(common::Round now);
+  /// Appending hot-path variant of on_reconnect.
+  void on_reconnect(common::Round now, std::vector<OutboundMessage>& out);
 
   /// Per-round timer processing: ack timeouts (§6 suppression) and the
   /// no-update-for-too-long pull trigger (§3).
   [[nodiscard]] std::vector<OutboundMessage> on_round_start(common::Round now);
+  /// Appending hot-path variant of on_round_start.
+  void on_round_start(common::Round now, std::vector<OutboundMessage>& out);
 
   /// The peer went offline; in-flight expectations are abandoned.
   void on_disconnect(common::Round now);
@@ -153,23 +165,27 @@ class ReplicaNode {
   }
 
  private:
-  [[nodiscard]] std::vector<OutboundMessage> start_push(
-      version::VersionedValue value, common::Round now);
-  [[nodiscard]] std::vector<OutboundMessage> handle_push(
-      common::PeerId from, const PushMessage& push, common::Round now);
-  [[nodiscard]] std::vector<OutboundMessage> handle_pull_request(
-      common::PeerId from, const PullRequest& request, common::Round now);
-  [[nodiscard]] std::vector<OutboundMessage> handle_pull_response(
-      common::PeerId from, const PullResponse& response, common::Round now);
+  // All internal handlers append to `out`; the returning public methods are
+  // thin wrappers. This keeps the per-message path free of vector churn.
+  void start_push(version::VersionedValue value, common::Round now,
+                  std::vector<OutboundMessage>& out);
+  void handle_push(common::PeerId from, const PushMessage& push,
+                   common::Round now, std::vector<OutboundMessage>& out);
+  void handle_pull_request(common::PeerId from, const PullRequest& request,
+                           common::Round now,
+                           std::vector<OutboundMessage>& out);
+  void handle_pull_response(common::PeerId from, const PullResponse& response,
+                            common::Round now);
   void handle_ack(common::PeerId from, const AckMessage& ack);
-  [[nodiscard]] std::vector<OutboundMessage> handle_query_request(
-      common::PeerId from, const QueryRequest& request, common::Round now);
+  void handle_query_request(common::PeerId from, const QueryRequest& request,
+                            common::Round now,
+                            std::vector<OutboundMessage>& out);
   void handle_query_reply(common::PeerId from, const QueryReply& reply);
 
   /// Emits pull requests to `contacts_per_attempt` sampled peers (or to an
   /// explicit target for the lazy-pull-from-pusher case).
-  [[nodiscard]] std::vector<OutboundMessage> make_pull(
-      common::Round now, std::optional<common::PeerId> target = std::nullopt);
+  void make_pull(common::Round now, std::vector<OutboundMessage>& out,
+                 std::optional<common::PeerId> target = std::nullopt);
 
   void note_activity(common::Round now) noexcept {
     last_activity_round_ = now;
@@ -185,9 +201,11 @@ class ReplicaNode {
   ForwardDecider forward_;
   NodeStats stats_;
 
-  /// Chooses push targets per the configured TargetSelection policy.
-  [[nodiscard]] std::vector<common::PeerId> select_targets(std::size_t count,
-                                                           common::Round now);
+  /// Chooses push targets per the configured TargetSelection policy. The
+  /// returned reference aliases `targets_scratch_` and is valid until the
+  /// next select_targets call.
+  [[nodiscard]] std::vector<common::PeerId>& select_targets(std::size_t count,
+                                                            common::Round now);
 
   /// Versions already processed — the pseudocode's ProcessedUpdate set.
   std::unordered_map<version::VersionId, unsigned> seen_versions_;
@@ -211,6 +229,13 @@ class ReplicaNode {
   };
   std::unordered_map<std::uint64_t, PendingQuery> pending_queries_;
   std::uint64_t next_query_nonce_ = 1;
+
+  // Reusable hot-path scratch (never shrinks; cleared in O(1) per use).
+  std::vector<common::PeerId> targets_scratch_;   ///< select_targets output
+  std::vector<common::PeerId> contacts_scratch_;  ///< make_pull contacts
+  std::vector<common::PeerId> list_scratch_;      ///< outgoing forward list
+  common::DensePeerSet covered_scratch_;   ///< R_f exclusion in handle_push
+  common::DensePeerSet list_seen_scratch_; ///< build_forward_list dedup
 
   common::Round last_activity_round_ = 0;
   common::Round last_pull_round_ = 0;

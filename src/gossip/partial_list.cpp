@@ -1,7 +1,6 @@
 #include "gossip/partial_list.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 namespace updp2p::gossip {
 
@@ -16,57 +15,65 @@ const char* to_string(PartialListMode mode) noexcept {
   return "?";
 }
 
-std::vector<common::PeerId> build_forward_list(
-    const PartialListConfig& config,
-    const std::vector<common::PeerId>& received,
-    const std::vector<common::PeerId>& new_targets, common::PeerId self,
-    common::Rng& rng) {
-  if (config.mode == PartialListMode::kNone) return {};
+void build_forward_list_into(const PartialListConfig& config,
+                             std::span<const common::PeerId> received,
+                             std::span<const common::PeerId> new_targets,
+                             common::PeerId self, common::Rng& rng,
+                             common::DensePeerSet& seen_scratch,
+                             std::vector<common::PeerId>& out) {
+  out.clear();
+  if (config.mode == PartialListMode::kNone) return;
 
   // Order matters for the head/tail drop policies: `received` entries are
   // the oldest knowledge, then self, then the targets just chosen.
-  std::vector<common::PeerId> merged;
-  merged.reserve(received.size() + new_targets.size() + 1);
-  std::unordered_set<common::PeerId> seen;
-  seen.reserve(merged.capacity() * 2);
-  auto append = [&merged, &seen](common::PeerId peer) {
-    if (seen.insert(peer).second) merged.push_back(peer);
+  seen_scratch.clear();
+  auto append = [&out, &seen_scratch](common::PeerId peer) {
+    if (seen_scratch.insert(peer)) out.push_back(peer);
   };
   for (const common::PeerId peer : received) append(peer);
   append(self);
   for (const common::PeerId peer : new_targets) append(peer);
 
   if (config.mode == PartialListMode::kUnbounded ||
-      merged.size() <= config.max_entries) {
-    return merged;
+      out.size() <= config.max_entries) {
+    return;
   }
 
   const std::size_t cap = config.max_entries;
   switch (config.mode) {
     case PartialListMode::kDropHead:
       // Keep the newest `cap` entries.
-      merged.erase(merged.begin(),
-                   merged.begin() +
-                       static_cast<std::ptrdiff_t>(merged.size() - cap));
+      out.erase(out.begin(),
+                out.begin() + static_cast<std::ptrdiff_t>(out.size() - cap));
       break;
     case PartialListMode::kDropTail:
-      merged.resize(cap);
+      out.resize(cap);
       break;
     case PartialListMode::kDropRandom: {
       // Partial Fisher–Yates: move `cap` random survivors to the front.
       for (std::size_t i = 0; i < cap; ++i) {
         const std::size_t j =
-            i + static_cast<std::size_t>(rng.uniform_below(merged.size() - i));
-        std::swap(merged[i], merged[j]);
+            i + static_cast<std::size_t>(rng.uniform_below(out.size() - i));
+        std::swap(out[i], out[j]);
       }
-      merged.resize(cap);
+      out.resize(cap);
       break;
     }
     case PartialListMode::kNone:
     case PartialListMode::kUnbounded:
       break;  // unreachable; handled above
   }
-  return merged;
+}
+
+std::vector<common::PeerId> build_forward_list(
+    const PartialListConfig& config,
+    const std::vector<common::PeerId>& received,
+    const std::vector<common::PeerId>& new_targets, common::PeerId self,
+    common::Rng& rng) {
+  std::vector<common::PeerId> out;
+  common::DensePeerSet seen;
+  build_forward_list_into(config, received, new_targets, self, rng, seen, out);
+  return out;
 }
 
 }  // namespace updp2p::gossip

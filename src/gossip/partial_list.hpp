@@ -6,8 +6,10 @@
 // messages" but awareness growth is unchanged.
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "common/dense_peer_set.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "gossip/config.hpp"
@@ -16,8 +18,18 @@ namespace updp2p::gossip {
 
 /// Merges the received list with the newly chosen targets (plus the
 /// forwarder itself), de-duplicates preserving order of first appearance,
-/// and applies the configured cap. Returns the list to attach to the
-/// outgoing push. kNone yields an empty list.
+/// and applies the configured cap, writing the result into `out`
+/// (replacing its contents). `seen_scratch` is caller-provided dedup
+/// scratch, cleared here in O(1) — with warm buffers the call performs no
+/// heap allocation. kNone yields an empty list.
+void build_forward_list_into(const PartialListConfig& config,
+                             std::span<const common::PeerId> received,
+                             std::span<const common::PeerId> new_targets,
+                             common::PeerId self, common::Rng& rng,
+                             common::DensePeerSet& seen_scratch,
+                             std::vector<common::PeerId>& out);
+
+/// Allocating convenience wrapper around build_forward_list_into.
 [[nodiscard]] std::vector<common::PeerId> build_forward_list(
     const PartialListConfig& config,
     const std::vector<common::PeerId>& received,

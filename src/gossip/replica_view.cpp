@@ -5,32 +5,49 @@
 namespace updp2p::gossip {
 
 bool ReplicaView::add(common::PeerId peer) {
-  if (peer == self_ || index_.contains(peer)) return false;
-  index_.insert(peer);
+  if (peer == self_ || !index_.insert(peer)) return false;
   members_.push_back(peer);
   return true;
 }
 
 std::size_t ReplicaView::merge(std::span<const common::PeerId> peers) {
+  // Received peer lists probe the stamp array in random order, and the
+  // array is usually cold (deliveries alternate between nodes); prefetching
+  // a fixed distance ahead overlaps those cache misses.
+  constexpr std::size_t kPrefetchAhead = 16;
   std::size_t added = 0;
-  for (const common::PeerId peer : peers) {
-    if (add(peer)) ++added;
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    if (i + kPrefetchAhead < peers.size()) {
+      index_.prefetch(peers[i + kPrefetchAhead]);
+    }
+    if (add(peers[i])) ++added;
   }
   return added;
 }
 
 bool ReplicaView::is_presumed_offline(common::PeerId peer,
                                       common::Round now) const {
+  purge_presumed_offline(now);
   const auto it = presumed_offline_until_.find(peer);
   return it != presumed_offline_until_.end() && now < it->second;
 }
 
 std::size_t ReplicaView::presumed_offline_count(common::Round now) const {
+  purge_presumed_offline(now);
+  if (offline_purged_at_ >= now) return presumed_offline_until_.size();
+  // `now` ran backwards (possible in tests); fall back to a scan.
   std::size_t count = 0;
   for (const auto& [peer, until] : presumed_offline_until_) {
     if (now < until) ++count;
   }
   return count;
+}
+
+void ReplicaView::purge_presumed_offline(common::Round now) const {
+  if (now <= offline_purged_at_ || presumed_offline_until_.empty()) return;
+  offline_purged_at_ = now;
+  std::erase_if(presumed_offline_until_,
+                [now](const auto& entry) { return entry.second <= now; });
 }
 
 void ReplicaView::mark_preferred(common::PeerId peer) {
@@ -47,30 +64,43 @@ void ReplicaView::clear_presumed_offline(common::PeerId peer) {
   presumed_offline_until_.erase(peer);
 }
 
-std::vector<common::PeerId> ReplicaView::sample(
-    common::Rng& rng, std::size_t count,
-    const std::unordered_set<common::PeerId>& exclude,
-    common::Round now) const {
-  std::vector<common::PeerId> out;
-  if (count == 0 || members_.empty()) return out;
+void ReplicaView::sample_into(common::Rng& rng, std::size_t count,
+                              std::vector<common::PeerId>& out,
+                              const common::DensePeerSet* exclude,
+                              common::Round now) const {
+  out.clear();
+  if (count == 0 || members_.empty()) return;
+
+  purge_presumed_offline(now);
+  const bool check_offline = !presumed_offline_until_.empty();
+  const bool check_exclude = exclude != nullptr && !exclude->empty();
+  const bool weighted = preferred_weight_ > 1 && !preferred_.empty();
 
   // Candidate pool: view minus exclusions minus presumed-offline peers.
   // Preferred pushers (§6 acks) appear `preferred_weight_` times in the
   // pool, raising their selection odds without breaking distinctness.
-  std::vector<common::PeerId> pool;
-  pool.reserve(members_.size() + preferred_.size() * preferred_weight_);
-  for (const common::PeerId peer : members_) {
-    if (exclude.contains(peer) || is_presumed_offline(peer, now)) continue;
-    pool.push_back(peer);
-    if (preferred_weight_ > 1 && preferred_.contains(peer)) {
-      for (unsigned w = 1; w < preferred_weight_; ++w) pool.push_back(peer);
+  std::vector<common::PeerId>& pool = pool_scratch_;
+  if (!check_exclude && !check_offline && !weighted) {
+    // Common case (no filters): the pool is the membership verbatim, so a
+    // bulk copy replaces the per-element branching loop.
+    pool.assign(members_.begin(), members_.end());
+  } else {
+    pool.clear();
+    for (const common::PeerId peer : members_) {
+      if (check_exclude && exclude->contains(peer)) continue;
+      if (check_offline && is_presumed_offline(peer, now)) continue;
+      pool.push_back(peer);
+      if (weighted && preferred_.contains(peer)) {
+        for (unsigned w = 1; w < preferred_weight_; ++w) pool.push_back(peer);
+      }
     }
   }
-  if (pool.empty()) return out;
+  if (pool.empty()) return;
 
   out.reserve(std::min(count, pool.size()));
-  std::unordered_set<common::PeerId> chosen;
-  chosen.reserve(count * 2);
+  common::DensePeerSet& chosen = chosen_scratch_;
+  chosen.reserve_ids(index_.capacity());
+  chosen.clear();
   // Partial Fisher–Yates over the weighted pool, de-duplicating picks.
   std::size_t remaining = pool.size();
   while (chosen.size() < count && remaining > 0) {
@@ -78,8 +108,22 @@ std::vector<common::PeerId> ReplicaView::sample(
     const common::PeerId peer = pool[pick];
     std::swap(pool[pick], pool[remaining - 1]);
     --remaining;
-    if (chosen.insert(peer).second) out.push_back(peer);
+    if (chosen.insert(peer)) out.push_back(peer);
   }
+}
+
+std::vector<common::PeerId> ReplicaView::sample(
+    common::Rng& rng, std::size_t count,
+    const std::unordered_set<common::PeerId>& exclude,
+    common::Round now) const {
+  std::vector<common::PeerId> out;
+  if (exclude.empty()) {
+    sample_into(rng, count, out, nullptr, now);
+    return out;
+  }
+  exclude_scratch_.clear();
+  for (const common::PeerId peer : exclude) exclude_scratch_.insert(peer);
+  sample_into(rng, count, out, &exclude_scratch_, now);
   return out;
 }
 

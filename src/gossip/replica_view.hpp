@@ -6,6 +6,11 @@
 // name-dropper effect, §7.2/[14]). The view also tracks the §6 ack state:
 // preferred pushers (peers that acked us) and presumed-offline peers
 // (pushed, never acked) that are temporarily skipped.
+//
+// Sampling is the protocol's innermost loop, so it runs over dense
+// epoch-stamped sets and per-view scratch buffers: after warm-up a call to
+// sample_into performs no heap allocation and no hashing. The scratch state
+// makes a view non-reentrant but each node owns its view exclusively.
 #pragma once
 
 #include <optional>
@@ -14,6 +19,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/dense_peer_set.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 
@@ -40,14 +46,28 @@ class ReplicaView {
     return members_;
   }
   [[nodiscard]] common::PeerId self() const noexcept { return self_; }
+  /// Upper bound (exclusive) on member ids the view has seen; useful for
+  /// pre-sizing caller-owned DensePeerSet scratch in one step instead of
+  /// letting it grow geometrically.
+  [[nodiscard]] std::size_t id_capacity() const noexcept {
+    return index_.capacity();
+  }
 
-  /// Samples up to `count` distinct peers, excluding `exclude` and peers
+  /// Samples up to `count` distinct peers into `out` (replacing its
+  /// contents), excluding peers in `exclude` (when non-null) and peers
   /// currently presumed offline (§6 suppression). Preferred pushers are
-  /// `preferred_weight()` times as likely to be picked first. Returns fewer
-  /// than `count` when the view is small.
+  /// `preferred_weight()` times as likely to be picked first. Produces
+  /// fewer than `count` when the view is small. Allocation-free once the
+  /// view's scratch buffers are warm.
+  void sample_into(common::Rng& rng, std::size_t count,
+                   std::vector<common::PeerId>& out,
+                   const common::DensePeerSet* exclude = nullptr,
+                   common::Round now = 0) const;
+
+  /// Allocating convenience wrapper around sample_into.
   [[nodiscard]] std::vector<common::PeerId> sample(
       common::Rng& rng, std::size_t count,
-      const std::unordered_set<common::PeerId>& exclude,
+      const std::unordered_set<common::PeerId>& exclude = {},
       common::Round now = 0) const;
 
   /// How strongly §6-preferred peers are oversampled (1 = no preference).
@@ -71,15 +91,30 @@ class ReplicaView {
   }
   [[nodiscard]] bool is_presumed_offline(common::PeerId peer,
                                          common::Round now) const;
+  /// Live count of presumed-offline peers at `now`. O(1) after the lazy
+  /// purge for this round has run (expired marks are dropped on access).
   [[nodiscard]] std::size_t presumed_offline_count(common::Round now) const;
 
  private:
+  /// Lazily drops marks that expired at or before `now`; after the purge
+  /// every remaining entry satisfies `now < until`, so the map size IS the
+  /// live count. Rounds advance monotonically in every driver, so a purge
+  /// at round t never erases a mark still live at a later query.
+  void purge_presumed_offline(common::Round now) const;
+
   common::PeerId self_;
   unsigned preferred_weight_ = 2;
   std::vector<common::PeerId> members_;
-  std::unordered_set<common::PeerId> index_;
-  std::unordered_set<common::PeerId> preferred_;
-  std::unordered_map<common::PeerId, common::Round> presumed_offline_until_;
+  common::DensePeerSet index_;
+  common::DensePeerSet preferred_;
+  mutable std::unordered_map<common::PeerId, common::Round>
+      presumed_offline_until_;
+  mutable common::Round offline_purged_at_ = 0;
+
+  // sample_into scratch (reused across calls; cleared in O(1) per call).
+  mutable std::vector<common::PeerId> pool_scratch_;
+  mutable common::DensePeerSet chosen_scratch_;
+  mutable common::DensePeerSet exclude_scratch_;  // sample() wrapper only
 };
 
 }  // namespace updp2p::gossip

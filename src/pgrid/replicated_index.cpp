@@ -52,9 +52,9 @@ void ReplicatedIndex::set_online(common::PeerId peer, bool online) {
 
 void ReplicatedIndex::step_round() {
   ++round_;
-  auto delivered = bus_.deliver_round(
+  const auto& delivered = bus_.deliver_round(
       [this](common::PeerId to) { return online_[to.value()]; }, rng_);
-  for (auto& envelope : delivered) {
+  for (const auto& envelope : delivered) {
     dispatch(envelope.to,
              nodes_[envelope.to.value()]->handle_message(
                  envelope.from, envelope.payload, round_));

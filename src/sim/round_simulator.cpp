@@ -56,7 +56,7 @@ RoundSimulator::RoundSimulator(RoundSimConfig config,
 }
 
 void RoundSimulator::dispatch(common::PeerId from,
-                              std::vector<gossip::OutboundMessage> out) {
+                              std::vector<gossip::OutboundMessage>& out) {
   for (auto& message : out) {
     switch (message.payload.index()) {
       case gossip::kPushIndex: ++round_push_; break;
@@ -78,15 +78,33 @@ void RoundSimulator::dispatch(common::PeerId from,
     round_bytes_ += size;
     bus_.send(from, message.to, std::move(message.payload), size, round_);
   }
+  out.clear();
 }
 
-std::uint64_t RoundSimulator::sum_duplicates() const {
-  std::uint64_t total = 0;
-  for (const auto& node : nodes_) total += node->stats().duplicate_pushes;
-  return total;
+void RoundSimulator::start_tracking(const version::VersionId& id) {
+  tracking_ = true;
+  tracked_id_ = id;
+  aware_.assign(config_.population, 0);
+  aware_online_count_ = 0;
+  for (std::uint32_t i = 0; i < config_.population; ++i) {
+    if (nodes_[i]->knows_version(id)) {
+      aware_[i] = 1;
+      if (churn_->is_online(common::PeerId(i))) ++aware_online_count_;
+    }
+  }
+}
+
+void RoundSimulator::note_awareness(std::uint32_t node_index) {
+  if (!tracking_ || aware_[node_index] != 0) return;
+  if (!nodes_[node_index]->knows_version(tracked_id_)) return;
+  aware_[node_index] = 1;
+  // A node only handles messages while online, so the new awareness always
+  // counts toward the online-and-aware total.
+  ++aware_online_count_;
 }
 
 std::size_t RoundSimulator::aware_online(const version::VersionId& id) const {
+  if (tracking_ && id == tracked_id_) return aware_online_count_;
   std::size_t count = 0;
   for (std::uint32_t i = 0; i < config_.population; ++i) {
     const common::PeerId peer(i);
@@ -102,20 +120,24 @@ double RoundSimulator::aware_fraction(const version::VersionId& id) const {
                            static_cast<double>(online);
 }
 
-void RoundSimulator::step_round(RunMetrics* metrics,
-                                const version::VersionId* tracked) {
+void RoundSimulator::step_round(RunMetrics* metrics) {
   ++round_;
   round_push_ = round_pull_ = round_ack_ = round_query_ = 0;
   round_bytes_ = 0;
-  const std::uint64_t duplicates_before = sum_duplicates();
+  round_duplicates_ = 0;
 
   // 1. Deliver messages sent last round to peers that are online *now*.
-  auto delivered = bus_.deliver_round(
+  const auto& delivered = bus_.deliver_round(
       [this](common::PeerId to) { return churn_->is_online(to); }, rng_);
-  for (auto& envelope : delivered) {
-    auto reactions = nodes_[envelope.to.value()]->handle_message(
-        envelope.from, envelope.payload, round_);
-    dispatch(envelope.to, std::move(reactions));
+  for (const auto& envelope : delivered) {
+    const std::uint32_t to = envelope.to.value();
+    gossip::ReplicaNode& node = *nodes_[to];
+    const std::uint64_t duplicates_before = node.stats().duplicate_pushes;
+    node.handle_message(envelope.from, envelope.payload, round_,
+                        reactions_scratch_);
+    round_duplicates_ += node.stats().duplicate_pushes - duplicates_before;
+    note_awareness(to);
+    dispatch(envelope.to, reactions_scratch_);
   }
 
   // 2. Per-round timers for online peers.
@@ -123,7 +145,8 @@ void RoundSimulator::step_round(RunMetrics* metrics,
     for (std::uint32_t i = 0; i < config_.population; ++i) {
       const common::PeerId peer(i);
       if (!churn_->is_online(peer)) continue;
-      dispatch(peer, nodes_[i]->on_round_start(round_));
+      nodes_[i]->on_round_start(round_, reactions_scratch_);
+      dispatch(peer, reactions_scratch_);
     }
   }
 
@@ -132,13 +155,13 @@ void RoundSimulator::step_round(RunMetrics* metrics,
     RoundMetrics rm;
     rm.round = round_;
     rm.online = churn_->online_count();
-    rm.aware_online = tracked != nullptr ? aware_online(*tracked) : 0;
+    rm.aware_online = tracking_ ? aware_online_count_ : 0;
     rm.push_messages = round_push_;
     rm.pull_messages = round_pull_;
     rm.ack_messages = round_ack_;
     rm.query_messages = round_query_;
     rm.messages = round_push_ + round_pull_ + round_ack_ + round_query_;
-    rm.duplicates = sum_duplicates() - duplicates_before;
+    rm.duplicates = round_duplicates_;
     rm.bytes = round_bytes_;
     metrics->rounds.push_back(rm);
   }
@@ -151,9 +174,19 @@ void RoundSimulator::step_round(RunMetrics* metrics,
     const bool online = churn_->is_online(peer);
     if (online == was_online_[i]) continue;
     was_online_[i] = online;
+    if (tracking_ && aware_[i] != 0) {
+      // Awareness is sticky; only the online side of "online ∧ aware"
+      // changes with churn.
+      if (online) {
+        ++aware_online_count_;
+      } else {
+        --aware_online_count_;
+      }
+    }
     if (online) {
       if (config_.reconnect_pull) {
-        dispatch(peer, nodes_[i]->on_reconnect(round_ + 1));
+        nodes_[i]->on_reconnect(round_ + 1, reactions_scratch_);
+        dispatch(peer, reactions_scratch_);
       }
     } else {
       nodes_[i]->on_disconnect(round_ + 1);
@@ -185,13 +218,13 @@ RunMetrics RoundSimulator::propagate_update(
       nodes_[publisher.value()]->publish(key, std::move(payload), round_);
   const version::VersionedValue written =
       nodes_[publisher.value()]->read(key).value();
-  const version::VersionId tracked = written.id;
-  dispatch(publisher, std::move(out));
+  start_tracking(written.id);
+  dispatch(publisher, out);
 
   RoundMetrics round0;
   round0.round = round_;
   round0.online = churn_->online_count();
-  round0.aware_online = aware_online(tracked);
+  round0.aware_online = aware_online_count_;
   round0.push_messages = round_push_;
   round0.messages = round_push_;
   round0.bytes = round_bytes_;
@@ -200,7 +233,7 @@ RunMetrics RoundSimulator::propagate_update(
   // Subsequent rounds until quiescence.
   common::Round quiet = 0;
   for (common::Round t = 0; t < config_.max_rounds; ++t) {
-    step_round(&metrics, &tracked);
+    step_round(&metrics);
     const RoundMetrics& last = metrics.rounds.back();
     quiet = last.messages == 0 ? quiet + 1 : 0;
     if (quiet >= config_.quiescence_rounds) break;
@@ -210,7 +243,7 @@ RunMetrics RoundSimulator::propagate_update(
 
 void RoundSimulator::run_rounds(common::Round rounds) {
   for (common::Round t = 0; t < rounds; ++t) {
-    step_round(nullptr, nullptr);
+    step_round(nullptr);
   }
 }
 

@@ -90,9 +90,16 @@ class RoundSimulator {
   [[nodiscard]] std::size_t aware_online(const version::VersionId& id) const;
 
  private:
-  void dispatch(common::PeerId from, std::vector<gossip::OutboundMessage> out);
-  void step_round(RunMetrics* metrics, const version::VersionId* tracked);
-  [[nodiscard]] std::uint64_t sum_duplicates() const;
+  /// Moves `out`'s messages onto the bus, classifying them for the
+  /// per-round counters. `out` is left cleared with capacity retained so
+  /// callers can reuse it.
+  void dispatch(common::PeerId from, std::vector<gossip::OutboundMessage>& out);
+  void step_round(RunMetrics* metrics);
+  /// Arms incremental awareness tracking for `id` (the update being
+  /// propagated): O(population) once, then O(1) per awareness change.
+  void start_tracking(const version::VersionId& id);
+  /// Folds a just-handled delivery into the incremental awareness count.
+  void note_awareness(std::uint32_t node_index);
 
   RoundSimConfig config_;
   std::unique_ptr<churn::ChurnModel> churn_;
@@ -101,6 +108,19 @@ class RoundSimulator {
   net::MessageBus<gossip::GossipPayload> bus_;
   common::Round round_ = 0;
   std::vector<bool> was_online_;
+
+  // Incremental metric state: duplicates and awareness used to be
+  // O(population) rescans per round; they are now maintained as messages
+  // are handled and churn transitions fire.
+  bool tracking_ = false;
+  version::VersionId tracked_id_{};
+  std::vector<char> aware_;           ///< aware_[i]: node i knows tracked_id_
+  std::size_t aware_online_count_ = 0;  ///< |{i : aware_[i] ∧ online(i)}|
+  std::uint64_t round_duplicates_ = 0;
+
+  /// Reusable per-delivery reaction buffer (capacity retained across the
+  /// run; the hot path allocates nothing once warm).
+  std::vector<gossip::OutboundMessage> reactions_scratch_;
 
   // Per-round message-kind counters (reset each round by step_round).
   std::uint64_t round_push_ = 0;

@@ -2,19 +2,20 @@
 //
 // Every evaluation in this repository averages independent simulation runs
 // over seeds. Each run owns its simulator (no shared mutable state), so a
-// sweep is embarrassingly parallel; this helper fans runs out over a thread
-// pool and merges the per-run metrics deterministically (merge order is by
-// seed, not completion order — results are independent of scheduling).
+// sweep is embarrassingly parallel; runs are drained from SweepPool's
+// persistent workers via an atomic work-stealing index (no per-run thread
+// spawn, no head-of-line blocking) and the per-run metrics are merged
+// deterministically (merge order is by seed, not completion order — results
+// are independent of scheduling).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <future>
-#include <thread>
 #include <vector>
 
 #include "common/ensure.hpp"
 #include "sim/metrics.hpp"
+#include "sim/sweep_pool.hpp"
 
 namespace updp2p::sim {
 
@@ -27,24 +28,10 @@ std::vector<Result> sweep_seeds(std::uint64_t base_seed, unsigned runs,
                                     body,
                                 unsigned max_threads = 0) {
   UPDP2P_ENSURE(runs > 0, "a sweep needs at least one run");
-  if (max_threads == 0) {
-    max_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-
   std::vector<Result> results(runs);
-  std::vector<std::future<void>> inflight;
-  inflight.reserve(max_threads);
-  unsigned next = 0;
-  while (next < runs || !inflight.empty()) {
-    while (next < runs && inflight.size() < max_threads) {
-      const unsigned index = next++;
-      inflight.push_back(std::async(std::launch::async, [&, index] {
-        results[index] = body(base_seed + index + 1);
-      }));
-    }
-    inflight.front().get();
-    inflight.erase(inflight.begin());
-  }
+  SweepPool::shared().run(runs, max_threads, [&](unsigned index) {
+    results[index] = body(base_seed + index + 1);
+  });
   return results;
 }
 

@@ -1,0 +1,134 @@
+#include "sim/sweep_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace updp2p::sim {
+
+namespace {
+thread_local bool t_inside_pool_task = false;
+}  // namespace
+
+struct SweepPool::Impl {
+  std::mutex run_mutex;  ///< serialises concurrent run() callers
+
+  std::mutex mutex;
+  std::condition_variable work_cv;  ///< wakes workers for a new job
+  std::condition_variable done_cv;  ///< wakes the caller on completion
+
+  // Current job (valid while task != nullptr).
+  std::uint64_t generation = 0;
+  const std::function<void(unsigned)>* task = nullptr;
+  unsigned count = 0;
+  std::atomic<unsigned> next{0};        ///< work-stealing index
+  std::atomic<unsigned> done{0};        ///< tasks completed
+  std::atomic<int> worker_slots{0};     ///< pool workers allowed to join
+  std::exception_ptr first_error;
+
+  bool stopping = false;
+  std::vector<std::thread> workers;
+
+  void drain() {
+    t_inside_pool_task = true;
+    unsigned index;
+    // acq_rel pairs with the release store of `next` in run(): a worker
+    // that claims an index is guaranteed to see the job's task and count.
+    while ((index = next.fetch_add(1, std::memory_order_acq_rel)) < count) {
+      try {
+        (*task)(index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+        std::lock_guard<std::mutex> lock(mutex);
+        done_cv.notify_all();
+      }
+    }
+    t_inside_pool_task = false;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_cv.wait(lock,
+                     [&] { return stopping || generation != seen; });
+        if (stopping) return;
+        seen = generation;
+      }
+      // Respect the caller's max_workers by claiming a participation slot.
+      if (worker_slots.fetch_sub(1, std::memory_order_acq_rel) > 0) {
+        drain();
+      }
+    }
+  }
+};
+
+SweepPool::SweepPool() : impl_(new Impl) {
+  const unsigned hardware =
+      std::max(1u, std::thread::hardware_concurrency());
+  impl_->workers.reserve(hardware);
+  for (unsigned i = 0; i < hardware; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+SweepPool::~SweepPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+    impl_->work_cv.notify_all();
+  }
+  for (auto& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+SweepPool& SweepPool::shared() {
+  static SweepPool pool;
+  return pool;
+}
+
+void SweepPool::run(unsigned count, unsigned max_workers,
+                    const std::function<void(unsigned)>& task) {
+  if (count == 0) return;
+  if (t_inside_pool_task) {
+    // Nested sweep from inside a task: run inline to avoid self-deadlock.
+    for (unsigned i = 0; i < count; ++i) task(i);
+    return;
+  }
+  if (max_workers == 0) {
+    max_workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  std::lock_guard<std::mutex> run_lock(impl_->run_mutex);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->task = &task;
+    impl_->count = count;
+    impl_->next.store(0, std::memory_order_relaxed);
+    impl_->done.store(0, std::memory_order_relaxed);
+    // The caller participates, so the pool contributes one thread fewer.
+    impl_->worker_slots.store(static_cast<int>(max_workers) - 1,
+                              std::memory_order_relaxed);
+    impl_->first_error = nullptr;
+    ++impl_->generation;
+    impl_->work_cv.notify_all();
+  }
+
+  impl_->drain();
+
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->done_cv.wait(lock, [&] {
+    return impl_->done.load(std::memory_order_acquire) >= impl_->count;
+  });
+  impl_->task = nullptr;
+  if (impl_->first_error) std::rethrow_exception(impl_->first_error);
+}
+
+}  // namespace updp2p::sim

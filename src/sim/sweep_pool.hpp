@@ -1,0 +1,42 @@
+// Persistent thread pool for seed sweeps.
+//
+// The previous sweep fanned each run out with std::async and then waited on
+// the *oldest* future (head-of-line blocking): one slow seed stalled refills
+// of every idle slot, and each run paid a thread spawn. This pool keeps its
+// workers alive across sweeps and hands out work by an atomic index that
+// idle threads steal from — no per-run thread creation, no blocking on a
+// particular run, and the caller's thread drains work too instead of
+// sleeping.
+#pragma once
+
+#include <functional>
+
+namespace updp2p::sim {
+
+class SweepPool {
+ public:
+  /// The process-wide pool (workers are started lazily on first use and
+  /// joined at exit).
+  static SweepPool& shared();
+
+  /// Executes task(0), …, task(count-1), using the calling thread plus up
+  /// to max_workers-1 pool workers (0 = one per hardware thread). Blocks
+  /// until every index completed; rethrows the first task exception.
+  /// Indices are claimed from an atomic counter, so assignment order is
+  /// scheduling-dependent but every index runs exactly once. Nested calls
+  /// from inside a task run inline and serially (no deadlock).
+  void run(unsigned count, unsigned max_workers,
+           const std::function<void(unsigned)>& task);
+
+  SweepPool(const SweepPool&) = delete;
+  SweepPool& operator=(const SweepPool&) = delete;
+
+ private:
+  SweepPool();
+  ~SweepPool();
+
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace updp2p::sim

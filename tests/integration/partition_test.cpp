@@ -112,12 +112,14 @@ TEST(Partition, ConcurrentWritesOnBothSidesConvergeAfterHeal) {
   EXPECT_GT(with_both, 250u);
 }
 
-TEST(Partition, LinkFilterCountsAsOffline) {
+TEST(Partition, LinkFilterCountsAsPartitioned) {
   auto simulator = sim::make_push_phase_simulator(partition_config(), 1.0, 1.0);
   simulator->set_link_filter(same_side);
   (void)simulator->propagate_update(PeerId(0), "k", "v");
-  // Messages across the cut were accounted as sent-to-offline.
-  EXPECT_GT(simulator->bus_stats().messages_to_offline, 0u);
+  // Messages across the cut are lost like sends to offline peers (§3), but
+  // the bus attributes them to their own counter.
+  EXPECT_GT(simulator->bus_stats().messages_partitioned, 0u);
+  EXPECT_EQ(simulator->bus_stats().messages_to_offline, 0u);
 }
 
 }  // namespace

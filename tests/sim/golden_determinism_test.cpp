@@ -1,0 +1,174 @@
+// Golden-seed determinism suite.
+//
+// The hot-path work (dense peer sets, scratch buffers, double-buffered
+// delivery, incremental metrics, pooled sweeps) is pure mechanics: it must
+// not change a single RNG draw or metric. These tests pin complete runs of
+// the round simulator, the event simulator and a seed sweep to FNV-1a
+// fingerprints captured from the pre-optimization implementation. Any
+// behavioural drift — a reordered sample, a skipped bernoulli draw, a
+// different merge order — changes a fingerprint and fails loudly.
+//
+// If a future change *intentionally* alters protocol behaviour, re-capture
+// the constants below from a build of that change (see docs/benchmarks.md,
+// "Performance methodology").
+#include "churn/churn_model.hpp"
+#include "sim/event_simulator.hpp"
+#include "sim/round_simulator.hpp"
+#include "sim/sweep.hpp"
+
+#include <bit>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace updp2p {
+namespace {
+
+/// FNV-1a over explicit 64-bit words; doubles contribute their exact bits.
+struct Fnv {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  void add(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  void add(double d) { add(std::bit_cast<std::uint64_t>(d)); }
+};
+
+std::uint64_t fingerprint(const sim::RunMetrics& metrics) {
+  Fnv f;
+  f.add(metrics.population);
+  f.add(metrics.initial_online);
+  f.add(metrics.rounds.size());
+  for (const auto& r : metrics.rounds) {
+    f.add(static_cast<std::uint64_t>(r.round));
+    f.add(r.online);
+    f.add(r.aware_online);
+    f.add(r.messages);
+    f.add(r.push_messages);
+    f.add(r.pull_messages);
+    f.add(r.ack_messages);
+    f.add(r.query_messages);
+    f.add(r.duplicates);
+    f.add(r.bytes);
+  }
+  return f.h;
+}
+
+sim::RoundSimConfig plain_push_config() {
+  sim::RoundSimConfig config;
+  config.population = 400;
+  config.gossip.estimated_total_replicas = 400;
+  config.gossip.fanout_fraction = 0.02;
+  config.reconnect_pull = false;
+  config.round_timers = false;
+  config.seed = 1234;
+  return config;
+}
+
+TEST(GoldenDeterminism, PlainPushPhase) {
+  auto simulator = sim::make_push_phase_simulator(plain_push_config(),
+                                                  /*online=*/0.3,
+                                                  /*sigma=*/0.95);
+  const auto metrics = simulator->propagate_update();
+  EXPECT_EQ(metrics.rounds.size(), 15u);
+  EXPECT_EQ(metrics.total_messages(), 439u);
+  EXPECT_DOUBLE_EQ(metrics.final_aware_fraction(), 0.75);
+  EXPECT_EQ(simulator->bus_stats().messages_sent, 439u);
+  EXPECT_EQ(fingerprint(metrics), 10338237168813086741ULL);
+}
+
+TEST(GoldenDeterminism, FullFeatureRun) {
+  // Exercises every hot path at once: self-tuning forwards, capped
+  // kDropRandom flooding lists, acks with suppression and preferred
+  // weighting, periodic pulls, partial initial views, the wire codec on
+  // every message, random loss, and churn with rejoins.
+  sim::RoundSimConfig config;
+  config.population = 300;
+  config.gossip.estimated_total_replicas = 300;
+  config.gossip.fanout_fraction = 0.03;
+  config.gossip.self_tuning = true;
+  config.gossip.partial_list.mode = gossip::PartialListMode::kDropRandom;
+  config.gossip.partial_list.max_entries = 64;
+  config.gossip.acks.enabled = true;
+  config.gossip.acks.suppression_rounds = 5;
+  config.gossip.acks.preferred_weight = 3;
+  config.gossip.pull.contacts_per_attempt = 2;
+  config.gossip.pull.no_update_timeout = 8;
+  config.initial_view_size = 25;
+  config.serialize_messages = true;
+  config.message_loss = 0.05;
+  config.max_rounds = 60;
+  config.seed = 99;
+  auto churn = std::make_unique<churn::BernoulliChurn>(300, 0.5, 0.95, 0.1);
+  sim::RoundSimulator simulator(config, std::move(churn));
+
+  const auto metrics = simulator.propagate_update();
+  EXPECT_EQ(metrics.rounds.size(), 61u);
+  EXPECT_EQ(metrics.total_messages(), 5078u);
+  EXPECT_DOUBLE_EQ(metrics.final_aware_fraction(), 1.0);
+  EXPECT_EQ(simulator.bus_stats().messages_sent, 6290u);
+  EXPECT_EQ(simulator.bus_stats().messages_delivered, 4352u);
+  EXPECT_EQ(simulator.bus_stats().messages_dropped, 224u);
+  EXPECT_EQ(fingerprint(metrics), 7051452682401806375ULL);
+}
+
+TEST(GoldenDeterminism, EventSimulator) {
+  sim::EventSimConfig config;
+  config.population = 150;
+  config.gossip.estimated_total_replicas = 150;
+  config.gossip.fanout_fraction = 0.05;
+  config.gossip.pull.lazy = true;
+  config.mean_online_time = 50.0;
+  config.mean_offline_time = 150.0;
+  config.initial_view_size = 20;
+  config.seed = 77;
+  sim::EventSimulator es(config);
+  es.schedule_publish(1.0, "k1", "v1");
+  es.schedule_remove(30.0, "k1");
+  es.schedule_loss_window(10.0, 20.0, 0.5);
+  es.run_until(120.0);
+
+  const auto& stats = es.stats();
+  EXPECT_EQ(stats.messages_sent, 926u);
+  EXPECT_EQ(stats.messages_delivered, 392u);
+  EXPECT_EQ(es.online_count(), 30u);
+  Fnv f;
+  f.add(stats.messages_sent);
+  f.add(stats.messages_delivered);
+  f.add(stats.messages_to_offline);
+  f.add(stats.messages_lost);
+  f.add(stats.push_messages);
+  f.add(stats.pull_messages);
+  f.add(stats.ack_messages);
+  f.add(stats.query_messages);
+  f.add(stats.bytes_sent);
+  f.add(stats.reconnects);
+  f.add(es.online_count());
+  f.add(es.aware_fraction_total(es.published().front().id));
+  EXPECT_EQ(f.h, 16124072037221981346ULL);
+}
+
+TEST(GoldenDeterminism, SeedSweepAggregate) {
+  // The sweep pool hands indices out in scheduling-dependent order; the
+  // deterministic by-seed merge must make the aggregate independent of it.
+  const auto body = [](std::uint64_t seed) {
+    auto config = plain_push_config();
+    config.seed = seed;
+    auto simulator = sim::make_push_phase_simulator(config, 0.3, 0.95);
+    return simulator->propagate_update();
+  };
+  const auto aggregate = sim::sweep_aggregate(5'000, 5, body, 4);
+  EXPECT_DOUBLE_EQ(aggregate.messages_per_initial_online.mean(),
+                   4.0966666666666667);
+  EXPECT_DOUBLE_EQ(aggregate.final_aware_fraction.mean(),
+                   0.64378008262037412);
+  EXPECT_DOUBLE_EQ(aggregate.rounds_to_quiescence.mean(),
+                   6.5999999999999996);
+  EXPECT_DOUBLE_EQ(aggregate.duplicates.mean(), 48.200000000000003);
+  EXPECT_DOUBLE_EQ(aggregate.pull_messages.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace updp2p
