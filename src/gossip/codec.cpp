@@ -105,10 +105,7 @@ std::optional<version::VersionVector> get_version_vector(
   for (std::uint64_t i = 0; i < *count; ++i) {
     const auto peer = get_varint(bytes, offset);
     const auto counter = get_varint(bytes, offset);
-    if (!peer || !counter ||
-        *peer > std::numeric_limits<common::PeerId::rep_type>::max()) {
-      return std::nullopt;
-    }
+    if (!peer || !counter || *peer >= kMaxWirePeerId) return std::nullopt;
     vv.observe(common::PeerId(static_cast<std::uint32_t>(*peer)), *counter);
   }
   return vv;
@@ -157,10 +154,9 @@ std::optional<std::vector<common::PeerId>> get_peer_list(
   peers.reserve(*count);
   for (std::uint64_t i = 0; i < *count; ++i) {
     const auto peer = get_varint(bytes, offset);
-    if (!peer ||
-        *peer > std::numeric_limits<common::PeerId::rep_type>::max()) {
-      return std::nullopt;
-    }
+    // kMaxWirePeerId keeps hostile ids from commanding huge DensePeerSet
+    // resizes downstream (view merge, covered/seen scratch).
+    if (!peer || *peer >= kMaxWirePeerId) return std::nullopt;
     peers.emplace_back(static_cast<std::uint32_t>(*peer));
   }
   return peers;

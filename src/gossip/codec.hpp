@@ -33,6 +33,14 @@ using WireBytes = std::vector<std::byte>;
 /// Codec format version; bump on incompatible change.
 inline constexpr std::uint8_t kCodecVersion = 1;
 
+/// Upper bound (exclusive) on peer ids accepted off the wire. Decoded peer
+/// ids index population-sized dense arrays (DensePeerSet stamp arrays), so
+/// a hostile varint must not be able to command a multi-gigabyte resize or
+/// smuggle in the PeerId::invalid() sentinel, which dense containers
+/// reject by contract. 2^28 comfortably covers the paper's largest
+/// evaluated population (10^8, Fig. 5).
+inline constexpr std::uint64_t kMaxWirePeerId = std::uint64_t{1} << 28;
+
 /// Serialises any protocol payload into a framed byte string.
 [[nodiscard]] WireBytes encode(const GossipPayload& payload);
 

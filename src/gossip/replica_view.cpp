@@ -27,7 +27,14 @@ std::size_t ReplicaView::merge(std::span<const common::PeerId> peers) {
 
 bool ReplicaView::is_presumed_offline(common::PeerId peer,
                                       common::Round now) const {
-  purge_presumed_offline(now);
+  // Pure read — no purge. A mark still in the map is answered exactly by
+  // the expiry comparison, so a rewound `now` (tests, default-argument
+  // callers) gets the same answer the pre-purge implementation gave.
+  // Purging is driven by presumed_offline_count and sample_into, whose
+  // O(1)-count/empty fast paths need the map trimmed; a mark such a purge
+  // at round t dropped had `until <= t` and reads as online afterwards,
+  // matching presumed_offline_count's fallback scan, which cannot see
+  // purged marks either.
   const auto it = presumed_offline_until_.find(peer);
   return it != presumed_offline_until_.end() && now < it->second;
 }

@@ -89,6 +89,10 @@ class ReplicaView {
   [[nodiscard]] bool is_preferred(common::PeerId peer) const {
     return preferred_.contains(peer);
   }
+  /// Whether `peer` is marked presumed-offline at round `now`. Exact for
+  /// any mark still recorded, at any `now` (including rewound queries);
+  /// marks dropped by an earlier lazy purge — they had expired at or
+  /// before that purge's round — read as online.
   [[nodiscard]] bool is_presumed_offline(common::PeerId peer,
                                          common::Round now) const;
   /// Live count of presumed-offline peers at `now`. O(1) after the lazy

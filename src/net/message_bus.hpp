@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -84,13 +85,15 @@ class MessageBus {
 
   /// Flushes the pending batch. `is_online(PeerId)` decides deliverability.
   ///
-  /// Double-buffered: the returned reference aliases an internal vector
-  /// that is reused (capacity retained) across rounds, so a steady-state
-  /// round performs no allocation here. The batch stays valid until the
-  /// next deliver_round call; send() during iteration is safe (it appends
-  /// to the separate pending buffer).
+  /// Double-buffered: the returned span is a non-owning window onto an
+  /// internal vector that is reused (capacity retained) across rounds, so
+  /// a steady-state round performs no allocation here. The batch — and any
+  /// reference into its payloads — is invalidated by the next
+  /// deliver_round call; do not hold it (or spans derived from it) across
+  /// rounds. send() during iteration is safe (it appends to the separate
+  /// pending buffer).
   template <typename OnlineProbe>
-  [[nodiscard]] const std::vector<EnvelopeT>& deliver_round(
+  [[nodiscard]] std::span<const EnvelopeT> deliver_round(
       OnlineProbe&& is_online, common::Rng& rng) {
     delivered_.clear();
     delivered_.reserve(pending_.size());

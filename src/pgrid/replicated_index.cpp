@@ -52,7 +52,7 @@ void ReplicatedIndex::set_online(common::PeerId peer, bool online) {
 
 void ReplicatedIndex::step_round() {
   ++round_;
-  const auto& delivered = bus_.deliver_round(
+  const auto delivered = bus_.deliver_round(
       [this](common::PeerId to) { return online_[to.value()]; }, rng_);
   for (const auto& envelope : delivered) {
     dispatch(envelope.to,

@@ -127,7 +127,7 @@ void RoundSimulator::step_round(RunMetrics* metrics) {
   round_duplicates_ = 0;
 
   // 1. Deliver messages sent last round to peers that are online *now*.
-  const auto& delivered = bus_.deliver_round(
+  const auto delivered = bus_.deliver_round(
       [this](common::PeerId to) { return churn_->is_online(to); }, rng_);
   for (const auto& envelope : delivered) {
     const std::uint32_t to = envelope.to.value();

@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -14,37 +16,51 @@ thread_local bool t_inside_pool_task = false;
 }  // namespace
 
 struct SweepPool::Impl {
+  /// One sweep's complete state. Workers drain a shared_ptr snapshot taken
+  /// under the pool mutex, so a worker lingering in drain() after the sweep
+  /// completed keeps operating on *its* job: it can neither claim indices
+  /// from nor over-count completions of a job published by a later run().
+  /// The snapshot also keeps the Job alive past run(); the task functional
+  /// it points to stays valid because a worker only dereferences it for a
+  /// claimed index < count, and run() cannot return before done == count.
+  struct Job {
+    const std::function<void(unsigned)>* task = nullptr;
+    unsigned count = 0;
+    std::atomic<unsigned> next{0};     ///< work-stealing index
+    std::atomic<unsigned> done{0};     ///< tasks completed
+    std::atomic<int> worker_slots{0};  ///< pool workers allowed to join
+    std::exception_ptr first_error;    ///< guarded by the pool mutex
+  };
+
   std::mutex run_mutex;  ///< serialises concurrent run() callers
 
   std::mutex mutex;
   std::condition_variable work_cv;  ///< wakes workers for a new job
   std::condition_variable done_cv;  ///< wakes the caller on completion
 
-  // Current job (valid while task != nullptr).
-  std::uint64_t generation = 0;
-  const std::function<void(unsigned)>* task = nullptr;
-  unsigned count = 0;
-  std::atomic<unsigned> next{0};        ///< work-stealing index
-  std::atomic<unsigned> done{0};        ///< tasks completed
-  std::atomic<int> worker_slots{0};     ///< pool workers allowed to join
-  std::exception_ptr first_error;
+  std::uint64_t generation = 0;  ///< bumped once per published job
+  std::shared_ptr<Job> job;      ///< current job (guarded by mutex)
 
   bool stopping = false;
   std::vector<std::thread> workers;
 
-  void drain() {
+  void drain(Job& j) {
     t_inside_pool_task = true;
     unsigned index;
-    // acq_rel pairs with the release store of `next` in run(): a worker
-    // that claims an index is guaranteed to see the job's task and count.
-    while ((index = next.fetch_add(1, std::memory_order_acq_rel)) < count) {
+    // The claim itself can be relaxed: every thread reads j.task/j.count
+    // through the mutex-published snapshot, and completion ordering is
+    // carried by `done` below.
+    while ((index = j.next.fetch_add(1, std::memory_order_relaxed)) <
+           j.count) {
       try {
-        (*task)(index);
+        (*j.task)(index);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex);
-        if (!first_error) first_error = std::current_exception();
+        if (!j.first_error) j.first_error = std::current_exception();
       }
-      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+      // Release pairs with the caller's acquire load in run(): when done
+      // reaches count, every task's side effects are visible to the caller.
+      if (j.done.fetch_add(1, std::memory_order_acq_rel) + 1 == j.count) {
         std::lock_guard<std::mutex> lock(mutex);
         done_cv.notify_all();
       }
@@ -55,16 +71,18 @@ struct SweepPool::Impl {
   void worker_loop() {
     std::uint64_t seen = 0;
     while (true) {
+      std::shared_ptr<Job> current;
       {
         std::unique_lock<std::mutex> lock(mutex);
-        work_cv.wait(lock,
-                     [&] { return stopping || generation != seen; });
+        work_cv.wait(lock, [&] { return stopping || generation != seen; });
         if (stopping) return;
         seen = generation;
+        current = job;
       }
+      if (!current) continue;
       // Respect the caller's max_workers by claiming a participation slot.
-      if (worker_slots.fetch_sub(1, std::memory_order_acq_rel) > 0) {
-        drain();
+      if (current->worker_slots.fetch_sub(1, std::memory_order_acq_rel) > 0) {
+        drain(*current);
       }
     }
   }
@@ -107,28 +125,28 @@ void SweepPool::run(unsigned count, unsigned max_workers,
   }
 
   std::lock_guard<std::mutex> run_lock(impl_->run_mutex);
+  auto job = std::make_shared<Impl::Job>();
+  job->task = &task;
+  job->count = count;
+  // The caller participates, so the pool contributes one thread fewer.
+  job->worker_slots.store(static_cast<int>(max_workers) - 1,
+                          std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
-    impl_->task = &task;
-    impl_->count = count;
-    impl_->next.store(0, std::memory_order_relaxed);
-    impl_->done.store(0, std::memory_order_relaxed);
-    // The caller participates, so the pool contributes one thread fewer.
-    impl_->worker_slots.store(static_cast<int>(max_workers) - 1,
-                              std::memory_order_relaxed);
-    impl_->first_error = nullptr;
+    impl_->job = job;
     ++impl_->generation;
     impl_->work_cv.notify_all();
   }
 
-  impl_->drain();
+  impl_->drain(*job);
 
   std::unique_lock<std::mutex> lock(impl_->mutex);
   impl_->done_cv.wait(lock, [&] {
-    return impl_->done.load(std::memory_order_acquire) >= impl_->count;
+    return job->done.load(std::memory_order_acquire) >= job->count;
   });
-  impl_->task = nullptr;
-  if (impl_->first_error) std::rethrow_exception(impl_->first_error);
+  // Drop the pool's reference; lingering drainers hold their own snapshot.
+  impl_->job.reset();
+  if (job->first_error) std::rethrow_exception(job->first_error);
 }
 
 }  // namespace updp2p::sim

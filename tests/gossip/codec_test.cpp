@@ -152,6 +152,26 @@ TEST(Codec, EmptyQueryReplyRoundTrip) {
   EXPECT_TRUE(std::get<QueryReply>(*decoded).versions.empty());
 }
 
+TEST(Codec, RejectsOutOfRangePeerIds) {
+  // Decoded peer ids index population-sized dense arrays; ids at or above
+  // kMaxWirePeerId must be rejected before they can command huge resizes.
+  PushMessage push;
+  push.value = sample_value();
+  push.flooding_list = {PeerId(static_cast<std::uint32_t>(kMaxWirePeerId))};
+  EXPECT_FALSE(decode(encode(GossipPayload{push})).has_value());
+
+  PullRequest request;
+  request.summary.observe(PeerId(static_cast<std::uint32_t>(kMaxWirePeerId)),
+                          1);
+  EXPECT_FALSE(decode(encode(GossipPayload{request})).has_value());
+
+  PushMessage in_range;
+  in_range.value = sample_value();
+  in_range.flooding_list = {
+      PeerId(static_cast<std::uint32_t>(kMaxWirePeerId - 1))};
+  EXPECT_TRUE(decode(encode(GossipPayload{in_range})).has_value());
+}
+
 TEST(Codec, RejectsBadMagic) {
   auto bytes = encode(GossipPayload{PullRequest{}});
   bytes[0] = std::byte{0x00};

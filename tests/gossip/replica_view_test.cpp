@@ -104,6 +104,20 @@ TEST(ReplicaView, PresumedOfflineSkippedUntilExpiry) {
   EXPECT_TRUE(seen1);
 }
 
+TEST(ReplicaView, OfflineQueriesAreExactForRecordedMarks) {
+  ReplicaView view{PeerId(0)};
+  view.add(PeerId(1));
+  view.mark_presumed_offline(PeerId(1), /*until_round=*/10);
+  // The predicate is a pure read: a mark still recorded answers any `now`
+  // exactly, including queries that rewind past its expiry.
+  EXPECT_FALSE(view.is_presumed_offline(PeerId(1), 14));
+  EXPECT_TRUE(view.is_presumed_offline(PeerId(1), 5));
+  // Counting purges expired marks; a purged mark's expiry is forgotten, so
+  // a rewound query then reads the peer as online (drivers are monotonic).
+  EXPECT_EQ(view.presumed_offline_count(14), 0u);
+  EXPECT_FALSE(view.is_presumed_offline(PeerId(1), 5));
+}
+
 TEST(ReplicaView, ClearPresumedOffline) {
   ReplicaView view{PeerId(0)};
   view.add(PeerId(1));

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <vector>
 
 #include "sim/round_simulator.hpp"
+#include "sim/sweep_pool.hpp"
 
 namespace updp2p::sim {
 namespace {
@@ -65,6 +67,24 @@ TEST(Sweep, AggregateCountsRuns) {
   });
   EXPECT_EQ(aggregate.messages_per_initial_online.count(), 5u);
   EXPECT_DOUBLE_EQ(aggregate.messages_per_initial_online.mean(), 2.0);
+}
+
+TEST(Sweep, BackToBackJobsRunEachIndexExactlyOnce) {
+  // Regression: a worker lingering in the pool's drain loop after job N
+  // completed must not claim indices from (or over-count completions of)
+  // job N+1. Tiny jobs published back-to-back maximise that overlap.
+  auto& pool = SweepPool::shared();
+  std::vector<std::atomic<unsigned>> hits(16);
+  for (int job = 0; job < 500; ++job) {
+    const unsigned count = 1 + static_cast<unsigned>(job % 16);
+    for (auto& h : hits) h.store(0);
+    pool.run(count, 0,
+             [&hits](unsigned index) { hits[index].fetch_add(1); });
+    for (unsigned i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), i < count ? 1u : 0u)
+          << "job " << job << " index " << i;
+    }
+  }
 }
 
 TEST(Sweep, RejectsZeroRuns) {
