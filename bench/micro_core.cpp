@@ -196,6 +196,8 @@ void BM_SimulatedUpdate10k(benchmark::State& state) {
   // iteration is a full propagate_update (roughly 175k protocol messages
   // over 8 rounds), so this measures the whole step_round pipeline —
   // delivery, handling, forward-list building, dispatch — at scale.
+  // Runs the sharded engine at 8 shard threads (results are bit-identical
+  // to sequential; see GoldenDeterminism.ShardInvariance).
   std::uint64_t messages = 0;
   for (auto _ : state) {
     state.PauseTiming();
@@ -206,6 +208,7 @@ void BM_SimulatedUpdate10k(benchmark::State& state) {
     config.reconnect_pull = false;
     config.round_timers = false;
     config.seed = 5;
+    config.shard_threads = 8;
     auto simulator = sim::make_push_phase_simulator(config, 0.2, 0.95);
     state.ResumeTiming();
     const sim::RunMetrics metrics = simulator->propagate_update();
@@ -217,11 +220,96 @@ void BM_SimulatedUpdate10k(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatedUpdate10k)->Unit(benchmark::kMillisecond);
 
+void BM_SimulatedUpdateScaling(benchmark::State& state) {
+  // Thread-count scaling sweep over the same 10k-replica run: Arg is the
+  // shard_threads value. Because results are bit-identical at every value,
+  // the rows differ ONLY in wall-clock — a direct read of parallel
+  // speedup (or, on few-core hosts, of sharding overhead).
+  const auto shard_threads = static_cast<unsigned>(state.range(0));
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::RoundSimConfig config;
+    config.population = 10'000;
+    config.gossip.estimated_total_replicas = 10'000;
+    config.gossip.fanout_fraction = 0.01;
+    config.reconnect_pull = false;
+    config.round_timers = false;
+    config.seed = 5;
+    config.shard_threads = shard_threads;
+    auto simulator = sim::make_push_phase_simulator(config, 0.2, 0.95);
+    state.ResumeTiming();
+    const sim::RunMetrics metrics = simulator->propagate_update();
+    messages += metrics.total_messages();
+    benchmark::DoNotOptimize(&metrics);
+  }
+  state.counters["messages"] =
+      benchmark::Counter(static_cast<double>(messages));
+}
+BENCHMARK(BM_SimulatedUpdateScaling)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulatedUpdateLarge(benchmark::State& state) {
+  // Population-scale runs (100k default; 1M behind --large). The point is
+  // twofold: wall-clock at population scale, and memory — the SoA/arena
+  // work has to keep the 100k run's peak RSS under 1.7 GB (tracked via
+  // this bench's rss_delta_kb in BENCH_core.json).
+  const auto population = static_cast<std::size_t>(state.range(0));
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::RoundSimConfig config;
+    config.population = population;
+    config.gossip.estimated_total_replicas = population;
+    // Fanout 100 at every scale, like the paper's large-population runs.
+    config.gossip.fanout_fraction = 100.0 / static_cast<double>(population);
+    // Partial bootstrap views: full membership knowledge at 100k+ nodes
+    // would cost O(population²) memory (hundreds of KB of view state per
+    // node). 300 peers per view keeps per-node state O(|view|) — the
+    // regime the paper's partial-knowledge assumption describes — and is
+    // 3x the fanout, so sampling never starves.
+    config.initial_view_size = 300;
+    config.reconnect_pull = false;
+    config.round_timers = false;
+    config.seed = 5;
+    config.shard_threads = 8;
+    auto simulator = sim::make_push_phase_simulator(config, 0.2, 0.95);
+    state.ResumeTiming();
+    const sim::RunMetrics metrics = simulator->propagate_update();
+    messages += metrics.total_messages();
+    benchmark::DoNotOptimize(&metrics);
+  }
+  state.counters["messages"] =
+      benchmark::Counter(static_cast<double>(messages));
+}
+void RegisterLargeBenches(bool include_million) {
+  auto* bench = benchmark::RegisterBenchmark("BM_SimulatedUpdate100k",
+                                             BM_SimulatedUpdateLarge)
+                    ->Arg(100'000)
+                    ->Unit(benchmark::kMillisecond)
+                    ->Iterations(1);
+  (void)bench;
+  if (include_million) {
+    benchmark::RegisterBenchmark("BM_SimulatedUpdate1M",
+                                 BM_SimulatedUpdateLarge)
+        ->Arg(1'000'000)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
 /// Console output plus a record of every run for BENCH_core.json.
 class CollectingReporter : public benchmark::ConsoleReporter {
  public:
   void ReportRuns(const std::vector<Run>& runs) override {
     benchmark::ConsoleReporter::ReportRuns(runs);
+    // Peak-RSS growth since the previous report batch: attributed to the
+    // first record of this batch (batches are per-benchmark, so this pins
+    // footprint growth on the bench that caused it).
+    const std::int64_t peak_now = bench::peak_rss_kb();
+    std::int64_t delta = peak_now - last_peak_kb_;
+    last_peak_kb_ = peak_now;
     for (const Run& run : runs) {
       if (run.error_occurred || run.iterations == 0) continue;
       bench::CoreBenchRecord record;
@@ -233,16 +321,22 @@ class CollectingReporter : public benchmark::ConsoleReporter {
         record.messages_per_sec =
             counter->second.value / run.real_accumulated_time;
       }
+      record.rss_delta_kb = delta;
+      delta = 0;
       records.push_back(std::move(record));
     }
   }
   std::vector<bench::CoreBenchRecord> records;
+
+ private:
+  std::int64_t last_peak_kb_ = bench::peak_rss_kb();
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool large = false;
   std::string json_path = "BENCH_core.json";
   std::vector<char*> args;
   args.push_back(argv[0]);
@@ -250,6 +344,8 @@ int main(int argc, char** argv) {
     const std::string_view arg(argv[i]);
     if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--large") {
+      large = true;  // adds the 1M-replica run (several GB, minutes)
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = std::string(arg.substr(7));
     } else {
@@ -258,8 +354,11 @@ int main(int argc, char** argv) {
   }
   // Smoke mode: one quick pass over every bench — exercises all hot paths
   // (the sanitizer-build check) without paying for stable statistics.
+  // The population-scale benches are skipped: at 100k+ replicas even one
+  // iteration dominates a sanity pass.
   char min_time_flag[] = "--benchmark_min_time=0.001";
   if (smoke) args.push_back(min_time_flag);
+  if (!smoke) RegisterLargeBenches(large);
 
   int adjusted_argc = static_cast<int>(args.size());
   benchmark::Initialize(&adjusted_argc, args.data());
@@ -272,7 +371,9 @@ int main(int argc, char** argv) {
 
   std::cout << "peak_rss_kb: " << updp2p::bench::peak_rss_kb() << "\n";
   if (!smoke) {
-    if (!updp2p::bench::write_core_bench_json(json_path, reporter.records)) {
+    const auto meta = updp2p::bench::collect_run_meta();
+    if (!updp2p::bench::write_core_bench_json(json_path, reporter.records,
+                                              meta)) {
       std::cerr << "failed to write " << json_path << "\n";
       return 1;
     }

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Full verify flow: tier-1 tests in Release, then an ASan+UBSan build that
 # re-runs the test suite and a micro_core smoke pass (one quick iteration of
-# every hot-path bench) under the sanitizers.
+# every hot-path bench) under the sanitizers, then a TSan build that runs
+# the concurrency-bearing suites (sweep pool, sharded rounds, sharded bus,
+# golden determinism — including ShardInvariance at 8 threads).
 #
 # Usage: scripts/verify.sh [--skip-sanitizers]
 set -euo pipefail
@@ -26,5 +28,13 @@ cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "${JOBS}"
 ctest --preset asan-ubsan -j "${JOBS}"
 ./build-asan/bench/micro_core --smoke
+
+echo "==> sanitizers: TSan build + concurrency suites"
+# The tsan test preset filters to the suites that actually spawn threads:
+# the work-stealing sweep pool, the sharded round engine and bus, and the
+# golden-determinism suite (ShardInvariance drives 8 shard threads).
+cmake --preset tsan
+cmake --build --preset tsan -j "${JOBS}" --target sim_tests net_tests
+ctest --preset tsan -j "${JOBS}"
 
 echo "==> verify OK"

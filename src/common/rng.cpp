@@ -1,9 +1,6 @@
 #include "common/rng.hpp"
 
-#include <algorithm>
 #include <bit>
-#include <cmath>
-#include <unordered_set>
 
 namespace updp2p::common {
 
@@ -40,127 +37,6 @@ Rng Rng::split_for(std::uint64_t id) const noexcept {
   // mapping id -> stream is stable for a frozen parent.
   std::uint64_t sm = s_[0] ^ rotl(s_[3], 13) ^ (id * 0x9e3779b97f4a7c15ULL);
   return Rng(splitmix64(sm));
-}
-
-double Rng::uniform01() noexcept {
-  // 53 random mantissa bits -> uniform in [0,1).
-  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
-}
-
-bool Rng::bernoulli(double p) noexcept {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform01() < p;
-}
-
-std::uint64_t Rng::uniform_below(std::uint64_t bound) noexcept {
-  // Lemire's method: multiply-shift with rejection to remove modulo bias.
-  std::uint64_t x = (*this)();
-  __uint128_t m = static_cast<__uint128_t>(x) * bound;
-  auto low = static_cast<std::uint64_t>(m);
-  if (low < bound) {
-    const std::uint64_t threshold = -bound % bound;
-    while (low < threshold) {
-      x = (*this)();
-      m = static_cast<__uint128_t>(x) * bound;
-      low = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
-}
-
-std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
-  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
-  return lo + static_cast<std::int64_t>(uniform_below(range));
-}
-
-double Rng::exponential(double lambda) noexcept {
-  // Inverse CDF; guard against log(0).
-  double u;
-  do {
-    u = uniform01();
-  } while (u <= 0.0);
-  return -std::log(u) / lambda;
-}
-
-std::uint64_t Rng::geometric(double p) noexcept {
-  if (p >= 1.0) return 0;
-  if (p <= 0.0) return ~std::uint64_t{0};
-  double u;
-  do {
-    u = uniform01();
-  } while (u <= 0.0);
-  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
-}
-
-std::uint64_t Rng::poisson(double lambda) noexcept {
-  if (lambda <= 0.0) return 0;
-  if (lambda < 64.0) {
-    const double limit = std::exp(-lambda);
-    std::uint64_t count = 0;
-    double product = uniform01();
-    while (product > limit) {
-      ++count;
-      product *= uniform01();
-    }
-    return count;
-  }
-  // Normal approximation with continuity correction for large means.
-  const double u1 = std::max(uniform01(), 1e-300);
-  const double u2 = uniform01();
-  const double normal =
-      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.141592653589793 * u2);
-  const double value = lambda + std::sqrt(lambda) * normal + 0.5;
-  return value <= 0.0 ? 0 : static_cast<std::uint64_t>(value);
-}
-
-std::uint64_t Rng::zipf(std::uint64_t n, double s) noexcept {
-  if (n <= 1) return 0;
-  // Rejection-inversion sampling (Hörmann & Derflinger). H is an
-  // antiderivative of the continuous envelope x^-s.
-  const double sd = s;
-  auto H = [sd](double x) {
-    return sd == 1.0 ? std::log(x) : (std::pow(x, 1.0 - sd) - 1.0) / (1.0 - sd);
-  };
-  auto H_inv = [sd](double u) {
-    return sd == 1.0 ? std::exp(u)
-                     : std::pow(1.0 + u * (1.0 - sd), 1.0 / (1.0 - sd));
-  };
-  const double h_x1 = H(1.5) - 1.0;  // shifted so rank 1 is acceptable
-  const double h_n = H(static_cast<double>(n) + 0.5);
-  for (;;) {
-    const double u = h_x1 + uniform01() * (h_n - h_x1);
-    const double x = H_inv(u);
-    const auto k = static_cast<std::uint64_t>(x + 0.5);
-    const double k_d = static_cast<double>(std::max<std::uint64_t>(k, 1));
-    if (k >= 1 && k <= n &&
-        u >= H(k_d + 0.5) - std::pow(k_d, -sd)) {
-      return k - 1;  // 0-based rank
-    }
-  }
-}
-
-std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
-                                                           std::uint32_t k) {
-  std::vector<std::uint32_t> out;
-  if (n == 0 || k == 0) return out;
-  if (k >= n) {
-    out.resize(n);
-    for (std::uint32_t i = 0; i < n; ++i) out[i] = i;
-    shuffle(std::span<std::uint32_t>(out));
-    return out;
-  }
-  out.reserve(k);
-  // Floyd's algorithm: for j in [n-k, n), pick t in [0, j]; insert t or j.
-  std::unordered_set<std::uint32_t> chosen;
-  chosen.reserve(k * 2);
-  for (std::uint32_t j = n - k; j < n; ++j) {
-    const auto t = static_cast<std::uint32_t>(uniform_below(j + 1));
-    const std::uint32_t pick = chosen.contains(t) ? j : t;
-    chosen.insert(pick);
-    out.push_back(pick);
-  }
-  return out;
 }
 
 }  // namespace updp2p::common

@@ -195,7 +195,7 @@ WireBytes encode(const GossipPayload& payload) {
         using T = std::decay_t<decltype(message)>;
         if constexpr (std::is_same_v<T, PushMessage>) {
           put_u8(out, static_cast<std::uint8_t>(Kind::kPush));
-          put_value(out, message.value);
+          put_value(out, *message.value);
           put_varint(out, message.round);
           put_peer_list(out, message.flooding_list);
         } else if constexpr (std::is_same_v<T, PullRequest>) {
@@ -251,7 +251,8 @@ std::optional<GossipPayload> decode(std::span<const std::byte> bytes) {
           *round > std::numeric_limits<common::Round>::max()) {
         return std::nullopt;
       }
-      return GossipPayload{PushMessage{std::move(*value), std::move(*list),
+      return GossipPayload{PushMessage{SharedValue(std::move(*value)),
+                                       std::move(*list),
                                        static_cast<common::Round>(*round)}};
     }
     case Kind::kPullRequest: {

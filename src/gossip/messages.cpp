@@ -2,6 +2,11 @@
 
 namespace updp2p::gossip {
 
+const version::VersionedValue& SharedValue::empty_value() noexcept {
+  static const version::VersionedValue kEmpty{};
+  return kEmpty;
+}
+
 namespace {
 std::uint64_t value_bytes(const version::VersionedValue& value,
                           const WireSizeConfig& wire) {
@@ -18,7 +23,7 @@ std::uint64_t wire_size(const GossipPayload& payload,
              [&wire](const auto& message) -> std::uint64_t {
                using T = std::decay_t<decltype(message)>;
                if constexpr (std::is_same_v<T, PushMessage>) {
-                 return value_bytes(message.value, wire) +
+                 return value_bytes(*message.value, wire) +
                         message.flooding_list.size() *
                             wire.replica_entry_bytes +
                         sizeof(common::Round);

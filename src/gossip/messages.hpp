@@ -83,10 +83,46 @@ class SharedPeerList {
   std::shared_ptr<std::vector<common::PeerId>> data_;
 };
 
+/// The versioned value (U, V) shared across one forward's fan-out.
+///
+/// Same motivation as SharedPeerList: every fan-out target receives the
+/// identical value, and a VersionedValue copy is expensive (payload string
+/// plus a std::map-backed version vector). The value is immutable once a
+/// push is built, so the copies can share one object; copying a
+/// SharedValue is a reference-count bump. Value semantics are preserved:
+/// comparison is deep, and a default-constructed SharedValue reads as an
+/// empty VersionedValue.
+class SharedValue {
+ public:
+  SharedValue() = default;
+  SharedValue(version::VersionedValue value)  // NOLINT(google-explicit-constructor)
+      : data_(std::make_shared<const version::VersionedValue>(
+            std::move(value))) {}
+
+  [[nodiscard]] const version::VersionedValue& get() const noexcept {
+    return data_ ? *data_ : empty_value();
+  }
+  [[nodiscard]] const version::VersionedValue& operator*() const noexcept {
+    return get();
+  }
+  [[nodiscard]] const version::VersionedValue* operator->() const noexcept {
+    return &get();
+  }
+
+  friend bool operator==(const SharedValue& a, const SharedValue& b) {
+    return a.data_ == b.data_ || a.get() == b.get();
+  }
+
+ private:
+  [[nodiscard]] static const version::VersionedValue& empty_value() noexcept;
+
+  std::shared_ptr<const version::VersionedValue> data_;
+};
+
 struct PushMessage {
-  version::VersionedValue value;  ///< (U, V)
-  SharedPeerList flooding_list;   ///< R_f (shared across the fan-out)
-  common::Round round = 0;        ///< t
+  SharedValue value;             ///< (U, V) (shared across the fan-out)
+  SharedPeerList flooding_list;  ///< R_f (shared across the fan-out)
+  common::Round round = 0;       ///< t
 };
 
 struct PullRequest {

@@ -7,12 +7,12 @@
 namespace updp2p::gossip {
 
 ReplicaNode::ReplicaNode(common::PeerId self, GossipConfig config,
-                         common::Rng rng)
+                         common::StreamRng rng)
     : self_(self),
       config_(std::move(config)),
       rng_(rng),
       view_(self),
-      writer_(self, rng.split_for(self.value())),
+      writer_(self, common::Rng(rng.derive_seed(self.value()))),
       forward_(config_) {
   config_.validate();
   view_.set_preferred_weight(config_.acks.preferred_weight);
@@ -39,9 +39,10 @@ OutboundMessage ReplicaNode::wrap(common::PeerId to, GossipPayload payload) {
 
 std::vector<common::PeerId>& ReplicaNode::select_targets(std::size_t count,
                                                          common::Round now) {
+  std::vector<common::PeerId>& targets = arena().targets;
   if (config_.target_selection == TargetSelection::kRandomPerPush) {
-    view_.sample_into(rng_, count, targets_scratch_, nullptr, now);
-    return targets_scratch_;
+    view_.sample_into(rng_, count, targets, nullptr, now);
+    return targets;
   }
   // Fixed-neighbor overlay: the target set is drawn once and reused for
   // every update (topology-dependent gossip à la [20]).
@@ -50,10 +51,10 @@ std::vector<common::PeerId>& ReplicaNode::select_targets(std::size_t count,
                       nullptr, now);
   }
   const std::size_t take = std::min(count, fixed_neighbors_.size());
-  targets_scratch_.assign(fixed_neighbors_.begin(),
-                          fixed_neighbors_.begin() +
-                              static_cast<std::ptrdiff_t>(take));
-  return targets_scratch_;
+  targets.assign(fixed_neighbors_.begin(),
+                 fixed_neighbors_.begin() +
+                     static_cast<std::ptrdiff_t>(take));
+  return targets;
 }
 
 void ReplicaNode::start_push(version::VersionedValue value, common::Round now,
@@ -65,15 +66,21 @@ void ReplicaNode::start_push(version::VersionedValue value, common::Round now,
   // Round 0: the initiator selects f_r·R replicas (§4.2).
   const std::vector<common::PeerId>& targets =
       select_targets(config_.absolute_fanout(), now);
+  if (targets.empty()) return;
   build_forward_list_into(config_.partial_list, /*received=*/{}, targets,
-                          self_, rng_, list_seen_scratch_, list_scratch_);
+                          self_, rng_, arena().list_seen, arena().list);
 
   // One shared buffer serves the whole fan-out: each message copy is a
-  // refcount bump, not an O(|R_f|) vector copy.
-  const SharedPeerList list(list_scratch_);
+  // refcount bump, not an O(|R_f|) vector (or version-vector) copy; the
+  // wire size is identical across the fan-out, so compute it once.
+  const GossipPayload payload(
+      PushMessage{SharedValue(std::move(value)), SharedPeerList(arena().list),
+                  /*round=*/0});
+  const std::uint64_t size = wire_size(payload, config_.wire);
   out.reserve(out.size() + targets.size());
   for (const common::PeerId target : targets) {
-    out.push_back(wrap(target, PushMessage{value, list, /*round=*/0}));
+    stats_.bytes_sent += size;
+    out.push_back(OutboundMessage{target, payload, size});
     ++stats_.pushes_forwarded;
     if (config_.acks.enabled) pending_acks_[target] = PendingAck{now};
   }
@@ -106,7 +113,7 @@ void ReplicaNode::handle_push(common::PeerId from, const PushMessage& push,
   view_.clear_presumed_offline(from);  // it is evidently online
   stats_.members_discovered += view_.merge(push.flooding_list);
 
-  auto [seen_it, first_receipt] = seen_versions_.emplace(push.value.id, 0u);
+  auto [seen_it, first_receipt] = seen_versions_.emplace(push.value->id, 0u);
   if (!first_receipt) {
     ++seen_it->second;
     ++stats_.duplicate_pushes;
@@ -115,7 +122,7 @@ void ReplicaNode::handle_push(common::PeerId from, const PushMessage& push,
   }
   forward_.observe_push(/*duplicate=*/false);
 
-  const version::ApplyOutcome outcome = store_.apply(push.value);
+  const version::ApplyOutcome outcome = store_.apply(*push.value);
   if (outcome == version::ApplyOutcome::kApplied ||
       outcome == version::ApplyOutcome::kCoexisting) {
     ++stats_.updates_learned_push;
@@ -132,7 +139,7 @@ void ReplicaNode::handle_push(common::PeerId from, const PushMessage& push,
   // §6 acknowledgement to the first pusher(s).
   if (config_.acks.enabled &&
       seen_it->second < config_.acks.ack_first_k) {
-    out.push_back(wrap(from, AckMessage{push.value.id}));
+    out.push_back(wrap(from, AckMessage{push.value->id}));
     ++stats_.acks_sent;
   }
 
@@ -156,23 +163,29 @@ void ReplicaNode::handle_push(common::PeerId from, const PushMessage& push,
       now);
   // The list was merged above, so the view's id range covers every entry;
   // one exact reservation beats repeated geometric growth.
-  covered_scratch_.reserve_ids(view_.id_capacity());
-  covered_scratch_.clear();
+  common::DensePeerSet& covered = arena().covered;
+  covered.reserve_ids(view_.id_capacity());
+  covered.clear();
   for (const common::PeerId peer : push.flooding_list) {
-    covered_scratch_.insert(peer);
+    covered.insert(peer);
   }
-  std::erase_if(targets, [this, from](common::PeerId peer) {
-    return peer == from || covered_scratch_.contains(peer);
+  std::erase_if(targets, [&covered, from](common::PeerId peer) {
+    return peer == from || covered.contains(peer);
   });
   if (targets.empty()) return;
 
-  list_seen_scratch_.reserve_ids(view_.id_capacity());
+  arena().list_seen.reserve_ids(view_.id_capacity());
   build_forward_list_into(config_.partial_list, push.flooding_list, targets,
-                          self_, rng_, list_seen_scratch_, list_scratch_);
-  const SharedPeerList list(list_scratch_);
+                          self_, rng_, arena().list_seen, arena().list);
+  // Forwarded value and list are shared across the fan-out; the wire size
+  // is identical for every target, so compute it once.
+  const GossipPayload payload(
+      PushMessage{push.value, SharedPeerList(arena().list), next_round});
+  const std::uint64_t size = wire_size(payload, config_.wire);
   out.reserve(out.size() + targets.size());
   for (const common::PeerId target : targets) {
-    out.push_back(wrap(target, PushMessage{push.value, list, next_round}));
+    stats_.bytes_sent += size;
+    out.push_back(OutboundMessage{target, payload, size});
     ++stats_.pushes_forwarded;
     if (config_.acks.enabled) pending_acks_[target] = PendingAck{now};
   }
@@ -183,17 +196,18 @@ void ReplicaNode::handle_push(common::PeerId from, const PushMessage& push,
 void ReplicaNode::make_pull(common::Round now,
                             std::vector<OutboundMessage>& out,
                             std::optional<common::PeerId> target) {
+  std::vector<common::PeerId>& contacts = arena().contacts;
   if (target.has_value()) {
-    contacts_scratch_.clear();
-    contacts_scratch_.push_back(*target);
+    contacts.clear();
+    contacts.push_back(*target);
   } else {
-    view_.sample_into(rng_, config_.pull.contacts_per_attempt,
-                      contacts_scratch_, nullptr, now);
+    view_.sample_into(rng_, config_.pull.contacts_per_attempt, contacts,
+                      nullptr, now);
   }
   const PullRequest request{store_.summary(), store_.stored_ids(),
                             store_.content_digest()};
-  out.reserve(out.size() + contacts_scratch_.size());
-  for (const common::PeerId contact : contacts_scratch_) {
+  out.reserve(out.size() + contacts.size());
+  for (const common::PeerId contact : contacts) {
     out.push_back(wrap(contact, request));
     ++stats_.pull_requests_sent;
   }
@@ -266,8 +280,8 @@ StartedQuery ReplicaNode::begin_query(std::string_view key, QueryRule rule,
   pending.answers.push_back(
       QueryAnswer{self_, store_.read(key), confident(now)});
 
-  view_.sample_into(rng_, replicas_to_ask, targets_scratch_, nullptr, now);
-  const std::vector<common::PeerId>& targets = targets_scratch_;
+  view_.sample_into(rng_, replicas_to_ask, arena().targets, nullptr, now);
+  const std::vector<common::PeerId>& targets = arena().targets;
   pending.asked = targets.size();
   started.messages.reserve(targets.size());
   for (const common::PeerId target : targets) {

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -21,9 +22,9 @@
 #include <unordered_map>
 #include <vector>
 
-#include "common/dense_peer_set.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "gossip/arena.hpp"
 #include "gossip/config.hpp"
 #include "gossip/forward_policy.hpp"
 #include "gossip/messages.hpp"
@@ -70,7 +71,19 @@ struct QueryOutcome {
 
 class ReplicaNode {
  public:
-  ReplicaNode(common::PeerId self, GossipConfig config, common::Rng rng);
+  /// `rng` is the node's private counter-based stream; drivers key it as
+  /// StreamRng(run_seed, node_id) so a node's draw sequence is a pure
+  /// function of the messages it handles, independent of global iteration
+  /// order (the sharded-simulation determinism contract).
+  ReplicaNode(common::PeerId self, GossipConfig config, common::StreamRng rng);
+
+  /// Shares the driver-owned scratch arena (see arena.hpp). The node and
+  /// its view fall back to a private arena when none is wired. Nodes
+  /// sharing an arena must never execute concurrently.
+  void use_arena(WorkArena* arena) noexcept {
+    arena_ = arena;
+    view_.use_arena(arena);
+  }
 
   /// Seeds the initial membership view ("each replica knows a minimal
   /// fraction of the complete set of replicas", §2).
@@ -194,7 +207,7 @@ class ReplicaNode {
 
   common::PeerId self_;
   GossipConfig config_;
-  common::Rng rng_;
+  common::StreamRng rng_;
   ReplicaView view_;
   version::VersionedStore store_;
   version::LocalWriter writer_;
@@ -230,12 +243,14 @@ class ReplicaNode {
   std::unordered_map<std::uint64_t, PendingQuery> pending_queries_;
   std::uint64_t next_query_nonce_ = 1;
 
-  // Reusable hot-path scratch (never shrinks; cleared in O(1) per use).
-  std::vector<common::PeerId> targets_scratch_;   ///< select_targets output
-  std::vector<common::PeerId> contacts_scratch_;  ///< make_pull contacts
-  std::vector<common::PeerId> list_scratch_;      ///< outgoing forward list
-  common::DensePeerSet covered_scratch_;   ///< R_f exclusion in handle_push
-  common::DensePeerSet list_seen_scratch_; ///< build_forward_list dedup
+  /// The wired arena, or a lazily created private one (standalone nodes).
+  [[nodiscard]] WorkArena& arena() const {
+    if (arena_ != nullptr) return *arena_;
+    if (!owned_arena_) owned_arena_ = std::make_unique<WorkArena>();
+    return *owned_arena_;
+  }
+  WorkArena* arena_ = nullptr;
+  mutable std::unique_ptr<WorkArena> owned_arena_;
 
   common::Round last_activity_round_ = 0;
   common::Round last_pull_round_ = 0;

@@ -15,10 +15,11 @@ const char* to_string(PartialListMode mode) noexcept {
   return "?";
 }
 
+template <typename RngT>
 void build_forward_list_into(const PartialListConfig& config,
                              std::span<const common::PeerId> received,
                              std::span<const common::PeerId> new_targets,
-                             common::PeerId self, common::Rng& rng,
+                             common::PeerId self, RngT& rng,
                              common::DensePeerSet& seen_scratch,
                              std::vector<common::PeerId>& out) {
   out.clear();
@@ -65,15 +66,35 @@ void build_forward_list_into(const PartialListConfig& config,
   }
 }
 
+template <typename RngT>
 std::vector<common::PeerId> build_forward_list(
     const PartialListConfig& config,
     const std::vector<common::PeerId>& received,
     const std::vector<common::PeerId>& new_targets, common::PeerId self,
-    common::Rng& rng) {
+    RngT& rng) {
   std::vector<common::PeerId> out;
   common::DensePeerSet seen;
   build_forward_list_into(config, received, new_targets, self, rng, seen, out);
   return out;
 }
+
+template void build_forward_list_into(const PartialListConfig&,
+                                      std::span<const common::PeerId>,
+                                      std::span<const common::PeerId>,
+                                      common::PeerId, common::Rng&,
+                                      common::DensePeerSet&,
+                                      std::vector<common::PeerId>&);
+template void build_forward_list_into(const PartialListConfig&,
+                                      std::span<const common::PeerId>,
+                                      std::span<const common::PeerId>,
+                                      common::PeerId, common::StreamRng&,
+                                      common::DensePeerSet&,
+                                      std::vector<common::PeerId>&);
+template std::vector<common::PeerId> build_forward_list(
+    const PartialListConfig&, const std::vector<common::PeerId>&,
+    const std::vector<common::PeerId>&, common::PeerId, common::Rng&);
+template std::vector<common::PeerId> build_forward_list(
+    const PartialListConfig&, const std::vector<common::PeerId>&,
+    const std::vector<common::PeerId>&, common::PeerId, common::StreamRng&);
 
 }  // namespace updp2p::gossip

@@ -21,19 +21,22 @@ namespace updp2p::gossip {
 /// and applies the configured cap, writing the result into `out`
 /// (replacing its contents). `seen_scratch` is caller-provided dedup
 /// scratch, cleared here in O(1) — with warm buffers the call performs no
-/// heap allocation. kNone yields an empty list.
+/// heap allocation. kNone yields an empty list. Works with either RNG
+/// engine (Rng or StreamRng); instantiated for both in the .cpp.
+template <typename RngT>
 void build_forward_list_into(const PartialListConfig& config,
                              std::span<const common::PeerId> received,
                              std::span<const common::PeerId> new_targets,
-                             common::PeerId self, common::Rng& rng,
+                             common::PeerId self, RngT& rng,
                              common::DensePeerSet& seen_scratch,
                              std::vector<common::PeerId>& out);
 
 /// Allocating convenience wrapper around build_forward_list_into.
+template <typename RngT>
 [[nodiscard]] std::vector<common::PeerId> build_forward_list(
     const PartialListConfig& config,
     const std::vector<common::PeerId>& received,
     const std::vector<common::PeerId>& new_targets, common::PeerId self,
-    common::Rng& rng);
+    RngT& rng);
 
 }  // namespace updp2p::gossip

@@ -5,19 +5,56 @@
 namespace updp2p::gossip {
 
 bool ReplicaView::add(common::PeerId peer) {
+  // Track the id bound for every peer *offered*, not just those stored:
+  // callers size DensePeerSet scratch off id_capacity() to cover flooding
+  // lists, and a list may legitimately contain this view's owner.
+  if (peer.is_valid()) {
+    if (peer.value() + 1 > id_bound_) {
+      id_bound_ = peer.value() + 1;
+    } else if (peer != self_ && saturated()) {
+      // Pigeonhole: the view holds every valid non-self id below
+      // id_bound_, and this peer is below the bound — it is provably a
+      // member already. Skipping the probe keeps flooding-list merges
+      // into bootstrap-full views from touching the (cold, per-node)
+      // hash table at all.
+      return false;
+    }
+  }
   if (peer == self_ || !index_.insert(peer)) return false;
   members_.push_back(peer);
   return true;
 }
 
 std::size_t ReplicaView::merge(std::span<const common::PeerId> peers) {
-  // Received peer lists probe the stamp array in random order, and the
-  // array is usually cold (deliveries alternate between nodes); prefetching
-  // a fixed distance ahead overlaps those cache misses.
+  // Saturated views absorb most flooding lists without touching the hash
+  // table at all: when every offered id is below id_bound_, the pigeonhole
+  // argument in add() covers the whole list, so the merge is a pure no-op
+  // (membership and id_bound_ both unchanged). One branch-free max-scan
+  // over the list replaces per-peer add() calls. Invalid ids read as
+  // 0xFFFFFFFF and a valid id bound never exceeds them, so they fall
+  // through to the slow path unchanged.
+  if (saturated()) {
+    std::uint32_t max_id = 0;
+    for (const common::PeerId peer : peers) {
+      max_id = std::max(max_id, peer.value());
+    }
+    if (max_id < id_bound_) return 0;
+  }
+  // Growing by doubling from a cold table costs O(log n) rehashes; a
+  // bulk merge (bootstrap hands the whole membership over at once) pays
+  // for them all. Reserving the worst case up front makes that one
+  // rehash, and is a no-op for small lists into a warm table.
+  index_.reserve(members_.size() + peers.size());
+  members_.reserve(members_.size() + peers.size());
+  // Received peer lists probe the index in random order, and the table is
+  // usually cold (deliveries alternate between nodes); prefetching a fixed
+  // distance ahead overlaps those cache misses. A saturated view never
+  // probes (add() proves membership by counting), so skip the prefetch.
   constexpr std::size_t kPrefetchAhead = 16;
   std::size_t added = 0;
+  const bool prefetch = !saturated();
   for (std::size_t i = 0; i < peers.size(); ++i) {
-    if (i + kPrefetchAhead < peers.size()) {
+    if (prefetch && i + kPrefetchAhead < peers.size()) {
       index_.prefetch(peers[i + kPrefetchAhead]);
     }
     if (add(peers[i])) ++added;
@@ -71,7 +108,8 @@ void ReplicaView::clear_presumed_offline(common::PeerId peer) {
   presumed_offline_until_.erase(peer);
 }
 
-void ReplicaView::sample_into(common::Rng& rng, std::size_t count,
+template <typename RngT>
+void ReplicaView::sample_into(RngT& rng, std::size_t count,
                               std::vector<common::PeerId>& out,
                               const common::DensePeerSet* exclude,
                               common::Round now) const {
@@ -83,44 +121,46 @@ void ReplicaView::sample_into(common::Rng& rng, std::size_t count,
   const bool check_exclude = exclude != nullptr && !exclude->empty();
   const bool weighted = preferred_weight_ > 1 && !preferred_.empty();
 
-  // Candidate pool: view minus exclusions minus presumed-offline peers.
-  // Preferred pushers (§6 acks) appear `preferred_weight_` times in the
-  // pool, raising their selection odds without breaking distinctness.
-  std::vector<common::PeerId>& pool = pool_scratch_;
-  if (!check_exclude && !check_offline && !weighted) {
-    // Common case (no filters): the pool is the membership verbatim, so a
-    // bulk copy replaces the per-element branching loop.
-    pool.assign(members_.begin(), members_.end());
-  } else {
-    pool.clear();
-    for (const common::PeerId peer : members_) {
-      if (check_exclude && exclude->contains(peer)) continue;
-      if (check_offline && is_presumed_offline(peer, now)) continue;
-      pool.push_back(peer);
-      if (weighted && preferred_.contains(peer)) {
-        for (unsigned w = 1; w < preferred_weight_; ++w) pool.push_back(peer);
-      }
-    }
+  // Candidate pool: the membership verbatim (one bulk copy), plus
+  // `preferred_weight_ - 1` extra copies of each eligible §6-preferred
+  // member so acked peers are proportionally more likely to be picked.
+  // Excluded and presumed-offline peers stay IN the base pool and are
+  // rejected at pick time instead: an exclusion list is ~fanout long
+  // while the view holds thousands of peers, so rejecting the handful of
+  // picks that land on them is far cheaper than an O(|view|) filtering
+  // pass per call — and a rejected pick leaves the remaining sample
+  // exactly uniform over the eligible pool.
+  std::vector<common::PeerId>& pool = arena().pool;
+  pool.assign(members_.begin(), members_.end());
+  if (weighted) {
+    preferred_.for_each([&](common::PeerId peer) {
+      if (!index_.contains(peer)) return;  // preferred but not in the view
+      if (check_exclude && exclude->contains(peer)) return;
+      if (check_offline && is_presumed_offline(peer, now)) return;
+      for (unsigned w = 1; w < preferred_weight_; ++w) pool.push_back(peer);
+    });
   }
-  if (pool.empty()) return;
 
   out.reserve(std::min(count, pool.size()));
-  common::DensePeerSet& chosen = chosen_scratch_;
-  chosen.reserve_ids(index_.capacity());
+  common::DensePeerSet& chosen = arena().chosen;
+  chosen.reserve_ids(id_bound_);
   chosen.clear();
-  // Partial Fisher–Yates over the weighted pool, de-duplicating picks.
+  // Partial Fisher–Yates with pick-time rejection, de-duplicating picks.
   std::size_t remaining = pool.size();
-  while (chosen.size() < count && remaining > 0) {
+  while (out.size() < count && remaining > 0) {
     const std::size_t pick = rng.pick_index(remaining);
     const common::PeerId peer = pool[pick];
-    std::swap(pool[pick], pool[remaining - 1]);
+    pool[pick] = pool[remaining - 1];
     --remaining;
+    if (check_exclude && exclude->contains(peer)) continue;
+    if (check_offline && is_presumed_offline(peer, now)) continue;
     if (chosen.insert(peer)) out.push_back(peer);
   }
 }
 
+template <typename RngT>
 std::vector<common::PeerId> ReplicaView::sample(
-    common::Rng& rng, std::size_t count,
+    RngT& rng, std::size_t count,
     const std::unordered_set<common::PeerId>& exclude,
     common::Round now) const {
   std::vector<common::PeerId> out;
@@ -128,10 +168,26 @@ std::vector<common::PeerId> ReplicaView::sample(
     sample_into(rng, count, out, nullptr, now);
     return out;
   }
-  exclude_scratch_.clear();
-  for (const common::PeerId peer : exclude) exclude_scratch_.insert(peer);
-  sample_into(rng, count, out, &exclude_scratch_, now);
+  common::DensePeerSet& scratch = arena().exclude;
+  scratch.clear();
+  for (const common::PeerId peer : exclude) scratch.insert(peer);
+  sample_into(rng, count, out, &scratch, now);
   return out;
 }
+
+template void ReplicaView::sample_into(common::Rng&, std::size_t,
+                                       std::vector<common::PeerId>&,
+                                       const common::DensePeerSet*,
+                                       common::Round) const;
+template void ReplicaView::sample_into(common::StreamRng&, std::size_t,
+                                       std::vector<common::PeerId>&,
+                                       const common::DensePeerSet*,
+                                       common::Round) const;
+template std::vector<common::PeerId> ReplicaView::sample(
+    common::Rng&, std::size_t, const std::unordered_set<common::PeerId>&,
+    common::Round) const;
+template std::vector<common::PeerId> ReplicaView::sample(
+    common::StreamRng&, std::size_t,
+    const std::unordered_set<common::PeerId>&, common::Round) const;
 
 }  // namespace updp2p::gossip

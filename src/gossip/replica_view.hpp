@@ -7,12 +7,15 @@
 // preferred pushers (peers that acked us) and presumed-offline peers
 // (pushed, never acked) that are temporarily skipped.
 //
-// Sampling is the protocol's innermost loop, so it runs over dense
-// epoch-stamped sets and per-view scratch buffers: after warm-up a call to
-// sample_into performs no heap allocation and no hashing. The scratch state
-// makes a view non-reentrant but each node owns its view exclusively.
+// Sampling is the protocol's innermost loop, so it runs over a compact
+// open-addressing index plus arena scratch buffers: after warm-up a call
+// to sample_into performs no heap allocation. Per-view state is O(|view|),
+// not O(population) — the property that lets 100k+ populations fit in
+// memory. The scratch state makes a view non-reentrant but each node owns
+// its view exclusively (and arena-sharing nodes never run concurrently).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -21,13 +24,19 @@
 
 #include "common/dense_peer_set.hpp"
 #include "common/rng.hpp"
+#include "common/small_peer_set.hpp"
 #include "common/types.hpp"
+#include "gossip/arena.hpp"
 
 namespace updp2p::gossip {
 
 class ReplicaView {
  public:
   explicit ReplicaView(common::PeerId self) : self_(self) {}
+
+  /// Shares the given scratch arena instead of a privately owned one.
+  /// Pass nullptr to fall back to private scratch (standalone nodes).
+  void use_arena(WorkArena* arena) noexcept { arena_ = arena; }
 
   /// Adds a peer; returns true if it was previously unknown. The owner
   /// itself is never stored.
@@ -46,27 +55,27 @@ class ReplicaView {
     return members_;
   }
   [[nodiscard]] common::PeerId self() const noexcept { return self_; }
-  /// Upper bound (exclusive) on member ids the view has seen; useful for
-  /// pre-sizing caller-owned DensePeerSet scratch in one step instead of
-  /// letting it grow geometrically.
-  [[nodiscard]] std::size_t id_capacity() const noexcept {
-    return index_.capacity();
-  }
+  /// Upper bound (exclusive) on peer ids this view has observed (including
+  /// ids offered to add()); useful for pre-sizing caller-owned DensePeerSet
+  /// scratch in one step instead of letting it grow geometrically.
+  [[nodiscard]] std::size_t id_capacity() const noexcept { return id_bound_; }
 
   /// Samples up to `count` distinct peers into `out` (replacing its
   /// contents), excluding peers in `exclude` (when non-null) and peers
   /// currently presumed offline (§6 suppression). Preferred pushers are
   /// `preferred_weight()` times as likely to be picked first. Produces
   /// fewer than `count` when the view is small. Allocation-free once the
-  /// view's scratch buffers are warm.
-  void sample_into(common::Rng& rng, std::size_t count,
+  /// arena's scratch buffers are warm.
+  template <typename RngT>
+  void sample_into(RngT& rng, std::size_t count,
                    std::vector<common::PeerId>& out,
                    const common::DensePeerSet* exclude = nullptr,
                    common::Round now = 0) const;
 
   /// Allocating convenience wrapper around sample_into.
+  template <typename RngT>
   [[nodiscard]] std::vector<common::PeerId> sample(
-      common::Rng& rng, std::size_t count,
+      RngT& rng, std::size_t count,
       const std::unordered_set<common::PeerId>& exclude = {},
       common::Round now = 0) const;
 
@@ -106,19 +115,35 @@ class ReplicaView {
   /// at round t never erases a mark still live at a later query.
   void purge_presumed_offline(common::Round now) const;
 
+  /// Whether the view holds EVERY valid non-self id below id_bound_.
+  /// Members are distinct valid ids below the bound excluding self, so
+  /// this is a pure counting argument — and while it holds, membership of
+  /// any in-bound id is decidable without touching the hash index.
+  [[nodiscard]] bool saturated() const noexcept {
+    return members_.size() +
+               (self_.is_valid() && self_.value() < id_bound_ ? 1u : 0u) ==
+           id_bound_;
+  }
+
+  /// The wired arena, or a lazily created private one.
+  [[nodiscard]] WorkArena& arena() const {
+    if (arena_ != nullptr) return *arena_;
+    if (!owned_arena_) owned_arena_ = std::make_unique<WorkArena>();
+    return *owned_arena_;
+  }
+
   common::PeerId self_;
   unsigned preferred_weight_ = 2;
+  std::size_t id_bound_ = 0;
   std::vector<common::PeerId> members_;
-  common::DensePeerSet index_;
-  common::DensePeerSet preferred_;
+  common::SmallPeerSet index_;
+  common::SmallPeerSet preferred_;
   mutable std::unordered_map<common::PeerId, common::Round>
       presumed_offline_until_;
   mutable common::Round offline_purged_at_ = 0;
 
-  // sample_into scratch (reused across calls; cleared in O(1) per call).
-  mutable std::vector<common::PeerId> pool_scratch_;
-  mutable common::DensePeerSet chosen_scratch_;
-  mutable common::DensePeerSet exclude_scratch_;  // sample() wrapper only
+  WorkArena* arena_ = nullptr;
+  mutable std::unique_ptr<WorkArena> owned_arena_;
 };
 
 }  // namespace updp2p::gossip

@@ -11,6 +11,7 @@
 // at the start of round t+1, matching the discrete-time analysis model.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -48,6 +49,10 @@ struct Envelope {
   Payload payload;
   std::uint64_t size_bytes = 0;
   common::Round sent_round = 0;
+  /// Per-sender monotone sequence number. (from, seq) is unique within a
+  /// round, which gives the sharded bus a total delivery order that does
+  /// not depend on shard layout or thread interleaving.
+  std::uint32_t seq = 0;
 };
 
 /// Round-synchronous message bus.
@@ -135,6 +140,145 @@ class MessageBus {
   std::vector<EnvelopeT> pending_;
   std::vector<EnvelopeT> delivered_;  ///< reused batch buffer (double buffer)
   BusStats stats_;
+};
+
+/// Round-synchronous bus partitioned into per-(src_shard, dst_shard)
+/// outboxes for parallel round execution.
+///
+/// The population [0, population) is cut into `shard_count` contiguous
+/// blocks. During the parallel phase each shard task mutates only its own
+/// row of outbox cells (send_from_shard) and its own stats slot, so no two
+/// threads ever touch the same cell — the bus needs no locks. The protocol
+/// is two-phase:
+///
+///   1. begin_round() — sequential: every cell's pending buffer becomes the
+///      in-flight buffer (messages sent in round t surface in round t+1,
+///      the discrete-time model of §3).
+///   2. collect_into(dst, batch) — one caller per dst shard, in parallel:
+///      gathers every in-flight envelope addressed to `dst` and sorts it by
+///      the canonical (to, from, seq) key. The canonical order makes the
+///      delivery sequence — and therefore every downstream RNG draw — a
+///      pure function of the message *set*, independent of shard count and
+///      thread interleaving. (from, seq) is unique per sender, so the sort
+///      has no ties and no reliance on stability.
+///
+/// Delivery policy (offline receivers, partitions, random loss) is the
+/// driver's job: it classifies each collected envelope and records the
+/// outcome into its shard_stats(dst) slot; send-side counters are kept by
+/// send_from_shard in the source shard's slot. stats() merges all slots.
+template <typename Payload>
+class ShardedMessageBus {
+ public:
+  using EnvelopeT = Envelope<Payload>;
+
+  ShardedMessageBus(std::size_t shard_count, std::size_t population)
+      : shards_(shard_count == 0 ? 1 : shard_count),
+        block_(population == 0 ? 1
+                               : (population + shards_ - 1) / shards_),
+        cells_(shards_ * shards_),
+        stats_(shards_) {}
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_; }
+  [[nodiscard]] std::size_t shard_of(common::PeerId peer) const noexcept {
+    const std::size_t shard = peer.value() / block_;
+    return shard < shards_ ? shard : shards_ - 1;
+  }
+
+  /// Enqueues a message from the parallel task that owns `src_shard`
+  /// (which must be shard_of(from)). Thread-safe across *distinct* source
+  /// shards by disjointness, not by locking.
+  void send_from_shard(std::size_t src_shard, common::PeerId from,
+                       common::PeerId to, Payload payload,
+                       std::uint64_t size_bytes, common::Round round,
+                       std::uint32_t seq) {
+    BusStats& stats = stats_[src_shard].stats;
+    ++stats.messages_sent;
+    stats.bytes_sent += size_bytes;
+    cells_[src_shard * shards_ + shard_of(to)].pending.push_back(
+        EnvelopeT{from, to, std::move(payload), size_bytes, round, seq});
+  }
+
+  /// Sequential-context convenience (round-0 publish, reconnect hooks).
+  void send(common::PeerId from, common::PeerId to, Payload payload,
+            std::uint64_t size_bytes, common::Round round,
+            std::uint32_t seq) {
+    send_from_shard(shard_of(from), from, to, std::move(payload), size_bytes,
+                    round, seq);
+  }
+
+  /// Publishes the pending buffers: everything sent before this call
+  /// becomes in-flight (deliverable this round); sends after it queue for
+  /// the next round. Sequential — call between parallel phases.
+  void begin_round() {
+    for (Cell& cell : cells_) {
+      cell.inflight.clear();  // capacity retained
+      std::swap(cell.pending, cell.inflight);
+    }
+  }
+
+  /// Gathers the in-flight envelopes addressed to shard `dst` into `batch`
+  /// (replacing its contents), sorted by (to, from, seq). Envelopes are
+  /// moved out; call once per shard per round, from the task owning `dst`.
+  void collect_into(std::size_t dst, std::vector<EnvelopeT>& batch) {
+    batch.clear();
+    std::size_t total = 0;
+    for (std::size_t src = 0; src < shards_; ++src) {
+      total += cells_[src * shards_ + dst].inflight.size();
+    }
+    batch.reserve(total);
+    for (std::size_t src = 0; src < shards_; ++src) {
+      for (EnvelopeT& envelope : cells_[src * shards_ + dst].inflight) {
+        batch.push_back(std::move(envelope));
+      }
+    }
+    std::sort(batch.begin(), batch.end(),
+              [](const EnvelopeT& a, const EnvelopeT& b) {
+                if (a.to != b.to) return a.to < b.to;
+                if (a.from != b.from) return a.from < b.from;
+                return a.seq < b.seq;
+              });
+  }
+
+  /// The stats slot owned by shard `s` — the parallel task records its
+  /// delivery outcomes here without contention.
+  [[nodiscard]] BusStats& shard_stats(std::size_t s) noexcept {
+    return stats_[s].stats;
+  }
+
+  /// Merged view over all shard slots.
+  [[nodiscard]] BusStats stats() const {
+    BusStats merged;
+    for (const PaddedStats& slot : stats_) {
+      merged.messages_sent += slot.stats.messages_sent;
+      merged.messages_delivered += slot.stats.messages_delivered;
+      merged.messages_to_offline += slot.stats.messages_to_offline;
+      merged.messages_partitioned += slot.stats.messages_partitioned;
+      merged.messages_dropped += slot.stats.messages_dropped;
+      merged.bytes_sent += slot.stats.bytes_sent;
+    }
+    return merged;
+  }
+
+  [[nodiscard]] std::size_t pending_count() const noexcept {
+    std::size_t total = 0;
+    for (const Cell& cell : cells_) total += cell.pending.size();
+    return total;
+  }
+
+ private:
+  struct Cell {
+    std::vector<EnvelopeT> pending;   ///< sends this round
+    std::vector<EnvelopeT> inflight;  ///< deliverable this round
+  };
+  /// Padded so per-shard counters never false-share a cache line.
+  struct alignas(64) PaddedStats {
+    BusStats stats;
+  };
+
+  std::size_t shards_;
+  std::size_t block_;
+  std::vector<Cell> cells_;  ///< row-major [src_shard][dst_shard]
+  std::vector<PaddedStats> stats_;
 };
 
 }  // namespace updp2p::net

@@ -21,7 +21,9 @@ ReplicatedIndex::ReplicatedIndex(ReplicatedIndexConfig config)
     gossip::GossipConfig node_config = config_.gossip;
     node_config.estimated_total_replicas = peer.replicas.size() + 1;
     nodes_.push_back(std::make_unique<gossip::ReplicaNode>(
-        self, std::move(node_config), rng_.split_for(i)));
+        self, std::move(node_config), common::StreamRng(config_.seed, i)));
+    // Single-threaded driver: one arena serves the whole population.
+    nodes_.back()->use_arena(&arena_);
     nodes_.back()->bootstrap(peer.replicas);
   }
 }

@@ -123,6 +123,8 @@ class ReplicatedIndex {
 
   ReplicatedIndexConfig config_;
   common::Rng rng_;
+  /// Single-threaded driver: one scratch arena serves every node.
+  gossip::WorkArena arena_;
   PGridNetwork grid_;
   std::vector<std::unique_ptr<gossip::ReplicaNode>> nodes_;
   std::vector<bool> online_;

@@ -28,7 +28,9 @@ EventSimulator::EventSimulator(EventSimConfig config)
   for (std::uint32_t i = 0; i < config_.population; ++i) {
     const common::PeerId self(i);
     nodes_.push_back(std::make_unique<gossip::ReplicaNode>(
-        self, config_.gossip, rng_.split_for(i)));
+        self, config_.gossip, common::StreamRng(config_.seed, i)));
+    // Single-threaded driver: one arena serves the whole population.
+    nodes_.back()->use_arena(&arena_);
     if (config_.initial_view_size == 0 ||
         config_.initial_view_size >= config_.population) {
       nodes_.back()->bootstrap(everyone);

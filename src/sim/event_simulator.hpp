@@ -171,6 +171,8 @@ class EventSimulator {
   EventSimConfig config_;
   common::Rng rng_;
   churn::SessionProcess sessions_;
+  /// Single-threaded engine: one scratch arena serves every node.
+  gossip::WorkArena arena_;
   std::vector<std::unique_ptr<gossip::ReplicaNode>> nodes_;
   std::vector<bool> online_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;

@@ -6,8 +6,20 @@
 // This simulator is an *independent* implementation of the protocol (it
 // executes ReplicaNode state machines, not the recurrences), so agreement
 // with analysis::evaluate_push is a genuine cross-validation.
+//
+// Intra-run parallelism: the population is cut into `shard_threads`
+// contiguous shards. Each round, every shard task delivers the messages
+// addressed to its own nodes (collected from the sharded bus in canonical
+// (to, from, seq) order) and runs its nodes' timers; churn, hooks and
+// metric merging stay sequential between rounds. Results are
+// bit-identical at ANY shard/thread count: node RNGs are counter-based
+// per-node streams, loss draws are keyed by (seed, recipient, round), the
+// delivery order is canonical, and every merged counter is a sum. See
+// DESIGN.md "Sharded round engine".
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -16,6 +28,7 @@
 #include "churn/churn_model.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "gossip/arena.hpp"
 #include "gossip/node.hpp"
 #include "net/message_bus.hpp"
 #include "sim/metrics.hpp"
@@ -42,6 +55,10 @@ struct RoundSimConfig {
   /// charges *actual* encoded sizes to the byte counters.
   bool serialize_messages = false;
   std::uint64_t seed = 0x5eed;
+  /// Shards (= maximum worker threads) one round is stepped across.
+  /// 1 = sequential; 0 = one per hardware thread. Metrics and node state
+  /// are bit-identical at every value.
+  unsigned shard_threads = 1;
 };
 
 class RoundSimulator {
@@ -63,10 +80,10 @@ class RoundSimulator {
   void run_rounds(common::Round rounds);
 
   [[nodiscard]] gossip::ReplicaNode& node(common::PeerId peer) {
-    return *nodes_.at(peer.value());
+    return nodes_.at(peer.value());
   }
   [[nodiscard]] const gossip::ReplicaNode& node(common::PeerId peer) const {
-    return *nodes_.at(peer.value());
+    return nodes_.at(peer.value());
   }
   [[nodiscard]] std::size_t population() const noexcept {
     return nodes_.size();
@@ -74,13 +91,18 @@ class RoundSimulator {
   [[nodiscard]] const churn::ChurnModel& churn() const noexcept {
     return *churn_;
   }
-  [[nodiscard]] const net::BusStats& bus_stats() const noexcept {
-    return bus_.stats();
+  [[nodiscard]] const net::BusStats& bus_stats() const {
+    merged_bus_stats_ = bus_.stats();
+    return merged_bus_stats_;
   }
+  /// Shards one round is stepped across (resolved from shard_threads).
+  [[nodiscard]] unsigned shard_count() const noexcept { return shard_count_; }
   /// Installs a connectivity predicate (network partitions); nullptr heals.
+  /// The predicate is invoked concurrently from shard tasks and must be
+  /// safe to call from multiple threads (pure functions are).
   void set_link_filter(
       std::function<bool(common::PeerId, common::PeerId)> filter) {
-    bus_.set_link_filter(std::move(filter));
+    link_filter_ = std::move(filter);
   }
   [[nodiscard]] common::Round current_round() const noexcept { return round_; }
 
@@ -90,44 +112,76 @@ class RoundSimulator {
   [[nodiscard]] std::size_t aware_online(const version::VersionId& id) const;
 
  private:
-  /// Moves `out`'s messages onto the bus, classifying them for the
-  /// per-round counters. `out` is left cleared with capacity retained so
-  /// callers can reuse it.
+  /// Per-shard state: the scratch arena shared by the shard's nodes, the
+  /// delivery batch, the reaction buffer, and this round's counters. The
+  /// whole block is cache-line aligned so two shard tasks never
+  /// false-share counter lines.
+  struct alignas(64) Shard {
+    gossip::WorkArena arena;
+    std::vector<net::Envelope<gossip::GossipPayload>> batch;
+    std::vector<gossip::OutboundMessage> reactions;
+    std::uint64_t push_messages = 0;
+    std::uint64_t pull_messages = 0;
+    std::uint64_t ack_messages = 0;
+    std::uint64_t query_messages = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t new_aware = 0;  ///< awareness gained this round (summed)
+
+    void reset_counters() noexcept {
+      push_messages = pull_messages = ack_messages = query_messages = 0;
+      bytes = duplicates = new_aware = 0;
+    }
+  };
+
+  /// Moves `out`'s messages onto the bus from the task owning `shard`
+  /// (which must be the sender's shard), classifying them for the shard's
+  /// counters. `out` is left cleared with capacity retained.
+  void dispatch_from(std::size_t shard, common::PeerId from,
+                     std::vector<gossip::OutboundMessage>& out);
+  /// Sequential-context dispatch (publish, reconnect hooks).
   void dispatch(common::PeerId from, std::vector<gossip::OutboundMessage>& out);
   void step_round(RunMetrics* metrics);
+  /// One shard's slice of a round: deliver this shard's batch, then run
+  /// its nodes' timers. Runs concurrently with other shards.
+  void step_shard(unsigned shard);
   /// Arms incremental awareness tracking for `id` (the update being
   /// propagated): O(population) once, then O(1) per awareness change.
   void start_tracking(const version::VersionId& id);
-  /// Folds a just-handled delivery into the incremental awareness count.
-  void note_awareness(std::uint32_t node_index);
+  /// Folds a just-handled delivery into the shard's awareness counter.
+  void note_awareness(std::uint32_t node_index, Shard& shard);
 
   RoundSimConfig config_;
   std::unique_ptr<churn::ChurnModel> churn_;
+  /// Sequential-phase draws only (churn advance, publisher pick,
+  /// bootstrap); never touched by shard tasks.
   common::Rng rng_;
-  std::vector<std::unique_ptr<gossip::ReplicaNode>> nodes_;
-  net::MessageBus<gossip::GossipPayload> bus_;
+  std::vector<gossip::ReplicaNode> nodes_;
+  net::ShardedMessageBus<gossip::GossipPayload> bus_;
+  std::function<bool(common::PeerId, common::PeerId)> link_filter_;
+  unsigned shard_count_ = 1;
+  std::vector<Shard> shards_;
   common::Round round_ = 0;
-  std::vector<bool> was_online_;
 
-  // Incremental metric state: duplicates and awareness used to be
-  // O(population) rescans per round; they are now maintained as messages
-  // are handled and churn transitions fire.
+  // SoA hot-path node state, owned here so shard tasks touch flat arrays
+  // instead of chasing per-node heap blocks. Element i is written only by
+  // the shard that owns node i (or by the sequential phases), so plain
+  // byte/word arrays are race-free.
+  std::vector<std::uint8_t> online_;     ///< churn snapshot read by shards
+  std::vector<std::uint8_t> aware_;      ///< aware_[i]: i knows tracked_id_
+  std::vector<std::uint32_t> send_seq_;  ///< per-sender envelope sequence
+
+  // Incremental metric state: awareness used to be an O(population) rescan
+  // per round; shard tasks count newly-aware nodes and the merge step sums
+  // them into aware_online_count_.
   bool tracking_ = false;
   version::VersionId tracked_id_{};
-  std::vector<char> aware_;           ///< aware_[i]: node i knows tracked_id_
   std::size_t aware_online_count_ = 0;  ///< |{i : aware_[i] ∧ online(i)}|
-  std::uint64_t round_duplicates_ = 0;
 
-  /// Reusable per-delivery reaction buffer (capacity retained across the
-  /// run; the hot path allocates nothing once warm).
+  /// Reusable buffer for sequential-phase reactions (reconnect hooks).
   std::vector<gossip::OutboundMessage> reactions_scratch_;
 
-  // Per-round message-kind counters (reset each round by step_round).
-  std::uint64_t round_push_ = 0;
-  std::uint64_t round_pull_ = 0;
-  std::uint64_t round_ack_ = 0;
-  std::uint64_t round_query_ = 0;
-  std::uint64_t round_bytes_ = 0;
+  mutable net::BusStats merged_bus_stats_;
 };
 
 /// Convenience: builds the simulator matching the analysis-model population

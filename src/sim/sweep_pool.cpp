@@ -89,8 +89,12 @@ struct SweepPool::Impl {
 };
 
 SweepPool::SweepPool() : impl_(new Impl) {
+  // At least two workers even on a single-core host: the sharded round
+  // engine promises bit-identical results under real concurrency, and the
+  // ThreadSanitizer suite can only observe cross-thread handoffs that
+  // actually happen. Idle workers cost one blocked thread each.
   const unsigned hardware =
-      std::max(1u, std::thread::hardware_concurrency());
+      std::max(2u, std::thread::hardware_concurrency());
   impl_->workers.reserve(hardware);
   for (unsigned i = 0; i < hardware; ++i) {
     impl_->workers.emplace_back([this] { impl_->worker_loop(); });

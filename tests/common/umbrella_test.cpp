@@ -11,7 +11,8 @@ TEST(Umbrella, EverythingIsReachable) {
   gossip::GossipConfig config;
   config.estimated_total_replicas = 10;
   config.fanout_fraction = 0.3;
-  gossip::ReplicaNode node(common::PeerId(0), config, rng.split());
+  gossip::ReplicaNode node(common::PeerId(0), config,
+                           common::StreamRng(rng(), 0));
   const std::vector<common::PeerId> view{common::PeerId(1), common::PeerId(2)};
   node.bootstrap(view);
   EXPECT_EQ(node.view().size(), 2u);

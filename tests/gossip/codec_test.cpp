@@ -63,12 +63,13 @@ TEST(Codec, PushRoundTrip) {
 
 TEST(Codec, PushWithTombstoneRoundTrip) {
   PushMessage push;
-  push.value = sample_value();
-  push.value.tombstone = true;
-  push.value.payload.clear();
+  version::VersionedValue tombstone = sample_value();
+  tombstone.tombstone = true;
+  tombstone.payload.clear();
+  push.value = std::move(tombstone);
   const auto decoded = decode(encode(GossipPayload{push}));
   ASSERT_TRUE(decoded.has_value());
-  EXPECT_TRUE(std::get<PushMessage>(*decoded).value.tombstone);
+  EXPECT_TRUE(std::get<PushMessage>(*decoded).value->tombstone);
 }
 
 TEST(Codec, PullRequestRoundTrip) {
@@ -254,20 +255,22 @@ TEST_P(CodecProperty, RandomPayloadRoundTrip) {
   Rng rng(GetParam());
   for (int trial = 0; trial < 100; ++trial) {
     PushMessage push;
-    push.value.key = "k" + std::to_string(rng.uniform_below(1000));
-    push.value.payload.assign(rng.uniform_below(200), 'x');
+    version::VersionedValue value;
+    value.key = "k" + std::to_string(rng.uniform_below(1000));
+    value.payload.assign(rng.uniform_below(200), 'x');
     version::VersionIdFactory factory(
         PeerId(static_cast<std::uint32_t>(rng.uniform_below(100))),
         rng.split());
-    push.value.id = factory.mint(rng.uniform01());
+    value.id = factory.mint(rng.uniform01());
     const auto entries = rng.uniform_below(10);
     for (std::uint64_t i = 0; i < entries; ++i) {
-      push.value.history.observe(
+      value.history.observe(
           PeerId(static_cast<std::uint32_t>(rng.uniform_below(1'000'000))),
           rng.uniform_below(1'000'000) + 1);
     }
-    push.value.tombstone = rng.bernoulli(0.2);
-    push.value.written_at = rng.uniform01() * 1e6;
+    value.tombstone = rng.bernoulli(0.2);
+    value.written_at = rng.uniform01() * 1e6;
+    push.value = std::move(value);
     push.round = static_cast<common::Round>(rng.uniform_below(100));
     const auto peers = rng.uniform_below(50);
     for (std::uint64_t i = 0; i < peers; ++i) {

@@ -62,7 +62,7 @@ TEST(GossipConfig, PreferredWeightAppliesToNodeView) {
   config.estimated_total_replicas = 10;
   config.fanout_fraction = 0.3;
   config.acks.preferred_weight = 5;
-  gossip::ReplicaNode node(common::PeerId(0), config, common::Rng(1));
+  gossip::ReplicaNode node(common::PeerId(0), config, common::StreamRng(1));
   EXPECT_EQ(node.view().preferred_weight(), 5u);
 }
 

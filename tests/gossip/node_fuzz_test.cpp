@@ -103,7 +103,7 @@ class NodeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(NodeFuzz, SurvivesRandomMessageStorm) {
   Rng rng(GetParam());
   auto config = fuzz_config(rng);
-  ReplicaNode node(PeerId(0), config, rng.split());
+  ReplicaNode node(PeerId(0), config, common::StreamRng(rng(), 0));
   std::vector<PeerId> view;
   for (std::uint32_t i = 1; i < 64; ++i) view.emplace_back(i);
   node.bootstrap(view);
@@ -172,8 +172,9 @@ TEST_P(TwoNodeFuzz, PairwiseGossipConverges) {
   GossipConfig config;
   config.estimated_total_replicas = 2;
   config.fanout_fraction = 1.0;
-  ReplicaNode a(PeerId(0), config, rng.split());
-  ReplicaNode b(PeerId(1), config, rng.split());
+  const std::uint64_t node_seed = rng();
+  ReplicaNode a(PeerId(0), config, common::StreamRng(node_seed, 0));
+  ReplicaNode b(PeerId(1), config, common::StreamRng(node_seed, 1));
   const std::vector<PeerId> va{PeerId(1)};
   const std::vector<PeerId> vb{PeerId(0)};
   a.bootstrap(va);

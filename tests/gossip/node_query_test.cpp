@@ -18,7 +18,7 @@ GossipConfig query_config() {
 }
 
 ReplicaNode make_node(std::uint32_t id, std::uint32_t population = 50) {
-  ReplicaNode node(PeerId(id), query_config(), Rng(2'000 + id));
+  ReplicaNode node(PeerId(id), query_config(), common::StreamRng(2'000 + id));
   std::vector<PeerId> view;
   for (std::uint32_t i = 0; i < population; ++i) {
     if (i != id) view.emplace_back(i);
@@ -75,7 +75,7 @@ TEST(NodeQuery, UnknownKeyAnsweredEmpty) {
 TEST(NodeQuery, UnconfidentResponderAlsoPulls) {
   auto config = query_config();
   config.pull.no_update_timeout = 2;
-  ReplicaNode node(PeerId(1), config, Rng(5));
+  ReplicaNode node(PeerId(1), config, common::StreamRng(5));
   std::vector<PeerId> view{PeerId(0), PeerId(2), PeerId(3), PeerId(4)};
   node.bootstrap(view);
   // Round 50: long since any activity -> unconfident.

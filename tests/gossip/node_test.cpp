@@ -24,7 +24,8 @@ GossipConfig test_config() {
 
 ReplicaNode make_node(std::uint32_t id, GossipConfig config = test_config(),
                       std::uint32_t population = 100) {
-  ReplicaNode node(PeerId(id), std::move(config), Rng(1000 + id));
+  ReplicaNode node(PeerId(id), std::move(config),
+                   common::StreamRng(1000 + id));
   std::vector<PeerId> view;
   for (std::uint32_t i = 0; i < population; ++i) {
     if (i != id) view.emplace_back(i);
@@ -46,7 +47,7 @@ TEST(ReplicaNode, PublishSendsFanoutPushes) {
     ASSERT_TRUE(std::holds_alternative<PushMessage>(message.payload));
     const auto& push = as_push(message);
     EXPECT_EQ(push.round, 0u);
-    EXPECT_EQ(push.value.payload, "v1");
+    EXPECT_EQ(push.value->payload, "v1");
     EXPECT_GT(message.size_bytes, 0u);
     targets.insert(message.to);
   }
@@ -153,7 +154,7 @@ TEST(ReplicaNode, PfZeroSuppressesForwarding) {
 TEST(ReplicaNode, MembershipGrowsFromFloodingList) {
   auto alice = make_node(0, test_config(), 100);
   // Bob starts with a tiny view.
-  ReplicaNode bob(PeerId(1), test_config(), Rng(77));
+  ReplicaNode bob(PeerId(1), test_config(), common::StreamRng(77));
   const std::vector<PeerId> tiny{PeerId(0)};
   bob.bootstrap(tiny);
   EXPECT_EQ(bob.view().size(), 1u);
@@ -355,7 +356,7 @@ TEST(ReplicaNode, RemovePropagatesTombstone) {
   (void)alice.publish("key", "v1", 0);
   const auto removal = alice.remove("key", 1);
   ASSERT_FALSE(removal.empty());
-  EXPECT_TRUE(as_push(removal.front()).value.tombstone);
+  EXPECT_TRUE(as_push(removal.front()).value->tombstone);
   (void)bob.handle_message(PeerId(0), removal.front().payload, 2);
   EXPECT_FALSE(bob.read("key").has_value());
   EXPECT_TRUE(bob.store().is_deleted("key"));
@@ -387,7 +388,7 @@ TEST(ReplicaNode, DisconnectClearsPendingState) {
 }
 
 TEST(ReplicaNode, SmallViewLimitsFanout) {
-  ReplicaNode node(PeerId(0), test_config(), Rng(1));
+  ReplicaNode node(PeerId(0), test_config(), common::StreamRng(1));
   const std::vector<PeerId> tiny{PeerId(1), PeerId(2)};
   node.bootstrap(tiny);
   const auto out = node.publish("key", "v1", 0);
@@ -441,7 +442,7 @@ TEST(ReplicaNode, ConfigValidationRejectsBadFanout) {
   GossipConfig config;
   config.fanout_fraction = 0.0;
   EXPECT_DEATH(
-      { ReplicaNode node(PeerId(0), config, Rng(1)); }, "f_r");
+      { ReplicaNode node(PeerId(0), config, common::StreamRng(1)); }, "f_r");
 }
 
 }  // namespace

@@ -39,7 +39,8 @@ TEST_P(ConvergenceProperty, AnyScheduleConvergesAfterCleanSweep) {
   for (std::uint32_t i = 0; i < kNodes; ++i) everyone.emplace_back(i);
   for (std::uint32_t i = 0; i < kNodes; ++i) {
     nodes.push_back(
-        std::make_unique<ReplicaNode>(PeerId(i), config, rng.split()));
+        std::make_unique<ReplicaNode>(PeerId(i), config,
+                                      common::StreamRng(rng(), i)));
     std::vector<PeerId> view;
     for (std::uint32_t j = 0; j < kNodes; ++j) {
       if (j != i) view.emplace_back(j);

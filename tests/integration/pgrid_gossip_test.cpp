@@ -101,7 +101,7 @@ TEST(PGridGossip, EveryPartitionCanHostItsOwnGroup) {
     sim::RoundSimConfig config;
     config.population = group.size();
     config.gossip.estimated_total_replicas = group.size();
-    config.gossip.fanout_fraction = 0.4;
+    config.gossip.fanout_fraction = 0.5;
     config.seed = 100 + p;
     auto simulator = sim::make_push_phase_simulator(config, 1.0, 1.0);
     const auto metrics = simulator->propagate_update();

@@ -57,7 +57,7 @@ TEST(EventSimulator, OfflinePeersEventuallyCatchUpViaPull) {
   config.mean_offline_time = 60.0;  // 25% availability: heavy churn
   EventSimulator simulator(config);
   simulator.schedule_publish(1.0, "key", "value");
-  simulator.run_until(600.0);
+  simulator.run_until(900.0);
   ASSERT_FALSE(simulator.published().empty());
   // Across the WHOLE population, not just online peers.
   EXPECT_GT(simulator.aware_fraction_total(simulator.published()[0].id), 0.9);

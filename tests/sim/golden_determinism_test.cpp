@@ -1,12 +1,19 @@
 // Golden-seed determinism suite.
 //
-// The hot-path work (dense peer sets, scratch buffers, double-buffered
-// delivery, incremental metrics, pooled sweeps) is pure mechanics: it must
-// not change a single RNG draw or metric. These tests pin complete runs of
+// The hot-path work (dense peer sets, shared arenas, the sharded bus,
+// incremental metrics, pooled sweeps) is pure mechanics: it must not
+// change a single RNG draw or metric. These tests pin complete runs of
 // the round simulator, the event simulator and a seed sweep to FNV-1a
-// fingerprints captured from the pre-optimization implementation. Any
-// behavioural drift — a reordered sample, a skipped bernoulli draw, a
-// different merge order — changes a fingerprint and fails loudly.
+// fingerprints. Any behavioural drift — a reordered sample, a skipped
+// bernoulli draw, a different merge order — changes a fingerprint and
+// fails loudly. The constants were re-captured when per-node RNGs moved
+// to counter-based streams, and again when sampling switched to pick-time
+// rejection (both intentional draw-sequence changes).
+//
+// On top of the pinned single-thread goldens, ShardInvariance asserts the
+// core promise of the sharded engine: the SAME fingerprint at 1, 2 and 8
+// shard threads. Sharding may only change who executes the work, never
+// what the work computes.
 //
 // If a future change *intentionally* alters protocol behaviour, re-capture
 // the constants below from a build of that change (see docs/benchmarks.md,
@@ -73,10 +80,10 @@ TEST(GoldenDeterminism, PlainPushPhase) {
                                                   /*sigma=*/0.95);
   const auto metrics = simulator->propagate_update();
   EXPECT_EQ(metrics.rounds.size(), 15u);
-  EXPECT_EQ(metrics.total_messages(), 439u);
-  EXPECT_DOUBLE_EQ(metrics.final_aware_fraction(), 0.75);
-  EXPECT_EQ(simulator->bus_stats().messages_sent, 439u);
-  EXPECT_EQ(fingerprint(metrics), 10338237168813086741ULL);
+  EXPECT_EQ(metrics.total_messages(), 545u);
+  EXPECT_DOUBLE_EQ(metrics.final_aware_fraction(), 0.8125);
+  EXPECT_EQ(simulator->bus_stats().messages_sent, 545u);
+  EXPECT_EQ(fingerprint(metrics), 8863128909234923647ULL);
 }
 
 TEST(GoldenDeterminism, FullFeatureRun) {
@@ -106,12 +113,12 @@ TEST(GoldenDeterminism, FullFeatureRun) {
 
   const auto metrics = simulator.propagate_update();
   EXPECT_EQ(metrics.rounds.size(), 61u);
-  EXPECT_EQ(metrics.total_messages(), 5078u);
+  EXPECT_EQ(metrics.total_messages(), 5152u);
   EXPECT_DOUBLE_EQ(metrics.final_aware_fraction(), 1.0);
-  EXPECT_EQ(simulator.bus_stats().messages_sent, 6290u);
-  EXPECT_EQ(simulator.bus_stats().messages_delivered, 4352u);
-  EXPECT_EQ(simulator.bus_stats().messages_dropped, 224u);
-  EXPECT_EQ(fingerprint(metrics), 7051452682401806375ULL);
+  EXPECT_EQ(simulator.bus_stats().messages_sent, 6434u);
+  EXPECT_EQ(simulator.bus_stats().messages_delivered, 4417u);
+  EXPECT_EQ(simulator.bus_stats().messages_dropped, 250u);
+  EXPECT_EQ(fingerprint(metrics), 15673460464648102809ULL);
 }
 
 TEST(GoldenDeterminism, EventSimulator) {
@@ -131,8 +138,8 @@ TEST(GoldenDeterminism, EventSimulator) {
   es.run_until(120.0);
 
   const auto& stats = es.stats();
-  EXPECT_EQ(stats.messages_sent, 926u);
-  EXPECT_EQ(stats.messages_delivered, 392u);
+  EXPECT_EQ(stats.messages_sent, 1002u);
+  EXPECT_EQ(stats.messages_delivered, 380u);
   EXPECT_EQ(es.online_count(), 30u);
   Fnv f;
   f.add(stats.messages_sent);
@@ -147,7 +154,53 @@ TEST(GoldenDeterminism, EventSimulator) {
   f.add(stats.reconnects);
   f.add(es.online_count());
   f.add(es.aware_fraction_total(es.published().front().id));
-  EXPECT_EQ(f.h, 16124072037221981346ULL);
+  EXPECT_EQ(f.h, 17853146545598982391ULL);
+}
+
+TEST(GoldenDeterminism, ShardInvariance) {
+  // Bit-identical results at any shard/thread count: run the full-feature
+  // configuration (loss, churn, codec, acks, pulls) at 1, 2 and 8 shard
+  // threads and require identical fingerprints AND identical bus totals.
+  const auto run = [](unsigned shard_threads) {
+    sim::RoundSimConfig config;
+    config.population = 300;
+    config.gossip.estimated_total_replicas = 300;
+    config.gossip.fanout_fraction = 0.03;
+    config.gossip.self_tuning = true;
+    config.gossip.partial_list.mode = gossip::PartialListMode::kDropRandom;
+    config.gossip.partial_list.max_entries = 64;
+    config.gossip.acks.enabled = true;
+    config.gossip.acks.suppression_rounds = 5;
+    config.gossip.acks.preferred_weight = 3;
+    config.gossip.pull.contacts_per_attempt = 2;
+    config.gossip.pull.no_update_timeout = 8;
+    config.initial_view_size = 25;
+    config.serialize_messages = true;
+    config.message_loss = 0.05;
+    config.max_rounds = 60;
+    config.seed = 99;
+    config.shard_threads = shard_threads;
+    auto churn = std::make_unique<churn::BernoulliChurn>(300, 0.5, 0.95, 0.1);
+    sim::RoundSimulator simulator(config, std::move(churn));
+    const auto metrics = simulator.propagate_update();
+    if (shard_threads == 1) {
+      // The sequential sharded run must reproduce the *pinned*
+      // FullFeatureRun behaviour, not merely a self-consistent one.
+      EXPECT_EQ(fingerprint(metrics), 15673460464648102809ULL);
+    }
+    Fnv f;
+    f.add(fingerprint(metrics));
+    f.add(simulator.bus_stats().messages_sent);
+    f.add(simulator.bus_stats().messages_delivered);
+    f.add(simulator.bus_stats().messages_dropped);
+    f.add(simulator.bus_stats().messages_to_offline);
+    f.add(simulator.bus_stats().bytes_sent);
+    return f.h;
+  };
+
+  const std::uint64_t sequential = run(1);
+  EXPECT_EQ(run(2), sequential);
+  EXPECT_EQ(run(8), sequential);
 }
 
 TEST(GoldenDeterminism, SeedSweepAggregate) {
@@ -161,12 +214,12 @@ TEST(GoldenDeterminism, SeedSweepAggregate) {
   };
   const auto aggregate = sim::sweep_aggregate(5'000, 5, body, 4);
   EXPECT_DOUBLE_EQ(aggregate.messages_per_initial_online.mean(),
-                   4.0966666666666667);
+                   4.5600000000000005);
   EXPECT_DOUBLE_EQ(aggregate.final_aware_fraction.mean(),
-                   0.64378008262037412);
+                   0.78546947480147811);
   EXPECT_DOUBLE_EQ(aggregate.rounds_to_quiescence.mean(),
-                   6.5999999999999996);
-  EXPECT_DOUBLE_EQ(aggregate.duplicates.mean(), 48.200000000000003);
+                   8.5999999999999996);
+  EXPECT_DOUBLE_EQ(aggregate.duplicates.mean(), 49.200000000000003);
   EXPECT_DOUBLE_EQ(aggregate.pull_messages.mean(), 0.0);
 }
 
