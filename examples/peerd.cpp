@@ -1,0 +1,195 @@
+// updp2p-peerd — one live gossip peer as an OS process.
+//
+// Runs a runtime::PeerRuntime over net::UdpTransport on 127.0.0.1 (or any
+// IPv4 address): the same ReplicaNode the simulators drive, now exchanging
+// real datagrams with retry/timeout/backoff. A small status-file protocol
+// makes the daemon observable without flaky sleeps — orchestrators (and
+// tests/integration/live_convergence_test) poll the file for lines:
+//
+//   READY <port>            socket bound, runtime online
+//   PUBLISHED <key> <hex>   local publish executed (hex = version id)
+//   HAVE <key> <hex>        the watched key is now stored locally
+//
+// Example: three peers, one publishing after 200 ms (one command per line):
+//   updp2p-peerd --self 0 --port 9100 --peers 1:9101,2:9102
+//       --publish-key greeting --publish-value hello --publish-at-ms 200 &
+//   updp2p-peerd --self 1 --port 9101 --peers 0:9100,2:9102 --watch greeting &
+//   updp2p-peerd --self 2 --port 9102 --peers 0:9100,1:9101 --watch greeting &
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/args.hpp"
+#include "net/udp_transport.hpp"
+#include "runtime/peer_runtime.hpp"
+
+using namespace updp2p;
+
+namespace {
+
+/// Parses "id:port,id:port,..." into directory entries on `host`.
+std::vector<net::UdpPeerAddress> parse_peers(const std::string& spec,
+                                             const std::string& host) {
+  std::vector<net::UdpPeerAddress> peers;
+  std::size_t begin = 0;
+  while (begin < spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(begin, end - begin);
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      std::cerr << "bad --peers entry (want id:port): " << entry << "\n";
+      std::exit(2);
+    }
+    net::UdpPeerAddress peer;
+    peer.id = common::PeerId(
+        static_cast<std::uint32_t>(std::stoul(entry.substr(0, colon))));
+    peer.host = host;
+    peer.port =
+        static_cast<std::uint16_t>(std::stoul(entry.substr(colon + 1)));
+    peers.push_back(peer);
+    begin = end + 1;
+  }
+  return peers;
+}
+
+/// Append-only, flushed-per-line status channel.
+class StatusFile {
+ public:
+  explicit StatusFile(const std::string& path) {
+    if (!path.empty()) file_ = std::fopen(path.c_str(), "a");
+  }
+  ~StatusFile() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  void line(const std::string& text) {
+    if (file_ != nullptr) {
+      std::fputs((text + "\n").c_str(), file_);
+      std::fflush(file_);
+    }
+    std::cout << text << "\n";
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::Args args(argc, argv);
+  if (!args.has("self") || !args.has("port")) {
+    std::cerr
+        << "usage: updp2p-peerd --self ID --port P [--peers id:port,...]\n"
+        << "  [--host 127.0.0.1] [--status FILE] [--watch KEY]\n"
+        << "  [--publish-key K --publish-value V [--publish-at-ms T]]\n"
+        << "  [--run-ms T] [--seed S] [--round-ms T] [--fanout F]\n"
+        << "  [--population N] [--acks 0|1] [--retry-initial-ms T]\n"
+        << "  [--retry-max-attempts N] [--pull-contacts N]\n";
+    return 2;
+  }
+
+  const auto self = common::PeerId(
+      static_cast<std::uint32_t>(args.get_int("self", 0)));
+  const std::string host = args.get_string("host", "127.0.0.1");
+
+  net::UdpTransportConfig transport_config;
+  transport_config.self = self;
+  transport_config.bind_host = host;
+  transport_config.bind_port =
+      static_cast<std::uint16_t>(args.get_int("port", 0));
+  transport_config.peers = parse_peers(args.get_string("peers", ""), host);
+
+  std::string error;
+  auto transport = net::UdpTransport::open(transport_config, &error);
+  if (!transport) {
+    std::cerr << "updp2p-peerd: " << error << "\n";
+    return 1;
+  }
+
+  runtime::RuntimeConfig config;
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 0x5eed));
+  config.round_duration = args.get_double("round-ms", 250.0) / 1000.0;
+  config.gossip.fanout_fraction = args.get_double("fanout", 0.5);
+  config.gossip.estimated_total_replicas = static_cast<std::size_t>(
+      args.get_int("population", 1 + static_cast<std::int64_t>(
+                                         transport_config.peers.size())));
+  config.gossip.acks.enabled = args.get_bool("acks", true);
+  config.gossip.pull.contacts_per_attempt =
+      static_cast<unsigned>(args.get_int("pull-contacts", 2));
+  config.gossip.pull.no_update_timeout =
+      static_cast<common::Round>(args.get_int("pull-timeout-rounds", 8));
+  config.retry.initial_timeout =
+      args.get_double("retry-initial-ms", 100.0) / 1000.0;
+  config.retry.max_attempts =
+      static_cast<unsigned>(args.get_int("retry-max-attempts", 5));
+  config.retry.max_timeout = args.get_double("retry-max-ms", 2000.0) / 1000.0;
+  config.tick_duration = 0.01;
+  // Constructed offline, then go_online(): a (re)started daemon enters the
+  // §3 reconnect path and pulls what it missed while it was dead.
+  config.start_online = false;
+
+  runtime::PeerRuntime peer(config, *transport);
+  std::vector<common::PeerId> view;
+  view.reserve(transport_config.peers.size());
+  for (const auto& entry : transport_config.peers) {
+    if (entry.id != self) view.push_back(entry.id);
+  }
+  peer.bootstrap(view);
+  peer.go_online();
+
+  StatusFile status(args.get_string("status", ""));
+  status.line("READY " + std::to_string(transport->bound_port()));
+
+  const std::string publish_key = args.get_string("publish-key", "");
+  const std::string publish_value = args.get_string("publish-value", "");
+  const double publish_at =
+      args.get_double("publish-at-ms", 0.0) / 1000.0;
+  const std::string watch_key = args.get_string("watch", "");
+  const double run_for = args.get_double("run-ms", 0.0) / 1000.0;
+
+  bool published = publish_key.empty();
+  bool have_reported = false;
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  for (;;) {
+    const double now = elapsed();
+    if (run_for > 0.0 && now >= run_for) break;
+    peer.poll(now);
+
+    if (!published && now >= publish_at) {
+      published = true;
+      if (const auto id = peer.publish(publish_key, publish_value)) {
+        status.line("PUBLISHED " + publish_key + " " + id->to_string());
+      }
+    }
+    if (!watch_key.empty() && !have_reported) {
+      if (const auto value = peer.read(watch_key)) {
+        have_reported = true;
+        status.line("HAVE " + watch_key + " " + value->id.to_string());
+      }
+    }
+
+    // Sleep inside poll(2): wake on datagram arrival, the next timer
+    // deadline, or a 20 ms cadence tick, whichever is first.
+    double timeout_s = 0.02;
+    if (const auto deadline = peer.next_deadline()) {
+      timeout_s = std::min(timeout_s, *deadline - elapsed());
+    }
+    const int timeout_ms =
+        timeout_s <= 0.0
+            ? 0
+            : static_cast<int>(timeout_s * 1000.0) + 1;
+    (void)transport->wait_readable(timeout_ms);
+  }
+
+  return 0;
+}

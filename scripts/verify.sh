@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Full verify flow: tier-1 tests in Release, then an ASan+UBSan build that
+# Full verify flow: tier-1 tests in Release (including the multi-process
+# live harness, label `integration-live`), then an ASan+UBSan build that
 # re-runs the test suite and a micro_core smoke pass (one quick iteration of
 # every hot-path bench) under the sanitizers, then a TSan build that runs
 # the concurrency-bearing suites (sweep pool, sharded rounds, sharded bus,
-# golden determinism — including ShardInvariance at 8 threads).
+# golden determinism — including ShardInvariance at 8 threads) plus the
+# event-loop/timer-wheel runtime suites.
 #
 # Usage: scripts/verify.sh [--skip-sanitizers]
 set -euo pipefail
@@ -30,11 +32,14 @@ ctest --preset asan-ubsan -j "${JOBS}"
 ./build-asan/bench/micro_core --smoke
 
 echo "==> sanitizers: TSan build + concurrency suites"
-# The tsan test preset filters to the suites that actually spawn threads:
-# the work-stealing sweep pool, the sharded round engine and bus, and the
-# golden-determinism suite (ShardInvariance drives 8 shard threads).
+# The tsan test preset filters to the suites that actually spawn threads or
+# drive the live event loop: the work-stealing sweep pool, the sharded
+# round engine and bus, the golden-determinism suite (ShardInvariance
+# drives 8 shard threads), and the runtime layer (timer wheel, PeerRuntime,
+# loopback golden, inproc/UDP transports — the UDP suite exercises real
+# kernel socket I/O under TSan).
 cmake --preset tsan
-cmake --build --preset tsan -j "${JOBS}" --target sim_tests net_tests
+cmake --build --preset tsan -j "${JOBS}" --target sim_tests net_tests runtime_tests
 ctest --preset tsan -j "${JOBS}"
 
 echo "==> verify OK"

@@ -1,0 +1,132 @@
+#include "net/inproc_transport.hpp"
+
+#include "common/ensure.hpp"
+
+namespace updp2p::net {
+
+namespace {
+/// Purpose keys for the per-link StreamRng streams. Distinct from every
+/// purpose the simulators use (they key purposes off node behaviour, not
+/// links), so live-transport draws never collide with simulator draws.
+constexpr std::uint64_t kLossPurpose = 0x1055;
+constexpr std::uint64_t kLatencyPurpose = 0x1A7E;
+
+[[nodiscard]] std::uint64_t link_key(common::PeerId from,
+                                     common::PeerId to) noexcept {
+  return (static_cast<std::uint64_t>(from.value()) << 32) | to.value();
+}
+}  // namespace
+
+InprocNetwork::InprocNetwork(InprocNetworkConfig config)
+    : config_(config),
+      latency_(config.latency ? config.latency
+                              : std::make_shared<ConstantLatency>(0.05)) {
+  UPDP2P_ENSURE(
+      config_.loss_probability >= 0.0 && config_.loss_probability <= 1.0,
+      "loss probability must be in [0,1]");
+}
+
+InprocNetwork::~InprocNetwork() {
+  for (auto& [id, endpoint] : endpoints_) endpoint->network_ = nullptr;
+}
+
+std::unique_ptr<InprocTransport> InprocNetwork::attach(common::PeerId self) {
+  UPDP2P_ENSURE(self.is_valid(), "cannot attach the invalid peer id");
+  UPDP2P_ENSURE(!endpoints_.contains(self),
+                "peer id already attached to this network");
+  // Not make_unique: the constructor is private to keep attach the only way
+  // to mint endpoints.
+  auto endpoint =
+      std::unique_ptr<InprocTransport>(new InprocTransport(this, self));
+  endpoints_.emplace(self, endpoint.get());
+  return endpoint;
+}
+
+void InprocNetwork::detach(common::PeerId self) noexcept {
+  endpoints_.erase(self);
+}
+
+InprocNetwork::LinkRngs& InprocNetwork::link_rngs(common::PeerId from,
+                                                  common::PeerId to) {
+  const std::uint64_t key = link_key(from, to);
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    it = links_
+             .emplace(key,
+                      LinkRngs{
+                          common::StreamRng(config_.seed, key, kLossPurpose),
+                          common::StreamRng(config_.seed, key, kLatencyPurpose),
+                      })
+             .first;
+  }
+  return it->second;
+}
+
+bool InprocNetwork::submit(common::PeerId from, common::PeerId to,
+                           std::span<const std::byte> payload) {
+  if (!endpoints_.contains(to)) return false;
+  ++stats_.datagrams_submitted;
+  LinkRngs& rngs = link_rngs(from, to);
+  if (config_.loss_probability > 0.0 &&
+      rngs.loss.bernoulli(config_.loss_probability)) {
+    ++stats_.dropped_loss;
+    return true;  // handed to the network; the network ate it
+  }
+  const common::SimTime delay = latency_->sample(rngs.latency);
+  flights_.push(Flight{now_ + delay, next_seq_++, from, to,
+                       DatagramBytes(payload.begin(), payload.end())});
+  return true;
+}
+
+void InprocNetwork::advance_to(common::SimTime now) {
+  UPDP2P_ENSURE(now >= now_, "virtual time must advance monotonically");
+  now_ = now;
+  while (!flights_.empty() && flights_.top().at <= now_) {
+    // priority_queue::top is const; the pop-after-move idiom is safe here
+    // because nothing reads the moved-from flight before pop.
+    Flight flight = std::move(const_cast<Flight&>(flights_.top()));
+    flights_.pop();
+    const auto it = endpoints_.find(flight.to);
+    if (it == endpoints_.end()) {
+      ++stats_.dropped_detached;
+      continue;
+    }
+    InprocTransport& dest = *it->second;
+    if (!dest.listening_) {
+      ++stats_.dropped_offline;
+      ++dest.stats_.dropped_offline;
+      continue;
+    }
+    ++stats_.datagrams_delivered;
+    ++dest.stats_.datagrams_received;
+    dest.stats_.bytes_received += flight.bytes.size();
+    dest.inbox_.push_back(
+        InboundDatagram{flight.from, std::move(flight.bytes)});
+  }
+}
+
+InprocTransport::~InprocTransport() {
+  if (network_ != nullptr) network_->detach(self_);
+}
+
+bool InprocTransport::send(common::PeerId to,
+                           std::span<const std::byte> payload) {
+  if (network_ == nullptr || !network_->submit(self_, to, payload)) {
+    ++stats_.send_no_route;
+    return false;
+  }
+  ++stats_.datagrams_sent;
+  stats_.bytes_sent += payload.size();
+  return true;
+}
+
+std::size_t InprocTransport::drain(std::vector<InboundDatagram>& out) {
+  const std::size_t count = inbox_.size();
+  for (InboundDatagram& datagram : inbox_) {
+    out.push_back(std::move(datagram));
+  }
+  inbox_.clear();
+  return count;
+}
+
+}  // namespace updp2p::net

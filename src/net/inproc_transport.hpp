@@ -1,0 +1,142 @@
+// Deterministic in-process loopback transport.
+//
+// InprocNetwork is a virtual-time datagram switch: endpoints attach under a
+// peer id, sends are scheduled with per-link loss and latency, and the
+// driver advances virtual time explicitly. Every stochastic choice draws
+// from a counter-based StreamRng keyed (seed, link, purpose), so the whole
+// delivery schedule — order, losses, delays — is a pure function of
+// (config, submitted datagrams) and independent of wall-clock, allocation
+// addresses or iteration incidentals. That is what lets an
+// InprocTransport-backed PeerRuntime run reproduce a pinned golden outcome
+// while the very same runtime code drives real UDP sockets.
+//
+// Offline semantics mirror the paper's §3 model: a datagram that arrives
+// while the destination is not listening is dropped (and counted), never
+// queued — an offline peer must recover through the pull phase.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/latency.hpp"
+#include "net/transport.hpp"
+
+namespace updp2p::net {
+
+class InprocTransport;
+
+struct InprocNetworkConfig {
+  /// Root seed; per-link streams are keyed (seed, from||to, purpose).
+  std::uint64_t seed = 0x11fe;
+  /// Independent per-datagram loss probability.
+  double loss_probability = 0.0;
+  /// One-way delay model; nullptr defaults to ConstantLatency(0.05).
+  std::shared_ptr<LatencyModel> latency;
+};
+
+/// Switch-level counters (sender/receiver counters live in TransportStats).
+struct InprocNetworkStats {
+  std::uint64_t datagrams_submitted = 0;
+  std::uint64_t datagrams_delivered = 0;
+  std::uint64_t dropped_loss = 0;
+  std::uint64_t dropped_offline = 0;  ///< destination attached but not listening
+  std::uint64_t dropped_detached = 0; ///< destination endpoint gone at delivery
+};
+
+class InprocNetwork {
+ public:
+  explicit InprocNetwork(InprocNetworkConfig config = {});
+  ~InprocNetwork();
+  InprocNetwork(const InprocNetwork&) = delete;
+  InprocNetwork& operator=(const InprocNetwork&) = delete;
+
+  /// Creates the endpoint for `self`. One endpoint per peer id; the network
+  /// must outlive every endpoint it handed out. Endpoints start listening.
+  [[nodiscard]] std::unique_ptr<InprocTransport> attach(common::PeerId self);
+
+  /// Delivers every in-flight datagram due at or before `now` (in delivery
+  /// order: time, then submission sequence) and advances virtual time.
+  /// `now` must be monotone across calls.
+  void advance_to(common::SimTime now);
+
+  [[nodiscard]] common::SimTime now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return flights_.size();
+  }
+  [[nodiscard]] const InprocNetworkStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  friend class InprocTransport;
+
+  struct Flight {
+    common::SimTime at = 0.0;
+    std::uint64_t seq = 0;  ///< submission order; total tiebreak at equal times
+    common::PeerId from;
+    common::PeerId to;
+    DatagramBytes bytes;
+
+    friend bool operator>(const Flight& a, const Flight& b) {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  /// Persistent per-directed-link streams: the draw index advances with
+  /// every datagram on that link, independent of all other links.
+  struct LinkRngs {
+    common::StreamRng loss;
+    common::StreamRng latency;
+  };
+
+  /// Called by the sending endpoint. Returns false when `to` has no
+  /// attached endpoint (parity with UDP "no route").
+  bool submit(common::PeerId from, common::PeerId to,
+              std::span<const std::byte> payload);
+  void detach(common::PeerId self) noexcept;
+  [[nodiscard]] LinkRngs& link_rngs(common::PeerId from, common::PeerId to);
+
+  InprocNetworkConfig config_;
+  std::shared_ptr<LatencyModel> latency_;  ///< resolved (never null)
+  std::priority_queue<Flight, std::vector<Flight>, std::greater<>> flights_;
+  std::unordered_map<common::PeerId, InprocTransport*> endpoints_;
+  std::unordered_map<std::uint64_t, LinkRngs> links_;
+  std::uint64_t next_seq_ = 0;
+  common::SimTime now_ = 0.0;
+  InprocNetworkStats stats_;
+};
+
+/// Endpoint handed out by InprocNetwork::attach.
+class InprocTransport final : public Transport {
+ public:
+  ~InprocTransport() override;
+  InprocTransport(const InprocTransport&) = delete;
+  InprocTransport& operator=(const InprocTransport&) = delete;
+
+  [[nodiscard]] common::PeerId self() const noexcept override { return self_; }
+  bool send(common::PeerId to, std::span<const std::byte> payload) override;
+  std::size_t drain(std::vector<InboundDatagram>& out) override;
+  void set_listening(bool listening) override { listening_ = listening; }
+  [[nodiscard]] bool listening() const noexcept override { return listening_; }
+  [[nodiscard]] const TransportStats& stats() const noexcept override {
+    return stats_;
+  }
+
+ private:
+  friend class InprocNetwork;
+  InprocTransport(InprocNetwork* network, common::PeerId self)
+      : network_(network), self_(self) {}
+
+  InprocNetwork* network_;  ///< cleared if the network dies first
+  common::PeerId self_;
+  bool listening_ = true;
+  std::vector<InboundDatagram> inbox_;
+  TransportStats stats_;
+};
+
+}  // namespace updp2p::net

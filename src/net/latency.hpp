@@ -1,9 +1,17 @@
-// Latency models for the event-driven simulator.
+// Latency models for the event-driven simulator and the live transports.
 //
 // The round-synchronous analysis abstracts latency into "rounds"; the
 // event-driven engine (pull phase, overlapping push/pull) needs concrete
 // per-message delays. Paper §4.1 notes that real networks interleave rounds
-// — these models let tests exercise exactly that.
+// — these models let tests exercise exactly that. The inproc live transport
+// reuses them for its deterministic delivery schedule.
+//
+// Sampling is written once against the shared distribution mixin
+// (common::RngOps) and exposed through two virtual overloads, one per
+// engine: the sequential Rng (event simulator) and the counter-based
+// StreamRng (per-link live-transport streams). Given identical raw engine
+// outputs, both overloads produce bit-identical samples — the same
+// contract RngOps gives everything else in the tree.
 #pragma once
 
 #include <memory>
@@ -19,6 +27,8 @@ class LatencyModel {
  public:
   virtual ~LatencyModel() = default;
   [[nodiscard]] virtual common::SimTime sample(common::Rng& rng) const = 0;
+  [[nodiscard]] virtual common::SimTime sample(common::StreamRng& rng)
+      const = 0;
 };
 
 /// Every message takes exactly `delay`.
@@ -28,6 +38,10 @@ class ConstantLatency final : public LatencyModel {
     UPDP2P_ENSURE(delay >= 0.0, "latency must be non-negative");
   }
   [[nodiscard]] common::SimTime sample(common::Rng& /*rng*/) const override {
+    return delay_;
+  }
+  [[nodiscard]] common::SimTime sample(
+      common::StreamRng& /*rng*/) const override {
     return delay_;
   }
 
@@ -42,10 +56,19 @@ class UniformLatency final : public LatencyModel {
     UPDP2P_ENSURE(lo >= 0.0 && hi >= lo, "require 0 <= lo <= hi");
   }
   [[nodiscard]] common::SimTime sample(common::Rng& rng) const override {
-    return lo_ + (hi_ - lo_) * rng.uniform01();
+    return sample_impl(rng);
+  }
+  [[nodiscard]] common::SimTime sample(common::StreamRng& rng) const override {
+    return sample_impl(rng);
   }
 
  private:
+  template <typename Engine>
+  [[nodiscard]] common::SimTime sample_impl(
+      common::RngOps<Engine>& rng) const {
+    return lo_ + (hi_ - lo_) * rng.uniform01();
+  }
+
   common::SimTime lo_;
   common::SimTime hi_;
 };
@@ -59,10 +82,19 @@ class ExponentialLatency final : public LatencyModel {
                   "base >= 0 and mean_extra > 0 required");
   }
   [[nodiscard]] common::SimTime sample(common::Rng& rng) const override {
-    return base_ + rng.exponential(1.0 / mean_extra_);
+    return sample_impl(rng);
+  }
+  [[nodiscard]] common::SimTime sample(common::StreamRng& rng) const override {
+    return sample_impl(rng);
   }
 
  private:
+  template <typename Engine>
+  [[nodiscard]] common::SimTime sample_impl(
+      common::RngOps<Engine>& rng) const {
+    return base_ + rng.exponential(1.0 / mean_extra_);
+  }
+
   common::SimTime base_;
   common::SimTime mean_extra_;
 };

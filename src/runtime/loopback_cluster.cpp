@@ -1,0 +1,127 @@
+#include "runtime/loopback_cluster.hpp"
+
+#include "common/ensure.hpp"
+
+namespace updp2p::runtime {
+
+namespace {
+/// Purpose key for each peer's bootstrap view sample.
+constexpr std::uint64_t kBootstrapPurpose = 0xB007;
+}  // namespace
+
+LoopbackCluster::LoopbackCluster(LoopbackClusterConfig config)
+    : config_([&config] {
+        // Key the network off the runtime seed unless the caller chose one.
+        if (config.network.seed == net::InprocNetworkConfig{}.seed) {
+          config.network.seed = config.runtime.seed;
+        }
+        return config;
+      }()),
+      network_(config_.network) {
+  UPDP2P_ENSURE(config_.population > 0, "cluster needs at least one peer");
+  peers_.reserve(config_.population);
+  for (std::size_t i = 0; i < config_.population; ++i) {
+    Peer peer;
+    peer.transport = network_.attach(common::PeerId(
+        static_cast<common::PeerId::rep_type>(i)));
+    peer.runtime =
+        std::make_unique<PeerRuntime>(config_.runtime, *peer.transport);
+    peers_.push_back(std::move(peer));
+  }
+
+  std::vector<common::PeerId> view;
+  for (std::size_t i = 0; i < config_.population; ++i) {
+    const auto self = static_cast<common::PeerId::rep_type>(i);
+    view.clear();
+    if (config_.initial_view_size == 0) {
+      for (std::size_t j = 0; j < config_.population; ++j) {
+        if (j != i) {
+          view.emplace_back(static_cast<common::PeerId::rep_type>(j));
+        }
+      }
+    } else {
+      common::StreamRng rng(config_.runtime.seed, self, kBootstrapPurpose);
+      // Sample from [0, population-1) and shift past self so the sample
+      // stays uniform over the other peers.
+      const auto others =
+          static_cast<std::uint32_t>(config_.population - 1);
+      const auto want = static_cast<std::uint32_t>(
+          std::min<std::size_t>(config_.initial_view_size, others));
+      for (const std::uint32_t pick :
+           rng.sample_without_replacement(others, want)) {
+        view.emplace_back(pick >= self ? pick + 1 : pick);
+      }
+    }
+    peers_[i].runtime->bootstrap(view);
+  }
+}
+
+std::optional<version::VersionId> LoopbackCluster::publish(
+    common::PeerId from, std::string_view key, std::string payload) {
+  return peer(from).publish(key, std::move(payload));
+}
+
+void LoopbackCluster::set_online(common::PeerId id, bool online) {
+  PeerRuntime& runtime = peer(id);
+  if (online) {
+    runtime.go_online();
+  } else {
+    runtime.go_offline();
+  }
+}
+
+void LoopbackCluster::step(common::SimTime to) {
+  network_.advance_to(to);
+  for (Peer& peer : peers_) peer.runtime->poll(to);
+  now_ = to;
+}
+
+void LoopbackCluster::run_until(common::SimTime until, common::SimTime dt) {
+  UPDP2P_ENSURE(dt > 0.0, "step size must be positive");
+  while (now_ < until) {
+    step(std::min(now_ + dt, until));
+  }
+}
+
+bool LoopbackCluster::run_until_aware(const version::VersionId& id,
+                                      common::SimTime deadline,
+                                      common::SimTime dt) {
+  UPDP2P_ENSURE(dt > 0.0, "step size must be positive");
+  while (!all_online_aware(id)) {
+    if (now_ >= deadline) return false;
+    step(std::min(now_ + dt, deadline));
+  }
+  return true;
+}
+
+std::size_t LoopbackCluster::aware_count(const version::VersionId& id) const {
+  std::size_t count = 0;
+  for (const Peer& peer : peers_) {
+    if (peer.runtime->node().knows_version(id)) ++count;
+  }
+  return count;
+}
+
+bool LoopbackCluster::all_online_aware(const version::VersionId& id) const {
+  for (const Peer& peer : peers_) {
+    if (peer.runtime->online() && !peer.runtime->node().knows_version(id)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+LoopbackCluster::ClusterTotals LoopbackCluster::totals() const {
+  ClusterTotals totals;
+  for (const Peer& peer : peers_) {
+    const RuntimeStats& stats = peer.runtime->stats();
+    totals.datagrams_out += stats.datagrams_out;
+    totals.retransmits += stats.retransmits;
+    totals.retries_cancelled += stats.retries_cancelled;
+    totals.retries_exhausted += stats.retries_exhausted;
+    totals.decode_errors += stats.decode_errors;
+  }
+  return totals;
+}
+
+}  // namespace updp2p::runtime

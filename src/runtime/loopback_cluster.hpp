@@ -1,0 +1,97 @@
+// LoopbackCluster — N PeerRuntimes over one deterministic InprocNetwork.
+//
+// The single-process analogue of the multi-process UDP harness: every peer
+// is a full PeerRuntime (codec, timer wheel, retry/backoff) but datagrams
+// travel through the virtual-time inproc switch, so a run is a pure
+// function of (config, driver calls). This is the adapter that lets the
+// live runtime be golden-tested next to the simulators: the same
+// ReplicaNode type, the same wire bytes, a pinned outcome.
+//
+// Churn is driven externally (set_online), matching the ISSUE's contract
+// that session control comes from the orchestrator, not from inside the
+// runtime.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/inproc_transport.hpp"
+#include "runtime/peer_runtime.hpp"
+
+namespace updp2p::runtime {
+
+struct LoopbackClusterConfig {
+  std::size_t population = 8;
+  /// Per-peer runtime template; `seed` also keys the network when
+  /// `network.seed` is left at its default.
+  RuntimeConfig runtime;
+  net::InprocNetworkConfig network;
+  /// Peers each seed their view with the full membership when 0, otherwise
+  /// with this many deterministic samples.
+  std::size_t initial_view_size = 0;
+};
+
+class LoopbackCluster {
+ public:
+  explicit LoopbackCluster(LoopbackClusterConfig config);
+
+  [[nodiscard]] std::size_t population() const noexcept {
+    return peers_.size();
+  }
+  [[nodiscard]] PeerRuntime& peer(common::PeerId id) {
+    return *peers_.at(id.value()).runtime;
+  }
+  [[nodiscard]] const PeerRuntime& peer(common::PeerId id) const {
+    return *peers_.at(id.value()).runtime;
+  }
+  [[nodiscard]] net::InprocNetwork& network() noexcept { return network_; }
+  [[nodiscard]] common::SimTime now() const noexcept { return now_; }
+
+  /// Publishes from `from` (must be online) and returns the version id.
+  std::optional<version::VersionId> publish(common::PeerId from,
+                                            std::string_view key,
+                                            std::string payload);
+
+  /// External churn control.
+  void set_online(common::PeerId id, bool online);
+
+  /// Steps virtual time to `until` in `dt` increments: each step delivers
+  /// due datagrams, then polls every runtime in peer order.
+  void run_until(common::SimTime until, common::SimTime dt = 0.05);
+
+  /// Steps until every *online* peer knows `id` or `deadline` passes.
+  /// Returns true on convergence.
+  bool run_until_aware(const version::VersionId& id, common::SimTime deadline,
+                       common::SimTime dt = 0.05);
+
+  /// Peers (online or not) whose node has stored version `id`.
+  [[nodiscard]] std::size_t aware_count(const version::VersionId& id) const;
+  [[nodiscard]] bool all_online_aware(const version::VersionId& id) const;
+
+  /// Sum of a few load-bearing counters over all peers — a compact
+  /// fingerprint for golden tests.
+  struct ClusterTotals {
+    std::uint64_t datagrams_out = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t retries_cancelled = 0;
+    std::uint64_t retries_exhausted = 0;
+    std::uint64_t decode_errors = 0;
+  };
+  [[nodiscard]] ClusterTotals totals() const;
+
+ private:
+  struct Peer {
+    std::unique_ptr<net::InprocTransport> transport;
+    std::unique_ptr<PeerRuntime> runtime;
+  };
+
+  void step(common::SimTime to);
+
+  LoopbackClusterConfig config_;
+  net::InprocNetwork network_;
+  std::vector<Peer> peers_;
+  common::SimTime now_ = 0.0;
+};
+
+}  // namespace updp2p::runtime

@@ -1,0 +1,317 @@
+#include "runtime/peer_runtime.hpp"
+
+#include <variant>
+
+#include "common/ensure.hpp"
+#include "gossip/codec.hpp"
+
+namespace updp2p::runtime {
+
+namespace {
+/// Purpose key of the retry-jitter stream — distinct from the node's
+/// protocol stream (purpose 0) under the same (seed, peer id).
+constexpr std::uint64_t kJitterPurpose = 0xBACC;
+
+[[nodiscard]] std::size_t hash_mix(std::size_t a, std::size_t b) noexcept {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+}  // namespace
+
+std::size_t PeerRuntime::PushKeyHash::operator()(
+    const PushKey& key) const noexcept {
+  return hash_mix(std::hash<common::PeerId>{}(key.to),
+                  std::hash<version::VersionId>{}(key.version));
+}
+
+std::size_t PeerRuntime::QueryKeyHash::operator()(
+    const QueryKey& key) const noexcept {
+  return hash_mix(std::hash<common::PeerId>{}(key.to),
+                  std::hash<std::uint64_t>{}(key.nonce));
+}
+
+PeerRuntime::PeerRuntime(RuntimeConfig config, net::Transport& transport)
+    : config_(std::move(config)),
+      transport_(transport),
+      node_(transport.self(), config_.gossip,
+            common::StreamRng(config_.seed, transport.self().value())),
+      wheel_(config_.tick_duration),
+      jitter_rng_(config_.seed, transport.self().value(), kJitterPurpose),
+      online_(config_.start_online) {
+  config_.gossip.validate();
+  config_.retry.validate();
+  UPDP2P_ENSURE(config_.round_duration > 0.0,
+                "round duration must be positive");
+  transport_.set_listening(online_);
+  if (online_) arm_round_timer();
+}
+
+void PeerRuntime::bootstrap(std::span<const common::PeerId> initial_view) {
+  node_.bootstrap(initial_view);
+}
+
+std::optional<version::VersionId> PeerRuntime::publish(std::string_view key,
+                                                       std::string payload) {
+  if (!online_) return std::nullopt;
+  out_scratch_ = node_.publish(key, std::move(payload), current_round());
+  transmit(out_scratch_);
+  const auto value = node_.read(key);
+  if (!value) return std::nullopt;
+  return value->id;
+}
+
+bool PeerRuntime::remove(std::string_view key) {
+  if (!online_) return false;
+  out_scratch_ = node_.remove(key, current_round());
+  transmit(out_scratch_);
+  return true;
+}
+
+std::uint64_t PeerRuntime::begin_query(std::string_view key,
+                                       gossip::QueryRule rule,
+                                       std::size_t replicas_to_ask) {
+  if (!online_) return 0;
+  gossip::StartedQuery started =
+      node_.begin_query(key, rule, replicas_to_ask, current_round());
+  transmit(started.messages);
+  return started.nonce;
+}
+
+gossip::QueryOutcome PeerRuntime::poll_query(std::uint64_t nonce) {
+  return node_.poll_query(nonce, current_round());
+}
+
+void PeerRuntime::go_online() {
+  if (online_) return;
+  online_ = true;
+  transport_.set_listening(true);
+  // Rounds spent offline are not replayed — the pull phase, not the round
+  // clock, is the recovery mechanism (§3).
+  last_ticked_round_ = current_round();
+  out_scratch_.clear();
+  node_.on_reconnect(current_round(), out_scratch_);
+  transmit(out_scratch_);
+  arm_round_timer();
+}
+
+void PeerRuntime::go_offline() {
+  if (!online_) return;
+  online_ = false;
+  node_.on_disconnect(current_round());
+  // §3: in-flight expectations do not survive a disconnect.
+  drop_all_retries();
+  if (round_timer_ != TimerWheel::kInvalidTimer) {
+    wheel_.cancel(round_timer_);
+    round_timer_ = TimerWheel::kInvalidTimer;
+  }
+  transport_.set_listening(false);
+}
+
+void PeerRuntime::poll(common::SimTime now) {
+  UPDP2P_ENSURE(now >= now_, "poll time must be monotone");
+  now_ = now;
+
+  inbox_scratch_.clear();
+  transport_.drain(inbox_scratch_);
+  for (net::InboundDatagram& datagram : inbox_scratch_) {
+    ++stats_.datagrams_in;
+    if (!online_) {
+      ++stats_.dropped_while_offline;
+      continue;
+    }
+    const auto payload = gossip::decode(datagram.bytes);
+    if (!payload) {
+      ++stats_.decode_errors;
+      continue;
+    }
+    // Cancel first: this datagram may be the confirming signal a retry
+    // timer is waiting for.
+    note_confirmation(datagram.from, *payload);
+    out_scratch_.clear();
+    node_.handle_message(datagram.from, *payload, current_round(),
+                         out_scratch_);
+    transmit(out_scratch_);
+  }
+
+  wheel_.advance(now);
+}
+
+void PeerRuntime::transmit(std::vector<gossip::OutboundMessage>& messages) {
+  for (gossip::OutboundMessage& message : messages) {
+    net::DatagramBytes bytes = gossip::encode(message.payload);
+    ++stats_.datagrams_out;
+    transport_.send(message.to, bytes);
+    if (config_.retry.max_attempts <= 1) continue;
+
+    if (const auto* push = std::get_if<gossip::PushMessage>(&message.payload)) {
+      // A push is only retried when acks are on — without §6 acks no
+      // protocol message confirms receipt, and blind retransmission would
+      // just multiply duplicates.
+      if (config_.gossip.acks.enabled) {
+        PendingSend pending;
+        pending.expect = Expect::kAck;
+        pending.to = message.to;
+        pending.version = push->value->id;
+        pending.bytes = std::move(bytes);
+        arm_retry(std::move(pending));
+      }
+    } else if (std::holds_alternative<gossip::PullRequest>(message.payload)) {
+      PendingSend pending;
+      pending.expect = Expect::kPullResponse;
+      pending.to = message.to;
+      pending.bytes = std::move(bytes);
+      arm_retry(std::move(pending));
+    } else if (const auto* query =
+                   std::get_if<gossip::QueryRequest>(&message.payload)) {
+      PendingSend pending;
+      pending.expect = Expect::kQueryReply;
+      pending.to = message.to;
+      pending.nonce = query->nonce;
+      pending.bytes = std::move(bytes);
+      arm_retry(std::move(pending));
+    }
+  }
+  messages.clear();
+}
+
+void PeerRuntime::arm_retry(PendingSend pending) {
+  // A fresh send to the same key supersedes any stale in-flight entry
+  // (e.g. the node re-pushed the same version to the same target).
+  switch (pending.expect) {
+    case Expect::kAck: {
+      const auto it = push_index_.find(PushKey{pending.to, pending.version});
+      if (it != push_index_.end()) cancel_pending(it->second);
+      break;
+    }
+    case Expect::kPullResponse: {
+      const auto it = pull_index_.find(pending.to);
+      if (it != pull_index_.end()) cancel_pending(it->second);
+      break;
+    }
+    case Expect::kQueryReply: {
+      const auto it = query_index_.find(QueryKey{pending.to, pending.nonce});
+      if (it != query_index_.end()) cancel_pending(it->second);
+      break;
+    }
+  }
+
+  const std::uint64_t token = next_token_++;
+  switch (pending.expect) {
+    case Expect::kAck:
+      push_index_.emplace(PushKey{pending.to, pending.version}, token);
+      break;
+    case Expect::kPullResponse:
+      pull_index_.emplace(pending.to, token);
+      break;
+    case Expect::kQueryReply:
+      query_index_.emplace(QueryKey{pending.to, pending.nonce}, token);
+      break;
+  }
+  pending_.emplace(token, std::move(pending));
+  ++stats_.retries_armed;
+  schedule_retry_timer(token);
+}
+
+void PeerRuntime::schedule_retry_timer(std::uint64_t token) {
+  PendingSend& pending = pending_.at(token);
+  const common::SimTime wait =
+      config_.retry.delay(pending.attempt, jitter_rng_);
+  pending.timer = wheel_.schedule_after(
+      wait, [this, token](common::SimTime /*at*/) { on_retry_timer(token); });
+}
+
+void PeerRuntime::on_retry_timer(std::uint64_t token) {
+  const auto it = pending_.find(token);
+  if (it == pending_.end()) return;  // raced with a cancel; nothing to do
+  PendingSend& pending = it->second;
+  const unsigned transmissions = 1 + pending.attempt;
+  if (transmissions >= config_.retry.max_attempts) {
+    ++stats_.retries_exhausted;
+    pending.timer = TimerWheel::kInvalidTimer;
+    cancel_pending(token);
+    return;
+  }
+  ++pending.attempt;
+  ++stats_.retransmits;
+  ++stats_.datagrams_out;
+  transport_.send(pending.to, pending.bytes);
+  schedule_retry_timer(token);
+}
+
+void PeerRuntime::cancel_pending(std::uint64_t token) {
+  const auto it = pending_.find(token);
+  if (it == pending_.end()) return;
+  const PendingSend& pending = it->second;
+  switch (pending.expect) {
+    case Expect::kAck:
+      push_index_.erase(PushKey{pending.to, pending.version});
+      break;
+    case Expect::kPullResponse:
+      pull_index_.erase(pending.to);
+      break;
+    case Expect::kQueryReply:
+      query_index_.erase(QueryKey{pending.to, pending.nonce});
+      break;
+  }
+  if (pending.timer != TimerWheel::kInvalidTimer) {
+    wheel_.cancel(pending.timer);
+  }
+  pending_.erase(it);
+}
+
+void PeerRuntime::note_confirmation(common::PeerId from,
+                                    const gossip::GossipPayload& payload) {
+  std::uint64_t token = 0;
+  if (const auto* ack = std::get_if<gossip::AckMessage>(&payload)) {
+    const auto it = push_index_.find(PushKey{from, ack->acked});
+    if (it == push_index_.end()) return;
+    token = it->second;
+  } else if (std::holds_alternative<gossip::PullResponse>(payload)) {
+    const auto it = pull_index_.find(from);
+    if (it == pull_index_.end()) return;
+    token = it->second;
+  } else if (const auto* reply = std::get_if<gossip::QueryReply>(&payload)) {
+    const auto it = query_index_.find(QueryKey{from, reply->nonce});
+    if (it == query_index_.end()) return;
+    token = it->second;
+  } else {
+    return;
+  }
+  ++stats_.retries_cancelled;
+  cancel_pending(token);
+}
+
+void PeerRuntime::arm_round_timer() {
+  const common::SimTime deadline =
+      static_cast<common::SimTime>(last_ticked_round_ + 1) *
+      config_.round_duration;
+  round_timer_ = wheel_.schedule_at(
+      deadline, [this](common::SimTime at) { on_round_timer(at); });
+}
+
+void PeerRuntime::on_round_timer(common::SimTime at) {
+  round_timer_ = TimerWheel::kInvalidTimer;
+  if (!online_) return;
+  const common::Round target = round_of(at);
+  while (last_ticked_round_ < target) {
+    ++last_ticked_round_;
+    ++stats_.rounds_ticked;
+    out_scratch_.clear();
+    node_.on_round_start(last_ticked_round_, out_scratch_);
+    transmit(out_scratch_);
+  }
+  arm_round_timer();
+}
+
+void PeerRuntime::drop_all_retries() {
+  for (const auto& [token, pending] : pending_) {
+    if (pending.timer != TimerWheel::kInvalidTimer) {
+      wheel_.cancel(pending.timer);
+    }
+  }
+  pending_.clear();
+  push_index_.clear();
+  pull_index_.clear();
+  query_index_.clear();
+}
+
+}  // namespace updp2p::runtime

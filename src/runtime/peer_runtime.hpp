@@ -1,0 +1,207 @@
+// PeerRuntime — one deployed peer: a gossip node behind a live transport.
+//
+// The simulators drive ReplicaNode by delivering in-memory payloads round
+// by round; PeerRuntime drives the *same node type* from a byte-oriented
+// datagram transport and a continuous clock:
+//
+//   * outbound protocol messages are encoded with gossip::codec and handed
+//     to the Transport as datagrams;
+//   * inbound datagrams are decoded (garbage is counted and dropped — the
+//     codec is fail-safe) and delivered to the node;
+//   * a monotonic timer wheel supplies the push-round cadence
+//     (on_round_start) and per-message retry timers;
+//   * datagrams whose arrival the protocol can confirm — pushes (via §6
+//     acks), pull requests (via pull responses), query requests (via query
+//     replies) — are retransmitted with capped exponential backoff + jitter
+//     until the confirming message cancels the retry (runtime/retry.hpp);
+//   * online/offline session control is external (go_online/go_offline),
+//     so churn can be driven by an orchestrator, a test harness, or a real
+//     process lifecycle.
+//
+// Time is explicit: the owner calls poll(now) from its event loop (virtual
+// time over InprocTransport, a monotonic wall clock over UdpTransport).
+// PeerRuntime never reads a clock itself — that is what makes the
+// InprocTransport-backed cluster bit-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "gossip/node.hpp"
+#include "net/transport.hpp"
+#include "runtime/retry.hpp"
+#include "runtime/timer_wheel.hpp"
+
+namespace updp2p::runtime {
+
+struct RuntimeConfig {
+  gossip::GossipConfig gossip;
+  RetryPolicy retry;
+  /// Wall/virtual seconds per push round (the cadence of on_round_start).
+  common::SimTime round_duration = 1.0;
+  /// Timer wheel granularity; retry deadlines quantise to this.
+  common::SimTime tick_duration = 0.05;
+  /// Root seed; the node's stream is keyed (seed, peer id) exactly like
+  /// the simulators key theirs, the retry jitter stream by a distinct
+  /// purpose.
+  std::uint64_t seed = 0x5eed;
+  bool start_online = true;
+};
+
+struct RuntimeStats {
+  std::uint64_t datagrams_out = 0;      ///< send attempts (incl. retransmits)
+  std::uint64_t datagrams_in = 0;       ///< drained from the transport
+  std::uint64_t decode_errors = 0;      ///< inbound bytes the codec rejected
+  std::uint64_t retransmits = 0;
+  std::uint64_t retries_armed = 0;
+  std::uint64_t retries_cancelled = 0;  ///< confirming message arrived
+  std::uint64_t retries_exhausted = 0;  ///< attempt budget ran out
+  std::uint64_t rounds_ticked = 0;
+  std::uint64_t dropped_while_offline = 0;
+};
+
+class PeerRuntime {
+ public:
+  /// The transport must outlive the runtime; its self() becomes the node
+  /// id. Not thread-safe — runtime, transport and wheel share one loop.
+  PeerRuntime(RuntimeConfig config, net::Transport& transport);
+
+  /// Seeds the initial membership view (§2).
+  void bootstrap(std::span<const common::PeerId> initial_view);
+
+  // --- application-facing API (all use the last polled time) ---------------
+
+  /// Publishes locally and starts the push phase. Returns the new version
+  /// id, or nullopt while offline (an offline peer cannot push).
+  std::optional<version::VersionId> publish(std::string_view key,
+                                            std::string payload);
+  /// Tombstone-deletes and propagates the death certificate.
+  bool remove(std::string_view key);
+  [[nodiscard]] std::optional<version::VersionedValue> read(
+      std::string_view key) const {
+    return node_.read(key);
+  }
+  /// Message-based §4.4 query; returns the nonce to poll with (0 while
+  /// offline).
+  std::uint64_t begin_query(std::string_view key, gossip::QueryRule rule,
+                            std::size_t replicas_to_ask);
+  [[nodiscard]] gossip::QueryOutcome poll_query(std::uint64_t nonce);
+
+  // --- session control ------------------------------------------------------
+
+  /// Enters the online state: the transport starts listening, the node runs
+  /// its §3 reconnect pull (or arms the §6 lazy pull), round ticks resume.
+  void go_online();
+  /// Leaves the network: in-flight retries are abandoned (§3 — expectations
+  /// do not survive a disconnect), the transport stops listening.
+  void go_offline();
+  [[nodiscard]] bool online() const noexcept { return online_; }
+
+  // --- event loop -----------------------------------------------------------
+
+  /// Advances the runtime to `now` (monotone): drains the transport,
+  /// delivers decoded messages to the node, fires due timers (round ticks,
+  /// retransmits) and transmits everything the node emitted.
+  void poll(common::SimTime now);
+
+  /// Earliest pending timer deadline — how long an event loop may sleep
+  /// when the socket stays quiet. nullopt when no timer is armed.
+  [[nodiscard]] std::optional<common::SimTime> next_deadline() const {
+    return wheel_.next_deadline();
+  }
+
+  // --- introspection --------------------------------------------------------
+
+  [[nodiscard]] common::PeerId id() const noexcept { return node_.id(); }
+  [[nodiscard]] gossip::ReplicaNode& node() noexcept { return node_; }
+  [[nodiscard]] const gossip::ReplicaNode& node() const noexcept {
+    return node_;
+  }
+  [[nodiscard]] const RuntimeStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] common::SimTime now() const noexcept { return now_; }
+  [[nodiscard]] common::Round current_round() const noexcept {
+    return round_of(now_);
+  }
+  /// In-flight sends still awaiting their confirming message.
+  [[nodiscard]] std::size_t pending_retries() const noexcept {
+    return pending_.size();
+  }
+
+ private:
+  /// What confirms an in-flight datagram (and keys its cancellation).
+  enum class Expect : std::uint8_t { kAck, kPullResponse, kQueryReply };
+
+  struct PendingSend {
+    Expect expect = Expect::kAck;
+    common::PeerId to;
+    version::VersionId version;  ///< kAck: the pushed version
+    std::uint64_t nonce = 0;     ///< kQueryReply: the query nonce
+    net::DatagramBytes bytes;    ///< exact datagram for retransmission
+    unsigned attempt = 0;        ///< retransmissions performed so far
+    TimerWheel::TimerId timer = TimerWheel::kInvalidTimer;
+  };
+
+  struct PushKey {
+    common::PeerId to;
+    version::VersionId version;
+    friend bool operator==(const PushKey&, const PushKey&) = default;
+  };
+  struct PushKeyHash {
+    std::size_t operator()(const PushKey& key) const noexcept;
+  };
+  struct QueryKey {
+    common::PeerId to;
+    std::uint64_t nonce = 0;
+    friend bool operator==(const QueryKey&, const QueryKey&) = default;
+  };
+  struct QueryKeyHash {
+    std::size_t operator()(const QueryKey& key) const noexcept;
+  };
+
+  [[nodiscard]] common::Round round_of(common::SimTime at) const noexcept {
+    return static_cast<common::Round>(at / config_.round_duration);
+  }
+
+  /// Encodes, transmits and (where a confirming signal exists) arms a
+  /// retry for every message the node emitted. Consumes `messages`.
+  void transmit(std::vector<gossip::OutboundMessage>& messages);
+  void arm_retry(PendingSend pending);
+  void schedule_retry_timer(std::uint64_t token);
+  void on_retry_timer(std::uint64_t token);
+  void cancel_pending(std::uint64_t token);
+  /// Ack / pull response / query reply arrived: cancel the matching retry.
+  void note_confirmation(common::PeerId from,
+                         const gossip::GossipPayload& payload);
+  void arm_round_timer();
+  void on_round_timer(common::SimTime at);
+  void drop_all_retries();
+
+  RuntimeConfig config_;
+  net::Transport& transport_;
+  gossip::ReplicaNode node_;
+  TimerWheel wheel_;
+  common::StreamRng jitter_rng_;
+  bool online_ = true;
+  common::SimTime now_ = 0.0;
+  common::Round last_ticked_round_ = 0;
+  TimerWheel::TimerId round_timer_ = TimerWheel::kInvalidTimer;
+
+  std::unordered_map<std::uint64_t, PendingSend> pending_;  ///< by token
+  std::unordered_map<PushKey, std::uint64_t, PushKeyHash> push_index_;
+  std::unordered_map<common::PeerId, std::uint64_t> pull_index_;
+  std::unordered_map<QueryKey, std::uint64_t, QueryKeyHash> query_index_;
+  std::uint64_t next_token_ = 1;
+
+  std::vector<net::InboundDatagram> inbox_scratch_;
+  std::vector<gossip::OutboundMessage> out_scratch_;
+  RuntimeStats stats_;
+};
+
+}  // namespace updp2p::runtime

@@ -26,10 +26,18 @@
 #include "gossip/messages.hpp"              // IWYU pragma: export
 #include "gossip/node.hpp"                  // IWYU pragma: export
 #include "gossip/query.hpp"                 // IWYU pragma: export
+#include "net/frame.hpp"                    // IWYU pragma: export
+#include "net/inproc_transport.hpp"         // IWYU pragma: export
 #include "net/latency.hpp"                  // IWYU pragma: export
 #include "net/message_bus.hpp"              // IWYU pragma: export
+#include "net/transport.hpp"                // IWYU pragma: export
+#include "net/udp_transport.hpp"            // IWYU pragma: export
 #include "pgrid/pgrid.hpp"                  // IWYU pragma: export
 #include "pgrid/replicated_index.hpp"       // IWYU pragma: export
+#include "runtime/loopback_cluster.hpp"     // IWYU pragma: export
+#include "runtime/peer_runtime.hpp"         // IWYU pragma: export
+#include "runtime/retry.hpp"                // IWYU pragma: export
+#include "runtime/timer_wheel.hpp"          // IWYU pragma: export
 #include "sim/event_simulator.hpp"          // IWYU pragma: export
 #include "sim/round_simulator.hpp"          // IWYU pragma: export
 #include "sim/sweep.hpp"                    // IWYU pragma: export

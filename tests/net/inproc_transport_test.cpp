@@ -1,0 +1,191 @@
+#include "net/inproc_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace updp2p::net {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::string& text) {
+  std::vector<std::byte> out;
+  for (const char c : text) out.push_back(static_cast<std::byte>(c));
+  return out;
+}
+
+std::string text_of(const DatagramBytes& bytes) {
+  std::string out;
+  for (const std::byte b : bytes) out.push_back(static_cast<char>(b));
+  return out;
+}
+
+TEST(InprocNetwork, DeliversAfterLatency) {
+  InprocNetworkConfig config;
+  config.latency = std::make_shared<ConstantLatency>(0.1);
+  InprocNetwork network(config);
+  auto a = network.attach(common::PeerId(1));
+  auto b = network.attach(common::PeerId(2));
+
+  EXPECT_TRUE(a->send(common::PeerId(2), bytes_of("hi")));
+  EXPECT_EQ(network.in_flight(), 1u);
+
+  std::vector<InboundDatagram> inbox;
+  network.advance_to(0.05);  // before the delay elapses
+  EXPECT_EQ(b->drain(inbox), 0u);
+
+  network.advance_to(0.1);
+  ASSERT_EQ(b->drain(inbox), 1u);
+  EXPECT_EQ(inbox[0].from, common::PeerId(1));
+  EXPECT_EQ(text_of(inbox[0].bytes), "hi");
+  EXPECT_EQ(network.stats().datagrams_delivered, 1u);
+}
+
+TEST(InprocNetwork, DeliveryOrderIsTimeThenSubmission) {
+  // Uniform latency makes the two datagrams race; the schedule must still
+  // be a pure function of the seed.
+  InprocNetworkConfig config;
+  config.latency = std::make_shared<UniformLatency>(0.01, 0.2);
+  config.seed = 77;
+  InprocNetwork network(config);
+  auto a = network.attach(common::PeerId(1));
+  auto b = network.attach(common::PeerId(2));
+  auto c = network.attach(common::PeerId(3));
+
+  ASSERT_TRUE(a->send(common::PeerId(3), bytes_of("from-a-0")));
+  ASSERT_TRUE(b->send(common::PeerId(3), bytes_of("from-b-0")));
+  ASSERT_TRUE(a->send(common::PeerId(3), bytes_of("from-a-1")));
+  network.advance_to(1.0);
+
+  std::vector<InboundDatagram> first;
+  c->drain(first);
+  ASSERT_EQ(first.size(), 3u);
+
+  // An identically-seeded rebuild reproduces the exact arrival order.
+  InprocNetwork network2(config);
+  auto a2 = network2.attach(common::PeerId(1));
+  auto b2 = network2.attach(common::PeerId(2));
+  auto c2 = network2.attach(common::PeerId(3));
+  ASSERT_TRUE(a2->send(common::PeerId(3), bytes_of("from-a-0")));
+  ASSERT_TRUE(b2->send(common::PeerId(3), bytes_of("from-b-0")));
+  ASSERT_TRUE(a2->send(common::PeerId(3), bytes_of("from-a-1")));
+  network2.advance_to(1.0);
+
+  std::vector<InboundDatagram> second;
+  c2->drain(second);
+  ASSERT_EQ(second.size(), 3u);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(text_of(first[i].bytes), text_of(second[i].bytes)) << i;
+    EXPECT_EQ(first[i].from, second[i].from) << i;
+  }
+}
+
+TEST(InprocNetwork, LossIsDeterministicPerSeed) {
+  InprocNetworkConfig config;
+  config.loss_probability = 0.5;
+  config.seed = 1234;
+  config.latency = std::make_shared<ConstantLatency>(0.01);
+
+  const auto run = [&config] {
+    InprocNetwork network(config);
+    auto a = network.attach(common::PeerId(1));
+    auto b = network.attach(common::PeerId(2));
+    for (int i = 0; i < 200; ++i) {
+      (void)a->send(common::PeerId(2), bytes_of(std::to_string(i)));
+    }
+    network.advance_to(1.0);
+    std::vector<InboundDatagram> inbox;
+    b->drain(inbox);
+    std::vector<std::string> texts;
+    for (const auto& d : inbox) texts.push_back(text_of(d.bytes));
+    return texts;
+  };
+
+  const auto first = run();
+  const auto second = run();
+  EXPECT_GT(first.size(), 50u);   // some survive
+  EXPECT_LT(first.size(), 150u);  // some are lost
+  EXPECT_EQ(first, second);
+}
+
+TEST(InprocNetwork, IndependentLinksDoNotPerturbEachOther) {
+  // Counter-based per-link streams: traffic on link 1->3 must not change
+  // what happens on link 1->2.
+  InprocNetworkConfig config;
+  config.loss_probability = 0.3;
+  config.seed = 99;
+  config.latency = std::make_shared<UniformLatency>(0.01, 0.1);
+
+  const auto run = [&config](bool extra_traffic) {
+    InprocNetwork network(config);
+    auto a = network.attach(common::PeerId(1));
+    auto b = network.attach(common::PeerId(2));
+    auto c = network.attach(common::PeerId(3));
+    std::vector<std::string> got;
+    for (int i = 0; i < 100; ++i) {
+      (void)a->send(common::PeerId(2), bytes_of("x" + std::to_string(i)));
+      if (extra_traffic) {
+        (void)a->send(common::PeerId(3), bytes_of("noise"));
+      }
+    }
+    network.advance_to(1.0);
+    std::vector<InboundDatagram> inbox;
+    b->drain(inbox);
+    for (const auto& d : inbox) got.push_back(text_of(d.bytes));
+    (void)c;
+    return got;
+  };
+
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(InprocNetwork, OfflineEndpointDropsInsteadOfQueueing) {
+  InprocNetworkConfig config;
+  config.latency = std::make_shared<ConstantLatency>(0.01);
+  InprocNetwork network(config);
+  auto a = network.attach(common::PeerId(1));
+  auto b = network.attach(common::PeerId(2));
+
+  b->set_listening(false);
+  ASSERT_TRUE(a->send(common::PeerId(2), bytes_of("lost")));
+  network.advance_to(0.5);
+  b->set_listening(true);
+  network.advance_to(1.0);
+
+  std::vector<InboundDatagram> inbox;
+  EXPECT_EQ(b->drain(inbox), 0u);  // never delivered later
+  EXPECT_EQ(network.stats().dropped_offline, 1u);
+  EXPECT_EQ(b->stats().dropped_offline, 1u);
+}
+
+TEST(InprocNetwork, SendToUnattachedPeerFails) {
+  InprocNetwork network;
+  auto a = network.attach(common::PeerId(1));
+  EXPECT_FALSE(a->send(common::PeerId(9), bytes_of("void")));
+  EXPECT_EQ(a->stats().send_no_route, 1u);
+}
+
+TEST(InprocNetwork, DetachedDestinationCountsDrop) {
+  InprocNetworkConfig config;
+  config.latency = std::make_shared<ConstantLatency>(0.1);
+  InprocNetwork network(config);
+  auto a = network.attach(common::PeerId(1));
+  auto b = network.attach(common::PeerId(2));
+  ASSERT_TRUE(a->send(common::PeerId(2), bytes_of("late")));
+  b.reset();  // endpoint gone while the datagram is in flight
+  network.advance_to(1.0);
+  EXPECT_EQ(network.stats().dropped_detached, 1u);
+}
+
+TEST(InprocNetwork, EndpointSurvivesNetworkDestruction) {
+  std::unique_ptr<InprocTransport> orphan;
+  {
+    InprocNetwork network;
+    orphan = network.attach(common::PeerId(1));
+  }
+  EXPECT_FALSE(orphan->send(common::PeerId(2), bytes_of("nowhere")));
+  std::vector<InboundDatagram> inbox;
+  EXPECT_EQ(orphan->drain(inbox), 0u);
+}
+
+}  // namespace
+}  // namespace updp2p::net

@@ -1,0 +1,162 @@
+// In-process UDP loopback tests: two transports on ephemeral 127.0.0.1
+// ports exchanging real datagrams through the kernel. Waits use
+// wait_readable (poll with timeout), never bare sleeps.
+#include "net/udp_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <string>
+
+#include "net/frame.hpp"
+
+namespace updp2p::net {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::string& text) {
+  std::vector<std::byte> out;
+  for (const char c : text) out.push_back(static_cast<std::byte>(c));
+  return out;
+}
+
+std::string text_of(const DatagramBytes& bytes) {
+  std::string out;
+  for (const std::byte b : bytes) out.push_back(static_cast<char>(b));
+  return out;
+}
+
+/// Opens a transport on an ephemeral port; aborts the test on failure.
+std::unique_ptr<UdpTransport> open_ephemeral(common::PeerId self) {
+  UdpTransportConfig config;
+  config.self = self;
+  config.bind_port = 0;
+  std::string error;
+  auto transport = UdpTransport::open(config, &error);
+  EXPECT_NE(transport, nullptr) << error;
+  return transport;
+}
+
+/// Drains until at least `want` datagrams arrive or ~2s passes.
+std::size_t drain_some(UdpTransport& transport,
+                       std::vector<InboundDatagram>& inbox,
+                       std::size_t want) {
+  for (int spins = 0; spins < 200 && inbox.size() < want; ++spins) {
+    (void)transport.wait_readable(10);
+    (void)transport.drain(inbox);
+  }
+  return inbox.size();
+}
+
+TEST(UdpTransport, RoundTripOverLoopback) {
+  auto a = open_ephemeral(common::PeerId(1));
+  auto b = open_ephemeral(common::PeerId(2));
+  ASSERT_TRUE(a && b);
+  a->add_route({common::PeerId(2), "127.0.0.1", b->bound_port()});
+  b->add_route({common::PeerId(1), "127.0.0.1", a->bound_port()});
+
+  ASSERT_TRUE(a->send(common::PeerId(2), bytes_of("ping")));
+  std::vector<InboundDatagram> inbox;
+  ASSERT_EQ(drain_some(*b, inbox, 1), 1u);
+  EXPECT_EQ(inbox[0].from, common::PeerId(1));
+  EXPECT_EQ(text_of(inbox[0].bytes), "ping");
+
+  ASSERT_TRUE(b->send(common::PeerId(1), bytes_of("pong")));
+  inbox.clear();
+  ASSERT_EQ(drain_some(*a, inbox, 1), 1u);
+  EXPECT_EQ(inbox[0].from, common::PeerId(2));
+  EXPECT_EQ(text_of(inbox[0].bytes), "pong");
+
+  EXPECT_EQ(a->stats().datagrams_sent, 1u);
+  EXPECT_EQ(a->stats().datagrams_received, 1u);
+}
+
+TEST(UdpTransport, SendWithoutRouteFails) {
+  auto a = open_ephemeral(common::PeerId(1));
+  ASSERT_TRUE(a);
+  EXPECT_FALSE(a->send(common::PeerId(42), bytes_of("void")));
+  EXPECT_EQ(a->stats().send_no_route, 1u);
+}
+
+TEST(UdpTransport, GarbageDatagramIsRejectedNotDelivered) {
+  auto a = open_ephemeral(common::PeerId(1));
+  auto b = open_ephemeral(common::PeerId(2));
+  ASSERT_TRUE(a && b);
+
+  // Send raw unframed bytes straight at b's socket.
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(b->bound_port());
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  const std::string garbage = "definitely not a frame";
+  ASSERT_GT(::sendto(a->fd(), garbage.data(), garbage.size(), 0,
+                     reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  std::vector<InboundDatagram> inbox;
+  for (int spins = 0; spins < 100 && b->stats().frames_rejected == 0;
+       ++spins) {
+    (void)b->wait_readable(10);
+    (void)b->drain(inbox);
+  }
+  EXPECT_TRUE(inbox.empty());
+  EXPECT_EQ(b->stats().frames_rejected, 1u);
+}
+
+TEST(UdpTransport, OfflineWindowDropsKernelBufferedDatagrams) {
+  auto a = open_ephemeral(common::PeerId(1));
+  auto b = open_ephemeral(common::PeerId(2));
+  ASSERT_TRUE(a && b);
+  a->add_route({common::PeerId(2), "127.0.0.1", b->bound_port()});
+
+  b->set_listening(false);
+  ASSERT_TRUE(a->send(common::PeerId(2), bytes_of("smuggled?")));
+
+  // Drain while offline: the datagram is read off the socket and dropped.
+  std::vector<InboundDatagram> inbox;
+  for (int spins = 0; spins < 100 && b->stats().dropped_offline == 0;
+       ++spins) {
+    (void)b->wait_readable(10);
+    (void)b->drain(inbox);
+  }
+  EXPECT_EQ(b->stats().dropped_offline, 1u);
+  EXPECT_TRUE(inbox.empty());
+
+  // Back online: nothing left over from the offline window.
+  b->set_listening(true);
+  (void)b->wait_readable(20);
+  EXPECT_EQ(b->drain(inbox), 0u);
+}
+
+TEST(UdpTransport, OpenReportsBindConflict) {
+  auto a = open_ephemeral(common::PeerId(1));
+  ASSERT_TRUE(a);
+  UdpTransportConfig config;
+  config.self = common::PeerId(2);
+  config.bind_port = a->bound_port();  // already taken
+  std::string error;
+  auto clash = UdpTransport::open(config, &error);
+  EXPECT_EQ(clash, nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(UdpTransport, OpenRejectsOutOfRangeSelfId) {
+  UdpTransportConfig config;
+  config.self =
+      common::PeerId(static_cast<std::uint32_t>(kMaxFramePeerId));
+  std::string error;
+  EXPECT_EQ(UdpTransport::open(config, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(UdpTransport, WaitReadableTimesOutQuietly) {
+  auto a = open_ephemeral(common::PeerId(1));
+  ASSERT_TRUE(a);
+  EXPECT_FALSE(a->wait_readable(1));
+  EXPECT_FALSE(a->wait_readable(0));
+}
+
+}  // namespace
+}  // namespace updp2p::net

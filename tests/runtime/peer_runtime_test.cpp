@@ -1,0 +1,269 @@
+// PeerRuntime behaviour over the deterministic inproc network: retry arming
+// and cancellation, exponential backoff retransmission, attempt exhaustion,
+// round cadence, and offline/online session semantics. Every test runs in
+// virtual time — no sleeps, no clocks.
+#include "runtime/peer_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/inproc_transport.hpp"
+
+namespace updp2p::runtime {
+namespace {
+
+/// Two-peer fixture: everything travels through an InprocNetwork whose
+/// latency/loss the individual tests pick.
+struct Pair {
+  explicit Pair(net::InprocNetworkConfig net_config = make_net_config(),
+                RuntimeConfig runtime_config = make_runtime_config())
+      : network(net_config),
+        ta(network.attach(common::PeerId(0))),
+        tb(network.attach(common::PeerId(1))),
+        a(runtime_config, *ta),
+        b(runtime_config, *tb) {
+    const common::PeerId peer_a[] = {common::PeerId(1)};
+    const common::PeerId peer_b[] = {common::PeerId(0)};
+    a.bootstrap(peer_a);
+    b.bootstrap(peer_b);
+  }
+
+  static net::InprocNetworkConfig make_net_config() {
+    net::InprocNetworkConfig config;
+    config.latency = std::make_shared<net::ConstantLatency>(0.01);
+    return config;
+  }
+
+  static RuntimeConfig make_runtime_config() {
+    RuntimeConfig config;
+    config.gossip.fanout_fraction = 1.0;
+    config.gossip.estimated_total_replicas = 2;
+    config.gossip.acks.enabled = true;
+    config.retry.initial_timeout = 0.2;
+    config.retry.multiplier = 2.0;
+    config.retry.max_timeout = 2.0;
+    config.retry.jitter = 0.0;  // exact schedules for assertions
+    config.retry.max_attempts = 4;
+    config.round_duration = 1.0;
+    return config;
+  }
+
+  void step_to(common::SimTime to, common::SimTime dt = 0.01) {
+    while (now < to) {
+      now = std::min(now + dt, to);
+      network.advance_to(now);
+      a.poll(now);
+      b.poll(now);
+    }
+  }
+
+  net::InprocNetwork network;
+  std::unique_ptr<net::InprocTransport> ta;
+  std::unique_ptr<net::InprocTransport> tb;
+  PeerRuntime a;
+  PeerRuntime b;
+  common::SimTime now = 0.0;
+};
+
+TEST(PeerRuntime, PublishPropagatesAndAckCancelsRetry) {
+  Pair pair;
+  const auto id = pair.a.publish("key", "value");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(pair.a.pending_retries(), 1u);  // push awaiting its ack
+
+  pair.step_to(0.1);
+  EXPECT_TRUE(pair.b.node().knows_version(*id));
+  EXPECT_EQ(pair.a.pending_retries(), 0u);
+  EXPECT_EQ(pair.a.stats().retries_cancelled, 1u);
+  EXPECT_EQ(pair.a.stats().retransmits, 0u);  // ack beat the timer
+}
+
+TEST(PeerRuntime, LostPushIsRetransmittedWithBackoff) {
+  // Loss probability 1 on every link: nothing ever arrives, so the push
+  // retransmits on the exact backoff schedule until the budget runs out.
+  auto net_config = Pair::make_net_config();
+  net_config.loss_probability = 1.0;
+  Pair pair(net_config);
+
+  const auto id = pair.a.publish("key", "value");
+  ASSERT_TRUE(id.has_value());
+  const std::uint64_t initial_out = pair.a.stats().datagrams_out;
+
+  // Backoff (no jitter): retransmits at 0.2, 0.6 (+0.4), 1.4 (+0.8); the
+  // fourth timer fire at 3.0 (+1.6) finds the budget spent and exhausts.
+  pair.step_to(0.15);
+  EXPECT_EQ(pair.a.stats().retransmits, 0u);
+  pair.step_to(0.3);
+  EXPECT_EQ(pair.a.stats().retransmits, 1u);
+  pair.step_to(0.7);
+  EXPECT_EQ(pair.a.stats().retransmits, 2u);
+  pair.step_to(1.5);
+  EXPECT_EQ(pair.a.stats().retransmits, 3u);  // max_attempts=4 → 3 retries
+  EXPECT_EQ(pair.a.stats().retries_exhausted, 0u);
+  EXPECT_EQ(pair.a.pending_retries(), 1u);  // final timer still pending
+  pair.step_to(3.1);
+  EXPECT_EQ(pair.a.stats().retries_exhausted, 1u);
+  EXPECT_EQ(pair.a.pending_retries(), 0u);
+  EXPECT_EQ(pair.a.stats().datagrams_out, initial_out + 3);
+
+  // Budget is spent: no further retransmissions ever.
+  pair.step_to(10.0);
+  EXPECT_EQ(pair.a.stats().retransmits, 3u);
+  EXPECT_FALSE(pair.b.node().knows_version(*id));
+}
+
+TEST(PeerRuntime, RetryDeliversThroughTransientLoss) {
+  // The end-to-end story the retry layer exists for: a lossy link where a
+  // retransmission (not the original send) delivers the push and its ack
+  // cancels the retry. Which seeds produce that exact interleaving depends
+  // on upstream RNG draw order, so scan a small deterministic seed range
+  // and require the scenario to occur; every seed must also satisfy the
+  // retry invariants.
+  bool saw_retransmit_then_ack = false;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    auto net_config = Pair::make_net_config();
+    net_config.loss_probability = 0.5;
+    net_config.seed = seed;
+    auto runtime_config = Pair::make_runtime_config();
+    runtime_config.retry.max_attempts = 8;
+    Pair pair(net_config, runtime_config);
+
+    const auto id = pair.a.publish("key", "value");
+    ASSERT_TRUE(id.has_value());
+    pair.step_to(30.0);
+
+    const RuntimeStats& stats = pair.a.stats();
+    // Every armed retry reaches a terminal outcome (ack or exhaustion);
+    // later rounds may arm more (re-pushes, pull-phase requests), so the
+    // counts are lower bounds, not exact.
+    EXPECT_GE(stats.retries_cancelled + stats.retries_exhausted, 1u)
+        << "seed " << seed;
+    // An acked push implies the peer actually received it.
+    if (stats.retries_cancelled >= 1) {
+      EXPECT_TRUE(pair.b.node().knows_version(*id)) << "seed " << seed;
+    }
+    if (stats.retransmits > 0 && stats.retries_cancelled >= 1) {
+      saw_retransmit_then_ack = true;
+    }
+  }
+  EXPECT_TRUE(saw_retransmit_then_ack)
+      << "no seed in range exercised retransmit-then-ack";
+}
+
+TEST(PeerRuntime, PushWithoutAcksIsNotRetried) {
+  auto runtime_config = Pair::make_runtime_config();
+  runtime_config.gossip.acks.enabled = false;
+  Pair pair(Pair::make_net_config(), runtime_config);
+  ASSERT_TRUE(pair.a.publish("key", "value").has_value());
+  EXPECT_EQ(pair.a.pending_retries(), 0u);
+}
+
+TEST(PeerRuntime, MaxAttemptsOneDisablesRetransmission) {
+  auto net_config = Pair::make_net_config();
+  net_config.loss_probability = 1.0;
+  auto runtime_config = Pair::make_runtime_config();
+  runtime_config.retry.max_attempts = 1;
+  Pair pair(net_config, runtime_config);
+  ASSERT_TRUE(pair.a.publish("key", "value").has_value());
+  EXPECT_EQ(pair.a.pending_retries(), 0u);
+  pair.step_to(5.0);
+  EXPECT_EQ(pair.a.stats().retransmits, 0u);
+}
+
+TEST(PeerRuntime, GoOfflineDropsPendingRetries) {
+  auto net_config = Pair::make_net_config();
+  net_config.loss_probability = 1.0;
+  Pair pair(net_config);
+  ASSERT_TRUE(pair.a.publish("key", "value").has_value());
+  EXPECT_EQ(pair.a.pending_retries(), 1u);
+  pair.a.go_offline();
+  EXPECT_EQ(pair.a.pending_retries(), 0u);
+  EXPECT_FALSE(pair.a.online());
+  // No zombie retransmits after the disconnect.
+  pair.step_to(5.0);
+  EXPECT_EQ(pair.a.stats().retransmits, 0u);
+}
+
+TEST(PeerRuntime, OfflinePeerCannotPublishOrQuery) {
+  Pair pair;
+  pair.a.go_offline();
+  EXPECT_FALSE(pair.a.publish("key", "value").has_value());
+  EXPECT_FALSE(pair.a.remove("key"));
+  EXPECT_EQ(pair.a.begin_query("key", gossip::QueryRule::kLatestVersion, 1),
+            0u);
+}
+
+TEST(PeerRuntime, ReconnectRecoversMissedUpdateViaPull) {
+  Pair pair;
+  pair.b.go_offline();
+  const auto id = pair.a.publish("key", "missed-while-down");
+  ASSERT_TRUE(id.has_value());
+  // The push phase happens (and exhausts its retries) while b is gone.
+  pair.step_to(6.0);
+  EXPECT_FALSE(pair.b.node().knows_version(*id));
+
+  pair.b.go_online();  // §3 reconnect: b pulls immediately
+  pair.step_to(8.0);
+  EXPECT_TRUE(pair.b.node().knows_version(*id));
+}
+
+TEST(PeerRuntime, RoundTimerTicksOnRoundBoundaries) {
+  Pair pair;
+  pair.step_to(3.5);
+  EXPECT_EQ(pair.a.stats().rounds_ticked, 3u);
+  EXPECT_EQ(pair.a.current_round(), common::Round{3});
+
+  // A coarse poll that jumps several rounds catches up on all of them.
+  pair.step_to(7.0, /*dt=*/3.0);
+  EXPECT_EQ(pair.a.stats().rounds_ticked, 7u);
+}
+
+TEST(PeerRuntime, OfflineRoundsAreNotReplayedOnReconnect) {
+  Pair pair;
+  pair.a.go_offline();
+  pair.step_to(5.0);
+  const auto ticked_before = pair.a.stats().rounds_ticked;
+  pair.a.go_online();
+  pair.step_to(6.5);
+  // Only the rounds after the reconnect tick — not the five missed ones.
+  EXPECT_LE(pair.a.stats().rounds_ticked, ticked_before + 2);
+}
+
+TEST(PeerRuntime, DecodeErrorsAreCountedAndSkipped) {
+  Pair pair;
+  // Inject garbage straight through the transport (framed fine at the
+  // transport layer, rubbish at the codec layer).
+  const std::vector<std::byte> junk = {std::byte{0xde}, std::byte{0xad}};
+  ASSERT_TRUE(pair.tb->send(common::PeerId(0), junk));
+  pair.step_to(0.1);
+  EXPECT_EQ(pair.a.stats().decode_errors, 1u);
+}
+
+TEST(PeerRuntime, QueryReplyCancelsQueryRetry) {
+  Pair pair;
+  const auto id = pair.a.publish("key", "value");
+  ASSERT_TRUE(id.has_value());
+  pair.step_to(0.2);
+
+  const std::uint64_t nonce =
+      pair.b.begin_query("key", gossip::QueryRule::kLatestVersion, 1);
+  ASSERT_NE(nonce, 0u);
+  EXPECT_GE(pair.b.pending_retries(), 1u);
+  pair.step_to(0.4);
+  EXPECT_EQ(pair.b.pending_retries(), 0u);
+  EXPECT_GE(pair.b.stats().retries_cancelled, 1u);
+  const auto outcome = pair.b.poll_query(nonce);
+  EXPECT_TRUE(outcome.complete);
+  ASSERT_TRUE(outcome.value.has_value());
+  EXPECT_EQ(outcome.value->id, *id);
+}
+
+TEST(PeerRuntime, PollTimeMustBeMonotone) {
+  Pair pair;
+  pair.a.poll(1.0);
+  EXPECT_DEATH(pair.a.poll(0.5), "monotone");
+}
+
+}  // namespace
+}  // namespace updp2p::runtime

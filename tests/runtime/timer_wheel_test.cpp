@@ -1,0 +1,135 @@
+#include "runtime/timer_wheel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace updp2p::runtime {
+namespace {
+
+TEST(TimerWheel, FiresAtDeadline) {
+  TimerWheel wheel(0.05);
+  std::vector<double> fired;
+  (void)wheel.schedule_at(0.2, [&](common::SimTime at) { fired.push_back(at); });
+  wheel.advance(0.1);
+  EXPECT_TRUE(fired.empty());
+  wheel.advance(0.3);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_NEAR(fired[0], 0.2, 0.05 + 1e-9);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, FiresInDeadlineThenScheduleOrder) {
+  TimerWheel wheel(0.05);
+  std::vector<std::string> order;
+  (void)wheel.schedule_at(0.30, [&](common::SimTime) { order.push_back("late"); });
+  (void)wheel.schedule_at(0.10, [&](common::SimTime) { order.push_back("a"); });
+  (void)wheel.schedule_at(0.10, [&](common::SimTime) { order.push_back("b"); });
+  wheel.advance(1.0);
+  EXPECT_EQ(order, (std::vector<std::string>{"a", "b", "late"}));
+}
+
+TEST(TimerWheel, CancelPreventsFiring) {
+  TimerWheel wheel(0.05);
+  int fired = 0;
+  const auto id = wheel.schedule_at(0.1, [&](common::SimTime) { ++fired; });
+  EXPECT_TRUE(wheel.cancel(id));
+  EXPECT_FALSE(wheel.cancel(id));  // already cancelled
+  wheel.advance(1.0);
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(wheel.cancel(TimerWheel::kInvalidTimer));
+}
+
+TEST(TimerWheel, PastDeadlineFiresOnNextAdvance) {
+  TimerWheel wheel(0.05);
+  wheel.advance(1.0);
+  int fired = 0;
+  (void)wheel.schedule_at(0.2, [&](common::SimTime) { ++fired; });
+  wheel.advance(1.05);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheel, HandlesDeadlinesBeyondOneRevolution) {
+  // slot_count 4 with tick 0.1 → a revolution is 0.4s; deadlines far past
+  // that must wait for their actual tick, not fire at the first hash hit.
+  TimerWheel wheel(0.1, 4);
+  std::vector<std::string> order;
+  (void)wheel.schedule_at(1.0, [&](common::SimTime) { order.push_back("far"); });
+  (void)wheel.schedule_at(0.2, [&](common::SimTime) { order.push_back("near"); });
+  wheel.advance(0.5);
+  EXPECT_EQ(order, (std::vector<std::string>{"near"}));
+  wheel.advance(2.0);
+  EXPECT_EQ(order, (std::vector<std::string>{"near", "far"}));
+}
+
+TEST(TimerWheel, CallbackMayScheduleWithinSameAdvance) {
+  TimerWheel wheel(0.05);
+  std::vector<std::string> order;
+  (void)wheel.schedule_at(0.1, [&](common::SimTime) {
+    order.push_back("first");
+    // Lands before the advance target: fires within this same advance.
+    (void)wheel.schedule_at(0.3, [&](common::SimTime) { order.push_back("chained"); });
+  });
+  wheel.advance(0.5);
+  EXPECT_EQ(order, (std::vector<std::string>{"first", "chained"}));
+}
+
+TEST(TimerWheel, CallbackMayCancelSibling) {
+  TimerWheel wheel(0.05);
+  std::vector<std::string> order;
+  TimerWheel::TimerId second = TimerWheel::kInvalidTimer;
+  (void)wheel.schedule_at(0.1, [&](common::SimTime) {
+    order.push_back("killer");
+    EXPECT_TRUE(wheel.cancel(second));
+  });
+  second = wheel.schedule_at(0.2, [&](common::SimTime) { order.push_back("victim"); });
+  wheel.advance(1.0);
+  EXPECT_EQ(order, (std::vector<std::string>{"killer"}));
+}
+
+TEST(TimerWheel, NextDeadlineTracksEarliestPending) {
+  TimerWheel wheel(0.05);
+  EXPECT_FALSE(wheel.next_deadline().has_value());
+  (void)wheel.schedule_at(0.4, [](common::SimTime) {});
+  const auto a_id = wheel.schedule_at(0.15, [](common::SimTime) {});
+  auto deadline = wheel.next_deadline();
+  ASSERT_TRUE(deadline.has_value());
+  EXPECT_LE(*deadline, 0.2 + 1e-9);
+  EXPECT_TRUE(wheel.cancel(a_id));
+  deadline = wheel.next_deadline();
+  ASSERT_TRUE(deadline.has_value());
+  EXPECT_GE(*deadline, 0.4 - 1e-9);
+}
+
+TEST(TimerWheel, ScheduleAfterUsesCurrentTime) {
+  TimerWheel wheel(0.05);
+  wheel.advance(2.0);
+  int fired = 0;
+  (void)wheel.schedule_after(0.5, [&](common::SimTime) { ++fired; });
+  wheel.advance(2.4);
+  EXPECT_EQ(fired, 0);
+  wheel.advance(2.6);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheel, AdvanceMustBeMonotone) {
+  TimerWheel wheel(0.05);
+  wheel.advance(1.0);
+  EXPECT_DEATH(wheel.advance(0.5), "monotone");
+}
+
+TEST(TimerWheel, ManyTimersAcrossSlots) {
+  TimerWheel wheel(0.01, 8);
+  int fired = 0;
+  for (int i = 1; i <= 500; ++i) {
+    (void)wheel.schedule_at(0.01 * i, [&](common::SimTime) { ++fired; });
+  }
+  EXPECT_EQ(wheel.pending(), 500u);
+  wheel.advance(6.0);
+  EXPECT_EQ(fired, 500);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace updp2p::runtime
