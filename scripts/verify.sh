@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Full verify flow: tier-1 tests in Release (including the multi-process
-# live harness, label `integration-live`), then an ASan+UBSan build that
+# Full verify flow: Release build, then the static-analysis leg
+# (updp2p-lint + clang-tidy, docs/static-analysis.md), then tier-1 tests in
+# Release (including the multi-process live harness, label
+# `integration-live`), then an ASan+UBSan build that
 # re-runs the test suite and a micro_core smoke pass (one quick iteration of
 # every hot-path bench) under the sanitizers, then a TSan build that runs
 # the concurrency-bearing suites (sweep pool, sharded rounds, sharded bus,
@@ -15,9 +17,32 @@ JOBS="$(nproc)"
 SKIP_SAN=0
 [[ "${1:-}" == "--skip-sanitizers" ]] && SKIP_SAN=1
 
-echo "==> tier-1: Release build + ctest"
+echo "==> tier-1: Release build"
 cmake --preset release
 cmake --build --preset release -j "${JOBS}"
+
+# Lint leg (docs/static-analysis.md). Runs before the test suites and the
+# sanitizer legs so convention breaks fail fast; --skip-sanitizers does NOT
+# skip it. updp2p-lint enforces the project rules (determinism,
+# rng-discipline, iteration-order, wire-bounds, assert-discipline,
+# suppression-reason); clang-tidy runs the curated .clang-tidy set over
+# compile_commands.json when the binary exists, and is skipped with a
+# notice otherwise (the container image has no clang frontend).
+echo "==> lint: updp2p-lint over src/ bench/ examples/"
+./build/tools/lint/updp2p-lint --root .
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "==> lint: clang-tidy (curated .clang-tidy) over compile_commands.json"
+  mapfile -t TIDY_SOURCES < <(find src tools -name '*.cpp' | sort)
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p build -quiet "${TIDY_SOURCES[@]}"
+  else
+    clang-tidy -p build --quiet "${TIDY_SOURCES[@]}"
+  fi
+else
+  echo "==> lint: clang-tidy not found; skipping (.clang-tidy is the config)"
+fi
+
+echo "==> tier-1: Release ctest"
 ctest --preset release -j "${JOBS}"
 
 if [[ "${SKIP_SAN}" == "1" ]]; then

@@ -263,6 +263,7 @@ std::optional<GossipPayload> decode(std::span<const std::byte> bytes) {
       }
       PullRequest request;
       request.summary = std::move(*summary);
+      // lint-allow(wire-bounds): digest list, count capped by bytes.size()
       request.have.reserve(*have_count);
       for (std::uint64_t i = 0; i < *have_count; ++i) {
         auto digest = get_digest(bytes, offset);
@@ -284,6 +285,7 @@ std::optional<GossipPayload> decode(std::span<const std::byte> bytes) {
       PullResponse response;
       response.summary = std::move(*summary);
       response.confident = (*confident & 1) != 0;
+      // lint-allow(wire-bounds): value list, count capped by bytes.size()
       response.missing.reserve(*count);
       for (std::uint64_t i = 0; i < *count; ++i) {
         auto value = get_value(bytes, offset);
@@ -315,6 +317,7 @@ std::optional<GossipPayload> decode(std::span<const std::byte> bytes) {
       reply.key = std::move(*key);
       reply.nonce = *nonce;
       reply.confident = (*confident & 1) != 0;
+      // lint-allow(wire-bounds): value list, count capped by bytes.size()
       reply.versions.reserve(*count);
       for (std::uint64_t i = 0; i < *count; ++i) {
         auto value = get_value(bytes, offset);

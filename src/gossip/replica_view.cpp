@@ -81,6 +81,7 @@ std::size_t ReplicaView::presumed_offline_count(common::Round now) const {
   if (offline_purged_at_ >= now) return presumed_offline_until_.size();
   // `now` ran backwards (possible in tests); fall back to a scan.
   std::size_t count = 0;
+  // lint-allow(iteration-order): count accumulation is order-insensitive
   for (const auto& [peer, until] : presumed_offline_until_) {
     if (now < until) ++count;
   }
@@ -170,6 +171,7 @@ std::vector<common::PeerId> ReplicaView::sample(
   }
   common::DensePeerSet& scratch = arena().exclude;
   scratch.clear();
+  // lint-allow(iteration-order): set-to-set copy, membership is order-free
   for (const common::PeerId peer : exclude) scratch.insert(peer);
   sample_into(rng, count, out, &scratch, now);
   return out;

@@ -220,7 +220,9 @@ TEST_P(TwoNodeFuzz, PairwiseGossipConverges) {
     const auto va2 = a.store().read(key);
     const auto vb2 = b.store().read(key);
     ASSERT_EQ(va2.has_value(), vb2.has_value()) << key;
-    if (va2.has_value()) EXPECT_EQ(va2->id, vb2->id) << key;
+    if (va2.has_value()) {
+      EXPECT_EQ(va2->id, vb2->id) << key;
+    }
   }
 }
 

@@ -1,0 +1,7 @@
+// Fixture: raw assert() in library code vanishes in release builds.
+#include <cassert>
+
+int checked_halve(int value) {
+  assert(value % 2 == 0);
+  return value / 2;
+}

@@ -1,0 +1,12 @@
+// Fixture: static_assert and UPDP2P_ENSURE are the sanctioned forms.
+#define UPDP2P_ENSURE(expr, message) \
+  do {                               \
+    if (!(expr)) __builtin_trap();   \
+  } while (false)
+
+static_assert(sizeof(int) >= 4, "ILP32 or wider");
+
+int checked_halve(int value) {
+  UPDP2P_ENSURE(value % 2 == 0, "halving an odd value loses state");
+  return value / 2;
+}

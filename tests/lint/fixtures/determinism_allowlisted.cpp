@@ -1,0 +1,8 @@
+// Fixture: identical clock use is fine in the realtime allowlist
+// (src/runtime, src/net, bench/, examples/) — real time is the point there.
+#include <chrono>
+
+double now_seconds() {
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}

@@ -1,0 +1,12 @@
+// Fixture: every banned entropy/clock source in deterministic scope.
+#include <chrono>
+
+double now_seconds() {
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+unsigned roll() {
+  srand(static_cast<unsigned>(time(nullptr)));
+  return static_cast<unsigned>(rand());
+}

@@ -1,0 +1,22 @@
+// Fixture: near-misses the token-aware lexer must NOT flag.
+// A comment mentioning std::random_device or steady_clock is prose, and so
+// is a string literal; member calls and lookalike identifiers are not the
+// banned constructs.
+#include <string>
+
+struct Stopwatch {
+  double time(int scale) const { return 0.25 * scale; }
+};
+
+std::string describe() {
+  // rand() and srand() are discussed here but never called.
+  return "uses steady_clock and std::random_device for nothing";
+}
+
+double lookalikes(const Stopwatch& watch) {
+  const char* raw = R"(system_clock::now() inside a raw string)";
+  int time_point = 3;          // identifier prefix, not time()
+  int rand_index = 7;          // identifier prefix, not rand()
+  double measured = watch.time(2);  // member call named `time`
+  return measured + time_point + rand_index + (raw != nullptr ? 1 : 0);
+}

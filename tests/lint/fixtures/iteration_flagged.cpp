@@ -1,0 +1,25 @@
+// Fixture: range-for over unordered containers in golden-feeding code.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Tracker {
+  std::unordered_map<std::uint32_t, std::uint64_t> seen_rounds;
+
+  std::uint64_t serialize_order_leak() const {
+    std::uint64_t hash = 0;
+    for (const auto& [peer, round] : seen_rounds) {
+      hash = hash * 31 + peer + round;
+    }
+    return hash;
+  }
+};
+
+int direct_temporary(const std::unordered_set<int>& live) {
+  int first_seen = -1;
+  for (const int peer : live) {
+    first_seen = peer;
+    break;
+  }
+  return first_seen;
+}

@@ -1,0 +1,15 @@
+// Fixture: range-for over a member whose unordered declaration is only
+// visible in the companion header.
+#include "iteration_header.hpp"
+
+namespace fixture {
+
+std::uint64_t PendingAcks::checksum() const {
+  std::uint64_t hash = 0;
+  for (const auto& [peer, round] : pending_) {
+    hash = hash * 31 + peer + round;
+  }
+  return hash;
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture (companion header): the unordered member is declared here; the
+// violating range-for lives in the sibling .cpp.
+#pragma once
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+struct PendingAcks {
+  std::unordered_map<std::uint32_t, std::uint32_t> pending_;
+  std::uint64_t checksum() const;
+};
+}  // namespace fixture

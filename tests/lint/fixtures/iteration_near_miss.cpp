@@ -1,0 +1,27 @@
+// Fixture: ordered iteration and order-free lookups must NOT be flagged.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct Tracker {
+  std::map<std::uint32_t, std::uint64_t> ordered_rounds;
+  std::unordered_map<std::uint32_t, std::uint64_t> index;
+
+  std::uint64_t fold_ordered() const {
+    std::uint64_t hash = 0;
+    for (const auto& [peer, round] : ordered_rounds) {
+      hash = hash * 31 + peer + round;
+    }
+    return hash;
+  }
+
+  std::uint64_t lookups(const std::vector<std::uint32_t>& peers) const {
+    std::uint64_t total = 0;
+    for (const std::uint32_t peer : peers) {
+      const auto it = index.find(peer);
+      if (it != index.end()) total += it->second;
+    }
+    return total;
+  }
+};

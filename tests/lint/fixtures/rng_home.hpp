@@ -1,0 +1,12 @@
+// Fixture: src/common/rng.hpp is the sanctioned home — engines and
+// distribution machinery are allowed to live here.
+#pragma once
+#include <random>
+
+namespace updp2p::common {
+inline int reference_sample(unsigned seed) {
+  std::mt19937_64 engine(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  return unit(engine) < 0.5 ? 0 : 1;
+}
+}  // namespace updp2p::common

@@ -1,0 +1,9 @@
+// Fixture: a bare lint-allow has no reason — it suppresses nothing and is
+// itself a finding.
+#include <chrono>
+
+double wall_probe() {
+  // lint-allow(determinism)
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}

@@ -1,0 +1,10 @@
+// Fixture: well-formed suppressions silence findings — trailing on the
+// same line and standalone on the line above both work.
+#include <chrono>
+
+double wall_probe() {
+  const auto t = std::chrono::steady_clock::now();  // lint-allow(determinism): local profiling probe, never feeds goldens
+  // lint-allow(determinism): second probe, also never feeds goldens
+  const auto u = std::chrono::steady_clock::now();
+  return static_cast<double>((u - t).count());
+}

@@ -1,0 +1,9 @@
+// Fixture: a typo'd rule id suppresses nothing and is flagged so it cannot
+// rot silently.
+#include <chrono>
+
+double wall_probe() {
+  // lint-allow(determinizm): reads the monotonic clock for a local probe
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}

@@ -1,0 +1,11 @@
+// Fixture: wire-decoded count sizes a container with no bound in sight.
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+void decode_peers(const std::optional<std::uint64_t>& count,
+                  std::vector<std::uint32_t>& out) {
+  if (!count) return;
+  out.resize(*count);
+}

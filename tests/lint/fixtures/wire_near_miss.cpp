@@ -1,0 +1,20 @@
+// Fixture: the same resize is fine with the kMaxWirePeerId guard visible,
+// and sizes that are not wire-derived are never suspect.
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+inline constexpr std::uint64_t kMaxWirePeerId = std::uint64_t{1} << 28;
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+void decode_peers(const std::optional<std::uint64_t>& count,
+                  std::vector<std::uint32_t>& out) {
+  if (!count || *count >= kMaxWirePeerId) return;
+  out.resize(*count);
+}
+
+void frame_scratch(const std::vector<std::byte>& payload,
+                   std::vector<std::byte>& out) {
+  out.reserve(kFrameHeaderBytes + payload.size());
+}

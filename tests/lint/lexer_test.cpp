@@ -1,0 +1,106 @@
+// Unit tests for the updp2p-lint lexer and suppression parser (linked
+// against updp2p_lint_core directly, no subprocess).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "updp2p_lint/lexer.hpp"
+#include "updp2p_lint/rule.hpp"
+
+namespace updp2p::lint {
+namespace {
+
+bool has_ident(const LexResult& lexed, const std::string& text) {
+  return std::any_of(lexed.tokens.begin(), lexed.tokens.end(),
+                     [&text](const Token& t) {
+                       return t.kind == TokenKind::kIdentifier &&
+                              t.text == text;
+                     });
+}
+
+TEST(LintLexer, StringsAndCommentsAreNotCode) {
+  const LexResult lexed = lex(
+      "int x = 0; // steady_clock in a comment\n"
+      "const char* s = \"random_device in a string\";\n"
+      "/* rand() in a block\n   comment */ int y = 1;\n");
+  EXPECT_TRUE(has_ident(lexed, "x"));
+  EXPECT_TRUE(has_ident(lexed, "y"));
+  EXPECT_FALSE(has_ident(lexed, "steady_clock"));
+  EXPECT_FALSE(has_ident(lexed, "random_device"));
+  EXPECT_FALSE(has_ident(lexed, "rand"));
+  ASSERT_EQ(lexed.comments.size(), 2u);
+  EXPECT_EQ(lexed.comments[0].line, 1);
+  EXPECT_EQ(lexed.comments[1].line, 3);
+}
+
+TEST(LintLexer, RawStringsSwallowEverything) {
+  const LexResult lexed =
+      lex("auto s = R\"delim(srand(time(nullptr)) \")\" )delim\"; int z;\n");
+  EXPECT_FALSE(has_ident(lexed, "srand"));
+  EXPECT_TRUE(has_ident(lexed, "z"));
+}
+
+TEST(LintLexer, LineNumbersSurviveMultilineConstructs) {
+  const LexResult lexed = lex("/* line 1\n line 2\n*/\nint after;\n");
+  const auto it =
+      std::find_if(lexed.tokens.begin(), lexed.tokens.end(),
+                   [](const Token& t) { return t.text == "after"; });
+  ASSERT_NE(it, lexed.tokens.end());
+  EXPECT_EQ(it->line, 4);
+}
+
+TEST(LintLexer, ScopeResolutionIsOneToken) {
+  const LexResult lexed = lex("std::chrono::seconds s{1};\n");
+  const auto count_colons =
+      std::count_if(lexed.tokens.begin(), lexed.tokens.end(),
+                    [](const Token& t) { return t.text == "::"; });
+  const auto count_single =
+      std::count_if(lexed.tokens.begin(), lexed.tokens.end(),
+                    [](const Token& t) { return t.text == ":"; });
+  EXPECT_EQ(count_colons, 2);
+  EXPECT_EQ(count_single, 0);
+}
+
+TEST(LintLexer, PreprocessorTokensAreMarked) {
+  const LexResult lexed = lex("#include <ctime>\nint time_user;\n");
+  for (const Token& t : lexed.tokens) {
+    if (t.text == "ctime" || t.text == "include") {
+      EXPECT_TRUE(t.preproc);
+    }
+    if (t.text == "time_user") {
+      EXPECT_FALSE(t.preproc);
+    }
+  }
+}
+
+TEST(LintSuppressions, ParsesRuleIdAndReason) {
+  const LexResult lexed =
+      lex("int x; // lint-allow(iteration-order): order-free fold\n");
+  const auto parsed = parse_suppressions(lexed.comments);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].rule_id, "iteration-order");
+  EXPECT_EQ(parsed[0].reason, "order-free fold");
+  EXPECT_EQ(parsed[0].line, 1);
+}
+
+TEST(LintSuppressions, MissingReasonYieldsEmptyReason) {
+  const LexResult lexed = lex("// lint-allow(determinism)\n"
+                              "// lint-allow(determinism):   \n");
+  const auto parsed = parse_suppressions(lexed.comments);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].rule_id, "determinism");
+  EXPECT_TRUE(parsed[0].reason.empty());
+  EXPECT_TRUE(parsed[1].reason.empty());
+}
+
+TEST(LintSuppressions, HalfTypedDirectiveIsMalformed) {
+  const LexResult lexed = lex("// lint-allow determinism: forgot parens\n");
+  const auto parsed = parse_suppressions(lexed.comments);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_TRUE(parsed[0].rule_id.empty());
+}
+
+}  // namespace
+}  // namespace updp2p::lint

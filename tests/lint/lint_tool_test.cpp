@@ -1,0 +1,201 @@
+// Fixture-driven end-to-end tests for updp2p-lint.
+//
+// Each case installs fixture files from tests/lint/fixtures/ into a fresh
+// temporary tree at the path that puts them in (or out of) a rule's scope,
+// runs the real binary with --root pointing at that tree, and asserts the
+// exact `path:line: rule-id` diagnostics and the exit code. Every rule has
+// a must-flag fixture and a near-miss fixture; the suppression syntax has
+// valid, bare (reason-less) and unknown-rule cases.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <sys/wait.h>
+#include <utility>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunOutput {
+  int exit_code = -1;
+  std::string text;  // stdout + stderr
+};
+
+class LintToolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string pattern =
+        (fs::temp_directory_path() / "updp2p_lint_XXXXXX").string();
+    ASSERT_NE(::mkdtemp(pattern.data()), nullptr);
+    root_ = pattern;
+  }
+  void TearDown() override {
+    std::error_code ignored;
+    fs::remove_all(root_, ignored);
+  }
+
+  /// Copies fixtures/<fixture> to <root>/<dest> (creating directories).
+  void install(const std::string& fixture, const std::string& dest) {
+    const fs::path from = fs::path(UPDP2P_LINT_FIXTURES) / fixture;
+    const fs::path to = root_ / dest;
+    fs::create_directories(to.parent_path());
+    fs::copy_file(from, to, fs::copy_options::overwrite_existing);
+  }
+
+  RunOutput run_lint() const {
+    const std::string command = std::string("\"") + UPDP2P_LINT_PATH +
+                                "\" --root \"" + root_.string() + "\" 2>&1";
+    FILE* pipe = ::popen(command.c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    RunOutput out;
+    std::array<char, 4096> buffer;
+    std::size_t got = 0;
+    while ((got = std::fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+      out.text.append(buffer.data(), got);
+    }
+    const int status = ::pclose(pipe);
+    out.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return out;
+  }
+
+  /// Asserts `dest:line: rule` appears in the output.
+  static void expect_finding(const RunOutput& out, const std::string& dest,
+                             int line, const std::string& rule) {
+    const std::string needle =
+        dest + ":" + std::to_string(line) + ": " + rule;
+    EXPECT_NE(out.text.find(needle), std::string::npos)
+        << "missing diagnostic '" << needle << "' in:\n"
+        << out.text;
+  }
+
+  static void expect_clean(const RunOutput& out) {
+    EXPECT_EQ(out.exit_code, 0) << out.text;
+    EXPECT_NE(out.text.find("0 finding(s)"), std::string::npos) << out.text;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(LintToolTest, DeterminismFlagsClocksAndEntropyInSim) {
+  install("determinism_flagged.cpp", "src/sim/determinism_flagged.cpp");
+  const RunOutput out = run_lint();
+  EXPECT_EQ(out.exit_code, 1) << out.text;
+  expect_finding(out, "src/sim/determinism_flagged.cpp", 5, "determinism");
+  expect_finding(out, "src/sim/determinism_flagged.cpp", 10, "determinism");
+  expect_finding(out, "src/sim/determinism_flagged.cpp", 11, "determinism");
+}
+
+TEST_F(LintToolTest, DeterminismAllowsRealTimeInRuntime) {
+  install("determinism_allowlisted.cpp",
+          "src/runtime/determinism_allowlisted.cpp");
+  expect_clean(run_lint());
+}
+
+TEST_F(LintToolTest, DeterminismIgnoresCommentsStringsAndLookalikes) {
+  install("determinism_near_miss.cpp", "src/sim/determinism_near_miss.cpp");
+  expect_clean(run_lint());
+}
+
+TEST_F(LintToolTest, RngDisciplineFlagsRawEngineAndDistribution) {
+  install("rng_flagged.cpp", "src/gossip/rng_flagged.cpp");
+  const RunOutput out = run_lint();
+  EXPECT_EQ(out.exit_code, 1) << out.text;
+  expect_finding(out, "src/gossip/rng_flagged.cpp", 5, "rng-discipline");
+  expect_finding(out, "src/gossip/rng_flagged.cpp", 6, "rng-discipline");
+}
+
+TEST_F(LintToolTest, RngDisciplineAllowsTheSanctionedHome) {
+  install("rng_home.hpp", "src/common/rng.hpp");
+  expect_clean(run_lint());
+}
+
+TEST_F(LintToolTest, IterationOrderFlagsRangeForOverUnordered) {
+  install("iteration_flagged.cpp", "src/sim/iteration_flagged.cpp");
+  const RunOutput out = run_lint();
+  EXPECT_EQ(out.exit_code, 1) << out.text;
+  expect_finding(out, "src/sim/iteration_flagged.cpp", 11, "iteration-order");
+  expect_finding(out, "src/sim/iteration_flagged.cpp", 20, "iteration-order");
+}
+
+TEST_F(LintToolTest, IterationOrderAllowsOrderedAndLookupUse) {
+  install("iteration_near_miss.cpp", "src/sim/iteration_near_miss.cpp");
+  expect_clean(run_lint());
+}
+
+TEST_F(LintToolTest, IterationOrderSeesDeclarationsInCompanionHeader) {
+  install("iteration_header.hpp", "src/gossip/iteration_header.hpp");
+  install("iteration_header.cpp", "src/gossip/iteration_header.cpp");
+  const RunOutput out = run_lint();
+  EXPECT_EQ(out.exit_code, 1) << out.text;
+  expect_finding(out, "src/gossip/iteration_header.cpp", 9,
+                 "iteration-order");
+}
+
+TEST_F(LintToolTest, WireBoundsFlagsUnguardedWireResize) {
+  install("wire_flagged.cpp", "src/net/wire_flagged.cpp");
+  const RunOutput out = run_lint();
+  EXPECT_EQ(out.exit_code, 1) << out.text;
+  expect_finding(out, "src/net/wire_flagged.cpp", 10, "wire-bounds");
+}
+
+TEST_F(LintToolTest, WireBoundsAllowsGuardedAndNonWireSizes) {
+  install("wire_near_miss.cpp", "src/net/wire_near_miss.cpp");
+  expect_clean(run_lint());
+}
+
+TEST_F(LintToolTest, WireBoundsOnlyAppliesToDecodeSurface) {
+  // The identical unguarded resize is out of scope outside codec/net.
+  install("wire_flagged.cpp", "src/sim/wire_flagged.cpp");
+  expect_clean(run_lint());
+}
+
+TEST_F(LintToolTest, AssertDisciplineFlagsRawAssert) {
+  install("assert_flagged.cpp", "src/version/assert_flagged.cpp");
+  const RunOutput out = run_lint();
+  EXPECT_EQ(out.exit_code, 1) << out.text;
+  expect_finding(out, "src/version/assert_flagged.cpp", 5,
+                 "assert-discipline");
+}
+
+TEST_F(LintToolTest, AssertDisciplineAllowsStaticAssertAndEnsure) {
+  install("assert_near_miss.cpp", "src/version/assert_near_miss.cpp");
+  expect_clean(run_lint());
+}
+
+TEST_F(LintToolTest, ValidSuppressionsSilenceFindings) {
+  install("suppression_ok.cpp", "src/sim/suppression_ok.cpp");
+  expect_clean(run_lint());
+}
+
+TEST_F(LintToolTest, BareSuppressionIsAFindingAndSuppressesNothing) {
+  install("suppression_bare.cpp", "src/sim/suppression_bare.cpp");
+  const RunOutput out = run_lint();
+  EXPECT_EQ(out.exit_code, 1) << out.text;
+  expect_finding(out, "src/sim/suppression_bare.cpp", 6,
+                 "suppression-reason");
+  expect_finding(out, "src/sim/suppression_bare.cpp", 7, "determinism");
+}
+
+TEST_F(LintToolTest, UnknownRuleSuppressionIsAFinding) {
+  install("suppression_unknown.cpp", "src/sim/suppression_unknown.cpp");
+  const RunOutput out = run_lint();
+  EXPECT_EQ(out.exit_code, 1) << out.text;
+  expect_finding(out, "src/sim/suppression_unknown.cpp", 6,
+                 "suppression-reason");
+  expect_finding(out, "src/sim/suppression_unknown.cpp", 7, "determinism");
+}
+
+TEST_F(LintToolTest, CleanTreeExitsZero) {
+  install("iteration_near_miss.cpp", "src/sim/a.cpp");
+  install("wire_near_miss.cpp", "src/net/b.cpp");
+  install("assert_near_miss.cpp", "src/version/c.cpp");
+  expect_clean(run_lint());
+}
+
+}  // namespace

@@ -1,0 +1,71 @@
+// updp2p-lint — determinism-and-safety static analysis for this repo.
+//
+//   updp2p-lint [--root DIR] [--list-rules] [paths...]
+//
+// With no paths, scans src/, bench/ and examples/ under --root (default:
+// current directory). Prints `path:line: rule-id: message` per finding and
+// exits 1 when anything is flagged, 2 on usage/IO errors. Suppress a
+// finding inline with `// lint-allow(rule-id): reason` — the reason is
+// mandatory. See docs/static-analysis.md for the rule catalogue.
+
+#include <cstring>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "updp2p_lint/engine.hpp"
+
+namespace {
+
+int usage(std::ostream& out, int code) {
+  out << "usage: updp2p-lint [--root DIR] [--list-rules] [paths...]\n"
+         "  --root DIR    repo root for rule scoping and default scan dirs\n"
+         "                (default: .)\n"
+         "  --list-rules  print the rule catalogue and exit\n"
+         "  paths         files or directories to lint, relative to root;\n"
+         "                default: src bench examples\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  updp2p::lint::EngineOptions options;
+  options.root = ".";
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+    if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) return usage(std::cerr, 2);
+      options.root = argv[++i];
+    } else if (arg.starts_with("--")) {
+      std::cerr << "updp2p-lint: unknown option " << arg << "\n";
+      return usage(std::cerr, 2);
+    } else {
+      options.paths.emplace_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const auto& rule : updp2p::lint::make_all_rules()) {
+      std::cout << rule->id() << "\n    " << rule->summary() << "\n";
+    }
+    return 0;
+  }
+
+  try {
+    const updp2p::lint::RunResult result = updp2p::lint::run(options);
+    updp2p::lint::report(result, std::cout);
+    std::cerr << "updp2p-lint: " << result.findings.size() << " finding(s) in "
+              << result.files_with_findings << " file(s), "
+              << result.files_scanned << " file(s) scanned\n";
+    return result.findings.empty() ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << "\n";
+    return 2;
+  }
+}

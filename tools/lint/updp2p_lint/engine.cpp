@@ -1,0 +1,154 @@
+#include "updp2p_lint/engine.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace updp2p::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("updp2p-lint: cannot read " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+std::string to_generic(const fs::path& path) {
+  return path.generic_string();
+}
+
+/// Paths never scanned even when a scan dir nests them (build trees).
+bool is_skipped_dir(const fs::path& dir) {
+  const std::string name = dir.filename().string();
+  return name.starts_with("build") || name == ".git";
+}
+
+void collect_files(const fs::path& at, std::vector<fs::path>& out) {
+  if (fs::is_regular_file(at)) {
+    if (is_source_file(at)) out.push_back(at);
+    return;
+  }
+  if (!fs::is_directory(at)) {
+    throw std::runtime_error("updp2p-lint: no such file or directory: " +
+                             at.string());
+  }
+  for (fs::recursive_directory_iterator it(at), end; it != end; ++it) {
+    if (it->is_directory() && is_skipped_dir(it->path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && is_source_file(it->path())) {
+      out.push_back(it->path());
+    }
+  }
+}
+
+}  // namespace
+
+bool is_source_file(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".hh" || ext == ".h" || ext == ".inl";
+}
+
+FileContext make_file_context(const fs::path& file, std::string rel_path) {
+  FileContext context;
+  context.path = std::move(rel_path);
+  context.lexed = lex(read_file(file));
+  context.suppressions = parse_suppressions(context.lexed.comments);
+
+  // Companion header: foo.cpp picks up foo.hpp/.hh/.h beside it so rules
+  // can see member declarations (the iteration-order rule needs them).
+  const std::string ext = file.extension().string();
+  if (ext == ".cpp" || ext == ".cc" || ext == ".cxx") {
+    for (const char* header_ext : {".hpp", ".hh", ".h"}) {
+      fs::path header = file;
+      header.replace_extension(header_ext);
+      if (fs::is_regular_file(header)) {
+        context.companion_tokens = lex(read_file(header)).tokens;
+        break;
+      }
+    }
+  }
+  return context;
+}
+
+RunResult run(const EngineOptions& options) {
+  std::vector<fs::path> files;
+  if (options.paths.empty()) {
+    for (const std::string_view dir : kDefaultScanDirs) {
+      const fs::path at = options.root / dir;
+      if (fs::is_directory(at)) collect_files(at, files);
+    }
+  } else {
+    for (const std::string& given : options.paths) {
+      fs::path at(given);
+      if (at.is_relative()) at = options.root / at;
+      collect_files(at, files);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  const auto rules = make_all_rules();
+  const fs::path root = fs::weakly_canonical(options.root);
+
+  RunResult result;
+  std::set<std::string> files_flagged;
+  for (const fs::path& file : files) {
+    const fs::path canonical = fs::weakly_canonical(file);
+    std::string rel = to_generic(canonical.lexically_relative(root));
+    if (rel.empty() || rel.starts_with("..")) {
+      rel = to_generic(canonical);  // outside root: scope by absolute path
+    }
+    FileContext context = make_file_context(file, std::move(rel));
+    ++result.files_scanned;
+
+    std::vector<Finding> raw;
+    for (const auto& rule : rules) rule->check(context, raw);
+
+    // A valid suppression (known rule + reason) covers its own line and the
+    // next line. Malformed suppressions never suppress — the
+    // suppression-reason rule has already flagged them.
+    for (Finding& finding : raw) {
+      const bool suppressed = std::any_of(
+          context.suppressions.begin(), context.suppressions.end(),
+          [&finding](const Suppression& s) {
+            return !s.reason.empty() && s.rule_id == finding.rule_id &&
+                   (finding.line == s.line || finding.line == s.line + 1);
+          });
+      if (!suppressed) {
+        files_flagged.insert(finding.path);
+        result.findings.push_back(std::move(finding));
+      }
+    }
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule_id < b.rule_id;
+            });
+  result.files_with_findings = static_cast<int>(files_flagged.size());
+  return result;
+}
+
+void report(const RunResult& result, std::ostream& out) {
+  for (const Finding& finding : result.findings) {
+    out << finding.path << ':' << finding.line << ": " << finding.rule_id
+        << ": " << finding.message << '\n';
+  }
+}
+
+}  // namespace updp2p::lint

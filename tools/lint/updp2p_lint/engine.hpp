@@ -1,0 +1,47 @@
+// Engine: file discovery, per-file context assembly, suppression filtering
+// and reporting for updp2p-lint.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "updp2p_lint/rule.hpp"
+
+namespace updp2p::lint {
+
+struct EngineOptions {
+  std::filesystem::path root;          // repo root; scoping paths are
+                                       // relative to this
+  std::vector<std::string> paths;      // files or dirs, relative to root or
+                                       // absolute; empty => default scan set
+};
+
+/// The directories scanned when no explicit paths are given.
+inline constexpr std::string_view kDefaultScanDirs[] = {"src", "bench",
+                                                        "examples"};
+
+/// True for extensions the linter reads (.cpp/.cc/.cxx/.hpp/.hh/.h/.inl).
+bool is_source_file(const std::filesystem::path& path);
+
+/// Builds the lint context for one file: lexes it, parses suppressions and
+/// lexes the companion header (same stem, .hpp/.hh/.h) when one exists.
+/// `rel_path` is the '/'-separated path used for rule scoping.
+FileContext make_file_context(const std::filesystem::path& file,
+                              std::string rel_path);
+
+struct RunResult {
+  std::vector<Finding> findings;  // post-suppression, sorted
+  int files_scanned = 0;
+  int files_with_findings = 0;
+};
+
+/// Scans, runs every registered rule, applies valid suppressions, sorts.
+/// Throws std::runtime_error on unreadable paths.
+RunResult run(const EngineOptions& options);
+
+/// Prints findings as `path:line: rule-id: message`, one per line.
+void report(const RunResult& result, std::ostream& out);
+
+}  // namespace updp2p::lint

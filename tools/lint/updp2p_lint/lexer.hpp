@@ -1,0 +1,48 @@
+// Token-aware lexing for updp2p-lint.
+//
+// The linter never wants to see the inside of a comment, a string literal,
+// a char literal, or a raw string: `"steady_clock"` in a log message is not
+// a determinism violation. This lexer walks the source once and produces
+//   * a token stream of code-only tokens (identifiers, numbers, punctuation),
+//   * the comment list (so suppression directives can be parsed), and
+//   * a per-token flag for preprocessor lines (rules skip `#include <ctime>`).
+//
+// It is deliberately not a C++ parser — rules pattern-match over tokens.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace updp2p::lint {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords, including `for`, `assert`, ...
+  kNumber,      // numeric literals (pp-number: 0x1F, 1'000, 1.5e3, ...)
+  kString,      // string literal, including raw strings; text is the literal
+  kChar,        // character literal
+  kPunct,       // one punctuator; `::` is a single token, `:` another
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;          // 1-based line of the token's first character
+  bool preproc = false;  // token sits on a preprocessor-directive line
+};
+
+struct Comment {
+  std::string text;  // body without the // or /* */ markers
+  int line = 0;      // 1-based line where the comment starts
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  int line_count = 0;
+};
+
+/// Lexes `source`. Never fails: unterminated constructs consume to EOF.
+LexResult lex(std::string_view source);
+
+}  // namespace updp2p::lint

@@ -1,0 +1,78 @@
+#include "updp2p_lint/rule.hpp"
+
+namespace updp2p::lint {
+
+bool path_starts_with_any(std::string_view path,
+                          std::initializer_list<std::string_view> prefixes) {
+  for (const std::string_view prefix : prefixes) {
+    if (path.substr(0, prefix.size()) == prefix) return true;
+  }
+  return false;
+}
+
+std::vector<Suppression> parse_suppressions(
+    const std::vector<Comment>& comments) {
+  std::vector<Suppression> out;
+  constexpr std::string_view kMarker = "lint-allow";
+  for (const Comment& comment : comments) {
+    std::string_view text = comment.text;
+    std::size_t at = 0;
+    while ((at = text.find(kMarker, at)) != std::string_view::npos) {
+      std::size_t p = at + kMarker.size();
+      at = p;  // resume scanning after this marker either way
+      while (p < text.size() && (text[p] == ' ' || text[p] == '\t')) ++p;
+      if (p >= text.size() || text[p] != '(') {
+        // "lint-allow" prose without a directive form; record as malformed
+        // so a half-typed suppression never silently does nothing.
+        out.push_back(Suppression{"", "", comment.line});
+        continue;
+      }
+      const std::size_t close = text.find(')', p);
+      if (close == std::string_view::npos) {
+        out.push_back(Suppression{"", "", comment.line});
+        continue;
+      }
+      std::string rule_id(text.substr(p + 1, close - p - 1));
+      // Trim the rule id.
+      while (!rule_id.empty() && (rule_id.front() == ' ')) rule_id.erase(0, 1);
+      while (!rule_id.empty() && (rule_id.back() == ' ')) rule_id.pop_back();
+
+      std::size_t r = close + 1;
+      while (r < text.size() && (text[r] == ' ' || text[r] == '\t')) ++r;
+      std::string reason;
+      if (r < text.size() && text[r] == ':') {
+        ++r;
+        while (r < text.size() && (text[r] == ' ' || text[r] == '\t')) ++r;
+        reason = std::string(text.substr(r));
+        // A reason that is all whitespace is no reason.
+        while (!reason.empty() &&
+               (reason.back() == ' ' || reason.back() == '\t' ||
+                reason.back() == '\r')) {
+          reason.pop_back();
+        }
+      }
+      out.push_back(Suppression{std::move(rule_id), std::move(reason),
+                                comment.line});
+      at = close;
+    }
+  }
+  return out;
+}
+
+std::vector<std::unique_ptr<Rule>> make_all_rules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(make_determinism_rule());
+  rules.push_back(make_rng_discipline_rule());
+  rules.push_back(make_iteration_order_rule());
+  rules.push_back(make_wire_bounds_rule());
+  rules.push_back(make_assert_discipline_rule());
+
+  std::vector<std::string> ids;
+  ids.reserve(rules.size() + 1);
+  for (const auto& rule : rules) ids.emplace_back(rule->id());
+  ids.emplace_back("suppression-reason");
+  rules.push_back(make_suppression_reason_rule(std::move(ids)));
+  return rules;
+}
+
+}  // namespace updp2p::lint

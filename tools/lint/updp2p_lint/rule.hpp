@@ -1,0 +1,84 @@
+// Rule interface + per-file context for updp2p-lint.
+//
+// Adding a rule is one file under rules/ plus one fixture pair under
+// tests/lint/fixtures/ (see docs/static-analysis.md "adding a rule"):
+//   1. implement `class FooRule : public Rule` in rules/foo.cpp,
+//   2. expose `std::unique_ptr<Rule> make_foo_rule();`,
+//   3. register it in registry.cpp,
+//   4. add a must-flag fixture and a near-miss fixture to the test table.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "updp2p_lint/lexer.hpp"
+
+namespace updp2p::lint {
+
+struct Finding {
+  std::string path;     // repo-relative path with forward slashes
+  int line = 0;         // 1-based
+  std::string rule_id;  // e.g. "determinism"
+  std::string message;
+};
+
+/// A parsed `lint-allow` directive from a comment:
+///   // lint-allow(rule-id): reason text
+/// Suppresses findings of `rule_id` on its own line and the next line, so
+/// both trailing comments and a standalone comment above the code work.
+/// A missing reason keeps the directive inert and is itself a finding
+/// (rule `suppression-reason`).
+struct Suppression {
+  std::string rule_id;
+  std::string reason;  // empty => malformed (no reason given)
+  int line = 0;
+};
+
+struct FileContext {
+  std::string path;   // repo-relative, forward slashes (scoping key)
+  LexResult lexed;    // tokens + comments of the file itself
+  std::vector<Suppression> suppressions;
+
+  // Tokens of the companion header (foo.hpp/foo.h next to foo.cpp), when it
+  // exists. Rules that need declarations — iteration-order resolves member
+  // names declared in the header — look here; everything else ignores it.
+  std::vector<Token> companion_tokens;
+
+  [[nodiscard]] const std::vector<Token>& tokens() const {
+    return lexed.tokens;
+  }
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  [[nodiscard]] virtual std::string_view id() const = 0;
+  [[nodiscard]] virtual std::string_view summary() const = 0;
+  virtual void check(const FileContext& file,
+                     std::vector<Finding>& out) const = 0;
+};
+
+/// True when `path` (repo-relative, '/'-separated) starts with any prefix.
+bool path_starts_with_any(std::string_view path,
+                          std::initializer_list<std::string_view> prefixes);
+
+/// Parses all `lint-allow` directives out of a file's comments.
+std::vector<Suppression> parse_suppressions(
+    const std::vector<Comment>& comments);
+
+// One factory per rule, each defined in its rules/*.cpp file.
+std::unique_ptr<Rule> make_determinism_rule();
+std::unique_ptr<Rule> make_rng_discipline_rule();
+std::unique_ptr<Rule> make_iteration_order_rule();
+std::unique_ptr<Rule> make_wire_bounds_rule();
+std::unique_ptr<Rule> make_assert_discipline_rule();
+/// Validates suppression syntax; needs the registry's ids to spot typos.
+std::unique_ptr<Rule> make_suppression_reason_rule(
+    std::vector<std::string> known_rule_ids);
+
+/// The full catalogue, in reporting order.
+std::vector<std::unique_ptr<Rule>> make_all_rules();
+
+}  // namespace updp2p::lint

@@ -1,0 +1,51 @@
+// Rule: assert-discipline
+//
+// Library code checks invariants with UPDP2P_ENSURE (src/common/ensure.hpp),
+// which stays active in release builds: simulation results silently
+// corrupted by a violated invariant are worse than a crash, and every
+// golden/bench run is a release build where raw assert() compiles to
+// nothing. Raw assert() in src/ is therefore a no-op exactly where it
+// matters. (static_assert is fine — it is a different token.)
+
+#include "updp2p_lint/rule.hpp"
+#include "updp2p_lint/token_match.hpp"
+
+namespace updp2p::lint {
+namespace {
+
+class AssertDisciplineRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "assert-discipline";
+  }
+  [[nodiscard]] std::string_view summary() const override {
+    return "raw assert() is compiled out of release/golden builds; library "
+           "code uses UPDP2P_ENSURE(expr, message)";
+  }
+
+  void check(const FileContext& file, std::vector<Finding>& out) const override {
+    if (!path_starts_with_any(file.path, {"src/"})) return;
+    const auto& tokens = file.tokens();
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      const Token& t = tokens[i];
+      if (t.kind != TokenKind::kIdentifier || t.text != "assert" ||
+          t.preproc || is_member_access(tokens, i)) {
+        continue;
+      }
+      const Token* next = next_token(tokens, i);
+      if (next == nullptr || !is_punct(*next, "(")) continue;
+      out.push_back({file.path, t.line, std::string(id()),
+                     "raw assert() vanishes under NDEBUG (all release and "
+                     "golden builds); use UPDP2P_ENSURE(expr, message) from "
+                     "src/common/ensure.hpp"});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_assert_discipline_rule() {
+  return std::make_unique<AssertDisciplineRule>();
+}
+
+}  // namespace updp2p::lint

@@ -1,0 +1,140 @@
+// Rule: iteration-order
+//
+// Golden-feeding code (src/sim, src/gossip) must never let unordered
+// container iteration order reach an accumulator, a message, or the wire:
+// the order depends on the hash seed, libstdc++ version, and insertion
+// history, so a range-for over an unordered_map that feeds RunMetrics or a
+// codec breaks bit-identical goldens across machines without failing any
+// test locally.
+//
+// Detection: collect the names declared as std::unordered_{map,set,
+// multimap,multiset} in the file AND its companion header (foo.hpp next to
+// foo.cpp — members are declared there), then flag any range-for whose
+// range expression mentions one of those names or an unordered type
+// directly. Order-insensitive folds (counting, summing) over unordered
+// containers are legitimate — annotate them:
+//   // lint-allow(iteration-order): count accumulation is order-insensitive
+
+#include "updp2p_lint/rule.hpp"
+#include "updp2p_lint/token_match.hpp"
+
+#include <string>
+#include <unordered_set>
+
+namespace updp2p::lint {
+namespace {
+
+bool is_unordered_type(std::string_view name) {
+  return name == "unordered_map" || name == "unordered_set" ||
+         name == "unordered_multimap" || name == "unordered_multiset";
+}
+
+/// Skips a balanced template argument list starting at tokens[i] == "<".
+/// Returns the index just past the matching ">". `>>` closes two levels.
+std::size_t skip_template_args(const std::vector<Token>& tokens,
+                               std::size_t i) {
+  int depth = 0;
+  for (; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kPunct) continue;
+    if (tokens[i].text == "<") ++depth;
+    if (tokens[i].text == ">") --depth;
+    if (tokens[i].text == ">>") depth -= 2;
+    if (depth <= 0 && (tokens[i].text == ">" || tokens[i].text == ">>")) {
+      return i + 1;
+    }
+  }
+  return tokens.size();
+}
+
+/// Collects identifiers declared with an unordered container type:
+///   std::unordered_map<K, V> name ...
+void collect_unordered_names(const std::vector<Token>& tokens,
+                             std::unordered_set<std::string>& names) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kIdentifier ||
+        !is_unordered_type(tokens[i].text)) {
+      continue;
+    }
+    std::size_t p = i + 1;
+    if (p < tokens.size() && is_punct(tokens[p], "<")) {
+      p = skip_template_args(tokens, p);
+    }
+    // Optional cv/ref decorations between the type and the name.
+    while (p < tokens.size() &&
+           (is_punct(tokens[p], "&") || is_punct(tokens[p], "*") ||
+            is_ident(tokens[p], "const"))) {
+      ++p;
+    }
+    if (p < tokens.size() && tokens[p].kind == TokenKind::kIdentifier) {
+      names.insert(tokens[p].text);
+    }
+  }
+}
+
+class IterationOrderRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "iteration-order";
+  }
+  [[nodiscard]] std::string_view summary() const override {
+    return "range-for over unordered containers in golden-feeding code "
+           "(src/sim, src/gossip) leaks hash-order into results";
+  }
+
+  void check(const FileContext& file, std::vector<Finding>& out) const override {
+    if (!path_starts_with_any(file.path, {"src/sim/", "src/gossip/"})) return;
+
+    std::unordered_set<std::string> unordered_names;
+    collect_unordered_names(file.tokens(), unordered_names);
+    collect_unordered_names(file.companion_tokens, unordered_names);
+
+    const auto& tokens = file.tokens();
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (!is_ident(tokens[i], "for") || !is_punct(tokens[i + 1], "(")) {
+        continue;
+      }
+      const std::size_t open = i + 1;
+      const std::size_t close = find_matching_paren(tokens, open);
+      if (close >= tokens.size()) continue;
+
+      // Find the range-for's top-level ':' (depth 1 relative to `open`;
+      // `::` is a distinct token so namespaces cannot confuse this).
+      std::size_t colon = tokens.size();
+      int depth = 0;
+      for (std::size_t p = open; p < close; ++p) {
+        if (tokens[p].kind != TokenKind::kPunct) continue;
+        const std::string_view t = tokens[p].text;
+        if (t == "(" || t == "[" || t == "{" || t == "<") ++depth;
+        if (t == ")" || t == "]" || t == "}" || t == ">") --depth;
+        if (t == ":" && depth == 1) {
+          colon = p;
+          break;
+        }
+        if (t == ";") break;  // classic for loop, not a range-for
+      }
+      if (colon >= close) continue;
+
+      for (std::size_t p = colon + 1; p < close; ++p) {
+        const Token& t = tokens[p];
+        if (t.kind != TokenKind::kIdentifier) continue;
+        if (is_unordered_type(t.text) || unordered_names.contains(t.text)) {
+          out.push_back(
+              {file.path, tokens[i].line, std::string(id()),
+               "range-for over unordered container ('" + t.text +
+                   "') in golden-feeding code; iterate a sorted copy, use "
+                   "an ordered container, or lint-allow with the "
+                   "order-insensitivity argument"});
+          break;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_iteration_order_rule() {
+  return std::make_unique<IterationOrderRule>();
+}
+
+}  // namespace updp2p::lint

@@ -1,0 +1,67 @@
+// Rule: suppression-reason
+//
+// Suppressions are part of the audit trail: `// lint-allow(rule-id): reason`
+// must say WHY the flagged construct is safe (the order-insensitivity
+// argument, the bound that replaces kMaxWirePeerId, ...). A bare
+// suppression hides a violation without recording the justification, so it
+// is itself a finding — as is a typo'd rule id, which would otherwise
+// suppress nothing and rot silently.
+
+#include "updp2p_lint/rule.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace updp2p::lint {
+namespace {
+
+class SuppressionReasonRule final : public Rule {
+ public:
+  explicit SuppressionReasonRule(std::vector<std::string> known_ids)
+      : known_ids_(std::move(known_ids)) {}
+
+  [[nodiscard]] std::string_view id() const override {
+    return "suppression-reason";
+  }
+  [[nodiscard]] std::string_view summary() const override {
+    return "every lint-allow must name a real rule and carry a reason: "
+           "// lint-allow(rule-id): why this is safe";
+  }
+
+  void check(const FileContext& file, std::vector<Finding>& out) const override {
+    for (const Suppression& s : file.suppressions) {
+      if (s.rule_id.empty()) {
+        out.push_back({file.path, s.line, std::string(id()),
+                       "malformed lint-allow; the form is "
+                       "// lint-allow(rule-id): reason"});
+        continue;
+      }
+      if (std::find(known_ids_.begin(), known_ids_.end(), s.rule_id) ==
+          known_ids_.end()) {
+        out.push_back({file.path, s.line, std::string(id()),
+                       "lint-allow names unknown rule '" + s.rule_id +
+                           "'; it suppresses nothing (run --list-rules for "
+                           "the catalogue)"});
+        continue;
+      }
+      if (s.reason.empty()) {
+        out.push_back({file.path, s.line, std::string(id()),
+                       "lint-allow(" + s.rule_id +
+                           ") has no reason; a suppression must record why "
+                           "the construct is safe"});
+      }
+    }
+  }
+
+ private:
+  std::vector<std::string> known_ids_;
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_suppression_reason_rule(
+    std::vector<std::string> known_rule_ids) {
+  return std::make_unique<SuppressionReasonRule>(std::move(known_rule_ids));
+}
+
+}  // namespace updp2p::lint

@@ -1,0 +1,115 @@
+// Rule: wire-bounds
+//
+// The PR-1 hardening: a hostile varint must never command a multi-GB
+// allocation. Wire-decoded counts and peer ids have to be bounds-checked
+// against kMaxWirePeerId (gossip/codec.hpp, 2^28) before they size a
+// container. Scope is the decode surface: src/gossip/codec.* and src/net/.
+//
+// Detection: a member `.resize(...)` / `.reserve(...)` whose argument looks
+// wire-derived — it dereferences an optional (`*count`, the codec's decode
+// idiom) or names an identifier containing "count" — with no kMaxWirePeerId
+// token within ±12 lines. Sizes that are bounded some other way (e.g. by
+// the datagram's byte count) carry a lint-allow stating the bound.
+
+#include "updp2p_lint/rule.hpp"
+#include "updp2p_lint/token_match.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace updp2p::lint {
+namespace {
+
+constexpr int kGuardWindowLines = 12;
+
+bool in_wire_scope(std::string_view path) {
+  return path_starts_with_any(path, {"src/net/", "src/gossip/codec."});
+}
+
+bool contains_count(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  });
+  return lower.find("count") != std::string::npos;
+}
+
+/// A unary `*` token: preceded by nothing, an open paren/bracket, a comma,
+/// an operator — i.e. not by an identifier/number/closing token (which
+/// would make it binary multiplication).
+bool is_unary_deref(const std::vector<Token>& tokens, std::size_t i) {
+  if (!is_punct(tokens[i], "*")) return false;
+  const Token* prev = prev_token(tokens, i);
+  if (prev == nullptr) return true;
+  if (prev->kind == TokenKind::kIdentifier ||
+      prev->kind == TokenKind::kNumber) {
+    return false;
+  }
+  return !(is_punct(*prev, ")") || is_punct(*prev, "]"));
+}
+
+class WireBoundsRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "wire-bounds"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "wire-decoded sizes must be checked against kMaxWirePeerId (or a "
+           "stated bound) before resize/reserve in codec/net code";
+  }
+
+  void check(const FileContext& file, std::vector<Finding>& out) const override {
+    if (!in_wire_scope(file.path)) return;
+    const auto& tokens = file.tokens();
+
+    // Lines on which kMaxWirePeerId appears in code.
+    std::vector<int> guard_lines;
+    for (const Token& t : tokens) {
+      if (is_ident(t, "kMaxWirePeerId")) guard_lines.push_back(t.line);
+    }
+    const auto guarded_near = [&guard_lines](int line) {
+      for (const int g : guard_lines) {
+        if (g >= line - kGuardWindowLines && g <= line + kGuardWindowLines) {
+          return true;
+        }
+      }
+      return false;
+    };
+
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      const Token& t = tokens[i];
+      if (t.kind != TokenKind::kIdentifier ||
+          (t.text != "resize" && t.text != "reserve") ||
+          !is_member_access(tokens, i)) {
+        continue;
+      }
+      const Token* open = next_token(tokens, i);
+      if (open == nullptr || !is_punct(*open, "(")) continue;
+      const std::size_t open_index = i + 1;
+      const std::size_t close = find_matching_paren(tokens, open_index);
+      if (close >= tokens.size()) continue;
+
+      bool wire_suspect = false;
+      for (std::size_t p = open_index + 1; p < close && !wire_suspect; ++p) {
+        if (is_unary_deref(tokens, p)) wire_suspect = true;
+        if (tokens[p].kind == TokenKind::kIdentifier &&
+            contains_count(tokens[p].text)) {
+          wire_suspect = true;
+        }
+      }
+      if (!wire_suspect || guarded_near(t.line)) continue;
+
+      out.push_back(
+          {file.path, t.line, std::string(id()),
+           t.text + " sized by a wire-decoded value with no kMaxWirePeerId "
+                    "guard in sight; bounds-check the decoded count/id, or "
+                    "lint-allow stating what bounds it"});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_wire_bounds_rule() {
+  return std::make_unique<WireBoundsRule>();
+}
+
+}  // namespace updp2p::lint

@@ -1,0 +1,65 @@
+// Small token-stream matching helpers shared by the rules.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "updp2p_lint/lexer.hpp"
+
+namespace updp2p::lint {
+
+inline bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+inline bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+/// tokens[i - k], or nullptr off the front.
+inline const Token* prev_token(const std::vector<Token>& tokens,
+                               std::size_t i, std::size_t k = 1) {
+  return i >= k ? &tokens[i - k] : nullptr;
+}
+/// tokens[i + k], or nullptr off the back.
+inline const Token* next_token(const std::vector<Token>& tokens,
+                               std::size_t i, std::size_t k = 1) {
+  return i + k < tokens.size() ? &tokens[i + k] : nullptr;
+}
+
+/// Given `tokens[open]` == "(", returns the index of the matching ")", or
+/// tokens.size() when unbalanced. Tracks (), [] and {} uniformly.
+inline std::size_t find_matching_paren(const std::vector<Token>& tokens,
+                                       std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kPunct) continue;
+    const std::string_view t = tokens[i].text;
+    if (t == "(" || t == "[" || t == "{") ++depth;
+    if (t == ")" || t == "]" || t == "}") {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return tokens.size();
+}
+
+/// True when the call at `ident_index` is a member access (`x.f`, `x->f`)
+/// rather than a free or std-qualified use.
+inline bool is_member_access(const std::vector<Token>& tokens,
+                             std::size_t ident_index) {
+  const Token* prev = prev_token(tokens, ident_index);
+  return prev != nullptr &&
+         (is_punct(*prev, ".") || is_punct(*prev, "->"));
+}
+
+/// True when the identifier is qualified as `std::name`.
+inline bool is_std_qualified(const std::vector<Token>& tokens,
+                             std::size_t ident_index) {
+  const Token* colons = prev_token(tokens, ident_index);
+  const Token* ns = prev_token(tokens, ident_index, 2);
+  return colons != nullptr && ns != nullptr && is_punct(*colons, "::") &&
+         is_ident(*ns, "std");
+}
+
+}  // namespace updp2p::lint
