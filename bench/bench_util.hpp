@@ -4,6 +4,7 @@
 // paper reports, so EXPERIMENTS.md can be filled by reading bench output.
 #pragma once
 
+#include <sched.h>
 #include <sys/resource.h>
 #include <unistd.h>
 
@@ -56,6 +57,15 @@ struct CoreBenchRecord {
   std::string name;
   double ns_per_op = 0.0;
   double messages_per_sec = 0.0;  ///< 0 when the bench counts no messages
+  /// Mean wire bytes per protocol message (0 when the bench counts no
+  /// traffic). With the chunked flooding-list codec this is the headline
+  /// bandwidth number: it shrinks when lists compress, even where msg
+  /// counts stay fixed. Methodology in docs/benchmarks.md.
+  double bytes_per_msg = 0.0;
+  /// Worker threads this benchmark ran with (shard_threads for the
+  /// simulator benches, 1 for single-threaded ones) — NOT the machine's
+  /// thread count, which lives in the meta block.
+  unsigned threads = 1;
   /// Growth of the process peak RSS while this benchmark ran. Peak RSS is
   /// monotone, so the delta attributes footprint growth to the benchmark
   /// that caused it (0 for benches running inside already-paid memory).
@@ -84,7 +94,14 @@ inline std::int64_t current_rss_kb() {
 struct BenchRunMeta {
   std::string git_sha = "unknown";
   std::string cpu_model = "unknown";
+  /// Hardware threads the machine is configured with. Deliberately NOT
+  /// std::thread::hardware_concurrency(): that call respects the process
+  /// CPU affinity mask, so a run pinned to one core used to report
+  /// hardware_threads: 1 and made scaling rows unreadable.
   unsigned hardware_threads = 0;
+  /// CPUs this process was actually allowed to run on (affinity mask),
+  /// which is what bounds the parallel benches' real concurrency.
+  unsigned usable_threads = 0;
   std::string timestamp_utc;  ///< ISO 8601, UTC
 };
 
@@ -92,7 +109,18 @@ struct BenchRunMeta {
 /// placeholder rather than failing).
 inline BenchRunMeta collect_run_meta() {
   BenchRunMeta meta;
-  meta.hardware_threads = std::thread::hardware_concurrency();
+  const long configured = sysconf(_SC_NPROCESSORS_CONF);
+  meta.hardware_threads = configured > 0
+                              ? static_cast<unsigned>(configured)
+                              : std::thread::hardware_concurrency();
+  cpu_set_t affinity;
+  CPU_ZERO(&affinity);
+  if (sched_getaffinity(0, sizeof(affinity), &affinity) == 0) {
+    meta.usable_threads = static_cast<unsigned>(CPU_COUNT(&affinity));
+  }
+  if (meta.usable_threads == 0) {
+    meta.usable_threads = std::thread::hardware_concurrency();
+  }
 
   if (FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
     char buffer[64] = {};
@@ -154,6 +182,7 @@ inline bool write_core_bench_json(const std::string& path,
       << "    \"git_sha\": \"" << json_escape(meta.git_sha) << "\",\n"
       << "    \"cpu_model\": \"" << json_escape(meta.cpu_model) << "\",\n"
       << "    \"hardware_threads\": " << meta.hardware_threads << ",\n"
+      << "    \"usable_threads\": " << meta.usable_threads << ",\n"
       << "    \"timestamp_utc\": \"" << json_escape(meta.timestamp_utc)
       << "\"\n  },\n";
   out << "  \"benchmarks\": [\n";
@@ -162,6 +191,8 @@ inline bool write_core_bench_json(const std::string& path,
     out << "    {\"name\": \"" << json_escape(record.name)
         << "\", \"ns_per_op\": " << record.ns_per_op
         << ", \"messages_per_sec\": " << record.messages_per_sec
+        << ", \"bytes_per_msg\": " << record.bytes_per_msg
+        << ", \"threads\": " << record.threads
         << ", \"rss_delta_kb\": " << record.rss_delta_kb << "}";
     out << (i + 1 < records.size() ? ",\n" : "\n");
   }

@@ -11,6 +11,8 @@
 
 #include "analysis/push_model.hpp"
 #include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "gossip/codec.hpp"
 #include "sim/round_simulator.hpp"
 
 using namespace updp2p;
@@ -78,6 +80,50 @@ void wire_section() {
             << "  per-entry cost for small ids.\n";
 }
 
+// Wire cost of the flooding list alone, as a function of how much of the
+// id space it covers. Encodes a push carrying the list through the real v2
+// codec and subtracts the same push with an empty list, isolating the
+// peerset bytes; the flat-u32 column is what a naive fixed-width array
+// encoding would spend on the same members.
+void compressed_list_section() {
+  constexpr std::uint32_t kIdSpace = 10'000;
+  common::TextTable table(
+      "flooding-list wire cost: chunked delta-varint vs flat u32 "
+      "(ids uniform in [0, 10000))");
+  table.header({"members", "delta-varint bytes", "bytes/member", "flat u32",
+                "ratio"});
+  common::Rng rng(42);
+  for (const std::size_t members :
+       {std::size_t{32}, std::size_t{256}, std::size_t{1'024},
+        std::size_t{4'096}, std::size_t{9'000}}) {
+    common::ChunkedPeerSet set;
+    while (set.size() < members) {
+      set.insert(common::PeerId(
+          static_cast<std::uint32_t>(rng.pick_index(kIdSpace))));
+    }
+    gossip::PushMessage push;
+    push.flooding_list = std::move(set);
+    const std::size_t with_list =
+        gossip::encode(gossip::GossipPayload(push)).size();
+    push.flooding_list = gossip::SharedPeerList();
+    const std::size_t without_list =
+        gossip::encode(gossip::GossipPayload(push)).size();
+    const std::size_t list_bytes = with_list - without_list;
+    const double flat = static_cast<double>(members) * 4.0;
+    table.row()
+        .cell(members)
+        .cell(list_bytes)
+        .cell(static_cast<double>(list_bytes) / static_cast<double>(members),
+              2)
+        .cell(static_cast<std::size_t>(flat))
+        .cell(static_cast<double>(list_bytes) / flat, 2);
+  }
+  table.print(std::cout);
+  std::cout << "  sparse lists pay ~2 varint bytes per id-gap; past ~6% of\n"
+            << "  a 64Ki chunk the bitmap form caps the cost at 8KiB per\n"
+            << "  chunk no matter how many more members pile in.\n";
+}
+
 }  // namespace
 
 int main() {
@@ -86,5 +132,6 @@ int main() {
                       "Partial-list growth law and its bandwidth cost");
   analytical_section();
   wire_section();
+  compressed_list_section();
   return 0;
 }

@@ -19,7 +19,7 @@
 
 #include "analysis/push_model.hpp"
 #include "bench_util.hpp"
-#include "common/dense_peer_set.hpp"
+#include "common/chunked_peer_set.hpp"
 #include "common/rng.hpp"
 #include "gossip/node.hpp"
 #include "gossip/partial_list.hpp"
@@ -126,9 +126,9 @@ void BM_BuildForwardList(benchmark::State& state) {
   gossip::PartialListConfig config;
   config.mode = gossip::PartialListMode::kDropRandom;
   config.max_entries = 128;
-  std::vector<common::PeerId> received;
+  common::ChunkedPeerSet received;
   std::vector<common::PeerId> targets;
-  for (std::uint32_t i = 0; i < 256; ++i) received.emplace_back(i);
+  for (std::uint32_t i = 0; i < 256; ++i) received.insert(common::PeerId(i));
   for (std::uint32_t i = 200; i < 260; ++i) targets.emplace_back(i);
   common::Rng rng(3);
   for (auto _ : state) {
@@ -139,20 +139,22 @@ void BM_BuildForwardList(benchmark::State& state) {
 BENCHMARK(BM_BuildForwardList);
 
 void BM_BuildForwardListInto(benchmark::State& state) {
+  // The allocation-free path the node runs per handled push: merge the
+  // received chunked list with the new targets and cap-sample, reusing one
+  // arena ChunkedPeerSet (warm chunk buffers) across calls.
   gossip::PartialListConfig config;
   config.mode = gossip::PartialListMode::kDropRandom;
   config.max_entries = 128;
-  std::vector<common::PeerId> received;
+  common::ChunkedPeerSet received;
   std::vector<common::PeerId> targets;
-  for (std::uint32_t i = 0; i < 256; ++i) received.emplace_back(i);
+  for (std::uint32_t i = 0; i < 256; ++i) received.insert(common::PeerId(i));
   for (std::uint32_t i = 200; i < 260; ++i) targets.emplace_back(i);
   common::Rng rng(3);
-  common::DensePeerSet seen;
-  std::vector<common::PeerId> out;
+  common::ChunkedPeerSet out;
   for (auto _ : state) {
     gossip::build_forward_list_into(config, received, targets,
-                                    common::PeerId(1000), rng, seen, out);
-    benchmark::DoNotOptimize(out.data());
+                                    common::PeerId(1000), rng, out);
+    benchmark::DoNotOptimize(&out);
   }
 }
 BENCHMARK(BM_BuildForwardListInto);
@@ -169,9 +171,20 @@ void BM_AnalyticalPushModel(benchmark::State& state) {
 }
 BENCHMARK(BM_AnalyticalPushModel)->Arg(10'000)->Arg(1'000'000);
 
+/// Attaches the traffic counters the JSON reporter folds into its
+/// messages_per_sec / bytes_per_msg / threads columns.
+void set_traffic_counters(benchmark::State& state, std::uint64_t messages,
+                          std::uint64_t bytes, unsigned threads) {
+  state.counters["messages"] =
+      benchmark::Counter(static_cast<double>(messages));
+  state.counters["bytes"] = benchmark::Counter(static_cast<double>(bytes));
+  state.counters["threads"] = benchmark::Counter(static_cast<double>(threads));
+}
+
 void BM_SimulatedUpdate(benchmark::State& state) {
   const auto population = static_cast<std::size_t>(state.range(0));
   std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
   for (auto _ : state) {
     state.PauseTiming();
     sim::RoundSimConfig config;
@@ -184,10 +197,10 @@ void BM_SimulatedUpdate(benchmark::State& state) {
     state.ResumeTiming();
     const sim::RunMetrics metrics = simulator->propagate_update();
     messages += metrics.total_messages();
+    bytes += metrics.total_bytes();
     benchmark::DoNotOptimize(&metrics);
   }
-  state.counters["messages"] =
-      benchmark::Counter(static_cast<double>(messages));
+  set_traffic_counters(state, messages, bytes, 1);
 }
 BENCHMARK(BM_SimulatedUpdate)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
 
@@ -199,6 +212,7 @@ void BM_SimulatedUpdate10k(benchmark::State& state) {
   // Runs the sharded engine at 8 shard threads (results are bit-identical
   // to sequential; see GoldenDeterminism.ShardInvariance).
   std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
   for (auto _ : state) {
     state.PauseTiming();
     sim::RoundSimConfig config;
@@ -213,10 +227,10 @@ void BM_SimulatedUpdate10k(benchmark::State& state) {
     state.ResumeTiming();
     const sim::RunMetrics metrics = simulator->propagate_update();
     messages += metrics.total_messages();
+    bytes += metrics.total_bytes();
     benchmark::DoNotOptimize(&metrics);
   }
-  state.counters["messages"] =
-      benchmark::Counter(static_cast<double>(messages));
+  set_traffic_counters(state, messages, bytes, 8);
 }
 BENCHMARK(BM_SimulatedUpdate10k)->Unit(benchmark::kMillisecond);
 
@@ -227,6 +241,7 @@ void BM_SimulatedUpdateScaling(benchmark::State& state) {
   // speedup (or, on few-core hosts, of sharding overhead).
   const auto shard_threads = static_cast<unsigned>(state.range(0));
   std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
   for (auto _ : state) {
     state.PauseTiming();
     sim::RoundSimConfig config;
@@ -241,10 +256,10 @@ void BM_SimulatedUpdateScaling(benchmark::State& state) {
     state.ResumeTiming();
     const sim::RunMetrics metrics = simulator->propagate_update();
     messages += metrics.total_messages();
+    bytes += metrics.total_bytes();
     benchmark::DoNotOptimize(&metrics);
   }
-  state.counters["messages"] =
-      benchmark::Counter(static_cast<double>(messages));
+  set_traffic_counters(state, messages, bytes, shard_threads);
 }
 BENCHMARK(BM_SimulatedUpdateScaling)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
@@ -257,6 +272,7 @@ void BM_SimulatedUpdateLarge(benchmark::State& state) {
   // this bench's rss_delta_kb in BENCH_core.json).
   const auto population = static_cast<std::size_t>(state.range(0));
   std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
   for (auto _ : state) {
     state.PauseTiming();
     sim::RoundSimConfig config;
@@ -278,10 +294,10 @@ void BM_SimulatedUpdateLarge(benchmark::State& state) {
     state.ResumeTiming();
     const sim::RunMetrics metrics = simulator->propagate_update();
     messages += metrics.total_messages();
+    bytes += metrics.total_bytes();
     benchmark::DoNotOptimize(&metrics);
   }
-  state.counters["messages"] =
-      benchmark::Counter(static_cast<double>(messages));
+  set_traffic_counters(state, messages, bytes, 8);
 }
 void RegisterLargeBenches(bool include_million) {
   auto* bench = benchmark::RegisterBenchmark("BM_SimulatedUpdate100k",
@@ -316,10 +332,19 @@ class CollectingReporter : public benchmark::ConsoleReporter {
       record.name = run.benchmark_name();
       record.ns_per_op = run.real_accumulated_time /
                          static_cast<double>(run.iterations) * 1e9;
-      const auto counter = run.counters.find("messages");
-      if (counter != run.counters.end() && run.real_accumulated_time > 0) {
+      const auto messages = run.counters.find("messages");
+      if (messages != run.counters.end() && run.real_accumulated_time > 0) {
         record.messages_per_sec =
-            counter->second.value / run.real_accumulated_time;
+            messages->second.value / run.real_accumulated_time;
+      }
+      const auto bytes = run.counters.find("bytes");
+      if (messages != run.counters.end() && bytes != run.counters.end() &&
+          messages->second.value > 0) {
+        record.bytes_per_msg = bytes->second.value / messages->second.value;
+      }
+      const auto threads = run.counters.find("threads");
+      if (threads != run.counters.end() && threads->second.value >= 1) {
+        record.threads = static_cast<unsigned>(threads->second.value);
       }
       record.rss_delta_kb = delta;
       delta = 0;

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Bench-regression guard for scripts/verify.sh.
+
+Compares a fresh BENCH_core.json against the checked-in baseline on the
+guarded benchmarks and fails when wall time per op regresses more than the
+threshold. The guard is about catching accidental hot-path regressions in
+review, not about enforcing absolute numbers: both files must come from the
+SAME machine (the fresh run happens inside verify.sh moments earlier), so a
+>15% ns_per_op swing on a pinned-iteration-count benchmark is a code change,
+not noise. Skip with verify.sh --skip-bench-guard on busy/shared hardware.
+
+Usage:
+  check_bench_regression.py BASELINE FRESH --bench NAME [--bench NAME ...]
+      [--max-regression 0.15]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    table = {}
+    for record in doc.get("benchmarks", []):
+        # Registered names may carry gbench suffixes ("/iterations:1");
+        # index by the bare prefix so guard names stay stable.
+        bare = record["name"].split("/")[0]
+        table.setdefault(bare, record)
+    return table
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--bench", action="append", required=True,
+                        dest="benches")
+    parser.add_argument("--max-regression", type=float, default=0.15)
+    opts = parser.parse_args()
+
+    baseline = load_benchmarks(opts.baseline)
+    fresh = load_benchmarks(opts.fresh)
+
+    failures = []
+    for name in opts.benches:
+        if name not in baseline:
+            failures.append(f"{name}: missing from baseline {opts.baseline} "
+                            "(regenerate the checked-in BENCH_core.json)")
+            continue
+        if name not in fresh:
+            failures.append(f"{name}: missing from fresh run {opts.fresh} "
+                            "(benchmark renamed or filtered out?)")
+            continue
+        base_ns = float(baseline[name]["ns_per_op"])
+        fresh_ns = float(fresh[name]["ns_per_op"])
+        ratio = fresh_ns / base_ns if base_ns > 0 else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + opts.max_regression:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: {base_ns:.0f} -> {fresh_ns:.0f} ns/op "
+                f"({(ratio - 1.0) * 100:+.1f}%, limit "
+                f"+{opts.max_regression * 100:.0f}%)")
+        print(f"  {name}: {base_ns:.0f} -> {fresh_ns:.0f} ns/op "
+              f"({(ratio - 1.0) * 100:+.1f}%) {verdict}")
+
+    if failures:
+        print("bench guard FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print("  (intentional? re-capture the baseline: "
+              "./build/bench/micro_core from the repo root, commit "
+              "BENCH_core.json — or pass --skip-bench-guard)",
+              file=sys.stderr)
+        return 1
+    print("  bench guard OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,13 +9,26 @@
 # golden determinism — including ShardInvariance at 8 threads) plus the
 # event-loop/timer-wheel runtime suites.
 #
-# Usage: scripts/verify.sh [--skip-sanitizers]
+# After the Release ctest leg a bench-regression guard re-runs the two
+# guarded hot-path benchmarks (BM_SimulatedUpdate10k,
+# BM_BuildForwardListInto) and compares ns/op against the checked-in
+# BENCH_core.json; a >15% regression fails the verify. Opt out with
+# --skip-bench-guard on busy or differently-provisioned machines.
+#
+# Usage: scripts/verify.sh [--skip-sanitizers] [--skip-bench-guard]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc)"
 SKIP_SAN=0
-[[ "${1:-}" == "--skip-sanitizers" ]] && SKIP_SAN=1
+SKIP_BENCH_GUARD=0
+for arg in "$@"; do
+  case "${arg}" in
+    --skip-sanitizers) SKIP_SAN=1 ;;
+    --skip-bench-guard) SKIP_BENCH_GUARD=1 ;;
+    *) echo "unknown option: ${arg}" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> tier-1: Release build"
 cmake --preset release
@@ -44,6 +57,18 @@ fi
 
 echo "==> tier-1: Release ctest"
 ctest --preset release -j "${JOBS}"
+
+if [[ "${SKIP_BENCH_GUARD}" == "1" ]]; then
+  echo "==> bench guard skipped (--skip-bench-guard)"
+else
+  echo "==> bench guard: guarded hot-path benches vs checked-in BENCH_core.json"
+  ./build/bench/micro_core --json=build/BENCH_guard.json \
+    "--benchmark_filter=^BM_SimulatedUpdate10k\$|^BM_BuildForwardListInto\$" \
+    >/dev/null
+  python3 scripts/check_bench_regression.py BENCH_core.json \
+    build/BENCH_guard.json --bench BM_SimulatedUpdate10k \
+    --bench BM_BuildForwardListInto --max-regression 0.15
+fi
 
 if [[ "${SKIP_SAN}" == "1" ]]; then
   echo "==> sanitizers skipped (--skip-sanitizers)"

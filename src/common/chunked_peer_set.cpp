@@ -1,0 +1,428 @@
+#include "common/chunked_peer_set.hpp"
+
+namespace updp2p::common {
+
+namespace {
+
+std::size_t varint_len(std::uint64_t value) noexcept {
+  std::size_t len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace
+
+ChunkedPeerSet::Chunk& ChunkedPeerSet::chunk_for(std::uint16_t key) {
+  const auto it = std::lower_bound(
+      chunks_.begin(), chunks_.end(), key,
+      [](const Chunk& chunk, std::uint16_t k) { return chunk.key < k; });
+  if (it != chunks_.end() && it->key == key) return *it;
+  const auto index = static_cast<std::size_t>(it - chunks_.begin());
+  chunks_.insert(it, take_chunk(key));
+  return chunks_[index];
+}
+
+ChunkedPeerSet::Chunk ChunkedPeerSet::take_chunk(std::uint16_t key) {
+  Chunk chunk;
+  if (!spare_.empty()) {
+    chunk = std::move(spare_.back());
+    spare_.pop_back();
+  }
+  chunk.key = key;
+  chunk.cardinality = 0;
+  chunk.lows.clear();
+  chunk.bits.clear();
+  return chunk;
+}
+
+ChunkedPeerSet::Chunk ChunkedPeerSet::copy_chunk(const Chunk& source) {
+  Chunk chunk = take_chunk(source.key);
+  chunk.cardinality = source.cardinality;
+  chunk.lows.assign(source.lows.begin(), source.lows.end());
+  chunk.bits.assign(source.bits.begin(), source.bits.end());
+  return chunk;
+}
+
+void ChunkedPeerSet::promote(Chunk& chunk) {
+  chunk.bits.assign(kBitmapWords, 0);
+  for (const std::uint16_t low : chunk.lows) {
+    chunk.bits[low >> 6] |= std::uint64_t{1} << (low & 63);
+  }
+  chunk.lows.clear();
+}
+
+void ChunkedPeerSet::demote(Chunk& chunk) {
+  chunk.lows.clear();
+  chunk.lows.reserve(chunk.cardinality);
+  for (std::size_t w = 0; w < kBitmapWords; ++w) {
+    std::uint64_t word = chunk.bits[w];
+    while (word != 0) {
+      chunk.lows.push_back(static_cast<std::uint16_t>(
+          w * 64 + static_cast<std::size_t>(std::countr_zero(word))));
+      word &= word - 1;
+    }
+  }
+  chunk.bits.clear();
+}
+
+void ChunkedPeerSet::drop_empty_chunks() {
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    if (chunks_[i].cardinality == 0) {
+      Chunk& dead = chunks_[i];
+      dead.lows.clear();
+      dead.bits.clear();
+      spare_.push_back(std::move(dead));
+    } else {
+      if (keep != i) chunks_[keep] = std::move(chunks_[i]);
+      ++keep;
+    }
+  }
+  chunks_.resize(keep);
+}
+
+PeerId ChunkedPeerSet::select_rank(std::size_t rank) const {
+  UPDP2P_ENSURE(rank < size_, "select_rank out of range");
+  for (const Chunk& chunk : chunks_) {
+    if (rank >= chunk.cardinality) {
+      rank -= chunk.cardinality;
+      continue;
+    }
+    const std::uint32_t base = std::uint32_t{chunk.key} << kChunkBits;
+    if (!chunk.is_bitmap()) return PeerId(base | chunk.lows[rank]);
+    for (std::size_t w = 0; w < kBitmapWords; ++w) {
+      const auto here =
+          static_cast<std::size_t>(std::popcount(chunk.bits[w]));
+      if (rank >= here) {
+        rank -= here;
+        continue;
+      }
+      std::uint64_t word = chunk.bits[w];
+      while (rank-- > 0) word &= word - 1;  // clear the lowest `rank` bits
+      return PeerId(base + static_cast<std::uint32_t>(w * 64) +
+                    static_cast<std::uint32_t>(std::countr_zero(word)));
+    }
+  }
+  UPDP2P_ENSURE(false, "chunk cardinalities disagree with size()");
+  return PeerId::invalid();
+}
+
+std::size_t ChunkedPeerSet::rank_of(PeerId peer) const noexcept {
+  if (!peer.is_valid()) return size_;
+  const auto key = static_cast<std::uint16_t>(peer.value() >> kChunkBits);
+  const auto low = static_cast<std::uint16_t>(peer.value());
+  std::size_t rank = 0;
+  for (const Chunk& chunk : chunks_) {
+    if (chunk.key > key) break;
+    if (chunk.key < key) {
+      rank += chunk.cardinality;
+      continue;
+    }
+    if (chunk.is_bitmap()) {
+      for (std::size_t w = 0; w < static_cast<std::size_t>(low >> 6); ++w) {
+        rank += static_cast<std::size_t>(std::popcount(chunk.bits[w]));
+      }
+      const std::uint64_t below = (std::uint64_t{1} << (low & 63)) - 1;
+      rank += static_cast<std::size_t>(
+          std::popcount(chunk.bits[low >> 6] & below));
+    } else {
+      rank += static_cast<std::size_t>(
+          std::lower_bound(chunk.lows.begin(), chunk.lows.end(), low) -
+          chunk.lows.begin());
+    }
+    break;
+  }
+  return rank;
+}
+
+void ChunkedPeerSet::subtract(const ChunkedPeerSet& other) {
+  if (empty() || other.empty()) return;
+  std::size_t theirs_index = 0;
+  for (Chunk& ours : chunks_) {
+    while (theirs_index < other.chunks_.size() &&
+           other.chunks_[theirs_index].key < ours.key) {
+      ++theirs_index;
+    }
+    if (theirs_index == other.chunks_.size()) break;
+    const Chunk& theirs = other.chunks_[theirs_index];
+    if (theirs.key != ours.key) continue;
+
+    const std::uint32_t before = ours.cardinality;
+    if (ours.is_bitmap() && theirs.is_bitmap()) {
+      // Word-parallel AND-NOT: 64 ids per instruction.
+      std::uint32_t remaining = 0;
+      for (std::size_t w = 0; w < kBitmapWords; ++w) {
+        ours.bits[w] &= ~theirs.bits[w];
+        remaining += static_cast<std::uint32_t>(std::popcount(ours.bits[w]));
+      }
+      ours.cardinality = remaining;
+    } else if (ours.is_bitmap()) {
+      for (const std::uint16_t low : theirs.lows) {
+        std::uint64_t& word = ours.bits[low >> 6];
+        const std::uint64_t mask = std::uint64_t{1} << (low & 63);
+        if ((word & mask) != 0) {
+          word &= ~mask;
+          --ours.cardinality;
+        }
+      }
+    } else if (theirs.is_bitmap()) {
+      // Gallop-free: each of our (few) lows probes their bitmap in O(1).
+      std::size_t keep = 0;
+      for (const std::uint16_t low : ours.lows) {
+        if (((theirs.bits[low >> 6] >> (low & 63)) & 1) == 0) {
+          ours.lows[keep++] = low;
+        }
+      }
+      ours.lows.resize(keep);
+      ours.cardinality = static_cast<std::uint32_t>(keep);
+    } else if (ours.lows.size() * 16 < theirs.lows.size()) {
+      // Galloping probes: our side is much smaller, so binary-search each
+      // of our elements in theirs instead of walking both linearly.
+      std::size_t keep = 0;
+      for (const std::uint16_t low : ours.lows) {
+        if (!std::binary_search(theirs.lows.begin(), theirs.lows.end(),
+                                low)) {
+          ours.lows[keep++] = low;
+        }
+      }
+      ours.lows.resize(keep);
+      ours.cardinality = static_cast<std::uint32_t>(keep);
+    } else {
+      // Linear two-pointer difference, compacting in place.
+      std::size_t keep = 0;
+      std::size_t j = 0;
+      for (const std::uint16_t low : ours.lows) {
+        while (j < theirs.lows.size() && theirs.lows[j] < low) ++j;
+        if (j == theirs.lows.size() || theirs.lows[j] != low) {
+          ours.lows[keep++] = low;
+        }
+      }
+      ours.lows.resize(keep);
+      ours.cardinality = static_cast<std::uint32_t>(keep);
+    }
+    size_ -= before - ours.cardinality;
+    canonicalize(ours);
+  }
+  drop_empty_chunks();
+}
+
+void ChunkedPeerSet::keep_lowest(std::size_t cap) {
+  if (cap >= size_) return;
+  if (cap == 0) {
+    clear();
+    return;
+  }
+  std::size_t kept = 0;
+  std::size_t boundary = chunks_.size();
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    Chunk& chunk = chunks_[i];
+    if (kept + chunk.cardinality <= cap) {
+      kept += chunk.cardinality;
+      if (kept == cap) {
+        boundary = i + 1;
+        break;
+      }
+      continue;
+    }
+    // Partial chunk: keep the first (cap - kept) ids.
+    const auto take = static_cast<std::uint32_t>(cap - kept);
+    if (chunk.is_bitmap()) {
+      std::uint32_t seen = 0;
+      for (std::size_t w = 0; w < kBitmapWords; ++w) {
+        const auto bits_here =
+            static_cast<std::uint32_t>(std::popcount(chunk.bits[w]));
+        if (seen + bits_here <= take) {
+          seen += bits_here;
+          continue;
+        }
+        // Clear all but the lowest (take - seen) bits of this word...
+        std::uint64_t word = chunk.bits[w];
+        for (std::uint32_t b = take - seen; b > 0; --b) word &= word - 1;
+        chunk.bits[w] ^= word;
+        // ...and every later word entirely.
+        std::fill(chunk.bits.begin() + static_cast<std::ptrdiff_t>(w) + 1,
+                  chunk.bits.end(), 0);
+        break;
+      }
+    } else {
+      chunk.lows.resize(take);
+    }
+    chunk.cardinality = take;
+    canonicalize(chunk);
+    boundary = i + 1;
+    break;
+  }
+  for (std::size_t i = boundary; i < chunks_.size(); ++i) {
+    chunks_[i].lows.clear();
+    chunks_[i].bits.clear();
+    chunks_[i].cardinality = 0;
+    spare_.push_back(std::move(chunks_[i]));
+  }
+  chunks_.resize(boundary);
+  size_ = cap;
+}
+
+void ChunkedPeerSet::keep_highest(std::size_t cap) {
+  if (cap >= size_) return;
+  if (cap == 0) {
+    clear();
+    return;
+  }
+  // Walk from the top, counting how many ids survive per chunk.
+  std::size_t kept = 0;
+  std::size_t first = 0;
+  for (std::size_t i = chunks_.size(); i-- > 0;) {
+    Chunk& chunk = chunks_[i];
+    if (kept + chunk.cardinality <= cap) {
+      kept += chunk.cardinality;
+      if (kept == cap) {
+        first = i;
+        break;
+      }
+      continue;
+    }
+    // Partial chunk: drop the first (cardinality - (cap - kept)) ids.
+    const auto take = static_cast<std::uint32_t>(cap - kept);
+    const std::uint32_t drop = chunk.cardinality - take;
+    if (chunk.is_bitmap()) {
+      std::uint32_t dropped = 0;
+      for (std::size_t w = 0; w < kBitmapWords; ++w) {
+        const auto bits_here =
+            static_cast<std::uint32_t>(std::popcount(chunk.bits[w]));
+        if (dropped + bits_here <= drop) {
+          dropped += bits_here;
+          chunk.bits[w] = 0;
+          continue;
+        }
+        std::uint64_t word = chunk.bits[w];
+        for (std::uint32_t b = drop - dropped; b > 0; --b) word &= word - 1;
+        chunk.bits[w] = word;
+        break;
+      }
+    } else {
+      chunk.lows.erase(chunk.lows.begin(),
+                       chunk.lows.begin() + static_cast<std::ptrdiff_t>(drop));
+    }
+    chunk.cardinality = take;
+    canonicalize(chunk);
+    first = i;
+    break;
+  }
+  for (std::size_t i = 0; i < first; ++i) {
+    chunks_[i].lows.clear();
+    chunks_[i].bits.clear();
+    chunks_[i].cardinality = 0;
+    spare_.push_back(std::move(chunks_[i]));
+  }
+  chunks_.erase(chunks_.begin(),
+                chunks_.begin() + static_cast<std::ptrdiff_t>(first));
+  size_ = cap;
+}
+
+void ChunkedPeerSet::keep_ranks(const std::vector<std::uint32_t>& ranks) {
+  // One ascending sweep: visit each chunk's ids in order, keep those whose
+  // global rank is next in the (sorted) rank list, rebuilding each chunk in
+  // place. The survivors stay within their original chunk, so no cross-
+  // chunk moves happen and nothing materialises outside the chunk storage.
+  std::size_t next = 0;  // index into ranks
+  std::uint32_t rank = 0;
+  for (Chunk& chunk : chunks_) {
+    if (next == ranks.size() ||
+        ranks[next] >= rank + chunk.cardinality) {
+      // No survivor in this chunk.
+      rank += chunk.cardinality;
+      chunk.cardinality = 0;
+      chunk.lows.clear();
+      chunk.bits.clear();
+      continue;
+    }
+    const std::uint32_t chunk_base_rank = rank;
+    merge_scratch_.clear();
+    const auto visit = [&](std::uint16_t low) {
+      if (next < ranks.size() && ranks[next] == rank) {
+        merge_scratch_.push_back(low);
+        ++next;
+      }
+      ++rank;
+    };
+    if (chunk.is_bitmap()) {
+      for (std::size_t w = 0; w < kBitmapWords; ++w) {
+        std::uint64_t word = chunk.bits[w];
+        while (word != 0) {
+          visit(static_cast<std::uint16_t>(
+              w * 64 + static_cast<std::size_t>(std::countr_zero(word))));
+          word &= word - 1;
+        }
+      }
+    } else {
+      for (const std::uint16_t low : chunk.lows) visit(low);
+    }
+    rank = chunk_base_rank + chunk.cardinality;
+    chunk.cardinality = static_cast<std::uint32_t>(merge_scratch_.size());
+    chunk.bits.clear();
+    chunk.lows.swap(merge_scratch_);
+    canonicalize(chunk);
+  }
+  drop_empty_chunks();
+  size_ = ranks.size();
+}
+
+std::size_t ChunkedPeerSet::wire_encoded_bytes() const noexcept {
+  std::size_t total = varint_len(chunks_.size());
+  for (const Chunk& chunk : chunks_) {
+    total += varint_len(chunk.key) + 1 /*form byte*/ +
+             varint_len(chunk.cardinality);
+    if (chunk.is_bitmap()) {
+      total += kBitmapWords * sizeof(std::uint64_t);
+    } else {
+      std::uint16_t prev = 0;
+      bool first = true;
+      for (const std::uint16_t low : chunk.lows) {
+        // First low verbatim, then gap-1 deltas (lows strictly increase).
+        total += varint_len(first ? low
+                                  : static_cast<std::uint64_t>(low - prev - 1));
+        prev = low;
+        first = false;
+      }
+    }
+  }
+  return total;
+}
+
+bool ChunkedPeerSet::append_array_chunk(std::uint16_t key,
+                                        std::span<const std::uint16_t> lows) {
+  if (lows.empty() || lows.size() > kArrayChunkMax) return false;
+  if (!chunks_.empty() && chunks_.back().key >= key) return false;
+  for (std::size_t i = 1; i < lows.size(); ++i) {
+    if (lows[i] <= lows[i - 1]) return false;
+  }
+  Chunk chunk = take_chunk(key);
+  chunk.lows.assign(lows.begin(), lows.end());
+  chunk.cardinality = static_cast<std::uint32_t>(lows.size());
+  size_ += chunk.cardinality;
+  chunks_.push_back(std::move(chunk));
+  return true;
+}
+
+bool ChunkedPeerSet::append_bitmap_chunk(std::uint16_t key,
+                                         std::span<const std::uint64_t> words) {
+  if (words.size() != kBitmapWords) return false;
+  if (!chunks_.empty() && chunks_.back().key >= key) return false;
+  std::uint32_t cardinality = 0;
+  for (const std::uint64_t word : words) {
+    cardinality += static_cast<std::uint32_t>(std::popcount(word));
+  }
+  // Canonical form: a bitmap chunk must be denser than any array chunk.
+  if (cardinality <= kArrayChunkMax) return false;
+  Chunk chunk = take_chunk(key);
+  chunk.bits.assign(words.begin(), words.end());
+  chunk.cardinality = cardinality;
+  size_ += cardinality;
+  chunks_.push_back(std::move(chunk));
+  return true;
+}
+
+}  // namespace updp2p::common

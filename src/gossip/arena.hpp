@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "common/chunked_peer_set.hpp"
 #include "common/dense_peer_set.hpp"
 #include "common/types.hpp"
 
@@ -26,9 +27,7 @@ struct WorkArena {
   // ReplicaNode scratch.
   std::vector<common::PeerId> targets;   ///< select_targets output
   std::vector<common::PeerId> contacts;  ///< make_pull contacts
-  std::vector<common::PeerId> list;      ///< outgoing forward list
-  common::DensePeerSet covered;          ///< R_f exclusion in handle_push
-  common::DensePeerSet list_seen;        ///< build_forward_list dedup
+  common::ChunkedPeerSet list;           ///< outgoing forward list build
 
   // ReplicaView::sample_into scratch.
   std::vector<common::PeerId> pool;      ///< weighted candidate pool

@@ -141,25 +141,95 @@ std::optional<version::VersionedValue> get_value(
   return value;
 }
 
-void put_peer_list(WireBytes& out, std::span<const common::PeerId> peers) {
-  put_varint(out, peers.size());
-  for (const common::PeerId peer : peers) put_varint(out, peer.value());
+using common::ChunkedPeerSet;
+
+void put_peer_set(WireBytes& out, const ChunkedPeerSet& set) {
+  put_varint(out, set.chunks().size());
+  for (const ChunkedPeerSet::Chunk& chunk : set.chunks()) {
+    put_varint(out, chunk.key);
+    put_u8(out, chunk.is_bitmap() ? 1 : 0);
+    put_varint(out, chunk.cardinality);
+    if (chunk.is_bitmap()) {
+      for (const std::uint64_t word : chunk.bits) put_u64(out, word);
+    } else {
+      // First low verbatim, then gap-1 deltas (lows strictly increase, so
+      // every gap is >= 1 and the common consecutive-id case costs one
+      // zero byte per entry).
+      std::uint16_t prev = 0;
+      bool first = true;
+      for (const std::uint16_t low : chunk.lows) {
+        put_varint(out, first ? low
+                              : static_cast<std::uint64_t>(low - prev - 1));
+        prev = low;
+        first = false;
+      }
+    }
+  }
 }
 
-std::optional<std::vector<common::PeerId>> get_peer_list(
-    std::span<const std::byte> bytes, std::size_t& offset) {
-  const auto count = get_varint(bytes, offset);
-  if (!count || *count > bytes.size()) return std::nullopt;
-  std::vector<common::PeerId> peers;
-  peers.reserve(*count);
-  for (std::uint64_t i = 0; i < *count; ++i) {
-    const auto peer = get_varint(bytes, offset);
-    // kMaxWirePeerId keeps hostile ids from commanding huge DensePeerSet
-    // resizes downstream (view merge, covered/seen scratch).
-    if (!peer || *peer >= kMaxWirePeerId) return std::nullopt;
-    peers.emplace_back(static_cast<std::uint32_t>(*peer));
+std::optional<ChunkedPeerSet> get_peer_set(std::span<const std::byte> bytes,
+                                           std::size_t& offset) {
+  const auto chunk_count = get_varint(bytes, offset);
+  // Strictly increasing keys below kMaxWireChunkKey bound the chunk count
+  // too; rejecting early keeps a hostile prefix from looping for long.
+  if (!chunk_count || *chunk_count > kMaxWireChunkKey) return std::nullopt;
+  ChunkedPeerSet set;
+  std::vector<std::uint16_t> lows;
+  std::vector<std::uint64_t> words;
+  for (std::uint64_t c = 0; c < *chunk_count; ++c) {
+    const auto key = get_varint(bytes, offset);
+    // Per-chunk id bound: key < kMaxWirePeerId >> 16 means no id this
+    // chunk can express (key<<16 | low16) reaches kMaxWirePeerId. Keys
+    // must strictly increase, which also rules out overlapping ranges;
+    // append_*_chunk below re-checks that ordering.
+    if (!key || *key >= kMaxWireChunkKey) return std::nullopt;
+    const auto form = get_u8(bytes, offset);
+    const auto cardinality = get_varint(bytes, offset);
+    if (!form || *form > 1 || !cardinality || *cardinality == 0 ||
+        *cardinality > ChunkedPeerSet::kChunkSpan) {
+      return std::nullopt;
+    }
+    if (*form == 0) {
+      // Canonical form caps an array chunk at kArrayChunkMax entries, and
+      // each entry costs at least one encoded byte — a declared
+      // cardinality beyond the remaining payload is hostile.
+      if (*cardinality > ChunkedPeerSet::kArrayChunkMax ||
+          *cardinality > bytes.size() - offset) {
+        return std::nullopt;
+      }
+      lows.clear();
+      // lint-allow(wire-bounds): cardinality capped at kArrayChunkMax above
+      lows.reserve(*cardinality);
+      std::uint64_t value = 0;
+      for (std::uint64_t i = 0; i < *cardinality; ++i) {
+        const auto delta = get_varint(bytes, offset);
+        if (!delta) return std::nullopt;
+        value = i == 0 ? *delta : value + *delta + 1;
+        if (value >= ChunkedPeerSet::kChunkSpan) return std::nullopt;
+        lows.push_back(static_cast<std::uint16_t>(value));
+      }
+      if (!set.append_array_chunk(static_cast<std::uint16_t>(*key), lows)) {
+        return std::nullopt;
+      }
+    } else {
+      words.clear();
+      words.reserve(ChunkedPeerSet::kBitmapWords);
+      for (std::size_t w = 0; w < ChunkedPeerSet::kBitmapWords; ++w) {
+        const auto word = get_u64(bytes, offset);
+        if (!word) return std::nullopt;
+        words.push_back(*word);
+      }
+      // append_bitmap_chunk enforces canonical density (> kArrayChunkMax
+      // bits); the declared cardinality must match the actual popcount or
+      // the header is lying.
+      const std::size_t before = set.size();
+      if (!set.append_bitmap_chunk(static_cast<std::uint16_t>(*key), words) ||
+          set.size() - before != *cardinality) {
+        return std::nullopt;
+      }
+    }
   }
-  return peers;
+  return set;
 }
 
 }  // namespace
@@ -197,7 +267,7 @@ WireBytes encode(const GossipPayload& payload) {
           put_u8(out, static_cast<std::uint8_t>(Kind::kPush));
           put_value(out, *message.value);
           put_varint(out, message.round);
-          put_peer_list(out, message.flooding_list);
+          put_peer_set(out, message.flooding_list.set());
         } else if constexpr (std::is_same_v<T, PullRequest>) {
           put_u8(out, static_cast<std::uint8_t>(Kind::kPullRequest));
           put_version_vector(out, message.summary);
@@ -246,13 +316,13 @@ std::optional<GossipPayload> decode(std::span<const std::byte> bytes) {
     case Kind::kPush: {
       auto value = get_value(bytes, offset);
       auto round = get_varint(bytes, offset);
-      auto list = get_peer_list(bytes, offset);
+      auto list = get_peer_set(bytes, offset);
       if (!value || !round || !list ||
           *round > std::numeric_limits<common::Round>::max()) {
         return std::nullopt;
       }
       return GossipPayload{PushMessage{SharedValue(std::move(*value)),
-                                       std::move(*list),
+                                       SharedPeerList(std::move(*list)),
                                        static_cast<common::Round>(*round)}};
     }
     case Kind::kPullRequest: {

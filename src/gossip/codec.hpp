@@ -10,10 +10,27 @@
 //   vv      := varint count || (varint peer, varint counter)*
 //   value   := string key || string payload || digest128(16) || vv ||
 //              flags(1) || float64 written_at
-//   push    := value || varint round || varint count || varint peer*
+//   peerset := varint chunk_count || chunk*        (see below)
+//   push    := value || varint round || peerset
 //   pullreq := vv
 //   pullresp:= vv || flags(1) || varint count || value*
 //   ack     := digest128(16)
+//
+// The flooding list travels in the ChunkedPeerSet's canonical chunked
+// form (format v2): each chunk covers one 2^16-id range and is either a
+// delta-varint array (sparse) or a raw bitmap (dense):
+//
+//   chunk   := varint key || form(1) || varint cardinality || body
+//   body    := first-low varint || (gap-1) varint*        form 0 (array)
+//            | 1024 x u64 little-endian                   form 1 (bitmap)
+//
+// Chunk keys are strictly increasing (no overlapping ranges) and bounded
+// by kMaxWirePeerId >> 16, which re-establishes the per-id bound: no id a
+// chunk can express reaches kMaxWirePeerId. Canonical-form rules (array
+// iff cardinality <= kArrayChunkMax, bitmap popcount must equal the
+// declared cardinality, lows strictly increasing) are enforced on decode,
+// so decode(encode(s)) == s bit-identically and hostile headers cannot
+// smuggle oversized cardinalities.
 //
 // Decoding is fail-safe: malformed input yields std::nullopt, never UB —
 // a peer must survive garbage from the network.
@@ -30,8 +47,10 @@ namespace updp2p::gossip {
 
 using WireBytes = std::vector<std::byte>;
 
-/// Codec format version; bump on incompatible change.
-inline constexpr std::uint8_t kCodecVersion = 1;
+/// Codec format version; bump on incompatible change. v2: flooding lists
+/// switched from flat varint peer arrays to the chunked delta-varint set
+/// encoding above.
+inline constexpr std::uint8_t kCodecVersion = 2;
 
 /// Upper bound (exclusive) on peer ids accepted off the wire. Decoded peer
 /// ids index population-sized dense arrays (DensePeerSet stamp arrays), so
@@ -40,6 +59,12 @@ inline constexpr std::uint8_t kCodecVersion = 1;
 /// reject by contract. 2^28 comfortably covers the paper's largest
 /// evaluated population (10^8, Fig. 5).
 inline constexpr std::uint64_t kMaxWirePeerId = std::uint64_t{1} << 28;
+
+/// Upper bound (exclusive) on chunk keys in the peerset encoding: a chunk
+/// keyed at or above this could express ids >= kMaxWirePeerId. Mirrored by
+/// net::kMaxFrameChunkKey for transports that inspect frames.
+inline constexpr std::uint64_t kMaxWireChunkKey =
+    kMaxWirePeerId >> common::ChunkedPeerSet::kChunkBits;
 
 /// Serialises any protocol payload into a framed byte string.
 [[nodiscard]] WireBytes encode(const GossipPayload& payload);

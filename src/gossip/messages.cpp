@@ -7,6 +7,11 @@ const version::VersionedValue& SharedValue::empty_value() noexcept {
   return kEmpty;
 }
 
+const common::ChunkedPeerSet& SharedPeerList::empty_set() noexcept {
+  static const common::ChunkedPeerSet kEmpty{};
+  return kEmpty;
+}
+
 namespace {
 std::uint64_t value_bytes(const version::VersionedValue& value,
                           const WireSizeConfig& wire) {
@@ -23,9 +28,13 @@ std::uint64_t wire_size(const GossipPayload& payload,
              [&wire](const auto& message) -> std::uint64_t {
                using T = std::decay_t<decltype(message)>;
                if constexpr (std::is_same_v<T, PushMessage>) {
+                 // The flooding list is accounted at its exact compressed
+                 // wire size (the chunked delta-varint encoding), not the
+                 // flat replica_entry_bytes model: bytes-on-wire savings
+                 // from the compressed form must show up in the bandwidth
+                 // metrics (§5 message-length analysis).
                  return value_bytes(*message.value, wire) +
-                        message.flooding_list.size() *
-                            wire.replica_entry_bytes +
+                        message.flooding_list.set().wire_encoded_bytes() +
                         sizeof(common::Round);
                } else if constexpr (std::is_same_v<T, PullRequest>) {
                  return message.summary.entry_count() *

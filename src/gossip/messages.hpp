@@ -15,6 +15,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/chunked_peer_set.hpp"
 #include "common/types.hpp"
 #include "gossip/config.hpp"
 #include "version/store.hpp"
@@ -25,62 +26,65 @@ namespace updp2p::gossip {
 /// Flooding list R_f shared across one forward's fan-out.
 ///
 /// A forward sends the *same* list to ~f_r·R targets; carrying it by value
-/// made every extra message an O(|R_f|) vector copy plus an allocation —
-/// the dominant allocator traffic of a large push phase. The entries are
-/// immutable once the message is built, so the copies can share one buffer:
-/// copying a SharedPeerList is a reference-count bump. Mutating accessors
-/// (used while *building* a list, e.g. codec decode and tests) copy on
-/// write, preserving value semantics.
+/// made every extra message an O(|R_f|) copy plus an allocation — the
+/// dominant allocator traffic of a large push phase. The entries are
+/// immutable once the message is built, so the copies can share one
+/// object: copying a SharedPeerList is a reference-count bump. Mutating
+/// accessors (used while *building* a list, e.g. codec decode and tests)
+/// copy on write, preserving value semantics.
+///
+/// The underlying representation is a compressed common::ChunkedPeerSet:
+/// a *set* ordered by peer id, not an insertion-ordered sequence. That
+/// matches the protocol — R_f membership is what matters (§4.2 drops
+/// duplicates and probes "am I on the list?") — and it is what shrinks
+/// both resident memory and bytes on the wire at scale.
 class SharedPeerList {
  public:
   SharedPeerList() = default;
-  SharedPeerList(std::vector<common::PeerId> entries)  // NOLINT(google-explicit-constructor)
-      : data_(entries.empty()
+  SharedPeerList(const common::ChunkedPeerSet& set)  // NOLINT(google-explicit-constructor)
+      : data_(set.empty()
                   ? nullptr
-                  : std::make_shared<std::vector<common::PeerId>>(
-                        std::move(entries))) {}
+                  : std::make_shared<const common::ChunkedPeerSet>(set)) {}
+  SharedPeerList(common::ChunkedPeerSet&& set)  // NOLINT(google-explicit-constructor)
+      : data_(set.empty() ? nullptr
+                          : std::make_shared<const common::ChunkedPeerSet>(
+                                std::move(set))) {}
   SharedPeerList(std::initializer_list<common::PeerId> entries)
-      : SharedPeerList(std::vector<common::PeerId>(entries)) {}
+      : SharedPeerList(common::ChunkedPeerSet(entries)) {}
 
   [[nodiscard]] std::size_t size() const noexcept {
     return data_ ? data_->size() : 0;
   }
   [[nodiscard]] bool empty() const noexcept { return size() == 0; }
-  [[nodiscard]] const common::PeerId* begin() const noexcept {
-    return data_ ? data_->data() : nullptr;
+  [[nodiscard]] bool contains(common::PeerId peer) const noexcept {
+    return data_ && data_->contains(peer);
   }
-  [[nodiscard]] const common::PeerId* end() const noexcept {
-    return data_ ? data_->data() + data_->size() : nullptr;
+  /// The underlying set (an empty set when default-constructed).
+  [[nodiscard]] const common::ChunkedPeerSet& set() const noexcept {
+    return data_ ? *data_ : empty_set();
   }
-  [[nodiscard]] common::PeerId operator[](std::size_t i) const {
-    return (*data_)[i];
-  }
-  operator std::span<const common::PeerId>() const noexcept {  // NOLINT
-    return {begin(), size()};
+  /// Visits entries in ascending peer-id order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    if (data_) data_->for_each(std::forward<Fn>(fn));
   }
 
-  void push_back(common::PeerId peer) { mutable_entries().push_back(peer); }
-  template <typename... Args>
-  void emplace_back(Args&&... args) {
-    mutable_entries().emplace_back(std::forward<Args>(args)...);
+  /// Copy-on-write insert (list construction in decode paths and tests).
+  void insert(common::PeerId peer) {
+    auto next = data_ ? std::make_shared<common::ChunkedPeerSet>(*data_)
+                      : std::make_shared<common::ChunkedPeerSet>();
+    next->insert(peer);
+    data_ = std::move(next);
   }
 
   friend bool operator==(const SharedPeerList& a, const SharedPeerList& b) {
-    return a.data_ == b.data_ ||
-           std::equal(a.begin(), a.end(), b.begin(), b.end());
+    return a.data_ == b.data_ || a.set() == b.set();
   }
 
  private:
-  std::vector<common::PeerId>& mutable_entries() {
-    if (!data_) {
-      data_ = std::make_shared<std::vector<common::PeerId>>();
-    } else if (data_.use_count() > 1) {
-      data_ = std::make_shared<std::vector<common::PeerId>>(*data_);
-    }
-    return *data_;
-  }
+  [[nodiscard]] static const common::ChunkedPeerSet& empty_set() noexcept;
 
-  std::shared_ptr<std::vector<common::PeerId>> data_;
+  std::shared_ptr<const common::ChunkedPeerSet> data_;
 };
 
 /// The versioned value (U, V) shared across one forward's fan-out.

@@ -22,6 +22,10 @@ void ReplicaNode::bootstrap(std::span<const common::PeerId> initial_view) {
   view_.merge(initial_view);
 }
 
+void ReplicaNode::bootstrap(const common::ChunkedPeerSet& initial_view) {
+  view_.merge(initial_view);
+}
+
 void ReplicaNode::seed_fixed_neighbors(
     std::span<const common::PeerId> neighbors) {
   fixed_neighbors_.assign(neighbors.begin(), neighbors.end());
@@ -67,8 +71,9 @@ void ReplicaNode::start_push(version::VersionedValue value, common::Round now,
   const std::vector<common::PeerId>& targets =
       select_targets(config_.absolute_fanout(), now);
   if (targets.empty()) return;
-  build_forward_list_into(config_.partial_list, /*received=*/{}, targets,
-                          self_, rng_, arena().list_seen, arena().list);
+  build_forward_list_into(config_.partial_list,
+                          /*received=*/common::ChunkedPeerSet(), targets,
+                          self_, rng_, arena().list);
 
   // One shared buffer serves the whole fan-out: each message copy is a
   // refcount bump, not an O(|R_f|) vector (or version-vector) copy; the
@@ -111,7 +116,6 @@ void ReplicaNode::handle_push(common::PeerId from, const PushMessage& push,
   ++stats_.pushes_received;
   view_.add(from);
   view_.clear_presumed_offline(from);  // it is evidently online
-  stats_.members_discovered += view_.merge(push.flooding_list);
 
   auto [seen_it, first_receipt] = seen_versions_.emplace(push.value->id, 0u);
   if (!first_receipt) {
@@ -121,6 +125,13 @@ void ReplicaNode::handle_push(common::PeerId from, const PushMessage& push,
     return;  // ProcessedUpdate(U,V) == TRUE: push at most once (§3)
   }
   forward_.observe_push(/*duplicate=*/false);
+
+  // Name-dropper membership dissemination (§7.2) on FIRST receipt only.
+  // §3's pseudocode ignores a push whose update was already processed, so
+  // a duplicate's flooding list is dropped with the rest of the message —
+  // which also means the dominant duplicate-delivery path never pays a
+  // set merge (at 100k replicas ~80% of deliveries are duplicates).
+  stats_.members_discovered += view_.merge(push.flooding_list.set());
 
   const version::ApplyOutcome outcome = store_.apply(*push.value);
   if (outcome == version::ApplyOutcome::kApplied ||
@@ -161,22 +172,17 @@ void ReplicaNode::handle_push(common::PeerId from, const PushMessage& push,
   std::vector<common::PeerId>& targets = select_targets(
       forward_.effective_fanout(config_.absolute_fanout(), list_fraction),
       now);
-  // The list was merged above, so the view's id range covers every entry;
-  // one exact reservation beats repeated geometric growth.
-  common::DensePeerSet& covered = arena().covered;
-  covered.reserve_ids(view_.id_capacity());
-  covered.clear();
-  for (const common::PeerId peer : push.flooding_list) {
-    covered.insert(peer);
-  }
-  std::erase_if(targets, [&covered, from](common::PeerId peer) {
-    return peer == from || covered.contains(peer);
+  // R_p \ R_f by direct probes into the compressed list: ~fanout contains()
+  // calls (O(1) on bitmap chunks) replace materialising R_f into an
+  // O(|R_f|) scratch set per delivery.
+  const common::ChunkedPeerSet& flooded = push.flooding_list.set();
+  std::erase_if(targets, [&flooded, from](common::PeerId peer) {
+    return peer == from || flooded.contains(peer);
   });
   if (targets.empty()) return;
 
-  arena().list_seen.reserve_ids(view_.id_capacity());
-  build_forward_list_into(config_.partial_list, push.flooding_list, targets,
-                          self_, rng_, arena().list_seen, arena().list);
+  build_forward_list_into(config_.partial_list, flooded, targets, self_,
+                          rng_, arena().list);
   // Forwarded value and list are shared across the fan-out; the wire size
   // is identical for every target, so compute it once.
   const GossipPayload payload(

@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/chunked_peer_set.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "gossip/arena.hpp"
@@ -88,6 +89,13 @@ class ReplicaNode {
   /// Seeds the initial membership view ("each replica knows a minimal
   /// fraction of the complete set of replicas", §2).
   void bootstrap(std::span<const common::PeerId> initial_view);
+
+  /// Compressed-form bootstrap: absorbs the whole set in one word-parallel
+  /// merge instead of one insert per id. Lets a simulator build the
+  /// full-membership set once and share it across every node — at 100k
+  /// replicas this is the difference between O(population) and
+  /// O(population/64) words touched per node.
+  void bootstrap(const common::ChunkedPeerSet& initial_view);
 
   /// kFixedNeighbors mode: supplies the static target set — the "topology
   /// knowledge" a directional-gossip-like scheme [20] would maintain (e.g.

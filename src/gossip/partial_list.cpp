@@ -17,23 +17,21 @@ const char* to_string(PartialListMode mode) noexcept {
 
 template <typename RngT>
 void build_forward_list_into(const PartialListConfig& config,
-                             std::span<const common::PeerId> received,
+                             const common::ChunkedPeerSet& received,
                              std::span<const common::PeerId> new_targets,
                              common::PeerId self, RngT& rng,
-                             common::DensePeerSet& seen_scratch,
-                             std::vector<common::PeerId>& out) {
+                             common::ChunkedPeerSet& out) {
   out.clear();
   if (config.mode == PartialListMode::kNone) return;
 
-  // Order matters for the head/tail drop policies: `received` entries are
-  // the oldest knowledge, then self, then the targets just chosen.
-  seen_scratch.clear();
-  auto append = [&out, &seen_scratch](common::PeerId peer) {
-    if (seen_scratch.insert(peer)) out.push_back(peer);
-  };
-  for (const common::PeerId peer : received) append(peer);
-  append(self);
-  for (const common::PeerId peer : new_targets) append(peer);
+  // Union: received ∪ {self} ∪ targets. The set representation dedups by
+  // construction. Seed the tiny {self} ∪ targets side first (inserts into
+  // a near-empty array chunk), then absorb the large received list in one
+  // merge pass — the reverse order would pay a sorted-insert memmove per
+  // target into an already-populated chunk.
+  out.insert(self);
+  for (const common::PeerId peer : new_targets) out.insert(peer);
+  out.insert_all(received);
 
   if (config.mode == PartialListMode::kUnbounded ||
       out.size() <= config.max_entries) {
@@ -43,23 +41,16 @@ void build_forward_list_into(const PartialListConfig& config,
   const std::size_t cap = config.max_entries;
   switch (config.mode) {
     case PartialListMode::kDropHead:
-      // Keep the newest `cap` entries.
-      out.erase(out.begin(),
-                out.begin() + static_cast<std::ptrdiff_t>(out.size() - cap));
+      // Discard the head of the id-ordered list: keep the highest ids.
+      out.keep_highest(cap);
       break;
     case PartialListMode::kDropTail:
-      out.resize(cap);
+      out.keep_lowest(cap);
       break;
-    case PartialListMode::kDropRandom: {
-      // Partial Fisher–Yates: move `cap` random survivors to the front.
-      for (std::size_t i = 0; i < cap; ++i) {
-        const std::size_t j =
-            i + static_cast<std::size_t>(rng.uniform_below(out.size() - i));
-        std::swap(out[i], out[j]);
-      }
-      out.resize(cap);
+    case PartialListMode::kDropRandom:
+      // Uniform cap-subset sampled from the compressed form.
+      out.keep_random(rng, cap);
       break;
-    }
     case PartialListMode::kNone:
     case PartialListMode::kUnbounded:
       break;  // unreachable; handled above
@@ -67,34 +58,30 @@ void build_forward_list_into(const PartialListConfig& config,
 }
 
 template <typename RngT>
-std::vector<common::PeerId> build_forward_list(
-    const PartialListConfig& config,
-    const std::vector<common::PeerId>& received,
+common::ChunkedPeerSet build_forward_list(
+    const PartialListConfig& config, const common::ChunkedPeerSet& received,
     const std::vector<common::PeerId>& new_targets, common::PeerId self,
     RngT& rng) {
-  std::vector<common::PeerId> out;
-  common::DensePeerSet seen;
-  build_forward_list_into(config, received, new_targets, self, rng, seen, out);
+  common::ChunkedPeerSet out;
+  build_forward_list_into(config, received, new_targets, self, rng, out);
   return out;
 }
 
 template void build_forward_list_into(const PartialListConfig&,
-                                      std::span<const common::PeerId>,
+                                      const common::ChunkedPeerSet&,
                                       std::span<const common::PeerId>,
                                       common::PeerId, common::Rng&,
-                                      common::DensePeerSet&,
-                                      std::vector<common::PeerId>&);
+                                      common::ChunkedPeerSet&);
 template void build_forward_list_into(const PartialListConfig&,
-                                      std::span<const common::PeerId>,
+                                      const common::ChunkedPeerSet&,
                                       std::span<const common::PeerId>,
                                       common::PeerId, common::StreamRng&,
-                                      common::DensePeerSet&,
-                                      std::vector<common::PeerId>&);
-template std::vector<common::PeerId> build_forward_list(
-    const PartialListConfig&, const std::vector<common::PeerId>&,
+                                      common::ChunkedPeerSet&);
+template common::ChunkedPeerSet build_forward_list(
+    const PartialListConfig&, const common::ChunkedPeerSet&,
     const std::vector<common::PeerId>&, common::PeerId, common::Rng&);
-template std::vector<common::PeerId> build_forward_list(
-    const PartialListConfig&, const std::vector<common::PeerId>&,
+template common::ChunkedPeerSet build_forward_list(
+    const PartialListConfig&, const common::ChunkedPeerSet&,
     const std::vector<common::PeerId>&, common::PeerId, common::StreamRng&);
 
 }  // namespace updp2p::gossip

@@ -4,38 +4,40 @@
 // discarding either random entries or the head or tail of the partial
 // list"; forwarding nodes then "pay the penalty of forwarding extra
 // messages" but awareness growth is unchanged.
+//
+// The list is a compressed ChunkedPeerSet ordered by peer id, so the
+// head/tail drop policies order by id: kDropHead discards the lowest ids
+// (keeps the highest), kDropTail discards the highest. kDropRandom samples
+// the survivors uniformly straight from the compressed form — the merged
+// list never materialises as a vector.
 #pragma once
 
 #include <span>
 #include <vector>
 
-#include "common/dense_peer_set.hpp"
+#include "common/chunked_peer_set.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "gossip/config.hpp"
 
 namespace updp2p::gossip {
 
-/// Merges the received list with the newly chosen targets (plus the
-/// forwarder itself), de-duplicates preserving order of first appearance,
-/// and applies the configured cap, writing the result into `out`
-/// (replacing its contents). `seen_scratch` is caller-provided dedup
-/// scratch, cleared here in O(1) — with warm buffers the call performs no
-/// heap allocation. kNone yields an empty list. Works with either RNG
-/// engine (Rng or StreamRng); instantiated for both in the .cpp.
+/// Builds the outgoing R_f into `out` (replacing its contents): the union
+/// of the received list, the forwarder itself and the newly chosen
+/// targets, then the configured cap. kNone yields an empty list. With warm
+/// chunk buffers the call performs no heap allocation. Works with either
+/// RNG engine (Rng or StreamRng); instantiated for both in the .cpp.
 template <typename RngT>
 void build_forward_list_into(const PartialListConfig& config,
-                             std::span<const common::PeerId> received,
+                             const common::ChunkedPeerSet& received,
                              std::span<const common::PeerId> new_targets,
                              common::PeerId self, RngT& rng,
-                             common::DensePeerSet& seen_scratch,
-                             std::vector<common::PeerId>& out);
+                             common::ChunkedPeerSet& out);
 
 /// Allocating convenience wrapper around build_forward_list_into.
 template <typename RngT>
-[[nodiscard]] std::vector<common::PeerId> build_forward_list(
-    const PartialListConfig& config,
-    const std::vector<common::PeerId>& received,
+[[nodiscard]] common::ChunkedPeerSet build_forward_list(
+    const PartialListConfig& config, const common::ChunkedPeerSet& received,
     const std::vector<common::PeerId>& new_targets, common::PeerId self,
     RngT& rng);
 

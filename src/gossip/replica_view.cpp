@@ -15,20 +15,18 @@ bool ReplicaView::add(common::PeerId peer) {
       // Pigeonhole: the view holds every valid non-self id below
       // id_bound_, and this peer is below the bound — it is provably a
       // member already. Skipping the probe keeps flooding-list merges
-      // into bootstrap-full views from touching the (cold, per-node)
-      // hash table at all.
+      // into bootstrap-full views from touching the index at all.
       return false;
     }
   }
-  if (peer == self_ || !index_.insert(peer)) return false;
-  members_.push_back(peer);
-  return true;
+  if (peer == self_) return false;
+  return known_.insert(peer);
 }
 
 std::size_t ReplicaView::merge(std::span<const common::PeerId> peers) {
-  // Saturated views absorb most flooding lists without touching the hash
-  // table at all: when every offered id is below id_bound_, the pigeonhole
-  // argument in add() covers the whole list, so the merge is a pure no-op
+  // Saturated views absorb most peer lists without touching the index at
+  // all: when every offered id is below id_bound_, the pigeonhole argument
+  // in add() covers the whole list, so the merge is a pure no-op
   // (membership and id_bound_ both unchanged). One branch-free max-scan
   // over the list replaces per-peer add() calls. Invalid ids read as
   // 0xFFFFFFFF and a valid id bound never exceeds them, so they fall
@@ -40,26 +38,30 @@ std::size_t ReplicaView::merge(std::span<const common::PeerId> peers) {
     }
     if (max_id < id_bound_) return 0;
   }
-  // Growing by doubling from a cold table costs O(log n) rehashes; a
-  // bulk merge (bootstrap hands the whole membership over at once) pays
-  // for them all. Reserving the worst case up front makes that one
-  // rehash, and is a no-op for small lists into a warm table.
-  index_.reserve(members_.size() + peers.size());
-  members_.reserve(members_.size() + peers.size());
-  // Received peer lists probe the index in random order, and the table is
-  // usually cold (deliveries alternate between nodes); prefetching a fixed
-  // distance ahead overlaps those cache misses. A saturated view never
-  // probes (add() proves membership by counting), so skip the prefetch.
-  constexpr std::size_t kPrefetchAhead = 16;
   std::size_t added = 0;
-  const bool prefetch = !saturated();
-  for (std::size_t i = 0; i < peers.size(); ++i) {
-    if (prefetch && i + kPrefetchAhead < peers.size()) {
-      index_.prefetch(peers[i + kPrefetchAhead]);
-    }
-    if (add(peers[i])) ++added;
+  for (const common::PeerId peer : peers) {
+    if (add(peer)) ++added;
   }
   return added;
+}
+
+std::size_t ReplicaView::merge(const common::ChunkedPeerSet& peers) {
+  if (peers.empty()) return 0;
+  // Saturated fast path: every id in `peers` below the bound is provably
+  // known (counting argument), so a bounded max_id means a no-op merge —
+  // one O(1) check instead of touching any chunk.
+  const std::uint32_t peers_max = peers.max_id();
+  if (saturated() && peers_max < id_bound_) return 0;
+  if (static_cast<std::size_t>(peers_max) + 1 > id_bound_) {
+    id_bound_ = static_cast<std::size_t>(peers_max) + 1;
+  }
+  // One insertion per new id, nothing else: self_ is pre-inserted so it is
+  // never "new", and with a no-op novelty callback the absorb's per-id
+  // reporting loops compile away — bitmap chunks merge as pure OR/popcount
+  // sweeps. The count is the set's size delta.
+  const std::size_t before = known_.size();
+  known_.absorb(peers, [](common::PeerId) {});
+  return known_.size() - before;
 }
 
 bool ReplicaView::is_presumed_offline(common::PeerId peer,
@@ -115,14 +117,51 @@ void ReplicaView::sample_into(RngT& rng, std::size_t count,
                               const common::DensePeerSet* exclude,
                               common::Round now) const {
   out.clear();
-  if (count == 0 || members_.empty()) return;
+  const std::size_t member_count = size();
+  if (count == 0 || member_count == 0) return;
 
   purge_presumed_offline(now);
   const bool check_offline = !presumed_offline_until_.empty();
   const bool check_exclude = exclude != nullptr && !exclude->empty();
   const bool weighted = preferred_weight_ > 1 && !preferred_.empty();
 
-  // Candidate pool: the membership verbatim (one bulk copy), plus
+  common::DensePeerSet& chosen = arena().chosen;
+  chosen.reserve_ids(id_bound_);
+  chosen.clear();
+  out.reserve(std::min(count, member_count));
+
+  if (!weighted) {
+    // Unweighted fast path: rejection-sample straight off the compressed
+    // index — no O(|view|) pool copy per call. Dense views (members fill
+    // most of the id space, so chunks are bitmaps and rank selection
+    // would popcount-scan) draw a uniform ID and reject non-members: an
+    // O(1) membership probe per trial with acceptance >= 1/4. Sparse
+    // views draw a uniform RANK and select it (array chunks answer by
+    // index). Either way every rejected pick — non-member, duplicate,
+    // excluded, presumed-offline — leaves the remaining draw uniform
+    // over the eligible members. The attempt budget bounds the rare
+    // pathological case; exhausting it falls through to the exact pool
+    // walk below, which finishes the sample without replacement.
+    const bool dense = member_count * 4 >= id_bound_;
+    const std::size_t self_rank = dense ? 0 : known_.rank_of(self_);
+    std::size_t attempts = dense ? 8 * count + 32 : 4 * count + 16;
+    while (out.size() < count && attempts-- > 0) {
+      common::PeerId peer = common::PeerId::invalid();
+      if (dense) {
+        peer = common::PeerId(
+            static_cast<std::uint32_t>(rng.pick_index(id_bound_)));
+        if (peer == self_ || !known_.contains(peer)) continue;
+      } else {
+        peer = member_at(rng.pick_index(member_count), self_rank);
+      }
+      if (check_exclude && exclude->contains(peer)) continue;
+      if (check_offline && is_presumed_offline(peer, now)) continue;
+      if (chosen.insert(peer)) out.push_back(peer);
+    }
+    if (out.size() >= count || out.size() == member_count) return;
+  }
+
+  // Candidate pool: the membership materialised once (ascending), plus
   // `preferred_weight_ - 1` extra copies of each eligible §6-preferred
   // member so acked peers are proportionally more likely to be picked.
   // Excluded and presumed-offline peers stay IN the base pool and are
@@ -132,21 +171,22 @@ void ReplicaView::sample_into(RngT& rng, std::size_t count,
   // pass per call — and a rejected pick leaves the remaining sample
   // exactly uniform over the eligible pool.
   std::vector<common::PeerId>& pool = arena().pool;
-  pool.assign(members_.begin(), members_.end());
+  pool.clear();
+  pool.reserve(member_count);
+  known_.for_each([this, &pool](common::PeerId peer) {
+    if (peer != self_) pool.push_back(peer);
+  });
   if (weighted) {
     preferred_.for_each([&](common::PeerId peer) {
-      if (!index_.contains(peer)) return;  // preferred but not in the view
+      if (!contains(peer)) return;  // preferred but not in the view
       if (check_exclude && exclude->contains(peer)) return;
       if (check_offline && is_presumed_offline(peer, now)) return;
       for (unsigned w = 1; w < preferred_weight_; ++w) pool.push_back(peer);
     });
   }
 
-  out.reserve(std::min(count, pool.size()));
-  common::DensePeerSet& chosen = arena().chosen;
-  chosen.reserve_ids(id_bound_);
-  chosen.clear();
-  // Partial Fisher–Yates with pick-time rejection, de-duplicating picks.
+  // Partial Fisher–Yates with pick-time rejection, de-duplicating picks
+  // (including any made by the fast path above).
   std::size_t remaining = pool.size();
   while (out.size() < count && remaining > 0) {
     const std::size_t pick = rng.pick_index(remaining);

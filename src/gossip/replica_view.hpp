@@ -7,12 +7,20 @@
 // preferred pushers (peers that acked us) and presumed-offline peers
 // (pushed, never acked) that are temporarily skipped.
 //
-// Sampling is the protocol's innermost loop, so it runs over a compact
-// open-addressing index plus arena scratch buffers: after warm-up a call
-// to sample_into performs no heap allocation. Per-view state is O(|view|),
-// not O(population) — the property that lets 100k+ populations fit in
-// memory. The scratch state makes a view non-reentrant but each node owns
-// its view exclusively (and arena-sharing nodes never run concurrently).
+// Membership is held ONLY in a compressed ChunkedPeerSet (2 bytes per
+// member in sparse chunks, 1 bit in dense ones — no parallel member
+// vector), and a received flooding list — itself a ChunkedPeerSet —
+// merges by word-parallel set difference: one AND-NOT pass discovers the
+// new ids and the union absorbs them, instead of a hash probe per entry.
+// Uniform sampling rank-selects straight off the compressed form
+// (select_rank: array chunks answer by index, bitmap chunks by popcount
+// scan), so membership costs no duplicate storage and a merge performs
+// exactly one insertion per new id. Per-view state is O(|view|), not
+// O(population) — the property that lets 100k+ populations fit in memory.
+// Sampling uses arena scratch: after warm-up a call to sample_into
+// performs no heap allocation. The scratch state makes a view
+// non-reentrant but each node owns its view exclusively (and
+// arena-sharing nodes never run concurrently).
 #pragma once
 
 #include <memory>
@@ -22,6 +30,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/chunked_peer_set.hpp"
 #include "common/dense_peer_set.hpp"
 #include "common/rng.hpp"
 #include "common/small_peer_set.hpp"
@@ -32,28 +41,38 @@ namespace updp2p::gossip {
 
 class ReplicaView {
  public:
-  explicit ReplicaView(common::PeerId self) : self_(self) {}
+  explicit ReplicaView(common::PeerId self) : self_(self) {
+    // The index holds the owner too: flooding lists legitimately name it,
+    // and keeping it in the set lets merges run pure set algebra with no
+    // per-element self test. contains() re-excludes it below.
+    if (self_.is_valid()) known_.insert(self_);
+  }
 
   /// Shares the given scratch arena instead of a privately owned one.
   /// Pass nullptr to fall back to private scratch (standalone nodes).
   void use_arena(WorkArena* arena) noexcept { arena_ = arena; }
 
   /// Adds a peer; returns true if it was previously unknown. The owner
-  /// itself is never stored.
+  /// itself is never a member.
   bool add(common::PeerId peer);
 
-  /// Merges a received partial list; returns how many peers were new
+  /// Merges a received peer list; returns how many peers were new
   /// (membership knowledge gained through gossip).
   std::size_t merge(std::span<const common::PeerId> peers);
 
+  /// Merges a received flooding list in compressed form: one pass of
+  /// word-parallel set difference (AND-NOT over bitmap chunks) discovers
+  /// the new ids while the union absorbs them. Returns how many were new.
+  std::size_t merge(const common::ChunkedPeerSet& peers);
+
   [[nodiscard]] bool contains(common::PeerId peer) const {
-    return index_.contains(peer);
+    return peer != self_ && known_.contains(peer);
   }
-  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
-  [[nodiscard]] const std::vector<common::PeerId>& members() const noexcept {
-    return members_;
+  /// Member count (the owner is excluded, though the index holds it).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return known_.size() - (self_.is_valid() ? 1 : 0);
   }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
   [[nodiscard]] common::PeerId self() const noexcept { return self_; }
   /// Upper bound (exclusive) on peer ids this view has observed (including
   /// ids offered to add()); useful for pre-sizing caller-owned DensePeerSet
@@ -118,11 +137,19 @@ class ReplicaView {
   /// Whether the view holds EVERY valid non-self id below id_bound_.
   /// Members are distinct valid ids below the bound excluding self, so
   /// this is a pure counting argument — and while it holds, membership of
-  /// any in-bound id is decidable without touching the hash index.
+  /// any in-bound id is decidable without touching the index.
   [[nodiscard]] bool saturated() const noexcept {
-    return members_.size() +
+    return size() +
                (self_.is_valid() && self_.value() < id_bound_ ? 1u : 0u) ==
            id_bound_;
+  }
+
+  /// Member with the given ascending rank among the non-self members.
+  /// `self_rank` is known_.rank_of(self_), hoisted by the caller so a
+  /// sampling loop pays the rank lookup once.
+  [[nodiscard]] common::PeerId member_at(std::size_t rank,
+                                         std::size_t self_rank) const {
+    return known_.select_rank(rank + (rank >= self_rank ? 1 : 0));
   }
 
   /// The wired arena, or a lazily created private one.
@@ -135,8 +162,7 @@ class ReplicaView {
   common::PeerId self_;
   unsigned preferred_weight_ = 2;
   std::size_t id_bound_ = 0;
-  std::vector<common::PeerId> members_;
-  common::SmallPeerSet index_;
+  common::ChunkedPeerSet known_;  ///< members ∪ {self_}, compressed
   common::SmallPeerSet preferred_;
   mutable std::unordered_map<common::PeerId, common::Round>
       presumed_offline_until_;

@@ -19,10 +19,11 @@ EventSimulator::EventSimulator(EventSimConfig config)
 
   nodes_.reserve(config_.population);
   online_.resize(config_.population);
-  std::vector<common::PeerId> everyone;
-  everyone.reserve(config_.population);
+  // Full-membership bootstrap set in compressed form: built once, absorbed
+  // per node by word-parallel merge (see RoundSimulator's ctor).
+  common::ChunkedPeerSet everyone;
   for (std::uint32_t i = 0; i < config_.population; ++i) {
-    everyone.emplace_back(i);
+    everyone.insert(common::PeerId(i));
   }
 
   for (std::uint32_t i = 0; i < config_.population; ++i) {

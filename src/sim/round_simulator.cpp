@@ -59,18 +59,23 @@ RoundSimulator::RoundSimulator(RoundSimConfig config,
   }
 
   // Bootstrap membership: either the full replica set (analysis
-  // assumption) or a random sample of the configured size.
-  std::vector<common::PeerId> everyone;
-  everyone.reserve(config_.population);
-  for (std::uint32_t i = 0; i < config_.population; ++i) {
-    everyone.emplace_back(i);
-  }
-  for (auto& node : nodes_) {
-    if (config_.initial_view_size == 0 ||
-        config_.initial_view_size >= config_.population) {
+  // assumption) or a random sample of the configured size. The full set is
+  // built as ONE compressed ChunkedPeerSet and absorbed per node by
+  // word-parallel merge — one insert per id per node would dominate
+  // construction at 100k+ populations.
+  if (config_.initial_view_size == 0 ||
+      config_.initial_view_size >= config_.population) {
+    common::ChunkedPeerSet everyone;
+    for (std::uint32_t i = 0; i < config_.population; ++i) {
+      everyone.insert(common::PeerId(i));
+    }
+    for (auto& node : nodes_) {
       node.bootstrap(everyone);
-    } else {
-      std::vector<common::PeerId> sample;
+    }
+  } else {
+    std::vector<common::PeerId> sample;
+    for (auto& node : nodes_) {
+      sample.clear();
       sample.reserve(config_.initial_view_size);
       for (const std::uint32_t idx : rng_.sample_without_replacement(
                static_cast<std::uint32_t>(config_.population),

@@ -38,7 +38,7 @@ std::vector<GossipPayload> sample_payloads(common::Rng& rng) {
   push.value = make_value(rng);
   push.round = static_cast<common::Round>(rng.uniform_int(0, 100));
   for (int i = 0; i < 3; ++i) {
-    push.flooding_list.push_back(common::PeerId(
+    push.flooding_list.insert(common::PeerId(
         static_cast<std::uint32_t>(rng.uniform_int(0, 99))));
   }
   payloads.emplace_back(std::move(push));
@@ -158,6 +158,219 @@ TEST(CodecFuzz, RandomSlicesOfConcatenatedFramesNeverCrash) {
     const auto len = static_cast<std::size_t>(rng.uniform_int(
         0, static_cast<std::int64_t>(stream.size() - begin)));
     check_bytes(std::span<const std::byte>(stream.data() + begin, len));
+  }
+}
+
+// --- chunked peer-set decoder hostility (codec v2) --------------------------
+//
+// The flooding list travels as chunked delta-varint/bitmap runs, so the
+// decoder has chunk *headers* to lie in: declared cardinalities, chunk keys,
+// and form bytes. Each test appends a hand-built hostile peerset to a valid
+// push frame prefix so the peerset parser is the only thing under test.
+
+/// A valid push frame with an EMPTY flooding list, minus its final byte.
+/// The empty peerset encodes as a single 0x00 chunk-count byte and sits at
+/// the very end of a push frame, so appending bytes to this prefix yields a
+/// frame whose only questionable content is the peerset.
+WireBytes push_prefix_without_peerset() {
+  common::Rng rng(0xCAFE);
+  PushMessage push;
+  push.value = make_value(rng);
+  push.round = 7;
+  WireBytes wire = encode(GossipPayload{push});
+  wire.pop_back();
+  return wire;
+}
+
+/// Appends one array-form (form 0) chunk: key, form, declared cardinality,
+/// then the given varints (first low verbatim, then gap-1 deltas).
+void append_array_chunk_bytes(WireBytes& out, std::uint64_t key,
+                              std::uint64_t cardinality,
+                              std::initializer_list<std::uint64_t> varints) {
+  put_varint(out, key);
+  out.push_back(std::byte{0});
+  put_varint(out, cardinality);
+  for (const std::uint64_t v : varints) put_varint(out, v);
+}
+
+/// Appends one bitmap-form (form 1) chunk with every word = `fill`.
+void append_bitmap_chunk_bytes(WireBytes& out, std::uint64_t key,
+                               std::uint64_t cardinality, std::uint64_t fill) {
+  put_varint(out, key);
+  out.push_back(std::byte{1});
+  put_varint(out, cardinality);
+  for (std::size_t w = 0; w < common::ChunkedPeerSet::kBitmapWords; ++w) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      out.push_back(static_cast<std::byte>((fill >> shift) & 0xFF));
+    }
+  }
+}
+
+TEST(CodecFuzz, ChunkedSetRoundTripsSparseAndDenseChunks) {
+  PushMessage push;
+  common::Rng rng(0x0DD5);
+  push.value = make_value(rng);
+  // Sparse low chunk, a dense chunk that must promote to bitmap form, and a
+  // far-away high-key chunk: all three chunk shapes on one wire.
+  push.flooding_list.insert(common::PeerId(3));
+  push.flooding_list.insert(common::PeerId(40'000));
+  for (std::uint32_t i = 0; i < 5'000; ++i) {
+    push.flooding_list.insert(common::PeerId(65'536 + 13 * i));
+  }
+  push.flooding_list.insert(common::PeerId(200'000'000));
+  const auto decoded = decode(encode(GossipPayload{push}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<PushMessage>(*decoded).flooding_list,
+            push.flooding_list);
+}
+
+TEST(CodecFuzz, HostileChunkCountIsRejectedBeforeAnyWork) {
+  WireBytes frame = push_prefix_without_peerset();
+  put_varint(frame, std::uint64_t{1} << 40);  // a trillion chunks, allegedly
+  EXPECT_FALSE(decode(frame).has_value());
+}
+
+TEST(CodecFuzz, OverlappingAndNonAscendingChunkKeysAreRejected) {
+  {
+    WireBytes frame = push_prefix_without_peerset();
+    put_varint(frame, 2);
+    append_array_chunk_bytes(frame, 5, 1, {10});
+    append_array_chunk_bytes(frame, 5, 1, {11});  // same range twice
+    EXPECT_FALSE(decode(frame).has_value());
+  }
+  {
+    WireBytes frame = push_prefix_without_peerset();
+    put_varint(frame, 2);
+    append_array_chunk_bytes(frame, 5, 1, {10});
+    append_array_chunk_bytes(frame, 3, 1, {11});  // keys ran backwards
+    EXPECT_FALSE(decode(frame).has_value());
+  }
+}
+
+TEST(CodecFuzz, ChunkKeyAtTheWireIdBoundIsRejected) {
+  // A chunk keyed at kMaxWireChunkKey could express ids >= kMaxWirePeerId.
+  WireBytes frame = push_prefix_without_peerset();
+  put_varint(frame, 1);
+  append_array_chunk_bytes(frame, kMaxWireChunkKey, 1, {0});
+  EXPECT_FALSE(decode(frame).has_value());
+
+  // Near miss: the last legal key decodes fine and yields the expected id.
+  WireBytes ok = push_prefix_without_peerset();
+  put_varint(ok, 1);
+  append_array_chunk_bytes(ok, kMaxWireChunkKey - 1, 1, {9});
+  const auto decoded = decode(ok);
+  ASSERT_TRUE(decoded.has_value());
+  const auto& list = std::get<PushMessage>(*decoded).flooding_list;
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_TRUE(list.contains(
+      common::PeerId(static_cast<std::uint32_t>(kMaxWirePeerId) - 65'536 + 9)));
+}
+
+TEST(CodecFuzz, OversizedArrayCardinalityIsRejected) {
+  // Canonical form caps array chunks at kArrayChunkMax entries; a larger
+  // declaration is a lie (the set would have used a bitmap) and must not
+  // drive a larger allocation.
+  WireBytes frame = push_prefix_without_peerset();
+  put_varint(frame, 1);
+  append_array_chunk_bytes(frame, 0,
+                           common::ChunkedPeerSet::kArrayChunkMax + 1, {0});
+  EXPECT_FALSE(decode(frame).has_value());
+}
+
+TEST(CodecFuzz, ArrayCardinalityBeyondPayloadIsRejected) {
+  // Declared 1000 entries, supplied 2 bytes: rejected by the bytes-remaining
+  // check before the decoder ever loops or reserves.
+  WireBytes frame = push_prefix_without_peerset();
+  put_varint(frame, 1);
+  append_array_chunk_bytes(frame, 0, 1'000, {1, 1});
+  EXPECT_FALSE(decode(frame).has_value());
+}
+
+TEST(CodecFuzz, ArrayDeltasOverflowingTheChunkSpanAreRejected) {
+  // first low 65'535, then one more entry: any further gap walks past the
+  // 2^16 ids a chunk can hold.
+  WireBytes frame = push_prefix_without_peerset();
+  put_varint(frame, 1);
+  append_array_chunk_bytes(frame, 0, 2, {65'535, 0});
+  EXPECT_FALSE(decode(frame).has_value());
+}
+
+TEST(CodecFuzz, BitmapPopcountMismatchIsRejected) {
+  // All-ones bitmap (popcount 65'536) under a header claiming 5'000.
+  WireBytes frame = push_prefix_without_peerset();
+  put_varint(frame, 1);
+  append_bitmap_chunk_bytes(frame, 0, 5'000, ~std::uint64_t{0});
+  EXPECT_FALSE(decode(frame).has_value());
+
+  // Truthful header on the same bitmap decodes.
+  WireBytes ok = push_prefix_without_peerset();
+  put_varint(ok, 1);
+  append_bitmap_chunk_bytes(ok, 0, 65'536, ~std::uint64_t{0});
+  const auto decoded = decode(ok);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<PushMessage>(*decoded).flooding_list.size(), 65'536u);
+}
+
+TEST(CodecFuzz, SparseBitmapChunkIsRejectedAsNonCanonical) {
+  // One bit per word = popcount 1'024 <= kArrayChunkMax: canonical form
+  // demands an array chunk, so even a truthful bitmap header is rejected.
+  // This keeps decode(encode(s)) bit-identical and denies a 8 KiB-per-id
+  // amplification vector.
+  WireBytes frame = push_prefix_without_peerset();
+  put_varint(frame, 1);
+  append_bitmap_chunk_bytes(frame, 0, 1'024, std::uint64_t{1});
+  EXPECT_FALSE(decode(frame).has_value());
+}
+
+TEST(CodecFuzz, UnknownChunkFormIsRejected) {
+  WireBytes frame = push_prefix_without_peerset();
+  put_varint(frame, 1);
+  put_varint(frame, 0);               // key
+  frame.push_back(std::byte{2});      // form 2 does not exist
+  put_varint(frame, 1);               // cardinality
+  put_varint(frame, 1);               // one low
+  EXPECT_FALSE(decode(frame).has_value());
+}
+
+TEST(CodecFuzz, EmptyChunkCardinalityIsRejected) {
+  // Zero-cardinality chunks cannot exist in canonical form (empty chunks
+  // are dropped before encoding) and would make set equality ambiguous.
+  WireBytes frame = push_prefix_without_peerset();
+  put_varint(frame, 1);
+  append_array_chunk_bytes(frame, 0, 0, {});
+  EXPECT_FALSE(decode(frame).has_value());
+}
+
+TEST(CodecFuzz, HostileChunkHeaderBitFlipsNeverCrash) {
+  // Flip every bit of a frame whose peerset has one array and one bitmap
+  // chunk: the chunk headers themselves become the fuzz surface.
+  PushMessage push;
+  common::Rng rng(0xF1B5);
+  push.value = make_value(rng);
+  push.flooding_list.insert(common::PeerId(17));
+  for (std::uint32_t i = 0; i < 4'200; ++i) {
+    push.flooding_list.insert(common::PeerId(65'536 + i));
+  }
+  const WireBytes wire = encode(GossipPayload{push});
+  // The bitmap body is 8 KiB of bulk data; flipping each of its bits
+  // re-proves popcount checking ~65k times for little value. Fuzz the
+  // header-dense prefix exhaustively and sample the rest.
+  const std::size_t dense = std::min<std::size_t>(wire.size(), 160);
+  for (std::size_t byte_idx = 0; byte_idx < dense; ++byte_idx) {
+    for (int bit = 0; bit < 8; ++bit) {
+      WireBytes mutated = wire;
+      mutated[byte_idx] ^= static_cast<std::byte>(1 << bit);
+      check_bytes(mutated);
+    }
+  }
+  for (int trial = 0; trial < 2'000; ++trial) {
+    WireBytes mutated = wire;
+    const std::size_t byte_idx =
+        dense + static_cast<std::size_t>(rng.uniform_int(
+                    0, static_cast<std::int64_t>(wire.size() - dense - 1)));
+    mutated[byte_idx] ^=
+        static_cast<std::byte>(1 << rng.uniform_int(0, 7));
+    check_bytes(mutated);
   }
 }
 

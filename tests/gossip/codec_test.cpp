@@ -241,10 +241,11 @@ TEST(Codec, EncodedSizeIsCompact) {
   PushMessage push;
   push.value = sample_value();
   for (std::uint32_t i = 0; i < 100; ++i) {
-    push.flooding_list.emplace_back(i);
+    push.flooding_list.insert(PeerId(i));
   }
   const auto bytes = encode(GossipPayload{push});
-  // value (~70 B) + 100 small varints + framing: well under 400 bytes.
+  // value (~70 B) + one chunk header + 100 delta varints (all gap 1, so one
+  // byte each) + framing: well under 400 bytes.
   EXPECT_LT(bytes.size(), 400u);
 }
 
@@ -274,8 +275,8 @@ TEST_P(CodecProperty, RandomPayloadRoundTrip) {
     push.round = static_cast<common::Round>(rng.uniform_below(100));
     const auto peers = rng.uniform_below(50);
     for (std::uint64_t i = 0; i < peers; ++i) {
-      push.flooding_list.emplace_back(
-          static_cast<std::uint32_t>(rng.uniform_below(1'000'000)));
+      push.flooding_list.insert(
+          PeerId(static_cast<std::uint32_t>(rng.uniform_below(1'000'000))));
     }
     const auto decoded = decode(encode(GossipPayload{push}));
     ASSERT_TRUE(decoded.has_value());

@@ -25,19 +25,43 @@ version::VersionedValue value_with_history(int entries) {
 }
 
 TEST(WireSize, PushGrowsWithFloodingList) {
+  // The flooding list is priced at its exact compressed encoding, not a
+  // per-entry constant: consecutive ids cost one delta byte each.
   PushMessage small{value_with_history(1), {PeerId(1)}, 0};
   PushMessage large{value_with_history(1),
                     {PeerId(1), PeerId(2), PeerId(3)}, 0};
   const auto small_size = wire_size(GossipPayload{small}, wire());
   const auto large_size = wire_size(GossipPayload{large}, wire());
-  EXPECT_EQ(large_size - small_size, 2 * 10u);  // alpha per extra entry
+  EXPECT_EQ(large_size - small_size,
+            large.flooding_list.set().wire_encoded_bytes() -
+                small.flooding_list.set().wire_encoded_bytes());
+  EXPECT_EQ(large_size - small_size, 2u);  // two extra gap-1 varints
 }
 
 TEST(WireSize, PushAccountsForEverything) {
   PushMessage push{value_with_history(2), {PeerId(1), PeerId(2)}, 3};
-  // header 16 + payload 100 + key 3 + vv 2*10 + vid 16 + list 2*10 + round 4
+  // header 16 + payload 100 + key 3 + vv 2*10 + vid 16 + round 4, plus the
+  // list's exact chunked encoding: chunk count 1 + key 1 + form 1 +
+  // cardinality 1 + first low 1 + one gap byte = 6.
+  EXPECT_EQ(push.flooding_list.set().wire_encoded_bytes(), 6u);
   EXPECT_EQ(wire_size(GossipPayload{push}, wire()),
-            16u + 100u + 3u + 20u + 16u + 20u + sizeof(common::Round));
+            16u + 100u + 3u + 20u + 16u + 6u + sizeof(common::Round));
+}
+
+TEST(WireSize, DenseFloodingListCompressesBelowPerEntryPricing) {
+  // §5's message-length analysis prices an uncapped list at alpha bytes per
+  // entry; the chunked encoding beats that by construction once ids are
+  // dense. 5'000 consecutive ids: ~1 byte each vs alpha = 10.
+  PushMessage push{value_with_history(1), {}, 0};
+  for (std::uint32_t i = 0; i < 5'000; ++i) {
+    push.flooding_list.insert(PeerId(i));
+  }
+  const auto list_bytes = push.flooding_list.set().wire_encoded_bytes();
+  EXPECT_LT(list_bytes, 5'000u * 10u / 5u);  // >5x under per-entry pricing
+  const auto with_list = wire_size(GossipPayload{push}, wire());
+  PushMessage empty_list{value_with_history(1), {}, 0};
+  EXPECT_EQ(with_list - wire_size(GossipPayload{empty_list}, wire()),
+            list_bytes - empty_list.flooding_list.set().wire_encoded_bytes());
 }
 
 TEST(WireSize, PullRequestScalesWithSummaryAndHave) {

@@ -53,8 +53,8 @@ GossipPayload random_payload(Rng& rng) {
       push.value = random_value(rng);
       const auto list_size = rng.uniform_below(10);
       for (std::uint64_t i = 0; i < list_size; ++i) {
-        push.flooding_list.emplace_back(
-            static_cast<std::uint32_t>(rng.uniform_below(64)));
+        push.flooding_list.insert(
+            PeerId(static_cast<std::uint32_t>(rng.uniform_below(64))));
       }
       push.round = static_cast<common::Round>(rng.uniform_below(20));
       return push;

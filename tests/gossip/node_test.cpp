@@ -63,9 +63,9 @@ TEST(ReplicaNode, PublishFloodingListCoversSelfAndTargets) {
   const auto out = node.publish("key", "v1", 0);
   ASSERT_FALSE(out.empty());
   const auto& list = as_push(out.front()).flooding_list;
-  EXPECT_NE(std::find(list.begin(), list.end(), PeerId(0)), list.end());
+  EXPECT_TRUE(list.contains(PeerId(0)));
   for (const auto& message : out) {
-    EXPECT_NE(std::find(list.begin(), list.end(), message.to), list.end());
+    EXPECT_TRUE(list.contains(message.to));
   }
 }
 
@@ -91,10 +91,8 @@ TEST(ReplicaNode, ForwardTargetsExcludeFloodingListAndSender) {
   const auto& received = as_push(from_alice.front());
   const auto reactions =
       bob.handle_message(PeerId(0), from_alice.front().payload, 1);
-  const std::unordered_set<PeerId> excluded(received.flooding_list.begin(),
-                                            received.flooding_list.end());
   for (const auto& message : reactions) {
-    EXPECT_FALSE(excluded.contains(message.to))
+    EXPECT_FALSE(received.flooding_list.contains(message.to))
         << "pushed to already-covered peer " << message.to.value();
     EXPECT_NE(message.to, PeerId(0));
   }
@@ -110,17 +108,13 @@ TEST(ReplicaNode, ForwardedListIsUnionOfReceivedAndNewTargets) {
   ASSERT_FALSE(reactions.empty());
   const auto& forwarded_list = as_push(reactions.front()).flooding_list;
   // Everything alice advertised is still there...
-  for (const PeerId peer : received.flooding_list) {
-    EXPECT_NE(std::find(forwarded_list.begin(), forwarded_list.end(), peer),
-              forwarded_list.end());
-  }
+  received.flooding_list.for_each([&](PeerId peer) {
+    EXPECT_TRUE(forwarded_list.contains(peer)) << peer.value();
+  });
   // ...plus bob and its new targets.
-  EXPECT_NE(std::find(forwarded_list.begin(), forwarded_list.end(), PeerId(1)),
-            forwarded_list.end());
+  EXPECT_TRUE(forwarded_list.contains(PeerId(1)));
   for (const auto& message : reactions) {
-    EXPECT_NE(
-        std::find(forwarded_list.begin(), forwarded_list.end(), message.to),
-        forwarded_list.end());
+    EXPECT_TRUE(forwarded_list.contains(message.to));
   }
 }
 

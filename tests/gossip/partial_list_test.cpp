@@ -2,13 +2,14 @@
 
 #include <gtest/gtest.h>
 
-#include <algorithm>
 #include <unordered_map>
-#include <unordered_set>
+
+#include "common/chunked_peer_set.hpp"
 
 namespace updp2p::gossip {
 namespace {
 
+using common::ChunkedPeerSet;
 using common::PeerId;
 using common::Rng;
 
@@ -18,12 +19,19 @@ std::vector<PeerId> ids(std::initializer_list<std::uint32_t> values) {
   return out;
 }
 
+ChunkedPeerSet set_of(std::initializer_list<std::uint32_t> values) {
+  ChunkedPeerSet out;
+  for (const auto v : values) out.insert(PeerId(v));
+  return out;
+}
+
 TEST(PartialList, NoneModeYieldsEmptyList) {
   PartialListConfig config;
   config.mode = PartialListMode::kNone;
   Rng rng(1);
-  EXPECT_TRUE(build_forward_list(config, ids({1, 2}), ids({3}), PeerId(9), rng)
-                  .empty());
+  EXPECT_TRUE(
+      build_forward_list(config, set_of({1, 2}), ids({3}), PeerId(9), rng)
+          .empty());
 }
 
 TEST(PartialList, UnboundedMergesReceivedSelfAndTargets) {
@@ -31,8 +39,8 @@ TEST(PartialList, UnboundedMergesReceivedSelfAndTargets) {
   config.mode = PartialListMode::kUnbounded;
   Rng rng(1);
   const auto list =
-      build_forward_list(config, ids({1, 2}), ids({3, 4}), PeerId(9), rng);
-  EXPECT_EQ(list, ids({1, 2, 9, 3, 4}));
+      build_forward_list(config, set_of({1, 2}), ids({3, 4}), PeerId(9), rng);
+  EXPECT_EQ(list, set_of({1, 2, 3, 4, 9}));
 }
 
 TEST(PartialList, Deduplicates) {
@@ -40,29 +48,29 @@ TEST(PartialList, Deduplicates) {
   config.mode = PartialListMode::kUnbounded;
   Rng rng(1);
   const auto list =
-      build_forward_list(config, ids({1, 2, 9}), ids({2, 3}), PeerId(9), rng);
-  EXPECT_EQ(list, ids({1, 2, 9, 3}));
+      build_forward_list(config, set_of({1, 2, 9}), ids({2, 3}), PeerId(9), rng);
+  EXPECT_EQ(list, set_of({1, 2, 3, 9}));
 }
 
-TEST(PartialList, DropTailKeepsOldestEntries) {
+TEST(PartialList, DropTailKeepsLowestIds) {
   PartialListConfig config;
   config.mode = PartialListMode::kDropTail;
   config.max_entries = 3;
   Rng rng(1);
-  const auto list =
-      build_forward_list(config, ids({1, 2, 3, 4}), ids({5}), PeerId(9), rng);
-  EXPECT_EQ(list, ids({1, 2, 3}));
+  const auto list = build_forward_list(config, set_of({1, 2, 3, 4}), ids({5}),
+                                       PeerId(9), rng);
+  EXPECT_EQ(list, set_of({1, 2, 3}));
 }
 
-TEST(PartialList, DropHeadKeepsNewestEntries) {
+TEST(PartialList, DropHeadKeepsHighestIds) {
   PartialListConfig config;
   config.mode = PartialListMode::kDropHead;
   config.max_entries = 3;
   Rng rng(1);
-  const auto list =
-      build_forward_list(config, ids({1, 2, 3, 4}), ids({5}), PeerId(9), rng);
-  // merged = 1 2 3 4 9 5 -> keep last 3.
-  EXPECT_EQ(list, ids({4, 9, 5}));
+  const auto list = build_forward_list(config, set_of({1, 2, 3, 4}), ids({5}),
+                                       PeerId(9), rng);
+  // merged = {1 2 3 4 5 9} -> keep the 3 highest ids.
+  EXPECT_EQ(list, set_of({4, 5, 9}));
 }
 
 TEST(PartialList, DropRandomKeepsCapSizedSubset) {
@@ -70,19 +78,16 @@ TEST(PartialList, DropRandomKeepsCapSizedSubset) {
   config.mode = PartialListMode::kDropRandom;
   config.max_entries = 4;
   Rng rng(2);
-  const auto received = ids({1, 2, 3, 4, 5, 6, 7, 8});
+  const auto received = set_of({1, 2, 3, 4, 5, 6, 7, 8});
   const auto list =
       build_forward_list(config, received, ids({10}), PeerId(9), rng);
   EXPECT_EQ(list.size(), 4u);
-  std::unordered_set<PeerId> unique(list.begin(), list.end());
-  EXPECT_EQ(unique.size(), 4u);
-  // Every survivor came from the merged input.
+  // Every survivor came from the merged input (a set cannot hold dupes).
   auto merged = received;
-  merged.emplace_back(9);
-  merged.emplace_back(10);
-  for (const PeerId peer : list) {
-    EXPECT_NE(std::find(merged.begin(), merged.end(), peer), merged.end());
-  }
+  merged.insert(PeerId(9));
+  merged.insert(PeerId(10));
+  list.for_each(
+      [&](PeerId peer) { EXPECT_TRUE(merged.contains(peer)) << peer.value(); });
 }
 
 TEST(PartialList, CapNotExceededNotTruncatedBelow) {
@@ -91,8 +96,21 @@ TEST(PartialList, CapNotExceededNotTruncatedBelow) {
   config.max_entries = 10;
   Rng rng(3);
   const auto list =
-      build_forward_list(config, ids({1, 2}), ids({3}), PeerId(9), rng);
+      build_forward_list(config, set_of({1, 2}), ids({3}), PeerId(9), rng);
   EXPECT_EQ(list.size(), 4u);  // under cap: everything kept
+}
+
+TEST(PartialList, BuildIntoReusesOutputSet) {
+  PartialListConfig config;
+  config.mode = PartialListMode::kUnbounded;
+  Rng rng(1);
+  ChunkedPeerSet out;
+  build_forward_list_into(config, set_of({1, 2}), ids({3}), PeerId(9), rng,
+                          out);
+  EXPECT_EQ(out, set_of({1, 2, 3, 9}));
+  // Re-use: the previous contents must not leak into the next build.
+  build_forward_list_into(config, set_of({7}), ids({8}), PeerId(9), rng, out);
+  EXPECT_EQ(out, set_of({7, 8, 9}));
 }
 
 TEST(PartialList, DropRandomIsUnbiasedish) {
@@ -102,11 +120,10 @@ TEST(PartialList, DropRandomIsUnbiasedish) {
   Rng rng(4);
   std::unordered_map<PeerId, int> kept;
   constexpr int kTrials = 6'000;
+  const auto received = set_of({1, 2, 3});
   for (int i = 0; i < kTrials; ++i) {
-    for (const PeerId peer :
-         build_forward_list(config, ids({1, 2, 3}), {}, PeerId(9), rng)) {
-      ++kept[peer];
-    }
+    build_forward_list(config, received, {}, PeerId(9), rng)
+        .for_each([&](PeerId peer) { ++kept[peer]; });
   }
   // 4 candidates (1,2,3,self=9), 2 kept -> each expected kTrials/2.
   for (const auto& [peer, count] : kept) {

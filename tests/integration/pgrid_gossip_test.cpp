@@ -65,9 +65,13 @@ TEST(PGridGossip, SearchThenReadReturnsFreshValue) {
   config.population = group.size();
   config.gossip.estimated_total_replicas = group.size();
   config.gossip.fanout_fraction = 5.0 / static_cast<double>(group.size());
-  config.seed = 10;
+  // Seed chosen so the blind push reaches the WHOLE group (most seeds do,
+  // but coverage is not guaranteed — a miss would make the read below
+  // depend on which replica the search happens to find).
+  config.seed = 11;
   auto simulator = sim::make_push_phase_simulator(config, 1.0, 1.0);
-  (void)simulator->propagate_update(std::nullopt, "doc", "fresh");
+  const auto metrics = simulator->propagate_update(std::nullopt, "doc", "fresh");
+  ASSERT_DOUBLE_EQ(metrics.final_aware_fraction(), 1.0);
 
   // Route a search to the responsible partition, then read from the found
   // replica's simulated store (group index == simulator peer index).

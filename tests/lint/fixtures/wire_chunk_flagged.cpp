@@ -1,0 +1,20 @@
+// Fixture: chunk-level decode sizing — a decoded chunk cardinality sizes a
+// container with no recognised bound in sight. The rule must catch the
+// chunked-peerset vocabulary ("cardinality", "chunk") even when the size
+// was already unwrapped from its optional.
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+void decode_chunk(const std::optional<std::uint64_t>& header,
+                  std::vector<std::uint16_t>& lows) {
+  if (!header) return;
+  const std::uint64_t cardinality = *header;
+  lows.resize(cardinality);
+}
+
+void decode_chunk_table(std::uint64_t chunk_count,
+                        std::vector<std::uint32_t>& keys) {
+  keys.reserve(chunk_count);
+}

@@ -1,0 +1,22 @@
+// Fixture: the same chunk-level sizes are fine when a chunk-level bound
+// (kArrayChunkMax / kMaxWireChunkKey) is checked nearby.
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+inline constexpr std::uint64_t kArrayChunkMax = 4096;
+inline constexpr std::uint64_t kMaxWireChunkKey = std::uint64_t{1} << 12;
+
+void decode_chunk(const std::optional<std::uint64_t>& header,
+                  std::vector<std::uint16_t>& lows) {
+  if (!header || *header > kArrayChunkMax) return;
+  const std::uint64_t cardinality = *header;
+  lows.resize(cardinality);
+}
+
+void decode_chunk_table(std::uint64_t chunk_count,
+                        std::vector<std::uint32_t>& keys) {
+  if (chunk_count > kMaxWireChunkKey) return;
+  keys.reserve(chunk_count);
+}

@@ -149,6 +149,19 @@ TEST_F(LintToolTest, WireBoundsAllowsGuardedAndNonWireSizes) {
   expect_clean(run_lint());
 }
 
+TEST_F(LintToolTest, WireBoundsFlagsChunkLevelSizes) {
+  install("wire_chunk_flagged.cpp", "src/gossip/codec.cpp");
+  const RunOutput out = run_lint();
+  EXPECT_EQ(out.exit_code, 1) << out.text;
+  expect_finding(out, "src/gossip/codec.cpp", 14, "wire-bounds");
+  expect_finding(out, "src/gossip/codec.cpp", 19, "wire-bounds");
+}
+
+TEST_F(LintToolTest, WireBoundsAcceptsChunkLevelGuards) {
+  install("wire_chunk_near_miss.cpp", "src/gossip/codec.cpp");
+  expect_clean(run_lint());
+}
+
 TEST_F(LintToolTest, WireBoundsOnlyAppliesToDecodeSurface) {
   // The identical unguarded resize is out of scope outside codec/net.
   install("wire_flagged.cpp", "src/sim/wire_flagged.cpp");

@@ -74,10 +74,10 @@ TEST(LoopbackGolden, PinnedOutcome) {
   // every interesting path: retransmissions through loss, ack-cancelled
   // retries, exhausted budgets against the two offline peers, and the
   // reconnect pull that brings them back.
-  EXPECT_EQ(outcome.totals.datagrams_out, 82u);
-  EXPECT_EQ(outcome.totals.retransmits, 41u);
+  EXPECT_EQ(outcome.totals.datagrams_out, 78u);
+  EXPECT_EQ(outcome.totals.retransmits, 38u);
   EXPECT_EQ(outcome.totals.retries_cancelled, 12u);
-  EXPECT_EQ(outcome.totals.retries_exhausted, 6u);
+  EXPECT_EQ(outcome.totals.retries_exhausted, 7u);
   EXPECT_EQ(outcome.totals.decode_errors, 0u);
   EXPECT_DOUBLE_EQ(outcome.end_time, 3.1999999999999993);
 }

@@ -7,8 +7,14 @@
 // fingerprints. Any behavioural drift — a reordered sample, a skipped
 // bernoulli draw, a different merge order — changes a fingerprint and
 // fails loudly. The constants were re-captured when per-node RNGs moved
-// to counter-based streams, and again when sampling switched to pick-time
-// rejection (both intentional draw-sequence changes).
+// to counter-based streams, again when sampling switched to pick-time
+// rejection, and again when flooding lists moved to the compressed
+// ChunkedPeerSet (views no longer keep an insertion-ordered member
+// vector: sparse views rank-select in ascending-id order, dense views
+// rejection-sample the id space directly, and a duplicate push no longer
+// merges its flooding list — all three change which peers the same rolls
+// land on. The bus's canonical (to, from, seq) delivery order — what
+// ShardInvariance guards — was untouched).
 //
 // On top of the pinned single-thread goldens, ShardInvariance asserts the
 // core promise of the sharded engine: the SAME fingerprint at 1, 2 and 8
@@ -70,7 +76,11 @@ sim::RoundSimConfig plain_push_config() {
   config.gossip.fanout_fraction = 0.02;
   config.reconnect_pull = false;
   config.round_timers = false;
-  config.seed = 1234;
+  // Seed chosen for a live multi-round spread under the current draw
+  // sequence. Blind pushing means ~6% of seeds die in round 0 (every
+  // initial push lands on an offline peer — legitimate §4 behaviour, but a
+  // dead run pins none of the forwarding machinery).
+  config.seed = 7;
   return config;
 }
 
@@ -79,11 +89,11 @@ TEST(GoldenDeterminism, PlainPushPhase) {
                                                   /*online=*/0.3,
                                                   /*sigma=*/0.95);
   const auto metrics = simulator->propagate_update();
-  EXPECT_EQ(metrics.rounds.size(), 15u);
-  EXPECT_EQ(metrics.total_messages(), 545u);
-  EXPECT_DOUBLE_EQ(metrics.final_aware_fraction(), 0.8125);
-  EXPECT_EQ(simulator->bus_stats().messages_sent, 545u);
-  EXPECT_EQ(fingerprint(metrics), 8863128909234923647ULL);
+  EXPECT_EQ(metrics.rounds.size(), 13u);
+  EXPECT_EQ(metrics.total_messages(), 624u);
+  EXPECT_DOUBLE_EQ(metrics.final_aware_fraction(), 0.89333333333333331);
+  EXPECT_EQ(simulator->bus_stats().messages_sent, 624u);
+  EXPECT_EQ(fingerprint(metrics), 11208793033803914281ULL);
 }
 
 TEST(GoldenDeterminism, FullFeatureRun) {
@@ -113,12 +123,12 @@ TEST(GoldenDeterminism, FullFeatureRun) {
 
   const auto metrics = simulator.propagate_update();
   EXPECT_EQ(metrics.rounds.size(), 61u);
-  EXPECT_EQ(metrics.total_messages(), 5152u);
+  EXPECT_EQ(metrics.total_messages(), 5115u);
   EXPECT_DOUBLE_EQ(metrics.final_aware_fraction(), 1.0);
-  EXPECT_EQ(simulator.bus_stats().messages_sent, 6434u);
-  EXPECT_EQ(simulator.bus_stats().messages_delivered, 4417u);
-  EXPECT_EQ(simulator.bus_stats().messages_dropped, 250u);
-  EXPECT_EQ(fingerprint(metrics), 15673460464648102809ULL);
+  EXPECT_EQ(simulator.bus_stats().messages_sent, 6397u);
+  EXPECT_EQ(simulator.bus_stats().messages_delivered, 4469u);
+  EXPECT_EQ(simulator.bus_stats().messages_dropped, 273u);
+  EXPECT_EQ(fingerprint(metrics), 6120119791987765793ULL);
 }
 
 TEST(GoldenDeterminism, EventSimulator) {
@@ -138,8 +148,8 @@ TEST(GoldenDeterminism, EventSimulator) {
   es.run_until(120.0);
 
   const auto& stats = es.stats();
-  EXPECT_EQ(stats.messages_sent, 1002u);
-  EXPECT_EQ(stats.messages_delivered, 380u);
+  EXPECT_EQ(stats.messages_sent, 952u);
+  EXPECT_EQ(stats.messages_delivered, 369u);
   EXPECT_EQ(es.online_count(), 30u);
   Fnv f;
   f.add(stats.messages_sent);
@@ -154,7 +164,7 @@ TEST(GoldenDeterminism, EventSimulator) {
   f.add(stats.reconnects);
   f.add(es.online_count());
   f.add(es.aware_fraction_total(es.published().front().id));
-  EXPECT_EQ(f.h, 17853146545598982391ULL);
+  EXPECT_EQ(f.h, 18302087479351198011ULL);
 }
 
 TEST(GoldenDeterminism, ShardInvariance) {
@@ -186,7 +196,7 @@ TEST(GoldenDeterminism, ShardInvariance) {
     if (shard_threads == 1) {
       // The sequential sharded run must reproduce the *pinned*
       // FullFeatureRun behaviour, not merely a self-consistent one.
-      EXPECT_EQ(fingerprint(metrics), 15673460464648102809ULL);
+      EXPECT_EQ(fingerprint(metrics), 6120119791987765793ULL);
     }
     Fnv f;
     f.add(fingerprint(metrics));
@@ -213,13 +223,15 @@ TEST(GoldenDeterminism, SeedSweepAggregate) {
     return simulator->propagate_update();
   };
   const auto aggregate = sim::sweep_aggregate(5'000, 5, body, 4);
+  // All five seeds spread for multiple rounds under the current draw
+  // sequence; the pin is about scheduling-independence, not the values.
   EXPECT_DOUBLE_EQ(aggregate.messages_per_initial_online.mean(),
-                   4.5600000000000005);
+                   4.6566666666666663);
   EXPECT_DOUBLE_EQ(aggregate.final_aware_fraction.mean(),
-                   0.78546947480147811);
+                   0.80180563997508691);
   EXPECT_DOUBLE_EQ(aggregate.rounds_to_quiescence.mean(),
-                   8.5999999999999996);
-  EXPECT_DOUBLE_EQ(aggregate.duplicates.mean(), 49.200000000000003);
+                   8.8000000000000007);
+  EXPECT_DOUBLE_EQ(aggregate.duplicates.mean(), 56.399999999999999);
   EXPECT_DOUBLE_EQ(aggregate.pull_messages.mean(), 0.0);
 }
 

@@ -7,9 +7,13 @@
 //
 // Detection: a member `.resize(...)` / `.reserve(...)` whose argument looks
 // wire-derived — it dereferences an optional (`*count`, the codec's decode
-// idiom) or names an identifier containing "count" — with no kMaxWirePeerId
-// token within ±12 lines. Sizes that are bounded some other way (e.g. by
-// the datagram's byte count) carry a lint-allow stating the bound.
+// idiom) or names an identifier containing "count", "cardinality" or
+// "chunk" (the v2 chunked-peerset decode vocabulary) — with no recognised
+// bound token within ±12 lines. Recognised bounds are kMaxWirePeerId plus
+// the chunk-level caps kMaxWireChunkKey, kArrayChunkMax and kChunkSpan
+// (a chunk's declared cardinality can never exceed its id span). Sizes
+// that are bounded some other way (e.g. by the datagram's byte count)
+// carry a lint-allow stating the bound.
 
 #include "updp2p_lint/rule.hpp"
 #include "updp2p_lint/token_match.hpp"
@@ -26,12 +30,20 @@ bool in_wire_scope(std::string_view path) {
   return path_starts_with_any(path, {"src/net/", "src/gossip/codec."});
 }
 
-bool contains_count(std::string_view name) {
+bool looks_wire_sized(std::string_view name) {
   std::string lower(name);
   std::transform(lower.begin(), lower.end(), lower.begin(), [](char c) {
     return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   });
-  return lower.find("count") != std::string::npos;
+  return lower.find("count") != std::string::npos ||
+         lower.find("cardinality") != std::string::npos ||
+         lower.find("chunk") != std::string::npos;
+}
+
+/// Identifiers accepted as evidence that a nearby size was bounds-checked.
+bool is_bound_token(const Token& t) {
+  return is_ident(t, "kMaxWirePeerId") || is_ident(t, "kMaxWireChunkKey") ||
+         is_ident(t, "kArrayChunkMax") || is_ident(t, "kChunkSpan");
 }
 
 /// A unary `*` token: preceded by nothing, an open paren/bracket, a comma,
@@ -60,10 +72,10 @@ class WireBoundsRule final : public Rule {
     if (!in_wire_scope(file.path)) return;
     const auto& tokens = file.tokens();
 
-    // Lines on which kMaxWirePeerId appears in code.
+    // Lines on which a recognised bound token appears in code.
     std::vector<int> guard_lines;
     for (const Token& t : tokens) {
-      if (is_ident(t, "kMaxWirePeerId")) guard_lines.push_back(t.line);
+      if (is_bound_token(t)) guard_lines.push_back(t.line);
     }
     const auto guarded_near = [&guard_lines](int line) {
       for (const int g : guard_lines) {
@@ -91,7 +103,7 @@ class WireBoundsRule final : public Rule {
       for (std::size_t p = open_index + 1; p < close && !wire_suspect; ++p) {
         if (is_unary_deref(tokens, p)) wire_suspect = true;
         if (tokens[p].kind == TokenKind::kIdentifier &&
-            contains_count(tokens[p].text)) {
+            looks_wire_sized(tokens[p].text)) {
           wire_suspect = true;
         }
       }
@@ -99,9 +111,11 @@ class WireBoundsRule final : public Rule {
 
       out.push_back(
           {file.path, t.line, std::string(id()),
-           t.text + " sized by a wire-decoded value with no kMaxWirePeerId "
-                    "guard in sight; bounds-check the decoded count/id, or "
-                    "lint-allow stating what bounds it"});
+           t.text + " sized by a wire-decoded value with no recognised "
+                    "bound (kMaxWirePeerId / kMaxWireChunkKey / "
+                    "kArrayChunkMax / kChunkSpan) in sight; bounds-check "
+                    "the decoded count/cardinality, or lint-allow stating "
+                    "what bounds it"});
     }
   }
 };
