@@ -9,10 +9,12 @@
 # golden determinism — including ShardInvariance at 8 threads) plus the
 # event-loop/timer-wheel runtime suites.
 #
-# After the Release ctest leg a bench-regression guard re-runs the two
+# After the Release ctest leg a bench-regression guard re-runs the three
 # guarded hot-path benchmarks (BM_SimulatedUpdate10k,
-# BM_BuildForwardListInto) and compares ns/op against the checked-in
-# BENCH_core.json; a >15% regression fails the verify. Opt out with
+# BM_SimulatedUpdate10kWire, BM_BuildForwardListInto) and compares ns/op
+# against the checked-in BENCH_core.json; a >15% regression fails the
+# verify. The Wire row guards the zero-copy serialized path specifically —
+# it is the one a codec or frame-path change degrades first. Opt out with
 # --skip-bench-guard on busy or differently-provisioned machines.
 #
 # Usage: scripts/verify.sh [--skip-sanitizers] [--skip-bench-guard]
@@ -63,10 +65,11 @@ if [[ "${SKIP_BENCH_GUARD}" == "1" ]]; then
 else
   echo "==> bench guard: guarded hot-path benches vs checked-in BENCH_core.json"
   ./build/bench/micro_core --json=build/BENCH_guard.json \
-    "--benchmark_filter=^BM_SimulatedUpdate10k\$|^BM_BuildForwardListInto\$" \
+    "--benchmark_filter=^BM_SimulatedUpdate10k\$|^BM_SimulatedUpdate10kWire\$|^BM_BuildForwardListInto\$" \
     >/dev/null
   python3 scripts/check_bench_regression.py BENCH_core.json \
     build/BENCH_guard.json --bench BM_SimulatedUpdate10k \
+    --bench BM_SimulatedUpdate10kWire \
     --bench BM_BuildForwardListInto --max-regression 0.15
 fi
 

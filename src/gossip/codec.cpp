@@ -11,14 +11,17 @@ namespace {
 constexpr std::byte kMagic0{0xD5};
 constexpr std::byte kMagic1{0x2B};
 
-enum class Kind : std::uint8_t {
-  kPush = 1,
-  kPullRequest = 2,
-  kPullResponse = 3,
-  kAck = 4,
-  kQueryRequest = 5,
-  kQueryReply = 6,
-};
+using Kind = WireKind;
+
+/// Encoded length of put_varint(value).
+constexpr std::size_t varint_len(std::uint64_t value) noexcept {
+  std::size_t length = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++length;
+  }
+  return length;
+}
 
 void put_u8(WireBytes& out, std::uint8_t value) {
   out.push_back(static_cast<std::byte>(value));
@@ -167,27 +170,36 @@ void put_peer_set(WireBytes& out, const ChunkedPeerSet& set) {
   }
 }
 
-std::optional<ChunkedPeerSet> get_peer_set(std::span<const std::byte> bytes,
-                                           std::size_t& offset) {
+/// Streaming peerset decode into a caller-owned set. `set` is cleared
+/// first — a warm arena set's parked chunk buffers are reused by the
+/// append_*_chunk builders, so decoding into the same set every delivery
+/// allocates nothing once the buffers are warm. On failure the set is left
+/// cleared so no partial chunks leak to the caller.
+bool get_peer_set_into(std::span<const std::byte> bytes, std::size_t& offset,
+                       ChunkedPeerSet& set) {
+  set.clear();
   const auto chunk_count = get_varint(bytes, offset);
   // Strictly increasing keys below kMaxWireChunkKey bound the chunk count
   // too; rejecting early keeps a hostile prefix from looping for long.
-  if (!chunk_count || *chunk_count > kMaxWireChunkKey) return std::nullopt;
-  ChunkedPeerSet set;
+  if (!chunk_count || *chunk_count > kMaxWireChunkKey) return false;
   std::vector<std::uint16_t> lows;
   std::vector<std::uint64_t> words;
   for (std::uint64_t c = 0; c < *chunk_count; ++c) {
+    const auto fail = [&set] {
+      set.clear();  // no partial chunks leak to the caller
+      return false;
+    };
     const auto key = get_varint(bytes, offset);
     // Per-chunk id bound: key < kMaxWirePeerId >> 16 means no id this
     // chunk can express (key<<16 | low16) reaches kMaxWirePeerId. Keys
     // must strictly increase, which also rules out overlapping ranges;
     // append_*_chunk below re-checks that ordering.
-    if (!key || *key >= kMaxWireChunkKey) return std::nullopt;
+    if (!key || *key >= kMaxWireChunkKey) return fail();
     const auto form = get_u8(bytes, offset);
     const auto cardinality = get_varint(bytes, offset);
     if (!form || *form > 1 || !cardinality || *cardinality == 0 ||
         *cardinality > ChunkedPeerSet::kChunkSpan) {
-      return std::nullopt;
+      return fail();
     }
     if (*form == 0) {
       // Canonical form caps an array chunk at kArrayChunkMax entries, and
@@ -195,7 +207,7 @@ std::optional<ChunkedPeerSet> get_peer_set(std::span<const std::byte> bytes,
       // cardinality beyond the remaining payload is hostile.
       if (*cardinality > ChunkedPeerSet::kArrayChunkMax ||
           *cardinality > bytes.size() - offset) {
-        return std::nullopt;
+        return fail();
       }
       lows.clear();
       // lint-allow(wire-bounds): cardinality capped at kArrayChunkMax above
@@ -203,20 +215,20 @@ std::optional<ChunkedPeerSet> get_peer_set(std::span<const std::byte> bytes,
       std::uint64_t value = 0;
       for (std::uint64_t i = 0; i < *cardinality; ++i) {
         const auto delta = get_varint(bytes, offset);
-        if (!delta) return std::nullopt;
+        if (!delta) return fail();
         value = i == 0 ? *delta : value + *delta + 1;
-        if (value >= ChunkedPeerSet::kChunkSpan) return std::nullopt;
+        if (value >= ChunkedPeerSet::kChunkSpan) return fail();
         lows.push_back(static_cast<std::uint16_t>(value));
       }
       if (!set.append_array_chunk(static_cast<std::uint16_t>(*key), lows)) {
-        return std::nullopt;
+        return fail();
       }
     } else {
       words.clear();
       words.reserve(ChunkedPeerSet::kBitmapWords);
       for (std::size_t w = 0; w < ChunkedPeerSet::kBitmapWords; ++w) {
         const auto word = get_u64(bytes, offset);
-        if (!word) return std::nullopt;
+        if (!word) return fail();
         words.push_back(*word);
       }
       // append_bitmap_chunk enforces canonical density (> kArrayChunkMax
@@ -225,11 +237,57 @@ std::optional<ChunkedPeerSet> get_peer_set(std::span<const std::byte> bytes,
       const std::size_t before = set.size();
       if (!set.append_bitmap_chunk(static_cast<std::uint16_t>(*key), words) ||
           set.size() - before != *cardinality) {
-        return std::nullopt;
+        return fail();
       }
     }
   }
-  return set;
+  return true;
+}
+
+// --- size mirrors of the put_* helpers (encoded_size) -----------------------
+
+std::size_t string_size(std::string_view text) noexcept {
+  return varint_len(text.size()) + text.size();
+}
+
+std::size_t version_vector_size(const version::VersionVector& vv) noexcept {
+  std::size_t total = varint_len(vv.entry_count());
+  for (const auto& [peer, counter] : vv.entries()) {
+    total += varint_len(peer.value()) + varint_len(counter);
+  }
+  return total;
+}
+
+std::size_t value_size(const version::VersionedValue& value) noexcept {
+  return string_size(value.key) + string_size(value.payload) +
+         16 /*digest*/ + version_vector_size(value.history) +
+         1 /*flags*/ + 8 /*written_at*/;
+}
+
+/// Advances `offset` past one length-prefixed string without materialising
+/// it (probe path). False on truncation.
+bool skip_string(std::span<const std::byte> bytes, std::size_t& offset) {
+  const auto length = get_varint(bytes, offset);
+  if (!length || offset + *length > bytes.size()) return false;
+  offset += *length;
+  return true;
+}
+
+/// Parses the fixed frame header; returns the kind byte or nullopt.
+std::optional<Kind> get_frame_header(std::span<const std::byte> bytes,
+                                     std::size_t& offset) {
+  if (bytes.size() < 4 || bytes[0] != kMagic0 || bytes[1] != kMagic1) {
+    return std::nullopt;
+  }
+  offset = 2;
+  const auto version = get_u8(bytes, offset);
+  if (!version || *version != kCodecVersion) return std::nullopt;
+  const auto kind = get_u8(bytes, offset);
+  if (!kind || *kind < 1 ||
+      *kind > static_cast<std::uint8_t>(Kind::kQueryReply)) {
+    return std::nullopt;
+  }
+  return static_cast<Kind>(*kind);
 }
 
 }  // namespace
@@ -254,9 +312,9 @@ std::optional<std::uint64_t> get_varint(std::span<const std::byte> bytes,
   return std::nullopt;
 }
 
-WireBytes encode(const GossipPayload& payload) {
-  WireBytes out;
-  out.reserve(64);
+void encode_into(const GossipPayload& payload, WireBytes& out) {
+  out.clear();
+  if (out.capacity() < 64) out.reserve(64);
   out.push_back(kMagic0);
   out.push_back(kMagic1);
   put_u8(out, kCodecVersion);
@@ -298,31 +356,154 @@ WireBytes encode(const GossipPayload& payload) {
         }
       },
       payload);
+}
+
+WireBytes encode(const GossipPayload& payload) {
+  WireBytes out;
+  encode_into(payload, out);
   return out;
+}
+
+std::size_t encoded_size(const GossipPayload& payload) {
+  return 4 /*magic + version + kind*/ +
+         std::visit(
+             [](const auto& message) -> std::size_t {
+               using T = std::decay_t<decltype(message)>;
+               if constexpr (std::is_same_v<T, PushMessage>) {
+                 return value_size(*message.value) +
+                        varint_len(message.round) +
+                        message.flooding_list.set().wire_encoded_bytes();
+               } else if constexpr (std::is_same_v<T, PullRequest>) {
+                 return version_vector_size(message.summary) +
+                        varint_len(message.have.size()) +
+                        message.have.size() * 16 + 16 /*store digest*/;
+               } else if constexpr (std::is_same_v<T, PullResponse>) {
+                 std::size_t total = version_vector_size(message.summary) +
+                                     1 /*confident*/ +
+                                     varint_len(message.missing.size());
+                 for (const auto& value : message.missing) {
+                   total += value_size(value);
+                 }
+                 return total;
+               } else if constexpr (std::is_same_v<T, AckMessage>) {
+                 return 16;  // just the version id
+               } else if constexpr (std::is_same_v<T, QueryRequest>) {
+                 return string_size(message.key) + varint_len(message.nonce);
+               } else {
+                 static_assert(std::is_same_v<T, QueryReply>);
+                 std::size_t total = string_size(message.key) +
+                                     varint_len(message.nonce) +
+                                     1 /*confident*/ +
+                                     varint_len(message.versions.size());
+                 for (const auto& value : message.versions) {
+                   total += value_size(value);
+                 }
+                 return total;
+               }
+             },
+             payload);
+}
+
+std::optional<FrameProbe> probe_frame(std::span<const std::byte> bytes) {
+  std::size_t offset = 0;
+  const auto kind = get_frame_header(bytes, offset);
+  if (!kind) return std::nullopt;
+  FrameProbe probe;
+  probe.kind = *kind;
+  switch (*kind) {
+    case Kind::kPush: {
+      // value := key || payload || digest128 || ... — the digest is the
+      // version id; two string skips reach it without touching the version
+      // vector or the flooding list.
+      if (!skip_string(bytes, offset) || !skip_string(bytes, offset)) {
+        return std::nullopt;
+      }
+      const auto digest = get_digest(bytes, offset);
+      if (!digest) return std::nullopt;
+      probe.version = version::VersionId(*digest);
+      return probe;
+    }
+    case Kind::kAck: {
+      const auto digest = get_digest(bytes, offset);
+      if (!digest) return std::nullopt;
+      probe.version = version::VersionId(*digest);
+      return probe;
+    }
+    case Kind::kQueryRequest:
+    case Kind::kQueryReply: {
+      if (!skip_string(bytes, offset)) return std::nullopt;
+      const auto nonce = get_varint(bytes, offset);
+      if (!nonce) return std::nullopt;
+      probe.nonce = *nonce;
+      return probe;
+    }
+    case Kind::kPullRequest:
+    case Kind::kPullResponse:
+      return probe;  // nothing cheap to identify beyond the kind
+  }
+  return std::nullopt;
+}
+
+std::optional<DecodedPush> decode_push_into(std::span<const std::byte> bytes,
+                                            common::ChunkedPeerSet& list) {
+  std::size_t offset = 0;
+  const auto kind = get_frame_header(bytes, offset);
+  if (!kind || *kind != Kind::kPush) {
+    list.clear();
+    return std::nullopt;
+  }
+  auto value = get_value(bytes, offset);
+  auto round = get_varint(bytes, offset);
+  if (!value || !round ||
+      *round > std::numeric_limits<common::Round>::max() ||
+      !get_peer_set_into(bytes, offset, list)) {
+    list.clear();
+    return std::nullopt;
+  }
+  return DecodedPush{std::move(*value), static_cast<common::Round>(*round)};
+}
+
+SharedFrame FrameCache::intern(const GossipPayload& payload) {
+  if (const auto* push = std::get_if<PushMessage>(&payload)) {
+    // Identity equality, not value equality: a fan-out's messages share
+    // the SharedValue/SharedPeerList objects, so pointer matches identify
+    // "the same push, next target" with zero comparisons of content.
+    // Distinct objects with equal contents encode to identical bytes
+    // anyway, so a conservative miss only costs a redundant encode.
+    if (frame_ && push->value.identity() == value_.identity() &&
+        push->flooding_list.identity() == list_.identity() &&
+        push->round == round_) {
+      ++hits_;
+      return frame_;
+    }
+    ++encodes_;
+    frame_ = SharedFrame(encode(payload));
+    value_ = push->value;
+    list_ = push->flooding_list;
+    round_ = push->round;
+    return frame_;
+  }
+  ++encodes_;
+  return SharedFrame(encode(payload));
 }
 
 std::optional<GossipPayload> decode(std::span<const std::byte> bytes) {
   std::size_t offset = 0;
-  if (bytes.size() < 4 || bytes[0] != kMagic0 || bytes[1] != kMagic1) {
-    return std::nullopt;
-  }
-  offset = 2;
-  const auto version = get_u8(bytes, offset);
-  if (!version || *version != kCodecVersion) return std::nullopt;
-  const auto kind = get_u8(bytes, offset);
+  const auto kind = get_frame_header(bytes, offset);
   if (!kind) return std::nullopt;
 
-  switch (static_cast<Kind>(*kind)) {
+  switch (*kind) {
     case Kind::kPush: {
       auto value = get_value(bytes, offset);
       auto round = get_varint(bytes, offset);
-      auto list = get_peer_set(bytes, offset);
-      if (!value || !round || !list ||
-          *round > std::numeric_limits<common::Round>::max()) {
+      common::ChunkedPeerSet list;
+      if (!value || !round ||
+          *round > std::numeric_limits<common::Round>::max() ||
+          !get_peer_set_into(bytes, offset, list)) {
         return std::nullopt;
       }
       return GossipPayload{PushMessage{SharedValue(std::move(*value)),
-                                       SharedPeerList(std::move(*list)),
+                                       SharedPeerList(std::move(list)),
                                        static_cast<common::Round>(*round)}};
     }
     case Kind::kPullRequest: {

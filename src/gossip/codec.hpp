@@ -34,9 +34,17 @@
 //
 // Decoding is fail-safe: malformed input yields std::nullopt, never UB —
 // a peer must survive garbage from the network.
+//
+// Zero-copy pipeline (docs/protocol.md "Frame sharing & lazy decode"):
+// encoded frames are immutable once built, so a fan-out of N pushes shares
+// ONE SharedFrame (refcount bumps, no re-encode); receivers classify
+// duplicates from probe_frame() — a header probe that never touches the
+// flooding-list section — and only first receipts pay the full decode,
+// streaming the peerset chunks into a warm arena ChunkedPeerSet.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -66,13 +74,136 @@ inline constexpr std::uint64_t kMaxWirePeerId = std::uint64_t{1} << 28;
 inline constexpr std::uint64_t kMaxWireChunkKey =
     kMaxWirePeerId >> common::ChunkedPeerSet::kChunkBits;
 
+/// Wire message kinds (the frame's kind byte). Values are the wire
+/// encoding and must never be renumbered.
+enum class WireKind : std::uint8_t {
+  kPush = 1,
+  kPullRequest = 2,
+  kPullResponse = 3,
+  kAck = 4,
+  kQueryRequest = 5,
+  kQueryReply = 6,
+};
+
 /// Serialises any protocol payload into a framed byte string.
 [[nodiscard]] WireBytes encode(const GossipPayload& payload);
+
+/// Appending encode into a caller-owned (typically pooled) buffer: the
+/// buffer is cleared and filled with exactly what encode() would return,
+/// but a warm buffer's capacity is reused instead of reallocated. This is
+/// what lets PeerRuntime recycle DatagramBytes through a free list.
+void encode_into(const GossipPayload& payload, WireBytes& out);
+
+/// Exact wire size of encode(payload), computed without allocating: pure
+/// varint-length arithmetic plus ChunkedPeerSet::wire_encoded_bytes() for
+/// flooding lists. Invariant (pinned by codec tests):
+///   encoded_size(p) == encode(p).size()  for every payload p.
+[[nodiscard]] std::size_t encoded_size(const GossipPayload& payload);
 
 /// Parses a framed byte string; nullopt on any malformation (bad magic,
 /// unknown version/kind, truncation, overlong varint).
 [[nodiscard]] std::optional<GossipPayload> decode(
     std::span<const std::byte> bytes);
+
+/// One encoded frame shared by reference: the fan-out of a push to N
+/// targets carries N copies of one SharedFrame (refcount bumps), and a
+/// simulator's delivery path hands the same bytes to every recipient. The
+/// bytes are immutable after construction — that is what makes sharing
+/// across shard threads safe.
+class SharedFrame {
+ public:
+  SharedFrame() = default;
+  explicit SharedFrame(WireBytes bytes)
+      : data_(std::make_shared<const WireBytes>(std::move(bytes))) {}
+
+  /// False for a default-constructed (no frame) value.
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return data_ != nullptr;
+  }
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return data_ ? std::span<const std::byte>(*data_)
+                 : std::span<const std::byte>();
+  }
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    return data_ ? data_->size() : 0;
+  }
+
+ private:
+  std::shared_ptr<const WireBytes> data_;
+};
+
+/// What a header probe can read without walking the variable-length tail:
+/// the message kind plus the cheap identifying fields (enough for duplicate
+/// classification and retry cancellation). See probe_frame() for the trust
+/// contract.
+struct FrameProbe {
+  WireKind kind = WireKind::kPush;
+  /// kPush: the pushed version's id. kAck: the acknowledged version.
+  version::VersionId version;
+  /// kQueryRequest / kQueryReply: the correlation nonce.
+  std::uint64_t nonce = 0;
+};
+
+/// Cheap header probe: validates magic/version/kind and decodes ONLY the
+/// probed fields (for a push that means skipping the two length-prefixed
+/// strings and reading the 16-byte digest — the version vector, flags and
+/// flooding list are never touched). nullopt when the probed prefix is
+/// malformed.
+///
+/// Trust contract: a successful probe does NOT imply the frame decodes —
+/// the unexamined tail may still be garbage. Callers may use the probe for
+/// *monotone bookkeeping only* (duplicate counting, retry cancellation
+/// lookups); any action that mutates protocol state from the frame's
+/// contents must run the full decode first and handle its failure.
+[[nodiscard]] std::optional<FrameProbe> probe_frame(
+    std::span<const std::byte> bytes);
+
+/// A push frame's fixed part, decoded by decode_push_into.
+struct DecodedPush {
+  version::VersionedValue value;  ///< (U, V)
+  common::Round round = 0;        ///< t
+};
+
+/// Streaming first-receipt decode of a push frame: the flooding-list
+/// chunks are decoded directly into `list` (cleared first; a warm arena
+/// set reuses its parked chunk buffers, so the common case allocates
+/// nothing) instead of materialising a temporary ChunkedPeerSet inside a
+/// GossipPayload. Field-for-field equivalent to decode(): it succeeds
+/// exactly when decode() yields a PushMessage, with identical value, round
+/// and list (pinned by the codec fuzz suite). On failure `list` is left
+/// cleared and the return is nullopt.
+[[nodiscard]] std::optional<DecodedPush> decode_push_into(
+    std::span<const std::byte> bytes, common::ChunkedPeerSet& list);
+
+/// Single-entry encode cache for the fan-out-heavy dispatch path: a push
+/// forwarded to N targets arrives as N OutboundMessages sharing one
+/// SharedValue and one SharedPeerList, so keying on those identities (plus
+/// the round) lets N-1 of the encodes collapse into refcount bumps.
+/// Non-push payloads (and push payloads built fresh) are encoded directly.
+/// One cache per WorkArena — single-threaded by the arena contract.
+class FrameCache {
+ public:
+  /// Returns a frame whose bytes equal encode(payload), reusing the cached
+  /// buffer when `payload` is the same shared push the last call encoded.
+  [[nodiscard]] SharedFrame intern(const GossipPayload& payload);
+
+  /// Frames served from the cache since construction (diagnostics).
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  /// Frames actually encoded since construction (diagnostics).
+  [[nodiscard]] std::uint64_t encodes() const noexcept { return encodes_; }
+
+ private:
+  // The cache holds STRONG references to the keyed value/list (not raw
+  // pointers): identities are compared as pointers, and keeping the
+  // objects alive is what makes that sound — a freed allocation could
+  // otherwise be recycled at the same address for different contents.
+  SharedValue value_;
+  SharedPeerList list_;
+  common::Round round_ = 0;
+  SharedFrame frame_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t encodes_ = 0;
+};
 
 // --- low-level primitives (exposed for tests and reuse) ---------------------
 

@@ -62,13 +62,6 @@ struct PullConfig {
   bool lazy = false;
 };
 
-/// Wire-size model (bytes); mirrors the analysis' L_M(t) = U + α·|list|.
-struct WireSizeConfig {
-  std::uint64_t header_bytes = 16;
-  std::uint64_t update_payload_bytes = 100;  ///< |U|
-  std::uint64_t replica_entry_bytes = 10;    ///< α, "e.g., 10 bytes" (Table 1)
-};
-
 /// How push targets are chosen. The paper argues fresh random choice per
 /// push (§2: "better load balancing … improved robustness against changes
 /// in the peer network"); kFixedNeighbors models topology-dependent schemes
@@ -101,7 +94,6 @@ struct GossipConfig {
   PartialListConfig partial_list;
   AckConfig acks;
   PullConfig pull;
-  WireSizeConfig wire;
 
   [[nodiscard]] std::size_t absolute_fanout() const {
     const double raw =

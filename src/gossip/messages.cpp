@@ -12,57 +12,6 @@ const common::ChunkedPeerSet& SharedPeerList::empty_set() noexcept {
   return kEmpty;
 }
 
-namespace {
-std::uint64_t value_bytes(const version::VersionedValue& value,
-                          const WireSizeConfig& wire) {
-  // Payload + key + one version-vector entry per counter + the version id.
-  return wire.update_payload_bytes + value.key.size() +
-         value.history.entry_count() * wire.replica_entry_bytes + 16;
-}
-}  // namespace
-
-std::uint64_t wire_size(const GossipPayload& payload,
-                        const WireSizeConfig& wire) {
-  return wire.header_bytes +
-         std::visit(
-             [&wire](const auto& message) -> std::uint64_t {
-               using T = std::decay_t<decltype(message)>;
-               if constexpr (std::is_same_v<T, PushMessage>) {
-                 // The flooding list is accounted at its exact compressed
-                 // wire size (the chunked delta-varint encoding), not the
-                 // flat replica_entry_bytes model: bytes-on-wire savings
-                 // from the compressed form must show up in the bandwidth
-                 // metrics (§5 message-length analysis).
-                 return value_bytes(*message.value, wire) +
-                        message.flooding_list.set().wire_encoded_bytes() +
-                        sizeof(common::Round);
-               } else if constexpr (std::is_same_v<T, PullRequest>) {
-                 return message.summary.entry_count() *
-                            wire.replica_entry_bytes +
-                        message.have.size() * 16 + 16 /* store digest */;
-               } else if constexpr (std::is_same_v<T, PullResponse>) {
-                 std::uint64_t total = message.summary.entry_count() *
-                                       wire.replica_entry_bytes;
-                 for (const auto& value : message.missing) {
-                   total += value_bytes(value, wire);
-                 }
-                 return total;
-               } else if constexpr (std::is_same_v<T, AckMessage>) {
-                 return 16;  // just the version id
-               } else if constexpr (std::is_same_v<T, QueryRequest>) {
-                 return message.key.size() + 8;
-               } else {
-                 static_assert(std::is_same_v<T, QueryReply>);
-                 std::uint64_t total = message.key.size() + 8 + 1;
-                 for (const auto& value : message.versions) {
-                   total += value_bytes(value, wire);
-                 }
-                 return total;
-               }
-             },
-             payload);
-}
-
 const char* payload_kind(const GossipPayload& payload) noexcept {
   switch (payload.index()) {
     case kPushIndex: return "push";

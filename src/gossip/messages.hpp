@@ -69,6 +69,12 @@ class SharedPeerList {
     if (data_) data_->for_each(std::forward<Fn>(fn));
   }
 
+  /// Stable identity of the shared representation (nullptr when default-
+  /// constructed). Equal identities imply equal contents — the encode
+  /// cache (gossip::FrameCache) uses this to recognise one fan-out's
+  /// shared list across its N messages without comparing sets.
+  [[nodiscard]] const void* identity() const noexcept { return data_.get(); }
+
   /// Copy-on-write insert (list construction in decode paths and tests).
   void insert(common::PeerId peer) {
     auto next = data_ ? std::make_shared<common::ChunkedPeerSet>(*data_)
@@ -112,6 +118,11 @@ class SharedValue {
   [[nodiscard]] const version::VersionedValue* operator->() const noexcept {
     return &get();
   }
+
+  /// Stable identity of the shared representation (nullptr when default-
+  /// constructed); equal identities imply equal contents. See
+  /// SharedPeerList::identity().
+  [[nodiscard]] const void* identity() const noexcept { return data_.get(); }
 
   friend bool operator==(const SharedValue& a, const SharedValue& b) {
     return a.data_ == b.data_ || a.get() == b.get();
@@ -176,16 +187,14 @@ inline constexpr std::size_t kQueryRequestIndex = 4;
 inline constexpr std::size_t kQueryReplyIndex = 5;
 
 /// A message the protocol wants transmitted; the hosting simulator (or a
-/// real transport) decides how. Size follows the wire model so the
-/// bandwidth accounting matches the analysis' L_M(t).
+/// real transport) decides how. `size_bytes` is the EXACT codec frame size
+/// (gossip::encoded_size == encode().size()), so byte metrics are
+/// wire-accurate whether or not the driver actually serialises.
 struct OutboundMessage {
   common::PeerId to;
   GossipPayload payload;
   std::uint64_t size_bytes = 0;
 };
-
-[[nodiscard]] std::uint64_t wire_size(const GossipPayload& payload,
-                                      const WireSizeConfig& wire);
 
 /// Human-readable payload kind (diagnostics and tests).
 [[nodiscard]] const char* payload_kind(const GossipPayload& payload) noexcept;

@@ -152,6 +152,21 @@ class ReplicaNode {
   void handle_message(common::PeerId from, const GossipPayload& payload,
                       common::Round now, std::vector<OutboundMessage>& out);
 
+  /// Zero-copy delivery of one ENCODED frame (codec bytes, no transport
+  /// framing). A cheap header probe classifies the message first: a push
+  /// for an already-seen version — the dominant delivery at scale — is
+  /// counted as a duplicate without decoding the version vector or the
+  /// flooding list; a first receipt streams its flooding list into the
+  /// arena's recv_list scratch (decode_push_into); other kinds decode
+  /// fully and dispatch through handle_message. Returns false (with NO
+  /// protocol-state change) when the frame is malformed. Behaviour and RNG
+  /// draw order are bit-identical to decoding the frame and calling
+  /// handle_message — the wire-equivalence suite pins this.
+  [[nodiscard]] bool handle_frame(common::PeerId from,
+                                  std::span<const std::byte> frame,
+                                  common::Round now,
+                                  std::vector<OutboundMessage>& out);
+
   /// The peer just came back online: enter the pull phase (§3), or arm the
   /// lazy-pull trigger (§6).
   [[nodiscard]] std::vector<OutboundMessage> on_reconnect(common::Round now);
@@ -192,6 +207,17 @@ class ReplicaNode {
                   std::vector<OutboundMessage>& out);
   void handle_push(common::PeerId from, const PushMessage& push,
                    common::Round now, std::vector<OutboundMessage>& out);
+  /// Common bookkeeping of every push receipt (§3's ProcessedUpdate
+  /// check): counters, view refresh, duplicate classification. Returns
+  /// true on first receipt. Shared by the in-memory and frame paths so
+  /// their observable behaviour cannot drift.
+  bool note_push_received(common::PeerId from, const version::VersionId& id);
+  /// The first-receipt tail of handle_push (merge, apply, ack, forward);
+  /// `flooded` may alias the arena's recv_list scratch.
+  void handle_push_first(common::PeerId from, const SharedValue& value,
+                         common::Round push_round,
+                         const common::ChunkedPeerSet& flooded,
+                         common::Round now, std::vector<OutboundMessage>& out);
   void handle_pull_request(common::PeerId from, const PullRequest& request,
                            common::Round now,
                            std::vector<OutboundMessage>& out);

@@ -42,6 +42,12 @@ struct BusStats {
 };
 
 /// In-flight or delivered message envelope.
+///
+/// Payloads are moved, never copied, between send and delivery, so a
+/// Payload holding ref-counted data (e.g. a gossip::SharedFrame of encoded
+/// bytes) fans out to N recipients for N refcount bumps — the bus itself
+/// never duplicates a wire frame. size_bytes is whatever the sender
+/// charged; the bus only accumulates it.
 template <typename Payload>
 struct Envelope {
   common::PeerId from;

@@ -65,6 +65,12 @@ class Transport {
   /// returns how many were appended. Non-blocking.
   virtual std::size_t drain(std::vector<InboundDatagram>& out) = 0;
 
+  /// Hands a drained datagram's buffer back for reuse once the caller is
+  /// done with its bytes. A pooling transport overrides this to park the
+  /// capacity for the next drain(); the default drops the buffer. The
+  /// contents are dead — only the allocation is recycled.
+  virtual void recycle(DatagramBytes&& bytes) { (void)bytes; }
+
   /// Session control: while not listening the endpoint discards everything
   /// it receives (an offline peer loses messages, §3 — it must recover via
   /// the pull phase, never via a transport-level mailbox).

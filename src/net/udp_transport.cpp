@@ -136,12 +136,22 @@ std::size_t UdpTransport::drain(std::vector<InboundDatagram>& out) {
     }
     ++stats_.datagrams_received;
     stats_.bytes_received += static_cast<std::uint64_t>(received);
-    out.push_back(InboundDatagram{
-        frame->from,
-        DatagramBytes(frame->payload.begin(), frame->payload.end())});
+    DatagramBytes bytes;
+    if (!recv_pool_.empty()) {
+      bytes = std::move(recv_pool_.back());
+      recv_pool_.pop_back();
+      ++recv_buffers_reused_;
+    }
+    bytes.assign(frame->payload.begin(), frame->payload.end());
+    out.push_back(InboundDatagram{frame->from, std::move(bytes)});
     ++appended;
   }
   return appended;
+}
+
+void UdpTransport::recycle(DatagramBytes&& bytes) {
+  if (bytes.capacity() == 0) return;
+  recv_pool_.push_back(std::move(bytes));
 }
 
 bool UdpTransport::wait_readable(int timeout_ms) {

@@ -58,6 +58,11 @@ class UdpTransport final : public Transport {
   [[nodiscard]] common::PeerId self() const noexcept override { return self_; }
   bool send(common::PeerId to, std::span<const std::byte> payload) override;
   std::size_t drain(std::vector<InboundDatagram>& out) override;
+  /// Parks the buffer on the receive free list; the next drain() fills it
+  /// in place of a fresh allocation. With a disciplined caller (PeerRuntime
+  /// recycles every datagram it consumes) the steady-state receive path
+  /// allocates nothing.
+  void recycle(DatagramBytes&& bytes) override;
   /// While not listening, inbound datagrams are still read off the socket
   /// (so the kernel buffer cannot smuggle them across an offline window)
   /// but discarded and counted dropped_offline.
@@ -72,6 +77,10 @@ class UdpTransport final : public Transport {
 
   /// The locally bound UDP port (useful with bind_port = 0).
   [[nodiscard]] std::uint16_t bound_port() const noexcept { return port_; }
+  /// Datagrams delivered into a recycled buffer instead of a fresh one.
+  [[nodiscard]] std::uint64_t recv_buffers_reused() const noexcept {
+    return recv_buffers_reused_;
+  }
   /// The raw socket fd, for callers composing their own poll/epoll set.
   [[nodiscard]] int fd() const noexcept { return fd_; }
 
@@ -99,6 +108,8 @@ class UdpTransport final : public Transport {
   std::unordered_map<common::PeerId, Resolved> routes_;
   std::vector<std::byte> frame_scratch_;  ///< reused send buffer
   std::vector<std::byte> recv_scratch_;   ///< reused receive buffer
+  std::vector<DatagramBytes> recv_pool_;  ///< recycled delivery buffers
+  std::uint64_t recv_buffers_reused_ = 0;
   TransportStats stats_;
 };
 

@@ -120,6 +120,8 @@ LoopbackCluster::ClusterTotals LoopbackCluster::totals() const {
     totals.retries_cancelled += stats.retries_cancelled;
     totals.retries_exhausted += stats.retries_exhausted;
     totals.decode_errors += stats.decode_errors;
+    totals.frames_reused += stats.frames_reused;
+    totals.retransmit_reencodes += stats.retransmit_reencodes;
   }
   return totals;
 }

@@ -77,6 +77,8 @@ class LoopbackCluster {
     std::uint64_t retries_cancelled = 0;
     std::uint64_t retries_exhausted = 0;
     std::uint64_t decode_errors = 0;
+    std::uint64_t frames_reused = 0;
+    std::uint64_t retransmit_reencodes = 0;
   };
   [[nodiscard]] ClusterTotals totals() const;
 

@@ -114,33 +114,76 @@ void PeerRuntime::poll(common::SimTime now) {
   transport_.drain(inbox_scratch_);
   for (net::InboundDatagram& datagram : inbox_scratch_) {
     ++stats_.datagrams_in;
-    if (!online_) {
+    if (online_) {
+      deliver_datagram(datagram);
+    } else {
       ++stats_.dropped_while_offline;
-      continue;
     }
-    const auto payload = gossip::decode(datagram.bytes);
-    if (!payload) {
-      ++stats_.decode_errors;
-      continue;
-    }
-    // Cancel first: this datagram may be the confirming signal a retry
-    // timer is waiting for.
-    note_confirmation(datagram.from, *payload);
-    out_scratch_.clear();
-    node_.handle_message(datagram.from, *payload, current_round(),
-                         out_scratch_);
-    transmit(out_scratch_);
+    // The datagram's bytes are fully consumed within the delivery; hand
+    // the buffer back so the transport's next drain can refill it.
+    transport_.recycle(std::move(datagram.bytes));
   }
 
   wheel_.advance(now);
 }
 
+void PeerRuntime::deliver_datagram(net::InboundDatagram& datagram) {
+  // A cheap header probe routes the datagram. Pushes — the bulk of live
+  // traffic, and never a confirming signal — take the zero-copy frame
+  // path: the node classifies duplicates from the probe alone and
+  // stream-decodes first receipts. Everything else (acks, pull/query
+  // traffic) is small; it decodes fully, cancels any retry it confirms,
+  // and dispatches as before.
+  const auto probe = gossip::probe_frame(datagram.bytes);
+  if (!probe) {
+    ++stats_.decode_errors;
+    return;
+  }
+  out_scratch_.clear();
+  if (probe->kind == gossip::WireKind::kPush) {
+    if (!node_.handle_frame(datagram.from, datagram.bytes, current_round(),
+                            out_scratch_)) {
+      ++stats_.decode_errors;
+      return;
+    }
+  } else {
+    const auto payload = gossip::decode(datagram.bytes);
+    if (!payload) {
+      ++stats_.decode_errors;
+      return;
+    }
+    // Cancel first: this datagram may be the confirming signal a retry
+    // timer is waiting for.
+    note_confirmation(datagram.from, *payload);
+    node_.handle_message(datagram.from, *payload, current_round(),
+                         out_scratch_);
+  }
+  transmit(out_scratch_);
+}
+
+net::DatagramBytes PeerRuntime::take_buffer() {
+  if (frame_pool_.empty()) return {};
+  net::DatagramBytes bytes = std::move(frame_pool_.back());
+  frame_pool_.pop_back();
+  ++stats_.frames_reused;
+  return bytes;
+}
+
+void PeerRuntime::recycle_buffer(net::DatagramBytes&& bytes) {
+  if (bytes.capacity() == 0) return;
+  frame_pool_.push_back(std::move(bytes));
+}
+
 void PeerRuntime::transmit(std::vector<gossip::OutboundMessage>& messages) {
   for (gossip::OutboundMessage& message : messages) {
-    net::DatagramBytes bytes = gossip::encode(message.payload);
+    net::DatagramBytes bytes = take_buffer();
+    gossip::encode_into(message.payload, bytes);
     ++stats_.datagrams_out;
     transport_.send(message.to, bytes);
-    if (config_.retry.max_attempts <= 1) continue;
+    if (config_.retry.max_attempts <= 1) {
+      recycle_buffer(std::move(bytes));
+      continue;
+    }
 
     if (const auto* push = std::get_if<gossip::PushMessage>(&message.payload)) {
       // A push is only retried when acks are on — without §6 acks no
@@ -153,6 +196,7 @@ void PeerRuntime::transmit(std::vector<gossip::OutboundMessage>& messages) {
         pending.version = push->value->id;
         pending.bytes = std::move(bytes);
         arm_retry(std::move(pending));
+        continue;
       }
     } else if (std::holds_alternative<gossip::PullRequest>(message.payload)) {
       PendingSend pending;
@@ -160,6 +204,7 @@ void PeerRuntime::transmit(std::vector<gossip::OutboundMessage>& messages) {
       pending.to = message.to;
       pending.bytes = std::move(bytes);
       arm_retry(std::move(pending));
+      continue;
     } else if (const auto* query =
                    std::get_if<gossip::QueryRequest>(&message.payload)) {
       PendingSend pending;
@@ -168,7 +213,9 @@ void PeerRuntime::transmit(std::vector<gossip::OutboundMessage>& messages) {
       pending.nonce = query->nonce;
       pending.bytes = std::move(bytes);
       arm_retry(std::move(pending));
+      continue;
     }
+    recycle_buffer(std::move(bytes));
   }
   messages.clear();
 }
@@ -233,6 +280,10 @@ void PeerRuntime::on_retry_timer(std::uint64_t token) {
   ++pending.attempt;
   ++stats_.retransmits;
   ++stats_.datagrams_out;
+  // Retransmission is the encoded bytes the original send produced — the
+  // tripwire below (asserted 0 by the loopback golden test) would count
+  // any path that lost them and had to re-encode.
+  if (pending.bytes.empty()) ++stats_.retransmit_reencodes;
   transport_.send(pending.to, pending.bytes);
   schedule_retry_timer(token);
 }
@@ -240,7 +291,7 @@ void PeerRuntime::on_retry_timer(std::uint64_t token) {
 void PeerRuntime::cancel_pending(std::uint64_t token) {
   const auto it = pending_.find(token);
   if (it == pending_.end()) return;
-  const PendingSend& pending = it->second;
+  PendingSend& pending = it->second;
   switch (pending.expect) {
     case Expect::kAck:
       push_index_.erase(PushKey{pending.to, pending.version});
@@ -255,6 +306,7 @@ void PeerRuntime::cancel_pending(std::uint64_t token) {
   if (pending.timer != TimerWheel::kInvalidTimer) {
     wheel_.cancel(pending.timer);
   }
+  recycle_buffer(std::move(pending.bytes));
   pending_.erase(it);
 }
 
@@ -303,10 +355,11 @@ void PeerRuntime::on_round_timer(common::SimTime at) {
 }
 
 void PeerRuntime::drop_all_retries() {
-  for (const auto& [token, pending] : pending_) {
+  for (auto& [token, pending] : pending_) {
     if (pending.timer != TimerWheel::kInvalidTimer) {
       wheel_.cancel(pending.timer);
     }
+    recycle_buffer(std::move(pending.bytes));
   }
   pending_.clear();
   push_index_.clear();

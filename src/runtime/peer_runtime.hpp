@@ -6,8 +6,10 @@
 //
 //   * outbound protocol messages are encoded with gossip::codec and handed
 //     to the Transport as datagrams;
-//   * inbound datagrams are decoded (garbage is counted and dropped — the
-//     codec is fail-safe) and delivered to the node;
+//   * inbound datagrams are probed (gossip::probe_frame) and routed:
+//     pushes go down the zero-copy frame path (duplicates classified from
+//     the header, first receipts stream-decoded), other kinds decode fully;
+//     garbage is counted and dropped — the codec is fail-safe;
 //   * a monotonic timer wheel supplies the push-round cadence
 //     (on_round_start) and per-message retry timers;
 //   * datagrams whose arrival the protocol can confirm — pushes (via §6
@@ -65,6 +67,13 @@ struct RuntimeStats {
   std::uint64_t retries_exhausted = 0;  ///< attempt budget ran out
   std::uint64_t rounds_ticked = 0;
   std::uint64_t dropped_while_offline = 0;
+  /// Outbound frames encoded into a recycled buffer (pool hit) instead of
+  /// a fresh allocation — >0 in any steady-state run.
+  std::uint64_t frames_reused = 0;
+  /// Retransmissions that had to re-encode their payload. MUST stay 0: a
+  /// retransmit resends the exact bytes its PendingSend owns; this counter
+  /// is a tripwire asserted by the loopback golden test.
+  std::uint64_t retransmit_reencodes = 0;
 };
 
 class PeerRuntime {
@@ -171,7 +180,15 @@ class PeerRuntime {
 
   /// Encodes, transmits and (where a confirming signal exists) arms a
   /// retry for every message the node emitted. Consumes `messages`.
+  /// Encoding fills a pooled buffer (take_buffer / recycle_buffer): frames
+  /// that arm a retry keep their buffer in the PendingSend for exact-bytes
+  /// retransmission; all others return it to the pool immediately.
   void transmit(std::vector<gossip::OutboundMessage>& messages);
+  [[nodiscard]] net::DatagramBytes take_buffer();
+  void recycle_buffer(net::DatagramBytes&& bytes);
+  /// Routes one drained datagram: probe → frame path for pushes, full
+  /// decode (+ retry cancellation) for everything else.
+  void deliver_datagram(net::InboundDatagram& datagram);
   void arm_retry(PendingSend pending);
   void schedule_retry_timer(std::uint64_t token);
   void on_retry_timer(std::uint64_t token);
@@ -201,6 +218,9 @@ class PeerRuntime {
 
   std::vector<net::InboundDatagram> inbox_scratch_;
   std::vector<gossip::OutboundMessage> out_scratch_;
+  /// Free list of outbound frame buffers; capacity-warm after the first
+  /// few sends, so steady-state encodes allocate nothing.
+  std::vector<net::DatagramBytes> frame_pool_;
   RuntimeStats stats_;
 };
 

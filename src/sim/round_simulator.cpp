@@ -106,18 +106,21 @@ void RoundSimulator::dispatch_from(std::size_t shard, common::PeerId from,
       case gossip::kAckIndex: ++sh.ack_messages; break;
       default: ++sh.query_messages; break;
     }
-    std::uint64_t size = message.size_bytes;
+    const std::uint64_t size = message.size_bytes;
+    gossip::SharedFrame frame;
     if (config_.serialize_messages) {
-      // Full wire round-trip: what a deployment would actually transmit.
-      const gossip::WireBytes frame = gossip::encode(message.payload);
-      size = frame.size();
-      auto decoded = gossip::decode(frame);
-      UPDP2P_ENSURE(decoded.has_value(),
-                    "own encoder output must always decode");
-      message.payload = std::move(*decoded);
+      // One interned encode per fan-out: a push forwarded to N targets
+      // shares a single immutable frame (N-1 cache hits), and recipients
+      // lazy-decode it in handle_frame. encoded_size() already priced the
+      // message exactly, which the frame must confirm byte for byte.
+      frame = sh.arena.frames.intern(message.payload);
+      UPDP2P_ENSURE(frame.size_bytes() == size,
+                    "encoded_size must equal the encoded frame length");
     }
     sh.bytes += size;
-    bus_.send_from_shard(shard, from, message.to, std::move(message.payload),
+    bus_.send_from_shard(shard, from, message.to,
+                         SimPayload{std::move(message.payload),
+                                    std::move(frame)},
                          size, round_, seq++);
   }
   out.clear();
@@ -206,8 +209,18 @@ void RoundSimulator::step_shard(unsigned shard) {
     ++bstats.messages_delivered;
     gossip::ReplicaNode& node = nodes_[to];
     const std::uint64_t duplicates_before = node.stats().duplicate_pushes;
-    node.handle_message(envelope.from, envelope.payload, round_,
-                        sh.reactions);
+    if (envelope.payload.frame) {
+      // Wire mode: deliver the shared encoded bytes; the node probes the
+      // header, counts duplicates without decoding, and stream-decodes
+      // first receipts. The in-memory payload is deliberately unused.
+      UPDP2P_ENSURE(node.handle_frame(envelope.from,
+                                      envelope.payload.frame.bytes(), round_,
+                                      sh.reactions),
+                    "own encoder output must always decode");
+    } else {
+      node.handle_message(envelope.from, envelope.payload.payload, round_,
+                          sh.reactions);
+    }
     sh.duplicates += node.stats().duplicate_pushes - duplicates_before;
     note_awareness(to, sh);
     dispatch_from(shard, envelope.to, sh.reactions);

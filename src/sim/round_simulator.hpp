@@ -50,15 +50,29 @@ struct RoundSimConfig {
   /// Run per-round timer processing (no-update-timeout pulls, ack expiry).
   bool round_timers = true;
   double message_loss = 0.0;
-  /// Serialise every payload through the binary wire codec on send and
-  /// decode on delivery — integration-proves gossip/codec end to end and
-  /// charges *actual* encoded sizes to the byte counters.
+  /// Serialise every payload through the binary wire codec on send (one
+  /// interned encode per fan-out, frame shared by reference) and deliver
+  /// via ReplicaNode::handle_frame (probe + lazy decode) — integration-
+  /// proves gossip/codec end to end. Byte counters charge exact encoded
+  /// sizes in BOTH modes (OutboundMessage::size_bytes == encoded frame
+  /// length), so metrics are bit-identical with this flag on or off.
   bool serialize_messages = false;
   std::uint64_t seed = 0x5eed;
   /// Shards (= maximum worker threads) one round is stepped across.
   /// 1 = sequential; 0 = one per hardware thread. Metrics and node state
   /// are bit-identical at every value.
   unsigned shard_threads = 1;
+};
+
+/// What travels on the simulator's bus. In-memory runs carry only the
+/// payload; serialize_messages runs additionally carry the encoded frame,
+/// interned once per fan-out (gossip::FrameCache) and shared by reference
+/// across every recipient — delivery then goes through
+/// ReplicaNode::handle_frame (probe + lazy decode) and never reads
+/// `payload`, so the run exercises exactly what a deployment would receive.
+struct SimPayload {
+  gossip::GossipPayload payload;
+  gossip::SharedFrame frame;  ///< engaged only when serialize_messages
 };
 
 class RoundSimulator {
@@ -118,7 +132,7 @@ class RoundSimulator {
   /// false-share counter lines.
   struct alignas(64) Shard {
     gossip::WorkArena arena;
-    std::vector<net::Envelope<gossip::GossipPayload>> batch;
+    std::vector<net::Envelope<SimPayload>> batch;
     std::vector<gossip::OutboundMessage> reactions;
     std::uint64_t push_messages = 0;
     std::uint64_t pull_messages = 0;
@@ -157,7 +171,7 @@ class RoundSimulator {
   /// bootstrap); never touched by shard tasks.
   common::Rng rng_;
   std::vector<gossip::ReplicaNode> nodes_;
-  net::ShardedMessageBus<gossip::GossipPayload> bus_;
+  net::ShardedMessageBus<SimPayload> bus_;
   std::function<bool(common::PeerId, common::PeerId)> link_filter_;
   unsigned shard_count_ = 1;
   std::vector<Shard> shards_;

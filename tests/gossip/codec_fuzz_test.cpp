@@ -75,13 +75,54 @@ std::vector<GossipPayload> sample_payloads(common::Rng& rng) {
   return payloads;
 }
 
-/// The fuzz invariant: decoding must not crash, and anything accepted must
-/// survive a re-encode (i.e. the decoder only produces well-formed values).
+/// The fuzz invariants, applied to every adversarial byte string:
+///  1. decode() must not crash, and anything accepted must survive a
+///     re-encode (the decoder only produces well-formed values) at exactly
+///     the size encoded_size() predicts.
+///  2. probe_frame() never *diverges* from decode(): whenever the full
+///     decode succeeds, the probe must succeed too and report the same
+///     kind and identifying fields. (The converse is deliberately free —
+///     a probe may accept a frame whose unexamined tail is garbage; that
+///     is the documented trust contract.)
+///  3. decode_push_into() accepts exactly the frames decode() turns into a
+///     PushMessage, yielding an identical value, round and flooding list,
+///     and leaves the target set empty on every rejection.
 void check_bytes(std::span<const std::byte> bytes) {
   const auto decoded = decode(bytes);
+  const auto probe = probe_frame(bytes);
   if (decoded.has_value()) {
     const WireBytes reencoded = encode(*decoded);
     EXPECT_FALSE(reencoded.empty());
+    EXPECT_EQ(encoded_size(*decoded), reencoded.size());
+
+    ASSERT_TRUE(probe.has_value());
+    if (const auto* push = std::get_if<PushMessage>(&*decoded)) {
+      EXPECT_EQ(probe->kind, WireKind::kPush);
+      EXPECT_EQ(probe->version, push->value->id);
+    } else if (const auto* ack = std::get_if<AckMessage>(&*decoded)) {
+      EXPECT_EQ(probe->kind, WireKind::kAck);
+      EXPECT_EQ(probe->version, ack->acked);
+    } else if (const auto* query = std::get_if<QueryRequest>(&*decoded)) {
+      EXPECT_EQ(probe->kind, WireKind::kQueryRequest);
+      EXPECT_EQ(probe->nonce, query->nonce);
+    } else if (const auto* reply = std::get_if<QueryReply>(&*decoded)) {
+      EXPECT_EQ(probe->kind, WireKind::kQueryReply);
+      EXPECT_EQ(probe->nonce, reply->nonce);
+    }
+  }
+
+  common::ChunkedPeerSet list;
+  list.insert(common::PeerId(123));  // must be cleared on every path
+  const auto streamed = decode_push_into(bytes, list);
+  const auto* full_push =
+      decoded ? std::get_if<PushMessage>(&*decoded) : nullptr;
+  ASSERT_EQ(streamed.has_value(), full_push != nullptr);
+  if (streamed) {
+    EXPECT_EQ(streamed->value, *full_push->value);
+    EXPECT_EQ(streamed->round, full_push->round);
+    EXPECT_EQ(list, full_push->flooding_list.set());
+  } else {
+    EXPECT_TRUE(list.empty());
   }
 }
 
@@ -125,6 +166,28 @@ TEST(CodecFuzz, EveryTruncationIsRejectedCleanly) {
       // A strict prefix is never a valid frame (no trailing-garbage
       // ambiguity in this codec), and must never crash.
       EXPECT_FALSE(decode(prefix).has_value()) << "len " << len;
+    }
+  }
+}
+
+TEST(CodecFuzz, ProbeOfTruncatedFramesNeverDiverges) {
+  // The lazy-decode trust contract, exhaustively: for EVERY truncation of a
+  // valid frame, probe_frame must either reject the prefix or report
+  // exactly what it reports on the full frame — it may never invent a
+  // different kind, version or nonce. (check_bytes already covers the
+  // probe-vs-decode side on these prefixes; this pins probe-vs-probe.)
+  common::Rng rng(0x9B0B);
+  for (const GossipPayload& payload : sample_payloads(rng)) {
+    const WireBytes wire = encode(payload);
+    const auto full = probe_frame(wire);
+    ASSERT_TRUE(full.has_value());
+    for (std::size_t len = 0; len < wire.size(); ++len) {
+      const auto probe =
+          probe_frame(std::span<const std::byte>(wire.data(), len));
+      if (!probe.has_value()) continue;
+      EXPECT_EQ(probe->kind, full->kind) << "len " << len;
+      EXPECT_EQ(probe->version, full->version) << "len " << len;
+      EXPECT_EQ(probe->nonce, full->nonce) << "len " << len;
     }
   }
 }

@@ -290,5 +290,193 @@ TEST_P(CodecProperty, RandomPayloadRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CodecProperty,
                          ::testing::Values(1, 2, 3, 42, 1000));
 
+// --- zero-copy wire path ----------------------------------------------------
+
+GossipPayload sample_push(std::uint64_t seed = 1) {
+  PushMessage push;
+  push.value = sample_value(seed);
+  push.flooding_list = {PeerId(1), PeerId(42), PeerId(65'000)};
+  push.round = 5;
+  return GossipPayload{std::move(push)};
+}
+
+TEST(Codec, EncodedSizeMatchesEncodeExactly) {
+  // The invariant OutboundMessage::size_bytes rests on, across payload
+  // shapes: empty lists, multi-chunk lists, bitmap-dense lists, every kind.
+  std::vector<GossipPayload> payloads;
+  payloads.push_back(sample_push());
+  payloads.emplace_back(PushMessage{});  // all-default fields
+  PushMessage dense;
+  dense.value = sample_value(2);
+  for (std::uint32_t i = 0; i < 10'000; ++i) {
+    dense.flooding_list.insert(PeerId(65'536 + i));  // bitmap chunk
+  }
+  payloads.emplace_back(std::move(dense));
+  PullRequest request;
+  request.summary.observe(PeerId(1), 10);
+  request.have.push_back(sample_value(3).id);
+  payloads.emplace_back(std::move(request));
+  PullResponse response;
+  response.missing.push_back(sample_value(4));
+  payloads.emplace_back(std::move(response));
+  payloads.emplace_back(AckMessage{sample_value(5).id});
+  payloads.emplace_back(QueryRequest{"k", 1 << 20});
+  QueryReply reply;
+  reply.key = "k";
+  reply.nonce = 7;
+  reply.versions.push_back(sample_value(6));
+  payloads.emplace_back(std::move(reply));
+
+  for (const GossipPayload& payload : payloads) {
+    EXPECT_EQ(encoded_size(payload), encode(payload).size())
+        << payload_kind(payload);
+  }
+}
+
+TEST(Codec, EncodeIntoReusesWarmCapacity) {
+  const GossipPayload payload = sample_push();
+  const WireBytes reference = encode(payload);
+  WireBytes warm;
+  encode_into(payload, warm);
+  EXPECT_EQ(warm, reference);
+  const std::byte* data = warm.data();
+  const std::size_t capacity = warm.capacity();
+  encode_into(payload, warm);  // second fill must reuse the allocation
+  EXPECT_EQ(warm, reference);
+  EXPECT_EQ(warm.data(), data);
+  EXPECT_EQ(warm.capacity(), capacity);
+}
+
+TEST(Codec, ProbeReadsKindAndIdentityWithoutFullDecode) {
+  const GossipPayload push = sample_push();
+  const auto push_probe = probe_frame(encode(push));
+  ASSERT_TRUE(push_probe.has_value());
+  EXPECT_EQ(push_probe->kind, WireKind::kPush);
+  EXPECT_EQ(push_probe->version, std::get<PushMessage>(push).value->id);
+
+  const AckMessage ack{sample_value(9).id};
+  const auto ack_probe = probe_frame(encode(GossipPayload{ack}));
+  ASSERT_TRUE(ack_probe.has_value());
+  EXPECT_EQ(ack_probe->kind, WireKind::kAck);
+  EXPECT_EQ(ack_probe->version, ack.acked);
+
+  const auto query_probe =
+      probe_frame(encode(GossipPayload{QueryRequest{"k", 99}}));
+  ASSERT_TRUE(query_probe.has_value());
+  EXPECT_EQ(query_probe->kind, WireKind::kQueryRequest);
+  EXPECT_EQ(query_probe->nonce, 99u);
+
+  EXPECT_FALSE(probe_frame({}).has_value());
+}
+
+TEST(Codec, ProbeSucceedsOnPushWithGarbageTail) {
+  // The trust contract in one frame: the probed prefix is intact, the
+  // flooding list is garbage. The probe must accept (duplicate
+  // classification never reads the tail); the full decode must reject.
+  WireBytes frame = encode(sample_push());
+  frame.back() = std::byte{0xFF};  // corrupt the peerset chunk count region
+  frame.push_back(std::byte{0xEE});
+  const auto probe = probe_frame(frame);
+  ASSERT_TRUE(probe.has_value());
+  EXPECT_EQ(probe->kind, WireKind::kPush);
+  EXPECT_EQ(probe->version, std::get<PushMessage>(sample_push()).value->id);
+  EXPECT_FALSE(decode(frame).has_value());
+}
+
+TEST(Codec, DecodePushIntoStreamsTheListAndClearsOnFailure) {
+  const GossipPayload payload = sample_push();
+  const WireBytes frame = encode(payload);
+  common::ChunkedPeerSet list;
+  list.insert(PeerId(7777));  // stale scratch contents must vanish
+  const auto push = decode_push_into(frame, list);
+  ASSERT_TRUE(push.has_value());
+  const auto& expected = std::get<PushMessage>(payload);
+  EXPECT_EQ(push->value, *expected.value);
+  EXPECT_EQ(push->round, expected.round);
+  EXPECT_EQ(list, expected.flooding_list.set());
+
+  // Non-push frames and malformed frames both reject with a cleared list.
+  const auto not_push =
+      decode_push_into(encode(GossipPayload{PullRequest{}}), list);
+  EXPECT_FALSE(not_push.has_value());
+  EXPECT_TRUE(list.empty());
+  WireBytes truncated = frame;
+  truncated.pop_back();
+  list.insert(PeerId(8888));
+  EXPECT_FALSE(decode_push_into(truncated, list).has_value());
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(Codec, SharedFrameSharesOneBufferAcrossCopies) {
+  SharedFrame empty;
+  EXPECT_FALSE(empty);
+  EXPECT_EQ(empty.size_bytes(), 0u);
+  EXPECT_TRUE(empty.bytes().empty());
+
+  SharedFrame frame(encode(sample_push()));
+  ASSERT_TRUE(frame);
+  const SharedFrame copy = frame;  // refcount bump, same bytes
+  EXPECT_EQ(copy.bytes().data(), frame.bytes().data());
+  EXPECT_EQ(copy.size_bytes(), frame.size_bytes());
+}
+
+TEST(Codec, FrameCacheInternsTheFanOut) {
+  // A fan-out to N targets re-sends the SAME shared value/list/round: one
+  // encode, N-1 cache hits, every hit aliasing one buffer.
+  FrameCache cache;
+  PushMessage push;
+  push.value = sample_value();
+  push.flooding_list = {PeerId(1), PeerId(2)};
+  push.round = 9;
+  const GossipPayload fanout{push};  // shares value + list with `push`
+
+  const SharedFrame first = cache.intern(fanout);
+  ASSERT_TRUE(first);
+  EXPECT_EQ(cache.encodes(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  for (int target = 0; target < 5; ++target) {
+    const SharedFrame again = cache.intern(fanout);
+    EXPECT_EQ(again.bytes().data(), first.bytes().data());
+  }
+  EXPECT_EQ(cache.encodes(), 1u);
+  EXPECT_EQ(cache.hits(), 5u);
+  EXPECT_EQ(WireBytes(first.bytes().begin(), first.bytes().end()),
+            encode(fanout));
+}
+
+TEST(Codec, FrameCacheMissesOnAnyKeyChange) {
+  FrameCache cache;
+  PushMessage push;
+  push.value = sample_value();
+  push.flooding_list = {PeerId(1)};
+  push.round = 1;
+  const GossipPayload original{push};
+  (void)cache.intern(original);
+
+  // Same contents, different shared allocation: identity keying must miss
+  // (contents-equal but distinct objects may diverge later under COW).
+  PushMessage rebuilt;
+  rebuilt.value = sample_value();
+  rebuilt.flooding_list = {PeerId(1)};
+  rebuilt.round = 1;
+  (void)cache.intern(GossipPayload{rebuilt});
+  EXPECT_EQ(cache.encodes(), 2u);
+
+  // Different round under the same value/list: miss, and the encoded
+  // bytes must be the NEW round's bytes.
+  PushMessage next_round = push;
+  next_round.round = 2;
+  const SharedFrame frame = cache.intern(GossipPayload{next_round});
+  EXPECT_EQ(cache.encodes(), 3u);
+  EXPECT_EQ(WireBytes(frame.bytes().begin(), frame.bytes().end()),
+            encode(GossipPayload{next_round}));
+
+  // Non-push payloads are never cached.
+  (void)cache.intern(GossipPayload{AckMessage{}});
+  (void)cache.intern(GossipPayload{AckMessage{}});
+  EXPECT_EQ(cache.encodes(), 5u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
 }  // namespace
 }  // namespace updp2p::gossip

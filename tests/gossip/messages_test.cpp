@@ -2,18 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "gossip/codec.hpp"
+
 namespace updp2p::gossip {
 namespace {
 
 using common::PeerId;
-
-WireSizeConfig wire() {
-  WireSizeConfig config;
-  config.header_bytes = 16;
-  config.update_payload_bytes = 100;
-  config.replica_entry_bytes = 10;
-  return config;
-}
 
 version::VersionedValue value_with_history(int entries) {
   version::VersionedValue value;
@@ -24,31 +18,45 @@ version::VersionedValue value_with_history(int entries) {
   return value;
 }
 
-TEST(WireSize, PushGrowsWithFloodingList) {
-  // The flooding list is priced at its exact compressed encoding, not a
-  // per-entry constant: consecutive ids cost one delta byte each.
+// OutboundMessage::size_bytes is filled from encoded_size(), which must be
+// the EXACT frame length — these tests pin the arithmetic against the real
+// encoder for every payload alternative.
+
+TEST(EncodedSize, MatchesEncodeForEveryKind) {
+  PushMessage push{value_with_history(2), {PeerId(1), PeerId(2)}, 3};
+  PullRequest request;
+  request.summary.increment(PeerId(1));
+  request.have.emplace_back();
+  PullResponse response;
+  response.summary.increment(PeerId(9));
+  response.missing.push_back(value_with_history(1));
+  response.missing.push_back(value_with_history(3));
+  QueryRequest query{"some-key", 77};
+  QueryReply reply{"some-key", 77, {value_with_history(1)}, true};
+  for (const auto& payload :
+       {GossipPayload{push}, GossipPayload{request}, GossipPayload{response},
+        GossipPayload{AckMessage{}}, GossipPayload{query},
+        GossipPayload{reply}}) {
+    EXPECT_EQ(encoded_size(payload), encode(payload).size())
+        << payload_kind(payload);
+  }
+}
+
+TEST(EncodedSize, PushGrowsWithFloodingList) {
+  // The flooding list is priced at its exact compressed encoding:
+  // consecutive ids cost one delta byte each.
   PushMessage small{value_with_history(1), {PeerId(1)}, 0};
   PushMessage large{value_with_history(1),
                     {PeerId(1), PeerId(2), PeerId(3)}, 0};
-  const auto small_size = wire_size(GossipPayload{small}, wire());
-  const auto large_size = wire_size(GossipPayload{large}, wire());
+  const auto small_size = encoded_size(GossipPayload{small});
+  const auto large_size = encoded_size(GossipPayload{large});
   EXPECT_EQ(large_size - small_size,
             large.flooding_list.set().wire_encoded_bytes() -
                 small.flooding_list.set().wire_encoded_bytes());
   EXPECT_EQ(large_size - small_size, 2u);  // two extra gap-1 varints
 }
 
-TEST(WireSize, PushAccountsForEverything) {
-  PushMessage push{value_with_history(2), {PeerId(1), PeerId(2)}, 3};
-  // header 16 + payload 100 + key 3 + vv 2*10 + vid 16 + round 4, plus the
-  // list's exact chunked encoding: chunk count 1 + key 1 + form 1 +
-  // cardinality 1 + first low 1 + one gap byte = 6.
-  EXPECT_EQ(push.flooding_list.set().wire_encoded_bytes(), 6u);
-  EXPECT_EQ(wire_size(GossipPayload{push}, wire()),
-            16u + 100u + 3u + 20u + 16u + 6u + sizeof(common::Round));
-}
-
-TEST(WireSize, DenseFloodingListCompressesBelowPerEntryPricing) {
+TEST(EncodedSize, DenseFloodingListCompressesBelowPerEntryPricing) {
   // §5's message-length analysis prices an uncapped list at alpha bytes per
   // entry; the chunked encoding beats that by construction once ids are
   // dense. 5'000 consecutive ids: ~1 byte each vs alpha = 10.
@@ -58,34 +66,35 @@ TEST(WireSize, DenseFloodingListCompressesBelowPerEntryPricing) {
   }
   const auto list_bytes = push.flooding_list.set().wire_encoded_bytes();
   EXPECT_LT(list_bytes, 5'000u * 10u / 5u);  // >5x under per-entry pricing
-  const auto with_list = wire_size(GossipPayload{push}, wire());
+  const auto with_list = encoded_size(GossipPayload{push});
+  EXPECT_EQ(with_list, encode(GossipPayload{push}).size());
   PushMessage empty_list{value_with_history(1), {}, 0};
-  EXPECT_EQ(with_list - wire_size(GossipPayload{empty_list}, wire()),
+  EXPECT_EQ(with_list - encoded_size(GossipPayload{empty_list}),
             list_bytes - empty_list.flooding_list.set().wire_encoded_bytes());
 }
 
-TEST(WireSize, PullRequestScalesWithSummaryAndHave) {
-  PullRequest request;
-  request.summary.increment(PeerId(1));
-  request.summary.increment(PeerId(2));
-  // header 16 + summary 2*10 + store digest 16.
-  EXPECT_EQ(wire_size(GossipPayload{request}, wire()), 16u + 20u + 16u);
-  request.have.emplace_back();
-  EXPECT_EQ(wire_size(GossipPayload{request}, wire()), 16u + 20u + 16u + 16u);
+TEST(EncodedSize, AckIsTiny) {
+  // frame header 4 + digest 16.
+  EXPECT_EQ(encoded_size(GossipPayload{AckMessage{}}), 4u + 16u);
 }
 
-TEST(WireSize, PullResponseSumsValues) {
-  PullResponse response;
-  response.missing.push_back(value_with_history(1));
-  response.missing.push_back(value_with_history(1));
-  response.summary.increment(PeerId(9));
-  const auto size = wire_size(GossipPayload{response}, wire());
-  // header 16 + summary 10 + 2*(100+3+10+16)
-  EXPECT_EQ(size, 16u + 10u + 2u * (100u + 3u + 10u + 16u));
+TEST(SharedValue, IdentityTracksTheSharedAllocation) {
+  SharedValue a(value_with_history(1));
+  SharedValue b = a;                     // shared: same identity
+  SharedValue c(value_with_history(1));  // equal contents, distinct identity
+  EXPECT_EQ(a.identity(), b.identity());
+  EXPECT_NE(a.identity(), c.identity());
+  // Default-constructed values all share the empty identity; that is
+  // cache-safe because they also all encode identically.
+  EXPECT_EQ(SharedValue().identity(), SharedValue().identity());
 }
 
-TEST(WireSize, AckIsTiny) {
-  EXPECT_EQ(wire_size(GossipPayload{AckMessage{}}, wire()), 16u + 16u);
+TEST(SharedPeerList, IdentityTracksTheSharedAllocation) {
+  SharedPeerList a{PeerId(1), PeerId(2)};
+  SharedPeerList b = a;
+  SharedPeerList c{PeerId(1), PeerId(2)};
+  EXPECT_EQ(a.identity(), b.identity());
+  EXPECT_NE(a.identity(), c.identity());
 }
 
 TEST(PayloadKind, NamesAllAlternatives) {

@@ -1,0 +1,17 @@
+// Fixture: lazy-decode probe sizing — a length lifted from a frame probe
+// sizes a container with no recognised bound in sight. Probe results come
+// from the same hostile bytes as full decodes; the rule must catch the
+// probe vocabulary ("probe", "probed") on both resize and reserve.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+void stage_probed_frame(std::uint64_t probed_length,
+                        std::vector<std::byte>& scratch) {
+  scratch.resize(probed_length);
+}
+
+void stage_probe_batch(std::uint64_t probe_entries,
+                       std::vector<std::uint32_t>& ids) {
+  ids.reserve(probe_entries);
+}

@@ -1,0 +1,19 @@
+// Fixture: the same probe-derived sizes are fine when a recognised bound
+// is checked nearby — and sizing by trusted local frame constants
+// (kFrameHeaderBytes) must never trip the probe vocabulary.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+inline constexpr std::uint64_t kMaxWirePeerId = std::uint64_t{1} << 28;
+inline constexpr std::size_t kFrameHeaderBytes = 10;
+
+void stage_probed_frame(std::uint64_t probed_length,
+                        std::vector<std::byte>& scratch) {
+  if (probed_length > kMaxWirePeerId) return;
+  scratch.resize(probed_length);
+}
+
+void reserve_frame_header(std::vector<std::byte>& out, std::size_t payload) {
+  out.reserve(kFrameHeaderBytes + payload);
+}

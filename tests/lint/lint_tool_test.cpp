@@ -162,6 +162,19 @@ TEST_F(LintToolTest, WireBoundsAcceptsChunkLevelGuards) {
   expect_clean(run_lint());
 }
 
+TEST_F(LintToolTest, WireBoundsFlagsProbeDerivedSizes) {
+  install("wire_probe_flagged.cpp", "src/net/wire_probe_flagged.cpp");
+  const RunOutput out = run_lint();
+  EXPECT_EQ(out.exit_code, 1) << out.text;
+  expect_finding(out, "src/net/wire_probe_flagged.cpp", 11, "wire-bounds");
+  expect_finding(out, "src/net/wire_probe_flagged.cpp", 16, "wire-bounds");
+}
+
+TEST_F(LintToolTest, WireBoundsAcceptsGuardedProbesAndFrameConstants) {
+  install("wire_probe_near_miss.cpp", "src/net/wire_probe_near_miss.cpp");
+  expect_clean(run_lint());
+}
+
 TEST_F(LintToolTest, WireBoundsOnlyAppliesToDecodeSurface) {
   // The identical unguarded resize is out of scope outside codec/net.
   install("wire_flagged.cpp", "src/sim/wire_flagged.cpp");

@@ -7,9 +7,11 @@
 //
 // Detection: a member `.resize(...)` / `.reserve(...)` whose argument looks
 // wire-derived — it dereferences an optional (`*count`, the codec's decode
-// idiom) or names an identifier containing "count", "cardinality" or
-// "chunk" (the v2 chunked-peerset decode vocabulary) — with no recognised
-// bound token within ±12 lines. Recognised bounds are kMaxWirePeerId plus
+// idiom) or names an identifier containing "count", "cardinality", "chunk"
+// (the v2 chunked-peerset decode vocabulary), or "probe"/"probed" (the
+// lazy-decode entry points: probe_frame results are parsed from hostile
+// bytes exactly like full decodes, so a probed length sizing a container
+// needs the same bound) — with no recognised bound token within ±12 lines. Recognised bounds are kMaxWirePeerId plus
 // the chunk-level caps kMaxWireChunkKey, kArrayChunkMax and kChunkSpan
 // (a chunk's declared cardinality can never exceed its id span). Sizes
 // that are bounded some other way (e.g. by the datagram's byte count)
@@ -35,9 +37,14 @@ bool looks_wire_sized(std::string_view name) {
   std::transform(lower.begin(), lower.end(), lower.begin(), [](char c) {
     return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   });
+  // "probe"/"probed" covers the lazy-decode entry points (probe_frame and
+  // friends): a probed header field is wire-derived hostile input just like
+  // a fully decoded one. Deliberately NOT "frame" or "header" — those name
+  // trusted local constants (kFrameHeaderBytes) all over src/net/.
   return lower.find("count") != std::string::npos ||
          lower.find("cardinality") != std::string::npos ||
-         lower.find("chunk") != std::string::npos;
+         lower.find("chunk") != std::string::npos ||
+         lower.find("probe") != std::string::npos;
 }
 
 /// Identifiers accepted as evidence that a nearby size was bounds-checked.
