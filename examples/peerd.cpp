@@ -7,16 +7,28 @@
 // tests/integration/live_convergence_test) poll the file for lines:
 //
 //   READY <port>            socket bound, runtime online
+//   RECOVERED <values> <replayed>  durable store opened (with --data-dir):
+//                           snapshot values applied + WAL frames replayed
 //   PUBLISHED <key> <hex>   local publish executed (hex = version id)
 //   HAVE <key> <hex>        the watched key is now stored locally
+//   PULLBYTES <n>           pull-response bytes received up to HAVE time
+//   STATE <hex>             store content digest at HAVE time
+//
+// The status file is replaced atomically on every line (write temp +
+// fsync + rename + directory fsync), so a polling orchestrator never
+// observes a torn line — and a crash never leaves a half-written file.
 //
 // Example: three peers, one publishing after 200 ms (one command per line):
 //   updp2p-peerd --self 0 --port 9100 --peers 1:9101,2:9102
 //       --publish-key greeting --publish-value hello --publish-at-ms 200 &
 //   updp2p-peerd --self 1 --port 9101 --peers 0:9100,2:9102 --watch greeting &
 //   updp2p-peerd --self 2 --port 9102 --peers 0:9100,1:9101 --watch greeting &
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
-#include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -55,25 +67,55 @@ std::vector<net::UdpPeerAddress> parse_peers(const std::string& spec,
   return peers;
 }
 
-/// Append-only, flushed-per-line status channel.
+/// Status channel: the file is atomically REPLACED on every line (tmp +
+/// fsync + rename + dir fsync) so a polling reader sees either the old
+/// contents or old-plus-the-new-line, never a torn write — the same
+/// discipline the durable store's snapshot writer uses.
 class StatusFile {
  public:
-  explicit StatusFile(const std::string& path) {
-    if (!path.empty()) file_ = std::fopen(path.c_str(), "a");
-  }
-  ~StatusFile() {
-    if (file_ != nullptr) std::fclose(file_);
-  }
+  explicit StatusFile(std::string path) : path_(std::move(path)) {}
+
   void line(const std::string& text) {
-    if (file_ != nullptr) {
-      std::fputs((text + "\n").c_str(), file_);
-      std::fflush(file_);
-    }
     std::cout << text << "\n";
+    if (path_.empty()) return;
+    content_ += text;
+    content_ += '\n';
+    if (!replace_atomically()) {
+      std::cerr << "updp2p-peerd: status write failed: " << path_ << ": "
+                << std::strerror(errno) << "\n";
+    }
   }
 
  private:
-  std::FILE* file_ = nullptr;
+  [[nodiscard]] bool replace_atomically() const {
+    const std::string tmp = path_ + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd < 0) return false;
+    std::size_t written = 0;
+    while (written < content_.size()) {
+      const ssize_t n =
+          ::write(fd, content_.data() + written, content_.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        return false;
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0 || ::close(fd) != 0) return false;
+    if (::rename(tmp.c_str(), path_.c_str()) != 0) return false;
+    const std::size_t slash = path_.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? std::string(".") : path_.substr(0, slash);
+    const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dir_fd < 0) return false;
+    const bool ok = ::fsync(dir_fd) == 0;
+    ::close(dir_fd);
+    return ok;
+  }
+
+  std::string path_;
+  std::string content_;
 };
 
 }  // namespace
@@ -87,7 +129,9 @@ int main(int argc, char** argv) {
         << "  [--publish-key K --publish-value V [--publish-at-ms T]]\n"
         << "  [--run-ms T] [--seed S] [--round-ms T] [--fanout F]\n"
         << "  [--population N] [--acks 0|1] [--retry-initial-ms T]\n"
-        << "  [--retry-max-attempts N] [--pull-contacts N]\n";
+        << "  [--retry-max-attempts N] [--pull-contacts N]\n"
+        << "  [--data-dir DIR] [--snapshot-every N]\n"
+        << "  [--snapshot-interval-ms T] [--fsync-appends 0|1]\n";
     return 2;
   }
 
@@ -130,8 +174,21 @@ int main(int argc, char** argv) {
   // Constructed offline, then go_online(): a (re)started daemon enters the
   // §3 reconnect path and pulls what it missed while it was dead.
   config.start_online = false;
+  // Durable store: with --data-dir the constructor below recovers
+  // snapshot + WAL from disk before the socket goes live.
+  config.store.data_dir = args.get_string("data-dir", "");
+  config.store.snapshot_every_records =
+      static_cast<std::uint64_t>(args.get_int("snapshot-every", 256));
+  config.store.snapshot_interval =
+      args.get_double("snapshot-interval-ms", 0.0) / 1000.0;
+  config.store.fsync_appends = args.get_bool("fsync-appends", false);
 
   runtime::PeerRuntime peer(config, *transport);
+  if (config.store.enabled() && !peer.durable()) {
+    std::cerr << "updp2p-peerd: durable store failed to open: "
+              << peer.store_error() << "\n";
+    return 1;
+  }
   std::vector<common::PeerId> view;
   view.reserve(transport_config.peers.size());
   for (const auto& entry : transport_config.peers) {
@@ -142,6 +199,11 @@ int main(int argc, char** argv) {
 
   StatusFile status(args.get_string("status", ""));
   status.line("READY " + std::to_string(transport->bound_port()));
+  if (peer.durable()) {
+    status.line("RECOVERED " +
+                std::to_string(peer.stats().snapshot_values_recovered) + " " +
+                std::to_string(peer.stats().wal_replayed));
+  }
 
   const std::string publish_key = args.get_string("publish-key", "");
   const std::string publish_value = args.get_string("publish-value", "");
@@ -175,6 +237,13 @@ int main(int argc, char** argv) {
       if (const auto value = peer.read(watch_key)) {
         have_reported = true;
         status.line("HAVE " + watch_key + " " + value->id.to_string());
+        // Exact reconnect-cost accounting, snapshotted at HAVE time: a
+        // peer that recovered the key from disk reports strictly fewer
+        // pull-response bytes than one that pulled from zero.
+        status.line("PULLBYTES " +
+                    std::to_string(peer.stats().pull_response_bytes_in));
+        status.line("STATE " +
+                    peer.node().store().content_digest().to_hex());
       }
     }
 

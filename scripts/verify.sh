@@ -9,13 +9,15 @@
 # golden determinism — including ShardInvariance at 8 threads) plus the
 # event-loop/timer-wheel runtime suites.
 #
-# After the Release ctest leg a bench-regression guard re-runs the three
-# guarded hot-path benchmarks (BM_SimulatedUpdate10k,
-# BM_SimulatedUpdate10kWire, BM_BuildForwardListInto) and compares ns/op
-# against the checked-in BENCH_core.json; a >15% regression fails the
+# After the Release ctest leg a bench-regression guard re-runs the guarded
+# hot-path benchmarks (BM_SimulatedUpdate10k, BM_SimulatedUpdate10kWire,
+# BM_BuildForwardListInto, BM_StoreAppend, BM_StoreReplay10k) and compares
+# ns/op against the checked-in BENCH_core.json; a >15% regression fails the
 # verify. The Wire row guards the zero-copy serialized path specifically —
-# it is the one a codec or frame-path change degrades first. Opt out with
-# --skip-bench-guard on busy or differently-provisioned machines.
+# it is the one a codec or frame-path change degrades first; the Store rows
+# guard the durable append (paid per receipt before the ack) and the
+# crash-recovery replay pipeline. Opt out with --skip-bench-guard on busy
+# or differently-provisioned machines.
 #
 # Usage: scripts/verify.sh [--skip-sanitizers] [--skip-bench-guard]
 set -euo pipefail
@@ -65,12 +67,13 @@ if [[ "${SKIP_BENCH_GUARD}" == "1" ]]; then
 else
   echo "==> bench guard: guarded hot-path benches vs checked-in BENCH_core.json"
   ./build/bench/micro_core --json=build/BENCH_guard.json \
-    "--benchmark_filter=^BM_SimulatedUpdate10k\$|^BM_SimulatedUpdate10kWire\$|^BM_BuildForwardListInto\$" \
+    "--benchmark_filter=^BM_SimulatedUpdate10k\$|^BM_SimulatedUpdate10kWire\$|^BM_BuildForwardListInto\$|^BM_StoreAppend\$|^BM_StoreReplay10k\$" \
     >/dev/null
   python3 scripts/check_bench_regression.py BENCH_core.json \
     build/BENCH_guard.json --bench BM_SimulatedUpdate10k \
     --bench BM_SimulatedUpdate10kWire \
-    --bench BM_BuildForwardListInto --max-regression 0.15
+    --bench BM_BuildForwardListInto \
+    --bench BM_StoreAppend --bench BM_StoreReplay10k --max-regression 0.15
 fi
 
 if [[ "${SKIP_SAN}" == "1" ]]; then
@@ -88,11 +91,14 @@ echo "==> sanitizers: TSan build + concurrency suites"
 # The tsan test preset filters to the suites that actually spawn threads or
 # drive the live event loop: the work-stealing sweep pool, the sharded
 # round engine and bus, the golden-determinism suite (ShardInvariance
-# drives 8 shard threads), and the runtime layer (timer wheel, PeerRuntime,
+# drives 8 shard threads), the runtime layer (timer wheel, PeerRuntime,
 # loopback golden, inproc/UDP transports — the UDP suite exercises real
-# kernel socket I/O under TSan).
+# kernel socket I/O under TSan), and the durable-store suites (PeerRuntime
+# owns a ReplicaStore, so the WAL/snapshot/recovery + fuzz paths run under
+# all three sanitizer legs).
 cmake --preset tsan
-cmake --build --preset tsan -j "${JOBS}" --target sim_tests net_tests runtime_tests
+cmake --build --preset tsan -j "${JOBS}" \
+  --target sim_tests net_tests runtime_tests store_tests
 ctest --preset tsan -j "${JOBS}"
 
 echo "==> verify OK"

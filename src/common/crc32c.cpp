@@ -1,0 +1,65 @@
+#include "common/crc32c.hpp"
+
+#include <array>
+
+namespace updp2p::common {
+
+namespace {
+
+/// Reflected CRC-32C polynomial.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+/// Slice-by-8 tables, built at compile time. table[0] is the classic
+/// byte-at-a-time table; table[k][b] extends it by k extra zero bytes, so
+/// eight lookups fold 8 input bytes into the CRC at once.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+};
+
+constexpr Tables build_tables() {
+  Tables tables;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    tables.t[0][i] = crc;
+  }
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = tables.t[k - 1][i];
+      tables.t[k][i] = (prev >> 8) ^ tables.t[0][prev & 0xFFu];
+    }
+  }
+  return tables;
+}
+
+constexpr Tables kTables = build_tables();
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::byte> bytes,
+                     std::uint32_t seed) noexcept {
+  const auto& t = kTables.t;
+  std::uint32_t crc = ~seed;
+  std::size_t i = 0;
+  // Head: align the slice-by-8 loop is unnecessary (unaligned 8-byte
+  // chunks are read byte-wise below), but process 8 bytes per iteration.
+  for (; i + 8 <= bytes.size(); i += 8) {
+    const auto b = [&bytes, i](std::size_t k) {
+      return static_cast<std::uint32_t>(bytes[i + k]);
+    };
+    const std::uint32_t low = crc ^ (b(0) | (b(1) << 8) | (b(2) << 16) |
+                                     (b(3) << 24));
+    crc = t[7][low & 0xFFu] ^ t[6][(low >> 8) & 0xFFu] ^
+          t[5][(low >> 16) & 0xFFu] ^ t[4][low >> 24] ^
+          t[3][b(4)] ^ t[2][b(5)] ^ t[1][b(6)] ^ t[0][b(7)];
+  }
+  for (; i < bytes.size(); ++i) {
+    crc = (crc >> 8) ^
+          t[0][(crc ^ static_cast<std::uint32_t>(bytes[i])) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace updp2p::common

@@ -1,0 +1,27 @@
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78).
+//
+// The durable store (src/store/) checksums every log record and snapshot
+// with CRC-32C: the polynomial's error-detection properties over short
+// frames are well studied, the reflected table-driven form is branch-free,
+// and the value matches every other CRC-32C implementation (iSCSI, ext4,
+// leveldb), so fixtures can be cross-checked against known vectors.
+//
+// Implementation is slice-by-8: eight 256-entry tables, one 64-bit load
+// per 8 input bytes. ~1 byte/cycle without hardware CRC instructions —
+// far faster than the store's fsync budget, and fully portable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace updp2p::common {
+
+/// CRC-32C of `bytes`, seeded by `seed` (pass a previous result to chain
+/// a multi-span computation; 0 starts a fresh CRC). The conventional
+/// pre/post inversion is applied per call, so
+/// crc32c(b, crc32c(a)) == crc32c(a || b).
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::byte> bytes,
+                                   std::uint32_t seed = 0) noexcept;
+
+}  // namespace updp2p::common

@@ -292,6 +292,24 @@ std::optional<Kind> get_frame_header(std::span<const std::byte> bytes,
 
 }  // namespace
 
+void encode_peer_set(WireBytes& out, const common::ChunkedPeerSet& set) {
+  put_peer_set(out, set);
+}
+
+bool decode_peer_set(std::span<const std::byte> bytes, std::size_t& offset,
+                     common::ChunkedPeerSet& set) {
+  return get_peer_set_into(bytes, offset, set);
+}
+
+void encode_value(WireBytes& out, const version::VersionedValue& value) {
+  put_value(out, value);
+}
+
+std::optional<version::VersionedValue> decode_value(
+    std::span<const std::byte> bytes, std::size_t& offset) {
+  return get_value(bytes, offset);
+}
+
 void put_varint(WireBytes& out, std::uint64_t value) {
   while (value >= 0x80) {
     out.push_back(static_cast<std::byte>((value & 0x7F) | 0x80));

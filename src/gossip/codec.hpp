@@ -207,6 +207,31 @@ class FrameCache {
 
 // --- low-level primitives (exposed for tests and reuse) ---------------------
 
+/// Appends the canonical chunked peerset encoding (the `peerset` grammar
+/// above) — the exact bytes a push frame carries for its flooding list.
+/// Exposed for the durable store (src/store/): a snapshot's membership
+/// section reuses this encoding verbatim, so one decoder (and one fuzz
+/// surface) covers both the wire and the disk.
+void encode_peer_set(WireBytes& out, const common::ChunkedPeerSet& set);
+
+/// Decodes one peerset at `offset` (advancing it) into `set`, enforcing
+/// every wire bound (strictly increasing chunk keys < kMaxWireChunkKey,
+/// canonical forms, cardinality caps). `set` is cleared first; on failure
+/// it is left cleared and false is returned.
+[[nodiscard]] bool decode_peer_set(std::span<const std::byte> bytes,
+                                   std::size_t& offset,
+                                   common::ChunkedPeerSet& set);
+
+/// Appends one versioned value in the `value` grammar above (also what
+/// push / pull-response / query-reply frames carry). Snapshot reuse, as
+/// with encode_peer_set.
+void encode_value(WireBytes& out, const version::VersionedValue& value);
+
+/// Decodes one versioned value at `offset` (advancing it); nullopt on any
+/// malformation. Offset is unspecified after a failure.
+[[nodiscard]] std::optional<version::VersionedValue> decode_value(
+    std::span<const std::byte> bytes, std::size_t& offset);
+
 void put_varint(WireBytes& out, std::uint64_t value);
 
 /// Reads a varint at `offset`, advancing it. nullopt on truncation or a

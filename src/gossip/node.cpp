@@ -27,6 +27,16 @@ void ReplicaNode::bootstrap(const common::ChunkedPeerSet& initial_view) {
   view_.merge(initial_view);
 }
 
+void ReplicaNode::import_durable_state(
+    const common::ChunkedPeerSet& membership,
+    std::vector<version::VersionedValue> values) {
+  view_.merge(membership);
+  for (version::VersionedValue& value : values) {
+    seen_versions_.emplace(value.id, 0u);
+    (void)store_.apply(std::move(value));
+  }
+}
+
 void ReplicaNode::seed_fixed_neighbors(
     std::span<const common::PeerId> neighbors) {
   fixed_neighbors_.assign(neighbors.begin(), neighbors.end());

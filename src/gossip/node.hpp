@@ -97,6 +97,15 @@ class ReplicaNode {
   /// O(population/64) words touched per node.
   void bootstrap(const common::ChunkedPeerSet& initial_view);
 
+  /// Durable-store recovery (src/store/): seeds the node from a snapshot.
+  /// Merges the persisted membership set (self-tolerant and idempotent)
+  /// and applies every persisted version, marking it processed so a
+  /// replayed or re-received push for it classifies as a duplicate —
+  /// exactly the state the node would hold had it received those versions
+  /// live. Call before delivering any live traffic.
+  void import_durable_state(const common::ChunkedPeerSet& membership,
+                            std::vector<version::VersionedValue> values);
+
   /// kFixedNeighbors mode: supplies the static target set — the "topology
   /// knowledge" a directional-gossip-like scheme [20] would maintain (e.g.
   /// peers observed online at bootstrap). Peers are also added to the view.

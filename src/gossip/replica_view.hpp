@@ -79,6 +79,15 @@ class ReplicaView {
   /// scratch in one step instead of letting it grow geometrically.
   [[nodiscard]] std::size_t id_capacity() const noexcept { return id_bound_; }
 
+  /// The compressed membership index, read-only. Note the representation
+  /// invariant: the owner id is IN the set (merges run pure set algebra);
+  /// consumers that want members only must skip self(). The durable store
+  /// snapshots this set verbatim — re-merging it on recovery is idempotent
+  /// and self-tolerant, so the self entry round-trips harmlessly.
+  [[nodiscard]] const common::ChunkedPeerSet& membership() const noexcept {
+    return known_;
+  }
+
   /// Samples up to `count` distinct peers into `out` (replacing its
   /// contents), excluding peers in `exclude` (when non-null) and peers
   /// currently presumed offline (§6 suppression). Preferred pushers are

@@ -41,8 +41,37 @@ PeerRuntime::PeerRuntime(RuntimeConfig config, net::Transport& transport)
   config_.retry.validate();
   UPDP2P_ENSURE(config_.round_duration > 0.0,
                 "round duration must be positive");
+  // Recovery runs to completion before the transport can deliver a single
+  // live datagram: the node first stands exactly where it died, then
+  // rejoins the protocol.
+  recover_from_store();
+  arm_snapshot_timer();
   transport_.set_listening(online_);
   if (online_) arm_round_timer();
+}
+
+void PeerRuntime::recover_from_store() {
+  if (!config_.store.enabled()) return;
+  auto opened = store::ReplicaStore::open(config_.store, &store_error_);
+  if (!opened) return;  // runs volatile; the owner can inspect store_error()
+  store_ = std::move(*opened);
+  store::SnapshotData snapshot = store_->take_snapshot_state();
+  stats_.snapshot_values_recovered = snapshot.values.size();
+  node_.import_durable_state(snapshot.membership, std::move(snapshot.values));
+  // Replay the log tail through the SAME entry point live datagrams use,
+  // with the recorded delivery context. Whatever the node emits (acks,
+  // forwards) is discarded — those messages were already sent, or their
+  // targets have long stopped waiting.
+  std::vector<gossip::OutboundMessage> discard;
+  store_->replay([&](const store::ReplicaStore::RecoveredFrame& record) {
+    discard.clear();
+    if (node_.handle_frame(record.from, record.frame, record.round,
+                           discard)) {
+      ++stats_.wal_replayed;
+    } else {
+      ++stats_.wal_replay_rejected;
+    }
+  });
 }
 
 void PeerRuntime::bootstrap(std::span<const common::PeerId> initial_view) {
@@ -53,6 +82,10 @@ std::optional<version::VersionId> PeerRuntime::publish(std::string_view key,
                                                        std::string payload) {
   if (!online_) return std::nullopt;
   out_scratch_ = node_.publish(key, std::move(payload), current_round());
+  // Durable before the first push leaves: no peer will ever push our own
+  // update back to us, so a crash between publish and the first ack would
+  // otherwise lose it forever.
+  append_local_versions(key);
   transmit(out_scratch_);
   const auto value = node_.read(key);
   if (!value) return std::nullopt;
@@ -62,6 +95,7 @@ std::optional<version::VersionId> PeerRuntime::publish(std::string_view key,
 bool PeerRuntime::remove(std::string_view key) {
   if (!online_) return false;
   out_scratch_ = node_.remove(key, current_round());
+  append_local_versions(key);
   transmit(out_scratch_);
   return true;
 }
@@ -141,10 +175,23 @@ void PeerRuntime::deliver_datagram(net::InboundDatagram& datagram) {
   }
   out_scratch_.clear();
   if (probe->kind == gossip::WireKind::kPush) {
+    // Probe-based duplicate classification gates the WAL append exactly as
+    // it gates the full decode: ~80% of push deliveries are duplicates the
+    // node already holds durably, and logging them would bloat the log
+    // with bytes replay would classify as duplicates anyway.
+    const bool first_receipt = !node_.knows_version(probe->version);
     if (!node_.handle_frame(datagram.from, datagram.bytes, current_round(),
                             out_scratch_)) {
       ++stats_.decode_errors;
       return;
+    }
+    if (first_receipt) {
+      // Append-before-ack: the §6 ack sits in out_scratch_ and only goes
+      // out (transmit below) once the frame is durably in the log — an
+      // acked update can never be lost to a crash.
+      append_durable(datagram.from, current_round(), datagram.bytes);
+    } else if (store_) {
+      ++stats_.wal_duplicates_skipped;
     }
   } else {
     const auto payload = gossip::decode(datagram.bytes);
@@ -155,10 +202,79 @@ void PeerRuntime::deliver_datagram(net::InboundDatagram& datagram) {
     // Cancel first: this datagram may be the confirming signal a retry
     // timer is waiting for.
     note_confirmation(datagram.from, *payload);
+    if (const auto* pull = std::get_if<gossip::PullResponse>(&*payload)) {
+      stats_.pull_response_bytes_in += datagram.bytes.size();
+      // A pull response carrying values is new state exactly like a first
+      // push; one that carries none changes nothing worth logging.
+      if (!pull->missing.empty()) {
+        append_durable(datagram.from, current_round(), datagram.bytes);
+      }
+    }
     node_.handle_message(datagram.from, *payload, current_round(),
                          out_scratch_);
   }
   transmit(out_scratch_);
+}
+
+void PeerRuntime::append_durable(common::PeerId from, common::Round round,
+                                 std::span<const std::byte> frame) {
+  if (!store_) return;
+  if (store_->append_frame(from, round, frame)) {
+    ++stats_.wal_appends;
+    (void)maybe_snapshot(false);
+  } else {
+    // Degrade to volatile, loudly countable — a full disk must not stop
+    // the protocol (the paper's peers are unreliable in every other way
+    // already).
+    ++stats_.wal_append_failures;
+  }
+}
+
+void PeerRuntime::append_local_versions(std::string_view key) {
+  if (!store_) return;
+  gossip::WireBytes frame;
+  for (version::VersionedValue& value : node_.store().versions(key)) {
+    // The synthesised frame is a push from ourselves with an empty
+    // flooding list: replay feeds it to handle_frame(self, ...), where the
+    // value applies and the emitted fan-out is discarded like any other
+    // replay output.
+    gossip::GossipPayload payload = gossip::PushMessage{
+        gossip::SharedValue(std::move(value)), gossip::SharedPeerList{},
+        current_round()};
+    gossip::encode_into(payload, frame);
+    append_durable(node_.id(), current_round(), frame);
+  }
+}
+
+bool PeerRuntime::maybe_snapshot(bool timer_fired) {
+  if (!store_) return false;
+  const bool due = timer_fired ? store_->stats().records_since_snapshot > 0
+                               : store_->snapshot_due();
+  if (!due) return false;
+  std::string error;
+  if (store_->write_snapshot(node_.view().membership(),
+                             node_.store().all_versions(), &error)) {
+    ++stats_.snapshots_written;
+    return true;
+  }
+  ++stats_.snapshot_failures;
+  return false;
+}
+
+bool PeerRuntime::snapshot_now() {
+  if (!store_) return true;
+  if (store_->stats().records_since_snapshot == 0) return true;
+  return maybe_snapshot(true);
+}
+
+void PeerRuntime::arm_snapshot_timer() {
+  if (!store_ || config_.store.snapshot_interval <= 0.0) return;
+  snapshot_timer_ = wheel_.schedule_after(
+      config_.store.snapshot_interval, [this](common::SimTime /*at*/) {
+        snapshot_timer_ = TimerWheel::kInvalidTimer;
+        (void)maybe_snapshot(/*timer_fired=*/true);
+        arm_snapshot_timer();
+      });
 }
 
 net::DatagramBytes PeerRuntime::take_buffer() {

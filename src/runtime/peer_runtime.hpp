@@ -40,6 +40,7 @@
 #include "net/transport.hpp"
 #include "runtime/retry.hpp"
 #include "runtime/timer_wheel.hpp"
+#include "store/replica_store.hpp"
 
 namespace updp2p::runtime {
 
@@ -55,6 +56,10 @@ struct RuntimeConfig {
   /// purpose.
   std::uint64_t seed = 0x5eed;
   bool start_online = true;
+  /// Durable replica store (WAL + snapshots). Disabled while
+  /// store.data_dir is empty — the runtime then runs fully volatile,
+  /// exactly as before the store existed.
+  store::StoreConfig store;
 };
 
 struct RuntimeStats {
@@ -74,6 +79,19 @@ struct RuntimeStats {
   /// retransmit resends the exact bytes its PendingSend owns; this counter
   /// is a tripwire asserted by the loopback golden test.
   std::uint64_t retransmit_reencodes = 0;
+  // --- durable store (all zero while the store is disabled) ---------------
+  std::uint64_t wal_appends = 0;          ///< frames made durable
+  std::uint64_t wal_append_failures = 0;  ///< I/O failures (ran volatile)
+  std::uint64_t wal_duplicates_skipped = 0;  ///< pushes already durable
+  std::uint64_t wal_replayed = 0;         ///< frames replayed at recovery
+  std::uint64_t wal_replay_rejected = 0;  ///< replayed frames that failed decode
+  std::uint64_t snapshot_values_recovered = 0;
+  std::uint64_t snapshots_written = 0;
+  std::uint64_t snapshot_failures = 0;
+  /// PullResponse datagram bytes received while online — the §3 reconnect
+  /// cost a durable store exists to shrink (live_recovery_test compares
+  /// this exactly against pull-from-zero).
+  std::uint64_t pull_response_bytes_in = 0;
 };
 
 class PeerRuntime {
@@ -134,6 +152,18 @@ class PeerRuntime {
     return node_;
   }
   [[nodiscard]] const RuntimeStats& stats() const noexcept { return stats_; }
+  /// True when the durable store opened (recovery ran in the constructor).
+  [[nodiscard]] bool durable() const noexcept { return store_.has_value(); }
+  /// Why the store failed to open (empty when durable() or disabled).
+  [[nodiscard]] const std::string& store_error() const noexcept {
+    return store_error_;
+  }
+  [[nodiscard]] const store::ReplicaStore* replica_store() const noexcept {
+    return store_ ? &*store_ : nullptr;
+  }
+  /// Forces a snapshot now (orderly shutdown); true when written or when
+  /// nothing needed writing.
+  bool snapshot_now();
   [[nodiscard]] common::SimTime now() const noexcept { return now_; }
   [[nodiscard]] common::Round current_round() const noexcept {
     return round_of(now_);
@@ -199,6 +229,19 @@ class PeerRuntime {
   void arm_round_timer();
   void on_round_timer(common::SimTime at);
   void drop_all_retries();
+  /// Opens the store and replays snapshot + log into the node (ctor only).
+  void recover_from_store();
+  /// Appends one received/synthesised frame; degrades to volatile on I/O
+  /// failure (counted, never fatal — the protocol must keep running).
+  void append_durable(common::PeerId from, common::Round round,
+                      std::span<const std::byte> frame);
+  /// Synthesises push frames for the key's maximal versions so LOCAL
+  /// publishes/removes are as durable as received ones (no peer will ever
+  /// push our own update back to us before a crash).
+  void append_local_versions(std::string_view key);
+  /// Count trigger after appends; timer trigger forces (if log non-empty).
+  bool maybe_snapshot(bool timer_fired);
+  void arm_snapshot_timer();
 
   RuntimeConfig config_;
   net::Transport& transport_;
@@ -209,6 +252,9 @@ class PeerRuntime {
   common::SimTime now_ = 0.0;
   common::Round last_ticked_round_ = 0;
   TimerWheel::TimerId round_timer_ = TimerWheel::kInvalidTimer;
+  std::optional<store::ReplicaStore> store_;
+  std::string store_error_;
+  TimerWheel::TimerId snapshot_timer_ = TimerWheel::kInvalidTimer;
 
   std::unordered_map<std::uint64_t, PendingSend> pending_;  ///< by token
   std::unordered_map<PushKey, std::uint64_t, PushKeyHash> push_index_;

@@ -1,0 +1,178 @@
+#include "store/snapshot.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "common/crc32c.hpp"
+
+namespace updp2p::store {
+
+namespace {
+
+constexpr std::byte kMagic[4] = {std::byte{'U'}, std::byte{'P'},
+                                 std::byte{'S'}, std::byte{'N'}};
+
+void put_u64le(gossip::WireBytes& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u32le(gossip::WireBytes& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+std::optional<std::uint64_t> get_u64le(std::span<const std::byte> bytes,
+                                       std::size_t& offset) {
+  if (bytes.size() - offset < 8) return std::nullopt;
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(bytes[offset++]) << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+gossip::WireBytes encode_snapshot(const SnapshotData& data) {
+  gossip::WireBytes out;
+  out.reserve(64);
+  for (const std::byte magic : kMagic) out.push_back(magic);
+  out.push_back(static_cast<std::byte>(kSnapshotVersion));
+  put_u64le(out, data.last_seq);
+  gossip::encode_peer_set(out, data.membership);
+  gossip::put_varint(out, data.values.size());
+  for (const version::VersionedValue& value : data.values) {
+    gossip::encode_value(out, value);
+  }
+  put_u32le(out, common::crc32c(out));
+  return out;
+}
+
+std::optional<SnapshotData> decode_snapshot(std::span<const std::byte> bytes) {
+  // Checksum gate first: body parsing below only ever sees bytes the CRC
+  // vouches for (the fuzz suite still drives it on arbitrary input — the
+  // parser must hold on its own, the CRC just makes corruption loud).
+  if (bytes.size() < 4u + 1 + 8 + 4 || bytes.size() > kMaxSnapshotBytes) {
+    return std::nullopt;
+  }
+  const std::span<const std::byte> body = bytes.first(bytes.size() - 4);
+  std::uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<std::uint32_t>(bytes[body.size() +
+                                                   static_cast<std::size_t>(i)])
+                  << (8 * i);
+  }
+  if (common::crc32c(body) != stored_crc) return std::nullopt;
+
+  std::size_t offset = 0;
+  for (const std::byte magic : kMagic) {
+    if (body[offset++] != magic) return std::nullopt;
+  }
+  if (static_cast<std::uint8_t>(body[offset++]) != kSnapshotVersion) {
+    return std::nullopt;
+  }
+  SnapshotData data;
+  const auto last_seq = get_u64le(body, offset);
+  if (!last_seq) return std::nullopt;
+  data.last_seq = *last_seq;
+  if (!gossip::decode_peer_set(body, offset, data.membership)) {
+    return std::nullopt;
+  }
+  const auto value_count = gossip::get_varint(body, offset);
+  // Each encoded value costs well over one byte; a declared count beyond
+  // the remaining payload is hostile. Bounded before the reserve.
+  if (!value_count || *value_count > body.size() - offset) {
+    return std::nullopt;
+  }
+  // lint-allow(wire-bounds): count checked against remaining body bytes
+  data.values.reserve(*value_count);
+  for (std::uint64_t i = 0; i < *value_count; ++i) {
+    auto value = gossip::decode_value(body, offset);
+    if (!value) return std::nullopt;
+    data.values.push_back(std::move(*value));
+  }
+  if (offset != body.size()) return std::nullopt;  // trailing garbage
+  return data;
+}
+
+bool write_snapshot_file(const std::string& path, const SnapshotData& data,
+                         std::string* error) {
+  const auto fail = [&](const char* what) {
+    if (error != nullptr) *error = path + ": " + what + ": " +
+                                   std::strerror(errno);
+    return false;
+  };
+  const gossip::WireBytes image = encode_snapshot(data);
+  const std::string tmp_path = path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) return fail("open tmp");
+  std::size_t written = 0;
+  while (written < image.size()) {
+    const ssize_t n = ::write(fd, image.data() + written,
+                              image.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      (void)::unlink(tmp_path.c_str());
+      return fail("write tmp");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    (void)::unlink(tmp_path.c_str());
+    return fail("fsync tmp");
+  }
+  if (::close(fd) != 0) {
+    (void)::unlink(tmp_path.c_str());
+    return fail("close tmp");
+  }
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    (void)::unlink(tmp_path.c_str());
+    return fail("rename");
+  }
+  // fsync the directory so the rename itself is durable: without it a
+  // crash can roll the directory entry back to the old snapshot, which is
+  // consistent but stale — with it, the new snapshot is the recovery
+  // point the log truncation that follows relies on.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) return fail("open dir");
+  const bool dir_ok = ::fsync(dir_fd) == 0;
+  ::close(dir_fd);
+  if (!dir_ok) return fail("fsync dir");
+  return true;
+}
+
+std::optional<SnapshotData> read_snapshot_file(const std::string& path,
+                                               std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return SnapshotData{};  // no snapshot yet: empty state
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    if (error != nullptr) *error = path + ": read failed";
+    return std::nullopt;
+  }
+  const auto* data = reinterpret_cast<const std::byte*>(raw.data());
+  auto decoded =
+      decode_snapshot(std::span<const std::byte>(data, raw.size()));
+  if (!decoded && error != nullptr) {
+    *error = path + ": snapshot corrupt (bad magic/version/CRC or "
+             "malformed body)";
+  }
+  return decoded;
+}
+
+}  // namespace updp2p::store

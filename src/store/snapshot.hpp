@@ -1,0 +1,74 @@
+// Checksummed replica snapshots — the WAL's compaction point.
+//
+// A snapshot captures the durable protocol state of one peer in one file:
+// the compressed membership set (the view's ChunkedPeerSet, in the exact
+// chunked grammar push frames use on the wire) and every stored version
+// (live + tombstones, in the codec's `value` grammar). Re-applying the
+// values to an empty store reproduces items, summary vector and content
+// digest bit-for-bit, and re-merging the membership set reproduces the
+// view — so snapshot + log tail is a complete reconstruction.
+//
+// Layout (little-endian):
+//
+//   snapshot := magic "UPSN" | u8 version | u64 last_seq |
+//               peerset | varint value_count | value* | u32 crc32c
+//
+// `last_seq` is the highest WAL sequence folded into the snapshot: log
+// records at or below it are superseded, which is what licenses log
+// truncation after a successful write. The trailing CRC-32C covers every
+// byte before it; decode_snapshot verifies it FIRST, then parses with the
+// same hostile-input discipline as the wire codec (every length bounded
+// before any allocation). Writes are atomic: temp file + fsync + rename +
+// directory fsync — a reader (or a recovery) observes either the old
+// snapshot or the new one, never a torn hybrid.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/chunked_peer_set.hpp"
+#include "gossip/codec.hpp"
+#include "version/store.hpp"
+
+namespace updp2p::store {
+
+/// Upper bound (exclusive) on snapshot files we will read. Generous — a
+/// snapshot holds one peer's store — but it keeps a corrupt or hostile
+/// length from commanding unbounded work.
+inline constexpr std::uint64_t kMaxSnapshotBytes = 1ull << 30;
+
+/// Current snapshot format version.
+inline constexpr std::uint8_t kSnapshotVersion = 1;
+
+struct SnapshotData {
+  std::uint64_t last_seq = 0;  ///< WAL records <= this are superseded
+  common::ChunkedPeerSet membership;
+  std::vector<version::VersionedValue> values;
+};
+
+/// Serialises `data` (including the trailing CRC).
+[[nodiscard]] gossip::WireBytes encode_snapshot(const SnapshotData& data);
+
+/// Parses + CRC-verifies a snapshot image. nullopt on ANY malformation —
+/// bad magic/version, truncation, checksum mismatch, hostile lengths.
+/// Never UB, never an allocation commanded by an unvalidated length.
+[[nodiscard]] std::optional<SnapshotData> decode_snapshot(
+    std::span<const std::byte> bytes);
+
+/// Atomically replaces `path` with the encoding of `data`: writes
+/// `path`.tmp, fsyncs it, rename(2)s over `path`, fsyncs the directory.
+[[nodiscard]] bool write_snapshot_file(const std::string& path,
+                                       const SnapshotData& data,
+                                       std::string* error);
+
+/// Reads and decodes `path`. Distinguishes "no snapshot" (missing file —
+/// returns an empty SnapshotData) from corruption (nullopt, with a
+/// diagnostic in `error`): recovery continues from an empty state in the
+/// first case and may still replay the log in the second.
+[[nodiscard]] std::optional<SnapshotData> read_snapshot_file(
+    const std::string& path, std::string* error);
+
+}  // namespace updp2p::store

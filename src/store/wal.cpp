@@ -1,0 +1,257 @@
+#include "store/wal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "common/crc32c.hpp"
+
+namespace updp2p::store {
+
+namespace {
+
+std::uint32_t get_u32le(const std::byte* p) noexcept {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t get_u64le(const std::byte* p) noexcept {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return value;
+}
+
+void put_u32le(std::vector<std::byte>& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64le(std::vector<std::byte>& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+/// CRC-32C over seq (LE) then body — what the record's crc field commits
+/// to. Chaining via the seed keeps it one pass over the body.
+std::uint32_t record_crc(std::uint64_t seq,
+                         std::span<const std::byte> body) noexcept {
+  std::byte seq_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    seq_bytes[i] = static_cast<std::byte>((seq >> (8 * i)) & 0xFF);
+  }
+  return common::crc32c(body, common::crc32c(seq_bytes));
+}
+
+bool write_all(int fd, const std::byte* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(WalTail tail) noexcept {
+  switch (tail) {
+    case WalTail::kCleanEnd: return "clean-end";
+    case WalTail::kTornHeader: return "torn-header";
+    case WalTail::kTornBody: return "torn-body";
+    case WalTail::kBadCrc: return "bad-crc";
+    case WalTail::kBadLength: return "bad-length";
+    case WalTail::kBadSequence: return "bad-sequence";
+  }
+  return "unknown";
+}
+
+WalScanResult scan_wal(
+    std::span<const std::byte> bytes, std::optional<std::uint64_t> first_seq,
+    const std::function<void(const WalRecord&)>& on_record) {
+  WalScanResult result;
+  result.next_seq = first_seq.value_or(1);
+  bool expect_known = first_seq.has_value();
+  std::size_t offset = 0;
+  for (;;) {
+    const std::size_t remaining = bytes.size() - offset;
+    if (remaining == 0) break;  // clean end
+    if (remaining < kWalHeaderBytes) {
+      result.tail = WalTail::kTornHeader;
+      break;
+    }
+    const std::byte* header = bytes.data() + offset;
+    const std::uint32_t len = get_u32le(header);
+    const std::uint32_t crc = get_u32le(header + 4);
+    const std::uint64_t seq = get_u64le(header + 8);
+    // Bound the length BEFORE trusting it for anything: below the
+    // preamble it cannot frame a record, at or above kMaxWalRecordBytes
+    // it is garbage (no legal frame approaches it) — either way the
+    // prefix ends here. Nothing is ever allocated from `len`; the body is
+    // a span into the scan buffer.
+    if (len < kWalBodyPreambleBytes || len >= kMaxWalRecordBytes) {
+      result.tail = WalTail::kBadLength;
+      break;
+    }
+    if (remaining - kWalHeaderBytes < len) {
+      result.tail = WalTail::kTornBody;
+      break;
+    }
+    const std::span<const std::byte> body(header + kWalHeaderBytes, len);
+    if (record_crc(seq, body) != crc) {
+      result.tail = WalTail::kBadCrc;
+      break;
+    }
+    if (!expect_known && result.records == 0) {
+      // No snapshot told us the base: the first CRC-valid record declares
+      // it, and continuity is enforced from there.
+      result.next_seq = seq;
+      expect_known = true;
+    }
+    if (seq != result.next_seq) {
+      result.tail = WalTail::kBadSequence;
+      break;
+    }
+    WalRecord record;
+    record.seq = seq;
+    record.from =
+        common::PeerId(get_u32le(body.data()));
+    record.round = get_u32le(body.data() + 4);
+    record.frame = body.subspan(kWalBodyPreambleBytes);
+    if (on_record) on_record(record);
+    ++result.records;
+    ++result.next_seq;
+    offset += kWalHeaderBytes + len;
+    result.valid_bytes = offset;
+  }
+  result.discarded_bytes = bytes.size() - result.valid_bytes;
+  return result;
+}
+
+std::optional<WalScanResult> scan_wal_file(
+    const std::string& path, std::optional<std::uint64_t> first_seq,
+    const std::function<void(const WalRecord&)>& on_record) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    // Missing file == empty log (first boot). Report it as clean.
+    WalScanResult result;
+    result.next_seq = first_seq.value_or(1);
+    return result;
+  }
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  if (in.bad()) return std::nullopt;
+  const auto* data = reinterpret_cast<const std::byte*>(raw.data());
+  return scan_wal(std::span<const std::byte>(data, raw.size()), first_seq,
+                  on_record);
+}
+
+FrameWal::FrameWal(FrameWal&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_seq_(other.next_seq_),
+      appended_bytes_(other.appended_bytes_),
+      fsync_each_append_(other.fsync_each_append_),
+      scratch_(std::move(other.scratch_)) {}
+
+FrameWal& FrameWal::operator=(FrameWal&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    next_seq_ = other.next_seq_;
+    appended_bytes_ = other.appended_bytes_;
+    fsync_each_append_ = other.fsync_each_append_;
+    scratch_ = std::move(other.scratch_);
+  }
+  return *this;
+}
+
+FrameWal::~FrameWal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::optional<FrameWal> FrameWal::open_for_append(
+    const std::string& path, std::uint64_t truncate_to,
+    std::uint64_t next_seq, bool fsync_each_append, std::string* error) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY, 0644);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = path + ": open: " + std::strerror(errno);
+    }
+    return std::nullopt;
+  }
+  // Drop anything past the valid prefix (the torn/corrupt tail a scan
+  // diagnosed) so the next append extends valid bytes, not garbage.
+  if (::ftruncate(fd, static_cast<off_t>(truncate_to)) != 0 ||
+      ::lseek(fd, 0, SEEK_END) < 0) {
+    if (error != nullptr) {
+      *error = path + ": truncate: " + std::strerror(errno);
+    }
+    ::close(fd);
+    return std::nullopt;
+  }
+  FrameWal wal;
+  wal.fd_ = fd;
+  wal.next_seq_ = next_seq;
+  wal.fsync_each_append_ = fsync_each_append;
+  return wal;
+}
+
+std::optional<std::uint64_t> FrameWal::append(
+    common::PeerId from, common::Round round,
+    std::span<const std::byte> frame) {
+  if (fd_ < 0) return std::nullopt;
+  if (kWalBodyPreambleBytes + frame.size() >= kMaxWalRecordBytes) {
+    return std::nullopt;  // cannot be framed; scan would reject it anyway
+  }
+  const std::uint64_t seq = next_seq_;
+  const auto len =
+      static_cast<std::uint32_t>(kWalBodyPreambleBytes + frame.size());
+  scratch_.clear();
+  scratch_.reserve(kWalHeaderBytes + len);
+  put_u32le(scratch_, len);
+  put_u32le(scratch_, 0);  // crc placeholder, patched below
+  put_u64le(scratch_, seq);
+  put_u32le(scratch_, from.value());
+  put_u32le(scratch_, round);
+  scratch_.insert(scratch_.end(), frame.begin(), frame.end());
+  const std::uint32_t crc = record_crc(
+      seq, std::span<const std::byte>(scratch_).subspan(kWalHeaderBytes));
+  for (int i = 0; i < 4; ++i) {
+    scratch_[4 + static_cast<std::size_t>(i)] =
+        static_cast<std::byte>((crc >> (8 * i)) & 0xFF);
+  }
+  // One write(2) of the complete record: a crash tears at most the tail
+  // record, which recovery truncates away.
+  if (!write_all(fd_, scratch_.data(), scratch_.size())) return std::nullopt;
+  if (fsync_each_append_ && ::fsync(fd_) != 0) return std::nullopt;
+  ++next_seq_;
+  appended_bytes_ += scratch_.size();
+  return seq;
+}
+
+bool FrameWal::truncate_all() {
+  if (fd_ < 0) return false;
+  if (::ftruncate(fd_, 0) != 0 || ::lseek(fd_, 0, SEEK_SET) < 0) {
+    return false;
+  }
+  return ::fsync(fd_) == 0;
+}
+
+bool FrameWal::sync() { return fd_ >= 0 && ::fsync(fd_) == 0; }
+
+}  // namespace updp2p::store

@@ -132,6 +132,15 @@ std::vector<VersionId> VersionedStore::stored_ids() const {
   return out;
 }
 
+std::vector<VersionedValue> VersionedStore::all_versions() const {
+  std::vector<VersionedValue> out;
+  out.reserve(version_count());
+  for (const auto& [key, versions] : items_) {
+    out.insert(out.end(), versions.begin(), versions.end());
+  }
+  return out;
+}
+
 std::size_t VersionedStore::gc_tombstones(common::SimTime now,
                                           common::SimTime retention) {
   std::size_t collected = 0;

@@ -91,6 +91,12 @@ class VersionedStore {
   /// request's `have` list.
   [[nodiscard]] std::vector<VersionId> stored_ids() const;
 
+  /// Every stored version (live and tombstoned), key-ordered. This is the
+  /// store's full durable state: re-applying the list to an empty store
+  /// reproduces items, summary and content digest exactly (the maximal
+  /// versions' merged histories ARE the summary). Snapshot export.
+  [[nodiscard]] std::vector<VersionedValue> all_versions() const;
+
   /// Order-insensitive digest of the stored version-id set. Two stores with
   /// equal digests hold the same versions (up to the digest's collision
   /// probability), so reconciliation can short-circuit: the common

@@ -1,0 +1,18 @@
+// Fixture: durable-store record sizing — a WAL record length and a
+// snapshot record count read from disk size containers with no recognised
+// bound in sight. Disk bytes are hostile input (bit rot, torn writes), so
+// the rule must catch the store vocabulary ("len", "record") under
+// src/store/ on both resize and reserve.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+void stage_record_body(std::uint32_t record_len,
+                       std::vector<std::byte>& scratch) {
+  scratch.resize(record_len);
+}
+
+void stage_snapshot_records(std::uint64_t record_count,
+                            std::vector<std::uint32_t>& values) {
+  values.reserve(record_count);
+}

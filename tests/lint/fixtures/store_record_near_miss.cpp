@@ -1,0 +1,27 @@
+// Fixture: the same disk-derived sizes are fine when the store-side caps
+// (kMaxWalRecordBytes / kMaxSnapshotBytes) are checked within the guard
+// window — and sizing by a scan's already-validated byte counts
+// (valid_bytes) must not trip the store vocabulary.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+inline constexpr std::uint32_t kMaxWalRecordBytes = 1u << 24;
+inline constexpr std::uint64_t kMaxSnapshotBytes = std::uint64_t{1} << 30;
+
+void stage_record_body(std::uint32_t record_len,
+                       std::vector<std::byte>& scratch) {
+  if (record_len >= kMaxWalRecordBytes) return;
+  scratch.resize(record_len);
+}
+
+void stage_snapshot_records(std::uint64_t record_count,
+                            std::vector<std::uint32_t>& values) {
+  if (record_count > kMaxSnapshotBytes) return;
+  values.reserve(record_count);
+}
+
+void keep_valid_prefix(std::size_t valid_bytes,
+                       std::vector<std::byte>& log) {
+  log.resize(valid_bytes);
+}

@@ -175,9 +175,24 @@ TEST_F(LintToolTest, WireBoundsAcceptsGuardedProbesAndFrameConstants) {
   expect_clean(run_lint());
 }
 
+TEST_F(LintToolTest, WireBoundsFlagsStoreRecordSizes) {
+  install("store_record_flagged.cpp", "src/store/wal_replay.cpp");
+  const RunOutput out = run_lint();
+  EXPECT_EQ(out.exit_code, 1) << out.text;
+  expect_finding(out, "src/store/wal_replay.cpp", 12, "wire-bounds");
+  expect_finding(out, "src/store/wal_replay.cpp", 17, "wire-bounds");
+}
+
+TEST_F(LintToolTest, WireBoundsAcceptsStoreCapsAndValidatedPrefixes) {
+  install("store_record_near_miss.cpp", "src/store/wal_replay.cpp");
+  expect_clean(run_lint());
+}
+
 TEST_F(LintToolTest, WireBoundsOnlyAppliesToDecodeSurface) {
-  // The identical unguarded resize is out of scope outside codec/net.
+  // The identical unguarded resizes are out of scope outside
+  // codec/net/store.
   install("wire_flagged.cpp", "src/sim/wire_flagged.cpp");
+  install("store_record_flagged.cpp", "src/sim/store_record_flagged.cpp");
   expect_clean(run_lint());
 }
 

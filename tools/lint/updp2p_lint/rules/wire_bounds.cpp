@@ -8,14 +8,19 @@
 // Detection: a member `.resize(...)` / `.reserve(...)` whose argument looks
 // wire-derived — it dereferences an optional (`*count`, the codec's decode
 // idiom) or names an identifier containing "count", "cardinality", "chunk"
-// (the v2 chunked-peerset decode vocabulary), or "probe"/"probed" (the
+// (the v2 chunked-peerset decode vocabulary), "probe"/"probed" (the
 // lazy-decode entry points: probe_frame results are parsed from hostile
 // bytes exactly like full decodes, so a probed length sizing a container
-// needs the same bound) — with no recognised bound token within ±12 lines. Recognised bounds are kMaxWirePeerId plus
-// the chunk-level caps kMaxWireChunkKey, kArrayChunkMax and kChunkSpan
-// (a chunk's declared cardinality can never exceed its id span). Sizes
-// that are bounded some other way (e.g. by the datagram's byte count)
-// carry a lint-allow stating the bound.
+// needs the same bound), or "len"/"record" (the durable store's on-disk
+// vocabulary: a WAL record's `len` field and a snapshot's counts are read
+// from disk, and disk is hostile input — bit rot and torn writes produce
+// exactly the adversarial lengths a malicious datagram would) — with no
+// recognised bound token within ±12 lines. Recognised bounds are
+// kMaxWirePeerId plus the chunk-level caps kMaxWireChunkKey, kArrayChunkMax
+// and kChunkSpan (a chunk's declared cardinality can never exceed its id
+// span), and the store-side caps kMaxWalRecordBytes / kMaxSnapshotBytes.
+// Sizes that are bounded some other way (e.g. by the datagram's byte
+// count) carry a lint-allow stating the bound.
 
 #include "updp2p_lint/rule.hpp"
 #include "updp2p_lint/token_match.hpp"
@@ -29,7 +34,10 @@ namespace {
 constexpr int kGuardWindowLines = 12;
 
 bool in_wire_scope(std::string_view path) {
-  return path_starts_with_any(path, {"src/net/", "src/gossip/codec."});
+  // src/store/ decodes the same grammars FROM DISK — its record/snapshot
+  // lengths are as hostile as a datagram's.
+  return path_starts_with_any(path,
+                              {"src/net/", "src/gossip/codec.", "src/store/"});
 }
 
 bool looks_wire_sized(std::string_view name) {
@@ -41,16 +49,22 @@ bool looks_wire_sized(std::string_view name) {
   // friends): a probed header field is wire-derived hostile input just like
   // a fully decoded one. Deliberately NOT "frame" or "header" — those name
   // trusted local constants (kFrameHeaderBytes) all over src/net/.
+  // "len"/"record" is the durable store's decode vocabulary (a WAL
+  // record's length field, snapshot record counts). Deliberately NOT
+  // "size" — that would match every `.size()` call in scope.
   return lower.find("count") != std::string::npos ||
          lower.find("cardinality") != std::string::npos ||
          lower.find("chunk") != std::string::npos ||
-         lower.find("probe") != std::string::npos;
+         lower.find("probe") != std::string::npos ||
+         lower.find("len") != std::string::npos ||
+         lower.find("record") != std::string::npos;
 }
 
 /// Identifiers accepted as evidence that a nearby size was bounds-checked.
 bool is_bound_token(const Token& t) {
   return is_ident(t, "kMaxWirePeerId") || is_ident(t, "kMaxWireChunkKey") ||
-         is_ident(t, "kArrayChunkMax") || is_ident(t, "kChunkSpan");
+         is_ident(t, "kArrayChunkMax") || is_ident(t, "kChunkSpan") ||
+         is_ident(t, "kMaxWalRecordBytes") || is_ident(t, "kMaxSnapshotBytes");
 }
 
 /// A unary `*` token: preceded by nothing, an open paren/bracket, a comma,
@@ -120,8 +134,9 @@ class WireBoundsRule final : public Rule {
           {file.path, t.line, std::string(id()),
            t.text + " sized by a wire-decoded value with no recognised "
                     "bound (kMaxWirePeerId / kMaxWireChunkKey / "
-                    "kArrayChunkMax / kChunkSpan) in sight; bounds-check "
-                    "the decoded count/cardinality, or lint-allow stating "
+                    "kArrayChunkMax / kChunkSpan / kMaxWalRecordBytes / "
+                    "kMaxSnapshotBytes) in sight; bounds-check the decoded "
+                    "count/cardinality/length, or lint-allow stating "
                     "what bounds it"});
     }
   }
