@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Schema-shape validator for updp2p-lint's SARIF output.
+
+Not a full SARIF 2.1.0 schema validation (no jsonschema dependency in the
+image) — checks the invariants downstream consumers rely on:
+
+  * top level: $schema mentioning sarif-2.1.0, version == "2.1.0",
+    non-empty runs list
+  * each run: tool.driver.name, a rules list where every rule has an id
+    and a shortDescription.text
+  * each result: ruleId (present in the driver's rules), level in the
+    SARIF vocabulary, message.text, and at least one location with
+    physicalLocation.artifactLocation.uri and region.startLine >= 1
+
+Usage: check_lint_baseline.py <lint.sarif>
+Exits 0 when the shape holds, 1 with a diagnostic per violation.
+"""
+
+import json
+import sys
+
+SARIF_LEVELS = {"none", "note", "warning", "error"}
+
+
+def fail(errors):
+    for error in errors:
+        print(f"check_lint_baseline: {error}", file=sys.stderr)
+    return 1
+
+
+def check(doc):
+    errors = []
+    schema = doc.get("$schema", "")
+    if "sarif-2.1.0" not in schema:
+        errors.append(f"$schema does not name sarif-2.1.0: {schema!r}")
+    if doc.get("version") != "2.1.0":
+        errors.append(f"version is {doc.get('version')!r}, expected '2.1.0'")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        errors.append("runs must be a non-empty list")
+        return errors
+
+    for run_index, run in enumerate(runs):
+        where = f"runs[{run_index}]"
+        driver = run.get("tool", {}).get("driver", {})
+        if not driver.get("name"):
+            errors.append(f"{where}: tool.driver.name missing")
+        rules = driver.get("rules", [])
+        rule_ids = set()
+        for rule_index, rule in enumerate(rules):
+            rwhere = f"{where}.tool.driver.rules[{rule_index}]"
+            rule_id = rule.get("id")
+            if not rule_id:
+                errors.append(f"{rwhere}: id missing")
+            else:
+                rule_ids.add(rule_id)
+            if not rule.get("shortDescription", {}).get("text"):
+                errors.append(f"{rwhere}: shortDescription.text missing")
+
+        for result_index, result in enumerate(run.get("results", [])):
+            rwhere = f"{where}.results[{result_index}]"
+            rule_id = result.get("ruleId")
+            if not rule_id:
+                errors.append(f"{rwhere}: ruleId missing")
+            elif rule_ids and rule_id not in rule_ids:
+                errors.append(
+                    f"{rwhere}: ruleId {rule_id!r} not in the driver's rules")
+            level = result.get("level")
+            if level not in SARIF_LEVELS:
+                errors.append(f"{rwhere}: level {level!r} not in "
+                              f"{sorted(SARIF_LEVELS)}")
+            if not result.get("message", {}).get("text"):
+                errors.append(f"{rwhere}: message.text missing")
+            locations = result.get("locations")
+            if not isinstance(locations, list) or not locations:
+                errors.append(f"{rwhere}: locations must be a non-empty list")
+                continue
+            physical = locations[0].get("physicalLocation", {})
+            uri = physical.get("artifactLocation", {}).get("uri")
+            if not uri:
+                errors.append(
+                    f"{rwhere}: physicalLocation.artifactLocation.uri missing")
+            start_line = physical.get("region", {}).get("startLine")
+            if not isinstance(start_line, int) or start_line < 1:
+                errors.append(
+                    f"{rwhere}: physicalLocation.region.startLine must be a "
+                    f"positive integer, got {start_line!r}")
+    return errors
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return fail([f"cannot parse {argv[1]}: {error}"])
+    errors = check(doc)
+    if errors:
+        return fail(errors)
+    print(f"check_lint_baseline: {argv[1]} is shape-valid SARIF 2.1.0")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -20,16 +20,19 @@
 # or differently-provisioned machines.
 #
 # Usage: scripts/verify.sh [--skip-sanitizers] [--skip-bench-guard]
+#                          [--update-lint-baseline]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc)"
 SKIP_SAN=0
 SKIP_BENCH_GUARD=0
+UPDATE_LINT_BASELINE=0
 for arg in "$@"; do
   case "${arg}" in
     --skip-sanitizers) SKIP_SAN=1 ;;
     --skip-bench-guard) SKIP_BENCH_GUARD=1 ;;
+    --update-lint-baseline) UPDATE_LINT_BASELINE=1 ;;
     *) echo "unknown option: ${arg}" >&2; exit 2 ;;
   esac
 done
@@ -41,12 +44,24 @@ cmake --build --preset release -j "${JOBS}"
 # Lint leg (docs/static-analysis.md). Runs before the test suites and the
 # sanitizer legs so convention breaks fail fast; --skip-sanitizers does NOT
 # skip it. updp2p-lint enforces the project rules (determinism,
-# rng-discipline, iteration-order, wire-bounds, assert-discipline,
-# suppression-reason); clang-tidy runs the curated .clang-tidy set over
-# compile_commands.json when the binary exists, and is skipped with a
-# notice otherwise (the container image has no clang frontend).
-echo "==> lint: updp2p-lint over src/ bench/ examples/"
-./build/tools/lint/updp2p-lint --root .
+# rng-discipline, iteration-order, wire-taint, probe-trust, shard-guard,
+# assert-discipline, suppression-reason); findings are gated by
+# tools/lint/lint-baseline.txt (stale entries fail — fixed code keeps its
+# baseline honest) and the SARIF artifact lands at build/lint.sarif for CI
+# consumers, shape-checked by scripts/check_lint_baseline.py. clang-tidy
+# runs the curated .clang-tidy set over compile_commands.json when the
+# binary exists, and is skipped with a notice otherwise (the container
+# image has no clang frontend).
+if [[ "${UPDATE_LINT_BASELINE}" == "1" ]]; then
+  echo "==> lint: regenerating tools/lint/lint-baseline.txt"
+  ./build/tools/lint/updp2p-lint --root . \
+    --write-baseline tools/lint/lint-baseline.txt
+fi
+echo "==> lint: updp2p-lint over src/ bench/ examples/ (SARIF: build/lint.sarif)"
+./build/tools/lint/updp2p-lint --root . \
+  --baseline tools/lint/lint-baseline.txt \
+  --format sarif --output build/lint.sarif
+python3 scripts/check_lint_baseline.py build/lint.sarif
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "==> lint: clang-tidy (curated .clang-tidy) over compile_commands.json"
   mapfile -t TIDY_SOURCES < <(find src tools -name '*.cpp' | sort)

@@ -210,7 +210,6 @@ bool get_peer_set_into(std::span<const std::byte> bytes, std::size_t& offset,
         return fail();
       }
       lows.clear();
-      // lint-allow(wire-bounds): cardinality capped at kArrayChunkMax above
       lows.reserve(*cardinality);
       std::uint64_t value = 0;
       for (std::uint64_t i = 0; i < *cardinality; ++i) {
@@ -532,7 +531,6 @@ std::optional<GossipPayload> decode(std::span<const std::byte> bytes) {
       }
       PullRequest request;
       request.summary = std::move(*summary);
-      // lint-allow(wire-bounds): digest list, count capped by bytes.size()
       request.have.reserve(*have_count);
       for (std::uint64_t i = 0; i < *have_count; ++i) {
         auto digest = get_digest(bytes, offset);
@@ -554,7 +552,6 @@ std::optional<GossipPayload> decode(std::span<const std::byte> bytes) {
       PullResponse response;
       response.summary = std::move(*summary);
       response.confident = (*confident & 1) != 0;
-      // lint-allow(wire-bounds): value list, count capped by bytes.size()
       response.missing.reserve(*count);
       for (std::uint64_t i = 0; i < *count; ++i) {
         auto value = get_value(bytes, offset);
@@ -586,7 +583,6 @@ std::optional<GossipPayload> decode(std::span<const std::byte> bytes) {
       reply.key = std::move(*key);
       reply.nonce = *nonce;
       reply.confident = (*confident & 1) != 0;
-      // lint-allow(wire-bounds): value list, count capped by bytes.size()
       reply.versions.reserve(*count);
       for (std::uint64_t i = 0; i < *count; ++i) {
         auto value = get_value(bytes, offset);

@@ -182,7 +182,7 @@ class ShardedMessageBus {
         block_(population == 0 ? 1
                                : (population + shards_ - 1) / shards_),
         cells_(shards_ * shards_),
-        stats_(shards_) {}
+        shard_stats_(shards_) {}
 
   [[nodiscard]] std::size_t shard_count() const noexcept { return shards_; }
   [[nodiscard]] std::size_t shard_of(common::PeerId peer) const noexcept {
@@ -197,7 +197,7 @@ class ShardedMessageBus {
                        common::PeerId to, Payload payload,
                        std::uint64_t size_bytes, common::Round round,
                        std::uint32_t seq) {
-    BusStats& stats = stats_[src_shard].stats;
+    BusStats& stats = shard_stats_[src_shard].stats;
     ++stats.messages_sent;
     stats.bytes_sent += size_bytes;
     cells_[src_shard * shards_ + shard_of(to)].pending.push_back(
@@ -215,6 +215,7 @@ class ShardedMessageBus {
   /// Publishes the pending buffers: everything sent before this call
   /// becomes in-flight (deliverable this round); sends after it queue for
   /// the next round. Sequential — call between parallel phases.
+  // holds(shard): sequential between parallel phases; no shard task runs
   void begin_round() {
     for (Cell& cell : cells_) {
       cell.inflight.clear();  // capacity retained
@@ -225,15 +226,15 @@ class ShardedMessageBus {
   /// Gathers the in-flight envelopes addressed to shard `dst` into `batch`
   /// (replacing its contents), sorted by (to, from, seq). Envelopes are
   /// moved out; call once per shard per round, from the task owning `dst`.
-  void collect_into(std::size_t dst, std::vector<EnvelopeT>& batch) {
+  void collect_into(std::size_t dst_shard, std::vector<EnvelopeT>& batch) {
     batch.clear();
     std::size_t total = 0;
     for (std::size_t src = 0; src < shards_; ++src) {
-      total += cells_[src * shards_ + dst].inflight.size();
+      total += cells_[src * shards_ + dst_shard].inflight.size();
     }
     batch.reserve(total);
     for (std::size_t src = 0; src < shards_; ++src) {
-      for (EnvelopeT& envelope : cells_[src * shards_ + dst].inflight) {
+      for (EnvelopeT& envelope : cells_[src * shards_ + dst_shard].inflight) {
         batch.push_back(std::move(envelope));
       }
     }
@@ -245,16 +246,17 @@ class ShardedMessageBus {
               });
   }
 
-  /// The stats slot owned by shard `s` — the parallel task records its
+  /// The stats slot owned by `shard` — the parallel task records its
   /// delivery outcomes here without contention.
-  [[nodiscard]] BusStats& shard_stats(std::size_t s) noexcept {
-    return stats_[s].stats;
+  [[nodiscard]] BusStats& shard_stats(std::size_t shard) noexcept {
+    return shard_stats_[shard].stats;
   }
 
   /// Merged view over all shard slots.
+  // holds(shard): read-only merge run sequentially after the round joins
   [[nodiscard]] BusStats stats() const {
     BusStats merged;
-    for (const PaddedStats& slot : stats_) {
+    for (const PaddedStats& slot : shard_stats_) {
       merged.messages_sent += slot.stats.messages_sent;
       merged.messages_delivered += slot.stats.messages_delivered;
       merged.messages_to_offline += slot.stats.messages_to_offline;
@@ -265,6 +267,7 @@ class ShardedMessageBus {
     return merged;
   }
 
+  // holds(shard): diagnostic count, called between rounds only
   [[nodiscard]] std::size_t pending_count() const noexcept {
     std::size_t total = 0;
     for (const Cell& cell : cells_) total += cell.pending.size();
@@ -283,8 +286,8 @@ class ShardedMessageBus {
 
   std::size_t shards_;
   std::size_t block_;
-  std::vector<Cell> cells_;  ///< row-major [src_shard][dst_shard]
-  std::vector<PaddedStats> stats_;
+  std::vector<Cell> cells_;  ///< row-major [src][dst] — guarded-by(shard)
+  std::vector<PaddedStats> shard_stats_;  // guarded-by(shard)
 };
 
 }  // namespace updp2p::net

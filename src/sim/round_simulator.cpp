@@ -131,6 +131,7 @@ void RoundSimulator::dispatch(common::PeerId from,
   dispatch_from(bus_.shard_of(from), from, out);
 }
 
+// holds(shard): tracking starts from the sequential driver, between rounds
 void RoundSimulator::start_tracking(const version::VersionId& id) {
   tracking_ = true;
   tracked_id_ = id;
@@ -247,6 +248,8 @@ void RoundSimulator::step_shard(unsigned shard) {
   }
 }
 
+// holds(shard): phases 1-2 fan out via step_shard(shard); every statement
+// in this body runs in the sequential gaps before/after the fan-out joins
 void RoundSimulator::step_round(RunMetrics* metrics) {
   ++round_;
 

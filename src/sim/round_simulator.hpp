@@ -182,8 +182,8 @@ class RoundSimulator {
   // the shard that owns node i (or by the sequential phases), so plain
   // byte/word arrays are race-free.
   std::vector<std::uint8_t> online_;     ///< churn snapshot read by shards
-  std::vector<std::uint8_t> aware_;      ///< aware_[i]: i knows tracked_id_
-  std::vector<std::uint32_t> send_seq_;  ///< per-sender envelope sequence
+  std::vector<std::uint8_t> aware_;      ///< i knows tracked_id_ — guarded-by(shard)
+  std::vector<std::uint32_t> send_seq_;  ///< sender seq — guarded-by(shard)
 
   // Incremental metric state: awareness used to be an O(population) rescan
   // per round; shard tasks count newly-aware nodes and the merge step sums

@@ -29,7 +29,7 @@ struct SweepPool::Impl {
     std::atomic<unsigned> next{0};     ///< work-stealing index
     std::atomic<unsigned> done{0};     ///< tasks completed
     std::atomic<int> worker_slots{0};  ///< pool workers allowed to join
-    std::exception_ptr first_error;    ///< guarded by the pool mutex
+    std::exception_ptr first_error;    // guarded-by(mutex)
   };
 
   std::mutex run_mutex;  ///< serialises concurrent run() callers
@@ -38,10 +38,10 @@ struct SweepPool::Impl {
   std::condition_variable work_cv;  ///< wakes workers for a new job
   std::condition_variable done_cv;  ///< wakes the caller on completion
 
-  std::uint64_t generation = 0;  ///< bumped once per published job
-  std::shared_ptr<Job> job;      ///< current job (guarded by mutex)
+  std::uint64_t generation = 0;  ///< bumped per published job — guarded-by(mutex)
+  std::shared_ptr<Job> job;      ///< current job — guarded-by(mutex)
 
-  bool stopping = false;
+  bool stopping = false;  // guarded-by(mutex)
   std::vector<std::thread> workers;
 
   void drain(Job& j) {

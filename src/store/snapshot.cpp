@@ -92,7 +92,6 @@ std::optional<SnapshotData> decode_snapshot(std::span<const std::byte> bytes) {
   if (!value_count || *value_count > body.size() - offset) {
     return std::nullopt;
   }
-  // lint-allow(wire-bounds): count checked against remaining body bytes
   data.values.reserve(*value_count);
   for (std::uint64_t i = 0; i < *value_count; ++i) {
     auto value = gossip::decode_value(body, offset);

@@ -1,0 +1,28 @@
+// Fixture: probe-trust — probe_frame parses only enough of a hostile
+// frame to route it; its fields must never be installed into replica
+// state or handed to mutation paths without a full decode dominating.
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+struct ProbeInfo {
+  std::uint64_t version;
+  std::uint32_t origin;
+};
+
+std::optional<ProbeInfo> probe_frame(std::span<const std::byte> bytes);
+void handle_update(std::uint64_t version);
+
+class Replica {
+ public:
+  void on_frame(std::span<const std::byte> bytes) {
+    const auto probe = probe_frame(bytes);
+    if (!probe) return;
+    last_version_ = probe->version;
+    handle_update(probe->version);
+  }
+
+ private:
+  std::uint64_t last_version_ = 0;
+};

@@ -1,0 +1,40 @@
+// Fixture: probe results feeding counters, dedup lookups and routing are
+// the sanctioned uses; once a full decode's result is null-checked with
+// an early exit, the frame's values may mutate state freely.
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_set>
+
+struct ProbeInfo {
+  std::uint64_t version;
+  std::uint32_t origin;
+};
+
+struct PushFrame {
+  std::uint64_t version;
+};
+
+std::optional<ProbeInfo> probe_frame(std::span<const std::byte> bytes);
+std::optional<PushFrame> decode_push(std::span<const std::byte> bytes);
+void handle_update(std::uint64_t version);
+
+class Replica {
+ public:
+  void on_frame(std::span<const std::byte> bytes) {
+    const auto probe = probe_frame(bytes);
+    if (!probe) return;
+    if (seen_.contains(probe->version)) return;
+    ++probe_count_;
+    const auto push = decode_push(bytes);
+    if (!push) return;
+    last_version_ = push->version;
+    handle_update(push->version);
+  }
+
+ private:
+  std::unordered_set<std::uint64_t> seen_;
+  std::uint64_t probe_count_ = 0;
+  std::uint64_t last_version_ = 0;
+};

@@ -1,0 +1,30 @@
+// Fixture: shard-guard — aware_ belongs to the owning shard and
+// pending_jobs to jobs_mutex; total() reads aware_ with no shard index
+// in scope (the PR-1 SweepPool stale-claim shape) and drain_jobs()
+// touches pending_jobs without taking the lock.
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+class RoundState {
+ public:
+  void bump(std::size_t shard) { aware_[shard] += 1; }
+
+  std::uint64_t total() {
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : aware_) sum += v;
+    return sum;
+  }
+
+  int drain_jobs() {
+    const int drained = pending_jobs;
+    pending_jobs = 0;
+    return drained;
+  }
+
+ private:
+  std::vector<std::uint64_t> aware_;  // guarded-by(shard)
+  int pending_jobs = 0;               // guarded-by(jobs_mutex)
+  std::mutex jobs_mutex;
+};

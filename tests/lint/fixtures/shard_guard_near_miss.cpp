@@ -1,0 +1,36 @@
+// Fixture: every sanctioned way to touch guarded state — the owning
+// shard index as a parameter (exact or `_shard`-suffixed), the named
+// lock held via lock_guard, a holds() assertion for structurally
+// sequential phases, construction (unshared), and locals that merely
+// shadow a guarded field's name.
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+class SweepState {
+ public:
+  SweepState() { pending_jobs = 0; }
+
+  void claim(std::size_t shard) { claims_[shard] += 1; }
+
+  void merge_from(std::size_t src_shard) { claims_[src_shard] += 1; }
+
+  // holds(shard): rounds are sequential here; no worker is running
+  std::size_t chunk_count() { return claims_.size(); }
+
+  void flush() {
+    std::lock_guard<std::mutex> lock(jobs_mutex);
+    pending_jobs += 1;
+  }
+
+  void unrelated_local() {
+    int pending_jobs = 3;
+    (void)pending_jobs;
+  }
+
+ private:
+  std::vector<std::uint64_t> claims_;  // guarded-by(shard)
+  int pending_jobs = 0;                // guarded-by(jobs_mutex)
+  std::mutex jobs_mutex;
+};

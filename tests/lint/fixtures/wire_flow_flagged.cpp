@@ -1,0 +1,22 @@
+// Fixture: taint across calls — read_total() lifts its result out of raw
+// frame bytes, so the value is wire-derived even though the caller never
+// touches the buffer itself. The helper's summary must carry the taint
+// into ingest(), where the resize has no bound on any path.
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+std::uint64_t read_total(std::span<const std::byte> bytes) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < 4 && i < bytes.size(); ++i) {
+    value |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  }
+  return value;
+}
+
+void ingest(std::span<const std::byte> bytes,
+            std::vector<std::uint32_t>& out) {
+  const std::uint64_t total = read_total(bytes);
+  out.resize(total);
+}

@@ -1,0 +1,42 @@
+// Fixture: the same cross-call taint is fine once a dominating check
+// bounds it — whether the check sits far from the sink, or lives in a
+// helper whose summary says "validates its argument".
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+inline constexpr std::uint64_t kMaxWirePeerId = std::uint64_t{1} << 28;
+
+std::uint64_t read_total(std::span<const std::byte> bytes) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < 4 && i < bytes.size(); ++i) {
+    value |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  }
+  return value;
+}
+
+bool total_fits(std::uint64_t total) { return total <= kMaxWirePeerId; }
+
+void ingest_far_check(std::span<const std::byte> bytes,
+                      std::vector<std::uint32_t>& out) {
+  const std::uint64_t total = read_total(bytes);
+  if (total > bytes.size()) {
+    return;
+  }
+  std::uint64_t checksum = 0;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    checksum ^= static_cast<std::uint64_t>(bytes[i]);
+  }
+  (void)checksum;
+  out.resize(total);
+}
+
+void ingest_validator_helper(std::span<const std::byte> bytes,
+                             std::vector<std::uint32_t>& out) {
+  const std::uint64_t total = read_total(bytes);
+  if (!total_fits(total)) {
+    return;
+  }
+  out.resize(total);
+}

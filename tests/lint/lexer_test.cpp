@@ -75,6 +75,84 @@ TEST(LintLexer, PreprocessorTokensAreMarked) {
   }
 }
 
+// Line-number pinning: diagnostics are only as good as the lexer's line
+// accounting, so every phase-2 splice shape gets its own regression.
+
+int line_of(const LexResult& lexed, const std::string& text) {
+  const auto it =
+      std::find_if(lexed.tokens.begin(), lexed.tokens.end(),
+                   [&text](const Token& t) { return t.text == text; });
+  return it == lexed.tokens.end() ? -1 : it->line;
+}
+
+TEST(LintLexer, PreprocContinuationKeepsLineCount) {
+  const LexResult lexed = lex(
+      "#define WIDE_MACRO(x) \\\n"
+      "  do_something(x); \\\n"
+      "  do_more(x)\n"
+      "int after;\n");
+  EXPECT_EQ(line_of(lexed, "after"), 4);
+  // The continuation lines are still preprocessor territory.
+  for (const Token& t : lexed.tokens) {
+    if (t.text == "do_more") {
+      EXPECT_TRUE(t.preproc);
+    }
+  }
+}
+
+TEST(LintLexer, PreprocContinuationToleratesTrailingWhitespaceAndCr) {
+  // GCC and Clang both splice `\ \n` and `\<CR><LF>`; the flag and the
+  // line counter must survive either shape.
+  const LexResult lexed = lex(
+      "#define A(x) \\  \n"
+      "  first(x)\n"
+      "#define B(x) \\\r\n"
+      "  second(x)\n"
+      "int after;\n");
+  EXPECT_EQ(line_of(lexed, "after"), 5);
+  for (const Token& t : lexed.tokens) {
+    if (t.text == "first" || t.text == "second") {
+      EXPECT_TRUE(t.preproc);
+    }
+  }
+}
+
+TEST(LintLexer, RawStringWithCommentSlashesKeepsLineCount) {
+  const LexResult lexed = lex(
+      "auto s = R\"(not // a comment\n"
+      "still raw /* not a block */\n"
+      ")\";\n"
+      "int after;\n");
+  EXPECT_EQ(line_of(lexed, "after"), 4);
+  EXPECT_FALSE(has_ident(lexed, "comment"));
+}
+
+TEST(LintLexer, SingleLineRawStringWithSlashesDoesNotEatFollowingCode) {
+  const LexResult lexed = lex("auto s = R\"(// nope)\"; int same_line;\n"
+                              "int next_line;\n");
+  EXPECT_EQ(line_of(lexed, "same_line"), 1);
+  EXPECT_EQ(line_of(lexed, "next_line"), 2);
+}
+
+TEST(LintLexer, StringLiteralEscapedNewlineKeepsLineCount) {
+  const LexResult lexed = lex(
+      "const char* s = \"split \\\n"
+      "string\";\n"
+      "int after;\n");
+  EXPECT_EQ(line_of(lexed, "after"), 3);
+}
+
+TEST(LintLexer, CommentContinuationSwallowsNextLine) {
+  // A `//` comment ending in a backslash continues onto the next source
+  // line; code there is commentary, not tokens.
+  const LexResult lexed = lex(
+      "int x; // trailing continuation \\\n"
+      "int not_code;\n"
+      "int after;\n");
+  EXPECT_FALSE(has_ident(lexed, "not_code"));
+  EXPECT_EQ(line_of(lexed, "after"), 3);
+}
+
 TEST(LintSuppressions, ParsesRuleIdAndReason) {
   const LexResult lexed =
       lex("int x; // lint-allow(iteration-order): order-free fold\n");

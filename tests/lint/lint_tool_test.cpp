@@ -48,9 +48,20 @@ class LintToolTest : public ::testing::Test {
     fs::copy_file(from, to, fs::copy_options::overwrite_existing);
   }
 
-  RunOutput run_lint() const {
+  /// Writes literal content to <root>/<dest> (for baseline files).
+  void write_file(const std::string& dest, const std::string& content) {
+    const fs::path to = root_ / dest;
+    fs::create_directories(to.parent_path());
+    FILE* f = std::fopen(to.string().c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+  }
+
+  RunOutput run_lint(const std::string& extra_args = "") const {
     const std::string command = std::string("\"") + UPDP2P_LINT_PATH +
-                                "\" --root \"" + root_.string() + "\" 2>&1";
+                                "\" --root \"" + root_.string() + "\" " +
+                                extra_args + " 2>&1";
     FILE* pipe = ::popen(command.c_str(), "r");
     EXPECT_NE(pipe, nullptr);
     RunOutput out;
@@ -137,63 +148,141 @@ TEST_F(LintToolTest, IterationOrderSeesDeclarationsInCompanionHeader) {
                  "iteration-order");
 }
 
-TEST_F(LintToolTest, WireBoundsFlagsUnguardedWireResize) {
+TEST_F(LintToolTest, WireTaintFlagsUnguardedWireResize) {
   install("wire_flagged.cpp", "src/net/wire_flagged.cpp");
   const RunOutput out = run_lint();
   EXPECT_EQ(out.exit_code, 1) << out.text;
-  expect_finding(out, "src/net/wire_flagged.cpp", 10, "wire-bounds");
+  expect_finding(out, "src/net/wire_flagged.cpp", 10, "wire-taint");
 }
 
-TEST_F(LintToolTest, WireBoundsAllowsGuardedAndNonWireSizes) {
+TEST_F(LintToolTest, WireTaintAllowsGuardedAndNonWireSizes) {
   install("wire_near_miss.cpp", "src/net/wire_near_miss.cpp");
   expect_clean(run_lint());
 }
 
-TEST_F(LintToolTest, WireBoundsFlagsChunkLevelSizes) {
+TEST_F(LintToolTest, WireTaintFlagsChunkLevelSizes) {
   install("wire_chunk_flagged.cpp", "src/gossip/codec.cpp");
   const RunOutput out = run_lint();
   EXPECT_EQ(out.exit_code, 1) << out.text;
-  expect_finding(out, "src/gossip/codec.cpp", 14, "wire-bounds");
-  expect_finding(out, "src/gossip/codec.cpp", 19, "wire-bounds");
+  expect_finding(out, "src/gossip/codec.cpp", 14, "wire-taint");
+  expect_finding(out, "src/gossip/codec.cpp", 19, "wire-taint");
 }
 
-TEST_F(LintToolTest, WireBoundsAcceptsChunkLevelGuards) {
+TEST_F(LintToolTest, WireTaintAcceptsChunkLevelGuards) {
   install("wire_chunk_near_miss.cpp", "src/gossip/codec.cpp");
   expect_clean(run_lint());
 }
 
-TEST_F(LintToolTest, WireBoundsFlagsProbeDerivedSizes) {
+TEST_F(LintToolTest, WireTaintFlagsProbeDerivedSizes) {
   install("wire_probe_flagged.cpp", "src/net/wire_probe_flagged.cpp");
   const RunOutput out = run_lint();
   EXPECT_EQ(out.exit_code, 1) << out.text;
-  expect_finding(out, "src/net/wire_probe_flagged.cpp", 11, "wire-bounds");
-  expect_finding(out, "src/net/wire_probe_flagged.cpp", 16, "wire-bounds");
+  expect_finding(out, "src/net/wire_probe_flagged.cpp", 11, "wire-taint");
+  expect_finding(out, "src/net/wire_probe_flagged.cpp", 16, "wire-taint");
 }
 
-TEST_F(LintToolTest, WireBoundsAcceptsGuardedProbesAndFrameConstants) {
+TEST_F(LintToolTest, WireTaintAcceptsGuardedProbesAndFrameConstants) {
   install("wire_probe_near_miss.cpp", "src/net/wire_probe_near_miss.cpp");
   expect_clean(run_lint());
 }
 
-TEST_F(LintToolTest, WireBoundsFlagsStoreRecordSizes) {
+TEST_F(LintToolTest, WireTaintFlagsStoreRecordSizes) {
   install("store_record_flagged.cpp", "src/store/wal_replay.cpp");
   const RunOutput out = run_lint();
   EXPECT_EQ(out.exit_code, 1) << out.text;
-  expect_finding(out, "src/store/wal_replay.cpp", 12, "wire-bounds");
-  expect_finding(out, "src/store/wal_replay.cpp", 17, "wire-bounds");
+  expect_finding(out, "src/store/wal_replay.cpp", 12, "wire-taint");
+  expect_finding(out, "src/store/wal_replay.cpp", 17, "wire-taint");
 }
 
-TEST_F(LintToolTest, WireBoundsAcceptsStoreCapsAndValidatedPrefixes) {
+TEST_F(LintToolTest, WireTaintAcceptsStoreCapsAndValidatedPrefixes) {
   install("store_record_near_miss.cpp", "src/store/wal_replay.cpp");
   expect_clean(run_lint());
 }
 
-TEST_F(LintToolTest, WireBoundsOnlyAppliesToDecodeSurface) {
+TEST_F(LintToolTest, WireTaintOnlyAppliesToDecodeSurface) {
   // The identical unguarded resizes are out of scope outside
   // codec/net/store.
   install("wire_flagged.cpp", "src/sim/wire_flagged.cpp");
   install("store_record_flagged.cpp", "src/sim/store_record_flagged.cpp");
   expect_clean(run_lint());
+}
+
+TEST_F(LintToolTest, WireTaintFollowsTaintAcrossCalls) {
+  // The helper reads the byte buffer; the caller only sees its return
+  // value. The cross-file summary must carry the taint to the resize.
+  install("wire_flow_flagged.cpp", "src/net/wire_flow_flagged.cpp");
+  const RunOutput out = run_lint();
+  EXPECT_EQ(out.exit_code, 1) << out.text;
+  expect_finding(out, "src/net/wire_flow_flagged.cpp", 21, "wire-taint");
+}
+
+TEST_F(LintToolTest, WireTaintAcceptsFarChecksAndValidatorHelpers) {
+  install("wire_flow_near_miss.cpp", "src/net/wire_flow_near_miss.cpp");
+  expect_clean(run_lint());
+}
+
+TEST_F(LintToolTest, ProbeTrustFlagsStateMutationFromProbeFields) {
+  install("probe_trust_flagged.cpp", "src/net/probe_trust_flagged.cpp");
+  const RunOutput out = run_lint();
+  EXPECT_EQ(out.exit_code, 1) << out.text;
+  expect_finding(out, "src/net/probe_trust_flagged.cpp", 22, "probe-trust");
+  expect_finding(out, "src/net/probe_trust_flagged.cpp", 23, "probe-trust");
+}
+
+TEST_F(LintToolTest, ProbeTrustAllowsBookkeepingAndDecodedPaths) {
+  install("probe_trust_near_miss.cpp", "src/net/probe_trust_near_miss.cpp");
+  expect_clean(run_lint());
+}
+
+TEST_F(LintToolTest, ShardGuardFlagsAccessWithoutShardOrLock) {
+  install("shard_guard_flagged.cpp", "src/sim/shard_guard_flagged.cpp");
+  const RunOutput out = run_lint();
+  EXPECT_EQ(out.exit_code, 1) << out.text;
+  expect_finding(out, "src/sim/shard_guard_flagged.cpp", 16, "shard-guard");
+  expect_finding(out, "src/sim/shard_guard_flagged.cpp", 21, "shard-guard");
+  expect_finding(out, "src/sim/shard_guard_flagged.cpp", 22, "shard-guard");
+}
+
+TEST_F(LintToolTest, ShardGuardAcceptsShardParamLockHoldsAndCtor) {
+  install("shard_guard_near_miss.cpp", "src/sim/shard_guard_near_miss.cpp");
+  expect_clean(run_lint());
+}
+
+TEST_F(LintToolTest, SarifOutputIsSchemaShaped) {
+  install("determinism_flagged.cpp", "src/sim/determinism_flagged.cpp");
+  const RunOutput out = run_lint("--format sarif");
+  EXPECT_EQ(out.exit_code, 1) << out.text;
+  EXPECT_NE(out.text.find("sarif-2.1.0"), std::string::npos) << out.text;
+  EXPECT_NE(out.text.find("\"version\": \"2.1.0\""), std::string::npos)
+      << out.text;
+  EXPECT_NE(out.text.find("\"ruleId\": \"determinism\""), std::string::npos)
+      << out.text;
+  EXPECT_NE(out.text.find("\"startLine\": 5"), std::string::npos) << out.text;
+  EXPECT_NE(out.text.find("\"uri\": \"src/sim/determinism_flagged.cpp\""),
+            std::string::npos)
+      << out.text;
+}
+
+TEST_F(LintToolTest, BaselineSuppressesKnownFindingsAndRejectsStale) {
+  install("determinism_flagged.cpp", "src/sim/determinism_flagged.cpp");
+  write_file("baseline.txt",
+             "determinism src/sim/determinism_flagged.cpp:5\n"
+             "determinism src/sim/determinism_flagged.cpp:10\n"
+             "determinism src/sim/determinism_flagged.cpp:11\n");
+  const std::string baseline_arg =
+      "--baseline \"" + (root_ / "baseline.txt").string() + "\"";
+  const RunOutput suppressed = run_lint(baseline_arg);
+  EXPECT_EQ(suppressed.exit_code, 0) << suppressed.text;
+
+  write_file("baseline.txt",
+             "determinism src/sim/determinism_flagged.cpp:5\n"
+             "determinism src/sim/determinism_flagged.cpp:10\n"
+             "determinism src/sim/determinism_flagged.cpp:11\n"
+             "determinism src/sim/determinism_flagged.cpp:99\n");
+  const RunOutput stale = run_lint(baseline_arg);
+  EXPECT_EQ(stale.exit_code, 1) << stale.text;
+  EXPECT_NE(stale.text.find("stale baseline entry"), std::string::npos)
+      << stale.text;
 }
 
 TEST_F(LintToolTest, AssertDisciplineFlagsRawAssert) {

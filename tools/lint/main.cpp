@@ -1,29 +1,46 @@
 // updp2p-lint — determinism-and-safety static analysis for this repo.
 //
-//   updp2p-lint [--root DIR] [--list-rules] [paths...]
+//   updp2p-lint [--root DIR] [--list-rules] [--format text|sarif]
+//               [--output FILE] [--baseline FILE] [--write-baseline FILE]
+//               [paths...]
 //
 // With no paths, scans src/, bench/ and examples/ under --root (default:
 // current directory). Prints `path:line: rule-id: message` per finding and
 // exits 1 when anything is flagged, 2 on usage/IO errors. Suppress a
 // finding inline with `// lint-allow(rule-id): reason` — the reason is
-// mandatory. See docs/static-analysis.md for the rule catalogue.
+// mandatory — or list it in a baseline file (`rule-id path:line` lines;
+// stale entries fail the run). `--format sarif` emits SARIF 2.1.0 to
+// stdout or --output. See docs/static-analysis.md for the rule catalogue.
 
 #include <cstring>
 #include <exception>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
+#include "updp2p_lint/baseline.hpp"
 #include "updp2p_lint/engine.hpp"
+#include "updp2p_lint/sarif.hpp"
 
 namespace {
 
 int usage(std::ostream& out, int code) {
-  out << "usage: updp2p-lint [--root DIR] [--list-rules] [paths...]\n"
-         "  --root DIR    repo root for rule scoping and default scan dirs\n"
-         "                (default: .)\n"
-         "  --list-rules  print the rule catalogue and exit\n"
-         "  paths         files or directories to lint, relative to root;\n"
-         "                default: src bench examples\n";
+  out << "usage: updp2p-lint [--root DIR] [--list-rules] [--format FMT]\n"
+         "                   [--output FILE] [--baseline FILE]\n"
+         "                   [--write-baseline FILE] [paths...]\n"
+         "  --root DIR            repo root for rule scoping and default\n"
+         "                        scan dirs (default: .)\n"
+         "  --list-rules          print the rule catalogue and exit\n"
+         "  --format text|sarif   report format (default: text)\n"
+         "  --output FILE         write the report there instead of stdout\n"
+         "  --baseline FILE       suppress the findings listed in FILE;\n"
+         "                        entries matching nothing are stale and\n"
+         "                        fail the run\n"
+         "  --write-baseline FILE write current findings as a baseline\n"
+         "                        and exit 0\n"
+         "  paths                 files or directories to lint, relative\n"
+         "                        to root; default: src bench examples\n";
   return code;
 }
 
@@ -33,6 +50,10 @@ int main(int argc, char** argv) {
   updp2p::lint::EngineOptions options;
   options.root = ".";
   bool list_rules = false;
+  std::string format = "text";
+  std::string output_file;
+  std::string baseline_file;
+  std::string write_baseline_file;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -42,6 +63,22 @@ int main(int argc, char** argv) {
     } else if (arg == "--root") {
       if (i + 1 >= argc) return usage(std::cerr, 2);
       options.root = argv[++i];
+    } else if (arg == "--format") {
+      if (i + 1 >= argc) return usage(std::cerr, 2);
+      format = argv[++i];
+      if (format != "text" && format != "sarif") {
+        std::cerr << "updp2p-lint: unknown format '" << format << "'\n";
+        return usage(std::cerr, 2);
+      }
+    } else if (arg == "--output") {
+      if (i + 1 >= argc) return usage(std::cerr, 2);
+      output_file = argv[++i];
+    } else if (arg == "--baseline") {
+      if (i + 1 >= argc) return usage(std::cerr, 2);
+      baseline_file = argv[++i];
+    } else if (arg == "--write-baseline") {
+      if (i + 1 >= argc) return usage(std::cerr, 2);
+      write_baseline_file = argv[++i];
     } else if (arg.starts_with("--")) {
       std::cerr << "updp2p-lint: unknown option " << arg << "\n";
       return usage(std::cerr, 2);
@@ -58,11 +95,82 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const updp2p::lint::RunResult result = updp2p::lint::run(options);
-    updp2p::lint::report(result, std::cout);
+    updp2p::lint::RunResult result = updp2p::lint::run(options);
+
+    if (!write_baseline_file.empty()) {
+      std::ofstream out(write_baseline_file, std::ios::binary);
+      if (!out) {
+        std::cerr << "updp2p-lint: cannot write " << write_baseline_file
+                  << "\n";
+        return 2;
+      }
+      out << updp2p::lint::format_baseline(result.findings);
+      std::cerr << "updp2p-lint: wrote " << result.findings.size()
+                << " baseline entr" << (result.findings.size() == 1 ? "y" : "ies")
+                << " to " << write_baseline_file << "\n";
+      return 0;
+    }
+
+    // Baseline suppression with stale-entry detection.
+    bool baseline_error = false;
+    if (!baseline_file.empty()) {
+      std::ifstream in(baseline_file, std::ios::binary);
+      if (!in) {
+        std::cerr << "updp2p-lint: cannot read baseline " << baseline_file
+                  << "\n";
+        return 2;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      const updp2p::lint::Baseline baseline =
+          updp2p::lint::parse_baseline(text.str());
+      for (const std::string& bad : baseline.malformed) {
+        std::cerr << "updp2p-lint: malformed baseline line: " << bad << "\n";
+        baseline_error = true;
+      }
+      const auto stale =
+          updp2p::lint::apply_baseline(baseline, result.findings);
+      for (const auto& entry : stale) {
+        std::cerr << "updp2p-lint: stale baseline entry (no matching "
+                     "finding — fixed code keeps its baseline honest): "
+                  << entry.rule_id << " " << entry.path << ":" << entry.line
+                  << " (" << baseline_file << ":" << entry.source_line
+                  << ")\n";
+        baseline_error = true;
+      }
+    }
+
+    std::string rendered;
+    if (format == "sarif") {
+      rendered = updp2p::lint::to_sarif(
+          result.findings, updp2p::lint::sarif_rule_catalogue());
+    } else {
+      std::ostringstream text;
+      updp2p::lint::report(result, text);
+      rendered = text.str();
+    }
+    if (!output_file.empty()) {
+      std::ofstream out(output_file, std::ios::binary);
+      if (!out) {
+        std::cerr << "updp2p-lint: cannot write " << output_file << "\n";
+        return 2;
+      }
+      out << rendered;
+      // The human-readable report still goes to stdout so CI logs show
+      // the findings next to the artifact.
+      if (format == "sarif") {
+        std::ostringstream text;
+        updp2p::lint::report(result, text);
+        std::cout << text.str();
+      }
+    } else {
+      std::cout << rendered;
+    }
+
     std::cerr << "updp2p-lint: " << result.findings.size() << " finding(s) in "
               << result.files_with_findings << " file(s), "
               << result.files_scanned << " file(s) scanned\n";
+    if (baseline_error) return 1;
     return result.findings.empty() ? 0 : 1;
   } catch (const std::exception& error) {
     std::cerr << error.what() << "\n";

@@ -1,0 +1,24 @@
+# ctest glue for lint.sarif: run updp2p-lint in SARIF mode over the real
+# tree (baseline applied, so the gate matches lint.tree) and validate the
+# output's SARIF 2.1.0 shape with scripts/check_lint_baseline.py.
+set(sarif "${OUT_DIR}/lint.tree.sarif")
+execute_process(
+  COMMAND "${LINT_BIN}" --root "${SOURCE_DIR}"
+          --baseline "${SOURCE_DIR}/tools/lint/lint-baseline.txt"
+          --format sarif --output "${sarif}"
+  RESULT_VARIABLE lint_result
+  OUTPUT_VARIABLE lint_stdout
+  ERROR_VARIABLE lint_stderr)
+if(NOT lint_result EQUAL 0)
+  message(FATAL_ERROR
+    "updp2p-lint failed (${lint_result}):\n${lint_stdout}${lint_stderr}")
+endif()
+execute_process(
+  COMMAND "${PYTHON}" "${SOURCE_DIR}/scripts/check_lint_baseline.py" "${sarif}"
+  RESULT_VARIABLE check_result
+  OUTPUT_VARIABLE check_stdout
+  ERROR_VARIABLE check_stderr)
+if(NOT check_result EQUAL 0)
+  message(FATAL_ERROR
+    "SARIF shape check failed:\n${check_stdout}${check_stderr}")
+endif()

@@ -1,0 +1,104 @@
+#include "updp2p_lint/baseline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace updp2p::lint {
+
+Baseline parse_baseline(const std::string& text) {
+  Baseline baseline;
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::size_t b = line.find_first_not_of(" \t");
+    if (b == std::string::npos || line[b] == '#') continue;
+
+    // rule-id path:line
+    const std::size_t space = line.find_first_of(" \t", b);
+    if (space == std::string::npos) {
+      baseline.malformed.push_back(line);
+      continue;
+    }
+    BaselineEntry entry;
+    entry.rule_id = line.substr(b, space - b);
+    entry.source_line = line_number;
+    std::size_t p = line.find_first_not_of(" \t", space);
+    if (p == std::string::npos) {
+      baseline.malformed.push_back(line);
+      continue;
+    }
+    std::string loc = line.substr(p);
+    while (!loc.empty() && (loc.back() == ' ' || loc.back() == '\t')) {
+      loc.pop_back();
+    }
+    const std::size_t colon = loc.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= loc.size()) {
+      baseline.malformed.push_back(line);
+      continue;
+    }
+    entry.path = loc.substr(0, colon);
+    try {
+      entry.line = std::stoi(loc.substr(colon + 1));
+    } catch (...) {
+      baseline.malformed.push_back(line);
+      continue;
+    }
+    baseline.entries.push_back(std::move(entry));
+  }
+  return baseline;
+}
+
+std::vector<BaselineEntry> apply_baseline(const Baseline& baseline,
+                                          std::vector<Finding>& findings) {
+  std::vector<BaselineEntry> stale;
+  std::vector<bool> suppressed(findings.size(), false);
+  for (const BaselineEntry& entry : baseline.entries) {
+    bool matched = false;
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      if (suppressed[i]) continue;
+      const Finding& f = findings[i];
+      if (f.rule_id == entry.rule_id && f.path == entry.path &&
+          f.line == entry.line) {
+        suppressed[i] = true;
+        matched = true;
+        // Keep matching: several rules can flag one line only once each,
+        // so a single (rule, path, line) key matches at most one finding
+        // per rule — but be permissive about duplicates.
+      }
+    }
+    if (!matched) stale.push_back(entry);
+  }
+  std::vector<Finding> kept;
+  kept.reserve(findings.size());
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    if (!suppressed[i]) kept.push_back(std::move(findings[i]));
+  }
+  findings = std::move(kept);
+  return stale;
+}
+
+std::string format_baseline(const std::vector<Finding>& findings) {
+  std::vector<const Finding*> sorted;
+  sorted.reserve(findings.size());
+  for (const Finding& f : findings) sorted.push_back(&f);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Finding* a, const Finding* b) {
+              if (a->path != b->path) return a->path < b->path;
+              if (a->line != b->line) return a->line < b->line;
+              return a->rule_id < b->rule_id;
+            });
+  std::ostringstream out;
+  out << "# updp2p-lint baseline: accepted findings, one `rule-id "
+         "path:line` per line.\n"
+         "# Stale entries fail the run — regenerate with "
+         "`scripts/verify.sh --update-lint-baseline`.\n";
+  for (const Finding* f : sorted) {
+    out << f->rule_id << ' ' << f->path << ':' << f->line << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace updp2p::lint

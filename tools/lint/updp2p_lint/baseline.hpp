@@ -1,0 +1,45 @@
+// Known-findings baseline for updp2p-lint.
+//
+// A baseline file lists findings that are accepted for now, one per line:
+//
+//     rule-id path:line
+//
+// `#` starts a comment; blank lines are ignored. `--baseline FILE`
+// suppresses exactly the listed findings. Every entry must still match a
+// live finding — a stale entry (the finding was fixed, or the code
+// moved) is an error, so the baseline can only shrink, never silently
+// rot. Regenerate with `--write-baseline FILE` (or
+// `scripts/verify.sh --update-lint-baseline`).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "updp2p_lint/engine.hpp"
+
+namespace updp2p::lint {
+
+struct BaselineEntry {
+  std::string rule_id;
+  std::string path;
+  int line = 0;
+  int source_line = 0;  // line in the baseline file (for diagnostics)
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+  std::vector<std::string> malformed;  // unparseable lines (verbatim)
+};
+
+/// Parses baseline text. Never throws; bad lines land in `malformed`.
+Baseline parse_baseline(const std::string& text);
+
+/// Removes findings matched by the baseline (in place). Returns the
+/// entries that matched nothing — stale, and an error for the caller.
+std::vector<BaselineEntry> apply_baseline(const Baseline& baseline,
+                                          std::vector<Finding>& findings);
+
+/// Serialises findings in baseline format (sorted, with a header).
+std::string format_baseline(const std::vector<Finding>& findings);
+
+}  // namespace updp2p::lint

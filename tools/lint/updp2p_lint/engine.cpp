@@ -1,5 +1,7 @@
 #include "updp2p_lint/engine.hpp"
 
+#include "updp2p_lint/index.hpp"
+
 #include <algorithm>
 #include <fstream>
 #include <ostream>
@@ -103,16 +105,27 @@ RunResult run(const EngineOptions& options) {
   const auto rules = make_all_rules();
   const fs::path root = fs::weakly_canonical(options.root);
 
+  // Pass 1: lex everything. The cross-file index (function taint
+  // summaries, guarded-by annotations) must see every file before any
+  // rule runs — a header's annotation constrains another file's code.
   RunResult result;
-  std::set<std::string> files_flagged;
+  std::vector<FileContext> contexts;
+  contexts.reserve(files.size());
   for (const fs::path& file : files) {
     const fs::path canonical = fs::weakly_canonical(file);
     std::string rel = to_generic(canonical.lexically_relative(root));
     if (rel.empty() || rel.starts_with("..")) {
       rel = to_generic(canonical);  // outside root: scope by absolute path
     }
-    FileContext context = make_file_context(file, std::move(rel));
+    contexts.push_back(make_file_context(file, std::move(rel)));
     ++result.files_scanned;
+  }
+  const ProjectIndex index = ProjectIndex::build(contexts);
+
+  // Pass 2: rules.
+  std::set<std::string> files_flagged;
+  for (FileContext& context : contexts) {
+    context.index = &index;
 
     std::vector<Finding> raw;
     for (const auto& rule : rules) rule->check(context, raw);

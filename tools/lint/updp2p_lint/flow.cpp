@@ -1,0 +1,1319 @@
+#include "updp2p_lint/flow.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "updp2p_lint/token_match.hpp"
+
+namespace updp2p::lint {
+
+std::string to_lower(std::string_view text) {
+  std::string lower(text);
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  });
+  return lower;
+}
+
+bool wire_vocab_name(std::string_view name) {
+  const std::string lower = to_lower(name);
+  // Same vocabulary the old wire-bounds window heuristic used; see the
+  // rule catalogue for why "size"/"frame"/"header" are deliberately out.
+  return lower.find("count") != std::string::npos ||
+         lower.find("cardinality") != std::string::npos ||
+         lower.find("chunk") != std::string::npos ||
+         lower.find("probe") != std::string::npos ||
+         lower.find("len") != std::string::npos ||
+         lower.find("record") != std::string::npos;
+}
+
+bool optional_like_type(std::string_view type_text) {
+  return type_text.find("optional") != std::string_view::npos;
+}
+
+bool byte_buffer_type(std::string_view type_text) {
+  if (type_text.find("WireBytes") != std::string_view::npos) return true;
+  const bool span_like =
+      type_text.find("span") != std::string_view::npos ||
+      type_text.find("string_view") != std::string_view::npos;
+  const bool byte_elem =
+      type_text.find("uint8_t") != std::string_view::npos ||
+      type_text.find("byte") != std::string_view::npos ||
+      type_text.find("char") != std::string_view::npos;
+  return span_like && byte_elem;
+}
+
+namespace {
+
+bool is_keyword(std::string_view text) {
+  static const std::set<std::string_view> kKeywords = {
+      "if",       "else",   "for",      "while",   "do",      "switch",
+      "case",     "default","return",   "break",   "continue","goto",
+      "sizeof",   "alignof","decltype", "new",     "delete",  "static_assert",
+      "catch",    "throw",  "co_await", "co_return","co_yield","requires",
+      "noexcept", "const",  "constexpr","static",  "inline",  "virtual",
+      "explicit", "using",  "typedef",  "template", "typename","operator",
+      "class",    "struct", "enum",     "union",   "namespace","public",
+      "private",  "protected", "friend", "extern",  "auto",    "this",
+  };
+  return kKeywords.count(text) > 0;
+}
+
+bool is_type_ish_punct(const Token& t) {
+  return is_punct(t, "::") || is_punct(t, "<") || is_punct(t, ">") ||
+         is_punct(t, "*") || is_punct(t, "&") || is_punct(t, "&&") ||
+         is_punct(t, "[") || is_punct(t, "]") || is_punct(t, ">>");
+}
+
+/// Splits tokens[b, e) at top-level commas (nesting over ()/[]/{} and a
+/// best-effort over template <>: only symmetric runs are paired).
+std::vector<std::pair<std::size_t, std::size_t>> split_top_level(
+    const std::vector<Token>& tokens, std::size_t b, std::size_t e,
+    std::string_view separator) {
+  std::vector<std::pair<std::size_t, std::size_t>> parts;
+  int depth = 0;
+  std::size_t start = b;
+  for (std::size_t i = b; i < e; ++i) {
+    const Token& t = tokens[i];
+    if (t.kind == TokenKind::kPunct) {
+      if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+      if (t.text == ")" || t.text == "]" || t.text == "}") --depth;
+      if (depth == 0 && t.text == separator) {
+        parts.emplace_back(start, i);
+        start = i + 1;
+      }
+    }
+  }
+  if (start < e) parts.emplace_back(start, e);
+  return parts;
+}
+
+/// Parses one parameter declaration range into {name, type_text}.
+FunctionParam parse_param(const std::vector<Token>& tokens, std::size_t b,
+                          std::size_t e) {
+  // Drop a default argument.
+  for (std::size_t i = b; i < e; ++i) {
+    if (is_punct(tokens[i], "=")) {
+      e = i;
+      break;
+    }
+  }
+  FunctionParam param;
+  std::size_t name_index = e;
+  // The name is the last identifier not inside template brackets and not
+  // a cv/ref keyword. `const char* argv[]` -> argv; `std::span<int> s` -> s.
+  int angle = 0;
+  for (std::size_t i = b; i < e; ++i) {
+    const Token& t = tokens[i];
+    if (is_punct(t, "<")) ++angle;
+    if (is_punct(t, ">")) --angle;
+    if (angle <= 0 && t.kind == TokenKind::kIdentifier && !is_keyword(t.text)) {
+      name_index = i;
+    }
+  }
+  for (std::size_t i = b; i < e; ++i) {
+    if (i == name_index) continue;
+    if (!param.type_text.empty()) param.type_text.push_back(' ');
+    param.type_text += tokens[i].text;
+  }
+  if (name_index < e) param.name = tokens[name_index].text;
+  return param;
+}
+
+std::vector<FunctionParam> parse_params(const std::vector<Token>& tokens,
+                                        std::size_t open,
+                                        std::size_t close) {
+  std::vector<FunctionParam> params;
+  if (close <= open + 1) return params;
+  for (const auto& [b, e] : split_top_level(tokens, open + 1, close, ",")) {
+    if (b < e) params.push_back(parse_param(tokens, b, e));
+  }
+  // `f(void)` declares nothing.
+  if (params.size() == 1 && params[0].name == "void" &&
+      params[0].type_text.empty()) {
+    params.clear();
+  }
+  return params;
+}
+
+/// After a parameter list's ')', finds the body '{' of a function
+/// definition, skipping cv/ref/noexcept/override/trailing-return and a
+/// constructor init list. Returns tokens.size() when this is not a
+/// definition (pure declaration, `= default`, ...).
+std::size_t find_body_brace(const std::vector<Token>& tokens,
+                            std::size_t after_close) {
+  std::size_t j = after_close;
+  const std::size_t n = tokens.size();
+  bool in_init_list = false;
+  bool after_arrow = false;
+  while (j < n) {
+    const Token& t = tokens[j];
+    if (is_punct(t, "{")) {
+      if (!in_init_list) return j;
+      // Inside an init list a '{' directly after an identifier or '>' is
+      // a brace initializer (`a_{1}`); after ')' / '}' it is the body.
+      const Token* prev = prev_token(tokens, j);
+      if (prev != nullptr &&
+          (is_punct(*prev, ")") || is_punct(*prev, "}"))) {
+        return j;
+      }
+      const std::size_t match = find_matching_paren(tokens, j);
+      if (match >= n) return n;
+      j = match + 1;
+      continue;
+    }
+    if (is_punct(t, ";") || is_punct(t, "=")) return n;
+    if (is_punct(t, ":")) {
+      in_init_list = true;
+      ++j;
+      continue;
+    }
+    if (is_punct(t, "->")) {
+      after_arrow = true;
+      ++j;
+      continue;
+    }
+    if (is_punct(t, "(")) {  // noexcept(...), init-list ctor args
+      const std::size_t match = find_matching_paren(tokens, j);
+      if (match >= n) return n;
+      j = match + 1;
+      continue;
+    }
+    if (t.kind == TokenKind::kIdentifier) {
+      // Specifiers and (after '->' or in an init list) type/member names.
+      if (after_arrow || in_init_list || t.text == "const" ||
+          t.text == "noexcept" || t.text == "override" || t.text == "final" ||
+          t.text == "mutable" || t.text == "requires" || t.text == "try") {
+        ++j;
+        continue;
+      }
+      return n;  // `int f(x) y;` — not a definition we understand
+    }
+    if (t.kind == TokenKind::kPunct || t.kind == TokenKind::kNumber) {
+      ++j;  // ::, <, >, &, &&, commas of an init list, ...
+      continue;
+    }
+    ++j;
+  }
+  return n;
+}
+
+/// True when `[` at index i opens a lambda introducer rather than a
+/// subscript: subscripts follow a value (identifier, number, ')' , ']').
+bool is_lambda_intro(const std::vector<Token>& tokens, std::size_t i) {
+  const Token* prev = prev_token(tokens, i);
+  if (prev == nullptr) return true;
+  if (prev->kind == TokenKind::kIdentifier && !is_keyword(prev->text)) {
+    return false;
+  }
+  if (prev->kind == TokenKind::kNumber) return false;
+  return !(is_punct(*prev, ")") || is_punct(*prev, "]"));
+}
+
+void collect_lambdas(const std::vector<Token>& tokens, std::size_t b,
+                     std::size_t e, std::vector<LambdaInfo>& out) {
+  for (std::size_t i = b; i < e; ++i) {
+    if (!is_punct(tokens[i], "[") || !is_lambda_intro(tokens, i)) continue;
+    const std::size_t intro_close = find_matching_paren(tokens, i);
+    if (intro_close >= e) continue;
+    std::size_t j = intro_close + 1;
+    LambdaInfo lambda;
+    if (j < e && is_punct(tokens[j], "(")) {
+      const std::size_t close = find_matching_paren(tokens, j);
+      if (close >= e) continue;
+      lambda.params = parse_params(tokens, j, close);
+      j = close + 1;
+    }
+    // Skip mutable/noexcept/-> return type up to the body.
+    while (j < e && !is_punct(tokens[j], "{") && !is_punct(tokens[j], ";") &&
+           !is_punct(tokens[j], ")") && !is_punct(tokens[j], ",")) {
+      if (is_punct(tokens[j], "(")) {
+        const std::size_t close = find_matching_paren(tokens, j);
+        if (close >= e) break;
+        j = close + 1;
+        continue;
+      }
+      ++j;
+    }
+    if (j >= e || !is_punct(tokens[j], "{")) continue;
+    lambda.body_begin = j;
+    lambda.body_end = find_matching_paren(tokens, j);
+    if (lambda.body_end >= e) continue;
+    out.push_back(std::move(lambda));
+    // Nested lambdas are found by the continuing scan (i keeps moving).
+  }
+}
+
+}  // namespace
+
+std::vector<FunctionInfo> find_functions(const std::vector<Token>& tokens) {
+  std::vector<FunctionInfo> out;
+  const std::size_t n = tokens.size();
+
+  struct ClassScope {
+    std::string name;
+    int depth;  // brace depth inside the class body
+  };
+  std::vector<ClassScope> classes;
+  int depth = 0;
+  // Brace indices known to open a class body (mapped to the class name).
+  std::map<std::size_t, std::string> class_braces;
+
+  std::size_t i = 0;
+  while (i < n) {
+    const Token& t = tokens[i];
+    if (t.preproc) {
+      ++i;
+      continue;
+    }
+    if (is_punct(t, "{")) {
+      ++depth;
+      const auto it = class_braces.find(i);
+      if (it != class_braces.end()) {
+        classes.push_back(ClassScope{it->second, depth});
+      }
+      ++i;
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      while (!classes.empty() && classes.back().depth >= depth) {
+        classes.pop_back();
+      }
+      --depth;
+      ++i;
+      continue;
+    }
+    if (t.kind == TokenKind::kIdentifier &&
+        (t.text == "class" || t.text == "struct")) {
+      // Skip template parameters (`template <class T>`).
+      const Token* prev = prev_token(tokens, i);
+      if (prev != nullptr && (is_punct(*prev, "<") || is_punct(*prev, ","))) {
+        ++i;
+        continue;
+      }
+      // Find the class name and the body '{' (or ';' for a forward decl).
+      std::string name;
+      std::size_t j = i + 1;
+      while (j < n && !is_punct(tokens[j], "{") && !is_punct(tokens[j], ";") &&
+             !is_punct(tokens[j], ":") && !is_punct(tokens[j], "(")) {
+        if (tokens[j].kind == TokenKind::kIdentifier &&
+            !is_keyword(tokens[j].text)) {
+          name = tokens[j].text;
+        }
+        ++j;
+      }
+      if (j < n && is_punct(tokens[j], ":")) {  // base clause
+        while (j < n && !is_punct(tokens[j], "{") && !is_punct(tokens[j], ";")) {
+          ++j;
+        }
+      }
+      if (j < n && is_punct(tokens[j], "{") && !name.empty()) {
+        class_braces[j] = name;
+      }
+      i = i + 1;
+      continue;
+    }
+    if (is_punct(t, "(")) {
+      // Candidate function header: `name (` at namespace/class scope.
+      const Token* name_tok = prev_token(tokens, i);
+      if (name_tok == nullptr || name_tok->kind != TokenKind::kIdentifier ||
+          is_keyword(name_tok->text)) {
+        ++i;
+        continue;
+      }
+      const Token* before_name = prev_token(tokens, i, 2);
+      if (before_name != nullptr &&
+          (is_punct(*before_name, ".") || is_punct(*before_name, "->"))) {
+        ++i;
+        continue;
+      }
+      const std::size_t close = find_matching_paren(tokens, i);
+      if (close >= n) {
+        ++i;
+        continue;
+      }
+      const std::size_t body = find_body_brace(tokens, close + 1);
+      if (body >= n) {
+        i = close + 1;
+        continue;
+      }
+      const std::size_t body_end = find_matching_paren(tokens, body);
+      if (body_end >= n) {
+        i = close + 1;
+        continue;
+      }
+
+      FunctionInfo fn;
+      fn.name = name_tok->text;
+      fn.line = name_tok->line;
+      fn.params = parse_params(tokens, i, close);
+      fn.body_begin = body;
+      fn.body_end = body_end;
+      fn.body_end_line = tokens[body_end].line;
+      // Qualified name: `Class :: name` before the identifier.
+      std::size_t q = i - 1;
+      bool dtor = false;
+      if (q >= 1 && is_punct(tokens[q - 1], "~")) {
+        dtor = true;
+        --q;
+      }
+      if (q >= 2 && is_punct(tokens[q - 1], "::") &&
+          tokens[q - 2].kind == TokenKind::kIdentifier) {
+        fn.class_name = tokens[q - 2].text;
+      } else if (!classes.empty()) {
+        fn.class_name = classes.back().name;
+      }
+      fn.is_ctor_or_dtor = dtor || (!fn.class_name.empty() &&
+                                    fn.name == fn.class_name);
+      collect_lambdas(tokens, body + 1, body_end, fn.lambdas);
+      out.push_back(std::move(fn));
+
+      // Resume after the body; brace depth is unchanged by the skip.
+      i = body_end + 1;
+      continue;
+    }
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Taint dataflow
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct VarState {
+  bool tainted = false;
+  bool bounded = false;
+  bool is_optional = false;
+  bool is_byte_buffer = false;
+  bool is_decode_result = false;
+};
+
+using Env = std::map<std::string, VarState>;
+
+Env join(const Env& a, const Env& b) {
+  Env out = a;
+  for (const auto& [name, sb] : b) {
+    auto [it, inserted] = out.try_emplace(name, sb);
+    if (inserted) {
+      // Present on one path only: taint survives, boundedness does not.
+      it->second.bounded = false;
+      continue;
+    }
+    VarState& sa = it->second;
+    sa.tainted = sa.tainted || sb.tainted;
+    sa.bounded = sa.bounded && sb.bounded;
+    sa.is_optional = sa.is_optional || sb.is_optional;
+    sa.is_byte_buffer = sa.is_byte_buffer || sb.is_byte_buffer;
+    sa.is_decode_result = sa.is_decode_result || sb.is_decode_result;
+  }
+  for (auto& [name, sa] : out) {
+    if (b.find(name) == b.end()) sa.bounded = false;
+  }
+  return out;
+}
+
+/// One `A op B` (or `!x` / `f(x)`) conjunct of a condition, classified
+/// for its effect on variable bounds.
+struct GuardAtom {
+  enum class Kind {
+    kNone,
+    kWithin,   // truth implies vars are in bounds
+    kExceeds,  // truth implies vars are OUT of bounds
+    kFalsey,   // `!x`: truth implies x is null/failed
+  };
+  Kind kind = Kind::kNone;
+  std::vector<std::string> vars;
+};
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+class Analyzer {
+ public:
+  Analyzer(const std::vector<Token>& tokens, const FunctionInfo& fn,
+           const TaintPolicy& policy, const StatementHook* hook)
+      : toks_(tokens), fn_(fn), policy_(policy), hook_(hook) {}
+
+  FunctionAnalysisResult run() {
+    Env env;
+    for (const FunctionParam& p : fn_.params) {
+      if (p.name.empty()) continue;
+      VarState state;
+      state.is_optional = optional_like_type(p.type_text);
+      state.is_byte_buffer = byte_buffer_type(p.type_text);
+      if (policy_.name_seeds_taint && policy_.name_seeds_taint(p.name) &&
+          !state.is_byte_buffer) {
+        state.tainted = true;
+      }
+      env[p.name] = state;
+    }
+    analyze_block(fn_.body_begin + 1, fn_.body_end, env);
+
+    for (std::size_t k = 0; k < fn_.params.size(); ++k) {
+      const std::string& name = fn_.params[k].name;
+      if (validated_.count(name)) result_.validated_params.push_back(k);
+      if (asserted_.count(name)) result_.asserted_params.push_back(k);
+    }
+    return result_;
+  }
+
+ private:
+  // --- expression evaluation ------------------------------------------------
+
+  struct EvalResult {
+    bool tainted = false;
+    bool bounded = false;
+  };
+
+  static bool trusted_member_fn(std::string_view name) {
+    return name == "size" || name == "empty" || name == "length" ||
+           name == "capacity" || name == "data" || name == "begin" ||
+           name == "end" || name == "count" || name == "contains" ||
+           name == "has_value" || name == "value_or";
+  }
+
+  bool is_unary_star(std::size_t i) const {
+    if (!is_punct(toks_[i], "*")) return false;
+    const Token* prev = prev_token(toks_, i);
+    if (prev == nullptr) return true;
+    if (prev->kind == TokenKind::kIdentifier && !is_keyword(prev->text)) {
+      return false;
+    }
+    if (prev->kind == TokenKind::kNumber) return false;
+    return !(is_punct(*prev, ")") || is_punct(*prev, "]"));
+  }
+
+  EvalResult eval(std::size_t b, std::size_t e, const Env& env) const {
+    EvalResult r;
+    for (std::size_t i = b; i < e; ++i) {
+      const Token& t = toks_[i];
+      if (is_unary_star(i) && i + 1 < e &&
+          toks_[i + 1].kind == TokenKind::kIdentifier) {
+        const auto it = env.find(toks_[i + 1].text);
+        if (it != env.end()) {
+          const VarState& v = it->second;
+          if (v.bounded) {
+            r.bounded = true;
+          } else if (v.tainted ||
+                     (v.is_optional && policy_.deref_optional_is_source)) {
+            r.tainted = true;
+          }
+          ++i;  // the operand is handled
+          continue;
+        }
+      }
+      if (t.kind != TokenKind::kIdentifier) continue;
+
+      // Calls: sources, trusted reads, everything else scans through.
+      const Token* nxt = next_token(toks_, i);
+      const bool is_call = nxt != nullptr && is_punct(*nxt, "(") &&
+                           !is_keyword(t.text);
+      if (is_call && !is_member_access(toks_, i)) {
+        if (policy_.call_returns_taint && policy_.call_returns_taint(t.text)) {
+          r.tainted = true;
+          const std::size_t close = find_matching_paren(toks_, i + 1);
+          i = std::min(close, e - 1);
+          continue;
+        }
+        if (policy_.call_result_clean && policy_.call_result_clean(t.text)) {
+          const std::size_t close = find_matching_paren(toks_, i + 1);
+          i = std::min(close, e - 1);
+          continue;
+        }
+      }
+      if (is_call && is_member_access(toks_, i) &&
+          trusted_member_fn(t.text)) {
+        const std::size_t close = find_matching_paren(toks_, i + 1);
+        i = std::min(close, e - 1);
+        continue;
+      }
+
+      const auto it = env.find(t.text);
+      if (it == env.end()) continue;
+      const VarState& v = it->second;
+      if (is_member_access(toks_, i)) continue;  // `x.count` taints via x
+
+      // Field access off a tracked variable.
+      if (i + 2 < e &&
+          (is_punct(toks_[i + 1], ".") || is_punct(toks_[i + 1], "->")) &&
+          toks_[i + 2].kind == TokenKind::kIdentifier) {
+        const std::string& field = toks_[i + 2].text;
+        const Token* after = next_token(toks_, i + 2);
+        if (after != nullptr && is_punct(*after, "(") &&
+            trusted_member_fn(field)) {
+          i = std::min(find_matching_paren(toks_, i + 3), e - 1);
+          continue;
+        }
+        if (v.bounded) {
+          r.bounded = true;
+        } else if (v.tainted) {
+          const bool carries = !policy_.field_carries_taint ||
+                               policy_.field_carries_taint(field);
+          if (carries) r.tainted = true;
+        }
+        i += 2;
+        continue;
+      }
+
+      // Byte-buffer subscript reads hostile bytes.
+      if (v.is_byte_buffer && i + 1 < e && is_punct(toks_[i + 1], "[") &&
+          policy_.byte_buffer_subscript_is_source) {
+        r.tainted = true;
+        continue;
+      }
+      if (v.bounded) {
+        r.bounded = true;
+      } else if (v.tainted) {
+        r.tainted = true;
+      }
+    }
+    return r;
+  }
+
+  // --- guard atoms ----------------------------------------------------------
+
+  bool side_is_boundish(std::size_t b, std::size_t e) const {
+    for (std::size_t i = b; i < e; ++i) {
+      const Token& t = toks_[i];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      if (policy_.is_bound_token && policy_.is_bound_token(t)) return true;
+      const std::string lower = to_lower(t.text);
+      if (lower.find("max") != std::string::npos ||
+          lower.find("remaining") != std::string::npos ||
+          lower.find("limit") != std::string::npos) {
+        return true;
+      }
+      // `bytes.size()` / `span.size() - offset` style bounds.
+      if ((t.text == "size" || t.text == "length") &&
+          is_member_access(toks_, i)) {
+        const Token* nxt = next_token(toks_, i);
+        if (nxt != nullptr && is_punct(*nxt, "(")) return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::string> side_vars(std::size_t b, std::size_t e,
+                                     const Env& env) const {
+    std::vector<std::string> vars;
+    for (std::size_t i = b; i < e; ++i) {
+      const Token& t = toks_[i];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      if (is_member_access(toks_, i)) continue;
+      if (env.find(t.text) != env.end()) vars.push_back(t.text);
+    }
+    return vars;
+  }
+
+  /// Top-level argument subranges of a call's `( ... )`.
+  std::vector<std::pair<std::size_t, std::size_t>> call_args(
+      std::size_t open, std::size_t close) const {
+    if (close <= open + 1) return {};
+    return split_top_level(toks_, open + 1, close, ",");
+  }
+
+  GuardAtom classify_atom(std::size_t b, std::size_t e, const Env& env) const {
+    // Strip redundant wrapping parens.
+    while (e > b + 1 && is_punct(toks_[b], "(") &&
+           find_matching_paren(toks_, b) == e - 1) {
+      ++b;
+      --e;
+    }
+    GuardAtom atom;
+    if (b >= e) return atom;
+
+    // `!x` and `!f(x)`.
+    if (is_punct(toks_[b], "!")) {
+      if (b + 1 < e && toks_[b + 1].kind == TokenKind::kIdentifier) {
+        const std::string& name = toks_[b + 1].text;
+        if (b + 2 == e && env.count(name)) {
+          atom.kind = GuardAtom::Kind::kFalsey;
+          atom.vars.push_back(name);
+          return atom;
+        }
+        // `!validates(x)` — failure branch means x out of bounds.
+        if (b + 2 < e && is_punct(toks_[b + 2], "(") &&
+            policy_.call_validates_arg) {
+          const std::size_t close = find_matching_paren(toks_, b + 2);
+          if (close == e - 1) {
+            const auto args = call_args(b + 2, close);
+            for (std::size_t k = 0; k < args.size(); ++k) {
+              if (!policy_.call_validates_arg(name, k)) continue;
+              for (const std::string& v :
+                   side_vars(args[k].first, args[k].second, env)) {
+                atom.vars.push_back(v);
+              }
+            }
+            if (!atom.vars.empty()) atom.kind = GuardAtom::Kind::kExceeds;
+            return atom;
+          }
+        }
+      }
+      return atom;
+    }
+
+    // `validates(x)` — truth means x in bounds.
+    if (toks_[b].kind == TokenKind::kIdentifier && b + 1 < e &&
+        is_punct(toks_[b + 1], "(") && policy_.call_validates_arg) {
+      const std::size_t close = find_matching_paren(toks_, b + 1);
+      if (close == e - 1) {
+        const auto args = call_args(b + 1, close);
+        for (std::size_t k = 0; k < args.size(); ++k) {
+          if (!policy_.call_validates_arg(toks_[b].text, k)) continue;
+          for (const std::string& v :
+               side_vars(args[k].first, args[k].second, env)) {
+            atom.vars.push_back(v);
+          }
+        }
+        if (!atom.vars.empty()) atom.kind = GuardAtom::Kind::kWithin;
+        return atom;
+      }
+    }
+
+    // Comparison `A op B` at top level.
+    int depth = 0;
+    std::size_t op = kNpos;
+    std::string_view op_text;
+    for (std::size_t i = b; i < e; ++i) {
+      const Token& t = toks_[i];
+      if (t.kind != TokenKind::kPunct) continue;
+      if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+      if (t.text == ")" || t.text == "]" || t.text == "}") --depth;
+      if (depth != 0) continue;
+      if (t.text == "<" || t.text == "<=" || t.text == ">" ||
+          t.text == ">=") {
+        op = i;
+        op_text = t.text;
+        break;
+      }
+    }
+    if (op == kNpos) return atom;
+
+    const bool left_bound = side_is_boundish(b, op);
+    const bool right_bound = side_is_boundish(op + 1, e);
+    if (left_bound == right_bound) return atom;
+
+    const std::size_t vb = left_bound ? op + 1 : b;
+    const std::size_t ve = left_bound ? e : op;
+    atom.vars = side_vars(vb, ve, env);
+    if (atom.vars.empty()) return atom;
+    // Direction relative to the variable side: `var < bound` is within,
+    // `var > bound` exceeds; mirrored when the bound is on the left.
+    const bool var_less = left_bound ? (op_text == ">" || op_text == ">=")
+                                     : (op_text == "<" || op_text == "<=");
+    atom.kind = var_less ? GuardAtom::Kind::kWithin : GuardAtom::Kind::kExceeds;
+    return atom;
+  }
+
+  std::vector<GuardAtom> condition_atoms(std::size_t b, std::size_t e,
+                                         const Env& env) const {
+    std::vector<GuardAtom> atoms;
+    // Split on both || and && at top level; for a bounds linter the
+    // lenient reading (any conjunct/disjunct counts) errs toward silence.
+    for (const auto& [ob, oe] : split_top_level(toks_, b, e, "||")) {
+      for (const auto& [ab, ae] : split_top_level(toks_, ob, oe, "&&")) {
+        GuardAtom atom = classify_atom(ab, ae, env);
+        if (atom.kind != GuardAtom::Kind::kNone) atoms.push_back(atom);
+      }
+    }
+    return atoms;
+  }
+
+  void bound_vars(Env& env, const std::vector<std::string>& vars,
+                  bool via_assert) {
+    for (const std::string& v : vars) {
+      auto it = env.find(v);
+      if (it == env.end()) continue;
+      it->second.bounded = true;
+      if (is_param(v)) {
+        if (via_assert) {
+          asserted_.insert(v);
+        } else {
+          validated_.insert(v);
+        }
+      }
+    }
+  }
+
+  bool is_param(const std::string& name) const {
+    for (const FunctionParam& p : fn_.params) {
+      if (p.name == name) return true;
+    }
+    return false;
+  }
+
+  void cleanse_all(Env& env) {
+    for (auto& [name, state] : env) {
+      (void)name;
+      if (state.tainted) {
+        state.tainted = false;
+        state.bounded = true;
+      }
+    }
+  }
+
+  // --- statements -----------------------------------------------------------
+
+  /// Finds the end of a simple statement starting at `i`: the index of the
+  /// terminating ';' at nesting level 0 (or `e`). Nested braces (lambdas,
+  /// local structs, init lists) are skipped whole.
+  std::size_t statement_end(std::size_t i, std::size_t e) const {
+    int depth = 0;
+    for (std::size_t j = i; j < e; ++j) {
+      const Token& t = toks_[j];
+      if (t.kind != TokenKind::kPunct) continue;
+      if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+      if (t.text == ")" || t.text == "]" || t.text == "}") --depth;
+      if (depth == 0 && t.text == ";") return j;
+      if (depth < 0) return j;  // ran past the enclosing block
+    }
+    return e;
+  }
+
+  struct StmtOutcome {
+    std::size_t next = 0;
+    bool exits = false;  // return/throw/break/continue ends this path
+  };
+
+  StmtOutcome analyze_one(std::size_t i, std::size_t e, Env& env) {
+    const Token& t = toks_[i];
+
+    if (is_punct(t, "{")) {
+      const std::size_t close = find_matching_paren(toks_, i);
+      const bool exits = analyze_block(i + 1, std::min(close, e), env);
+      return {std::min(close, e) + 1, exits};
+    }
+    if (t.kind == TokenKind::kIdentifier) {
+      if (t.text == "if") return analyze_if(i, e, env);
+      if (t.text == "while") return analyze_while(i, e, env);
+      if (t.text == "for") return analyze_for(i, e, env);
+      if (t.text == "do") return analyze_do(i, e, env);
+      if (t.text == "switch") return analyze_switch(i, e, env);
+      if (t.text == "else") {  // dangling else (shouldn't happen)
+        return {i + 1, false};
+      }
+      if (t.text == "case" || t.text == "default") {
+        std::size_t j = i;
+        while (j < e && !is_punct(toks_[j], ":")) ++j;
+        return {j + 1, false};
+      }
+    }
+
+    // Simple statement.
+    const std::size_t end = statement_end(i, e);
+    fire_hook(i, end, env);
+    const bool exits = transfer(i, end, env);
+    return {end + 1, exits};
+  }
+
+  bool analyze_block(std::size_t b, std::size_t e, Env& env) {
+    std::size_t i = b;
+    bool exits = false;
+    while (i < e) {
+      if (is_punct(toks_[i], ";")) {  // stray empty statement
+        ++i;
+        continue;
+      }
+      const StmtOutcome out = analyze_one(i, e, env);
+      exits = out.exits;
+      if (out.next <= i) break;  // defensive: never loop forever
+      i = out.next;
+    }
+    return exits;
+  }
+
+  StmtOutcome analyze_if(std::size_t i, std::size_t e, Env& env) {
+    std::size_t j = i + 1;
+    if (j < e && is_ident(toks_[j], "constexpr")) ++j;
+    if (j >= e || !is_punct(toks_[j], "(")) return {i + 1, false};
+    const std::size_t close = find_matching_paren(toks_, j);
+    if (close >= e) return {e, false};
+    std::size_t cb = j + 1;
+    // if-init: `if (auto x = f(); cond)`.
+    for (const auto& [pb, pe] :
+         split_top_level(toks_, cb, close, ";")) {
+      if (pe < close) {
+        fire_hook(pb, pe, env);
+        transfer(pb, pe, env);
+        cb = pe + 1;
+      }
+    }
+    const std::vector<GuardAtom> atoms = condition_atoms(cb, close, env);
+
+    // Then branch.
+    Env then_env = env;
+    for (const GuardAtom& atom : atoms) {
+      if (atom.kind == GuardAtom::Kind::kWithin) {
+        bound_vars(then_env, atom.vars, /*via_assert=*/false);
+      }
+    }
+    StmtOutcome then_out = analyze_one(close + 1, e, then_env);
+    std::size_t after = then_out.next;
+
+    // Else branch.
+    bool has_else = false;
+    Env else_env = env;
+    StmtOutcome else_out{};
+    if (after < e && is_ident(toks_[after], "else")) {
+      has_else = true;
+      for (const GuardAtom& atom : atoms) {
+        if (atom.kind == GuardAtom::Kind::kExceeds) {
+          bound_vars(else_env, atom.vars, /*via_assert=*/false);
+        }
+        if (atom.kind == GuardAtom::Kind::kFalsey) {
+          apply_falsey_negation(else_env, atom);
+        }
+      }
+      else_out = analyze_one(after + 1, e, else_env);
+      after = else_out.next;
+    }
+
+    // Merge.
+    if (then_out.exits && (!has_else || else_out.exits)) {
+      if (!has_else) {
+        // The guard pattern: `if (bad) return;` — after the if, every
+        // exceeds-atom variable is in bounds and every checked decode
+        // result is valid.
+        for (const GuardAtom& atom : atoms) {
+          if (atom.kind == GuardAtom::Kind::kExceeds) {
+            bound_vars(env, atom.vars, /*via_assert=*/guard_exit_was_throw_);
+          }
+          if (atom.kind == GuardAtom::Kind::kFalsey) {
+            apply_falsey_negation(env, atom);
+          }
+        }
+        return {after, false};
+      }
+      env = join(then_env, else_env);
+      return {after, true};
+    }
+    if (has_else && else_out.exits && !then_out.exits) {
+      env = then_env;
+      for (const GuardAtom& atom : atoms) {
+        if (atom.kind == GuardAtom::Kind::kWithin) {
+          bound_vars(env, atom.vars, /*via_assert=*/false);
+        }
+      }
+      return {after, false};
+    }
+    if (!has_else) {
+      env = join(env, then_env);
+    } else {
+      env = join(then_env, else_env);
+    }
+    return {after, false};
+  }
+
+  /// `!x` held false: x is non-null. If x is a checked full-decode result,
+  /// all in-scope taint has now been validated.
+  void apply_falsey_negation(Env& env, const GuardAtom& atom) {
+    for (const std::string& v : atom.vars) {
+      auto it = env.find(v);
+      if (it == env.end()) continue;
+      if (it->second.is_decode_result) cleanse_all(env);
+    }
+  }
+
+  StmtOutcome analyze_while(std::size_t i, std::size_t e, Env& env) {
+    std::size_t j = i + 1;
+    if (j >= e || !is_punct(toks_[j], "(")) return {i + 1, false};
+    const std::size_t close = find_matching_paren(toks_, j);
+    if (close >= e) return {e, false};
+    const std::vector<GuardAtom> atoms = condition_atoms(j + 1, close, env);
+    Env body_env = env;
+    for (const GuardAtom& atom : atoms) {
+      if (atom.kind == GuardAtom::Kind::kWithin) {
+        bound_vars(body_env, atom.vars, /*via_assert=*/false);
+      }
+    }
+    const StmtOutcome body = analyze_one(close + 1, e, body_env);
+    env = join(env, body_env);
+    return {body.next, false};
+  }
+
+  StmtOutcome analyze_for(std::size_t i, std::size_t e, Env& env) {
+    std::size_t j = i + 1;
+    if (j >= e || !is_punct(toks_[j], "(")) return {i + 1, false};
+    const std::size_t close = find_matching_paren(toks_, j);
+    if (close >= e) return {e, false};
+
+    // Range-for: `for (decl : range)`.
+    std::size_t colon = kNpos;
+    int depth = 0;
+    for (std::size_t k = j + 1; k < close; ++k) {
+      const Token& t = toks_[k];
+      if (t.kind != TokenKind::kPunct) continue;
+      if (t.text == "(" || t.text == "[" || t.text == "{" || t.text == "<") {
+        ++depth;
+      }
+      if (t.text == ")" || t.text == "]" || t.text == "}" || t.text == ">") {
+        --depth;
+      }
+      if (depth == 0 && t.text == ":") {
+        colon = k;
+        break;
+      }
+    }
+    Env body_env = env;
+    if (colon != kNpos) {
+      // Loop variable gets the range's taint.
+      std::size_t name_index = kNpos;
+      for (std::size_t k = j + 1; k < colon; ++k) {
+        if (toks_[k].kind == TokenKind::kIdentifier &&
+            !is_keyword(toks_[k].text)) {
+          name_index = k;
+        }
+      }
+      if (name_index != kNpos) {
+        const EvalResult range = eval(colon + 1, close, env);
+        VarState state;
+        state.tainted = range.tainted;
+        state.bounded = !range.tainted && range.bounded;
+        body_env[toks_[name_index].text] = state;
+      }
+    } else {
+      const auto parts = split_top_level(toks_, j + 1, close, ";");
+      if (!parts.empty()) {
+        fire_hook(parts[0].first, parts[0].second, body_env);
+        transfer(parts[0].first, parts[0].second, body_env);
+      }
+      if (parts.size() > 1) {
+        for (const GuardAtom& atom : condition_atoms(
+                 parts[1].first, parts[1].second, body_env)) {
+          if (atom.kind == GuardAtom::Kind::kWithin) {
+            bound_vars(body_env, atom.vars, /*via_assert=*/false);
+          }
+        }
+      }
+    }
+    const StmtOutcome body = analyze_one(close + 1, e, body_env);
+    env = join(env, body_env);
+    return {body.next, false};
+  }
+
+  StmtOutcome analyze_do(std::size_t i, std::size_t e, Env& env) {
+    const StmtOutcome body = analyze_one(i + 1, e, env);
+    std::size_t j = body.next;
+    if (j < e && is_ident(toks_[j], "while")) {
+      ++j;
+      if (j < e && is_punct(toks_[j], "(")) {
+        j = find_matching_paren(toks_, j) + 1;
+      }
+      if (j < e && is_punct(toks_[j], ";")) ++j;
+    }
+    return {j, false};
+  }
+
+  StmtOutcome analyze_switch(std::size_t i, std::size_t e, Env& env) {
+    std::size_t j = i + 1;
+    if (j >= e || !is_punct(toks_[j], "(")) return {i + 1, false};
+    const std::size_t close = find_matching_paren(toks_, j);
+    if (close + 1 >= e || !is_punct(toks_[close + 1], "{")) {
+      return {close + 1, false};
+    }
+    const std::size_t body_close = find_matching_paren(toks_, close + 1);
+    // Cases are walked linearly with a shared environment — conservative
+    // (taint from one case bleeds into the next) but never unsound for a
+    // "was it checked" question, since bounds from one case also require a
+    // matching join to survive... keep it simple: analyze and join.
+    Env body_env = env;
+    analyze_block(close + 2, std::min(body_close, e), body_env);
+    env = join(env, body_env);
+    return {std::min(body_close, e) + 1, false};
+  }
+
+  // --- simple-statement transfer -------------------------------------------
+
+  void fire_hook(std::size_t b, std::size_t e, const Env& env) {
+    if (hook_ == nullptr || b >= e) return;
+    StatementContext ctx{
+        toks_, b, e,
+        [this, &env](std::size_t rb, std::size_t re) {
+          const EvalResult r = eval(rb, re, env);
+          return r.tainted;
+        }};
+    (*hook_)(ctx);
+  }
+
+  /// Applies a simple statement's effect to the environment. Returns true
+  /// for return/throw/break/continue.
+  bool transfer(std::size_t b, std::size_t e, Env& env) {
+    if (b >= e) return false;
+    const Token& first = toks_[b];
+
+    if (is_ident(first, "return") || is_ident(first, "co_return")) {
+      const EvalResult r = eval(b + 1, e, env);
+      if (r.tainted) result_.returns_tainted = true;
+      // `return count <= kMax;` — a single within-comparison marks the
+      // function as validating that parameter.
+      const std::vector<GuardAtom> atoms = condition_atoms(b + 1, e, env);
+      if (atoms.size() == 1 && atoms[0].kind == GuardAtom::Kind::kWithin) {
+        for (const std::string& v : atoms[0].vars) {
+          if (is_param(v)) validated_.insert(v);
+        }
+      }
+      guard_exit_was_throw_ = false;
+      return true;
+    }
+    if (is_ident(first, "throw")) {
+      guard_exit_was_throw_ = true;
+      return true;
+    }
+    if (is_ident(first, "break") || is_ident(first, "continue") ||
+        is_ident(first, "goto")) {
+      guard_exit_was_throw_ = false;
+      return true;
+    }
+
+    // Assertion macros bound their condition for the rest of the path.
+    if (first.kind == TokenKind::kIdentifier &&
+        (first.text == "UPDP2P_ENSURE" || first.text == "UPDP2P_ASSERT" ||
+         first.text == "assert") &&
+        b + 1 < e && is_punct(toks_[b + 1], "(")) {
+      const std::size_t close = find_matching_paren(toks_, b + 1);
+      for (const GuardAtom& atom :
+           condition_atoms(b + 2, std::min(close, e), env)) {
+        if (atom.kind == GuardAtom::Kind::kWithin) {
+          bound_vars(env, atom.vars, /*via_assert=*/true);
+        }
+      }
+      return false;
+    }
+
+    // Calls with asserting summaries bound their arguments.
+    apply_asserting_calls(b, e, env);
+
+    // Assignment / declaration-with-initializer. Compound assignments
+    // (`value |= bytes[i]`) propagate taint into the accumulator — the
+    // varint/u64 decoders are exactly this shape.
+    std::size_t eq = kNpos;
+    std::size_t compound = kNpos;
+    int depth = 0;
+    for (std::size_t i = b; i < e; ++i) {
+      const Token& t = toks_[i];
+      if (t.kind != TokenKind::kPunct) continue;
+      if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+      if (t.text == ")" || t.text == "]" || t.text == "}") --depth;
+      if (depth != 0) continue;
+      if (t.text == "=") {
+        eq = i;
+        break;
+      }
+      if (t.text.size() == 2 && t.text[1] == '=' && t.text[0] != '=' &&
+          t.text[0] != '!' && t.text[0] != '<' && t.text[0] != '>') {
+        compound = i;
+        break;
+      }
+    }
+    if (eq != kNpos && eq > b) {
+      assign(b, eq, eq + 1, e, env);
+      return false;
+    }
+    if (compound != kNpos && compound > b) {
+      const EvalResult rhs = eval(compound + 1, e, env);
+      if (rhs.tainted) {
+        for (std::size_t i = b; i < compound; ++i) {
+          if (toks_[i].kind != TokenKind::kIdentifier) continue;
+          auto it = env.find(toks_[i].text);
+          if (it != env.end()) {
+            it->second.tainted = true;
+            it->second.bounded = false;
+          }
+          break;
+        }
+      }
+      return false;
+    }
+
+    // Declaration without `=`: ctor-paren/brace init or default init.
+    declare_without_assign(b, e, env);
+    return false;
+  }
+
+  void apply_asserting_calls(std::size_t b, std::size_t e, Env& env) {
+    if (!policy_.call_asserts_arg) return;
+    for (std::size_t i = b; i < e; ++i) {
+      if (toks_[i].kind != TokenKind::kIdentifier) continue;
+      if (i + 1 >= e || !is_punct(toks_[i + 1], "(")) continue;
+      if (is_member_access(toks_, i) || is_keyword(toks_[i].text)) continue;
+      const std::size_t close = find_matching_paren(toks_, i + 1);
+      if (close >= e) continue;
+      const auto args = call_args(i + 1, close);
+      for (std::size_t k = 0; k < args.size(); ++k) {
+        if (!policy_.call_asserts_arg(toks_[i].text, k)) continue;
+        bound_vars(env, side_vars(args[k].first, args[k].second, env),
+                   /*via_assert=*/true);
+      }
+    }
+  }
+
+  void assign(std::size_t lb, std::size_t le, std::size_t rb, std::size_t re,
+              Env& env) {
+    const EvalResult rhs = eval(rb, re, env);
+
+    bool member_write = false;
+    for (std::size_t i = lb; i < le; ++i) {
+      if (is_punct(toks_[i], ".") || is_punct(toks_[i], "->") ||
+          is_punct(toks_[i], "[")) {
+        member_write = true;
+        break;
+      }
+    }
+    if (member_write) {
+      // Writing into a field/slot of `x` taints x (weak update).
+      for (std::size_t i = lb; i < le; ++i) {
+        if (toks_[i].kind != TokenKind::kIdentifier) continue;
+        auto it = env.find(toks_[i].text);
+        if (it != env.end() && rhs.tainted) {
+          it->second.tainted = true;
+          it->second.bounded = false;
+        }
+        break;
+      }
+      return;
+    }
+
+    // `type name = rhs` or `name = rhs`: strong update.
+    std::size_t name_index = kNpos;
+    for (std::size_t i = lb; i < le; ++i) {
+      if (toks_[i].kind == TokenKind::kIdentifier &&
+          !is_keyword(toks_[i].text)) {
+        name_index = i;
+      }
+    }
+    if (name_index == kNpos) return;
+    const std::string name = toks_[name_index].text;
+
+    std::string type_text;
+    for (std::size_t i = lb; i < name_index; ++i) {
+      type_text += toks_[i].text;
+      type_text.push_back(' ');
+    }
+
+    VarState state;
+    state.tainted = rhs.tainted;
+    state.bounded = !rhs.tainted && rhs.bounded;
+    state.is_optional = optional_like_type(type_text);
+    state.is_byte_buffer = byte_buffer_type(type_text);
+    // `auto x = decode(...)` and optional-returning sources keep their
+    // optional-ness invisible in the type; flags come from the RHS shape.
+    std::size_t rfirst = rb;
+    while (rfirst < re && is_punct(toks_[rfirst], "(")) ++rfirst;
+    // Skip leading qualifiers `gossip ::`.
+    while (rfirst + 2 < re && toks_[rfirst].kind == TokenKind::kIdentifier &&
+           is_punct(toks_[rfirst + 1], "::")) {
+      rfirst += 2;
+    }
+    if (rfirst < re && toks_[rfirst].kind == TokenKind::kIdentifier &&
+        rfirst + 1 < re && is_punct(toks_[rfirst + 1], "(")) {
+      const std::string& callee = toks_[rfirst].text;
+      if (policy_.call_is_cleansing_decode &&
+          policy_.call_is_cleansing_decode(callee)) {
+        state.is_decode_result = true;
+      }
+    }
+    // Byte-buffer slices stay byte buffers: `auto body = bytes.subspan(..)`.
+    for (std::size_t i = rb; i + 2 < re; ++i) {
+      const auto it = env.find(toks_[i].text);
+      if (it == env.end() || !it->second.is_byte_buffer) continue;
+      if ((is_punct(toks_[i + 1], ".") || is_punct(toks_[i + 1], "->")) &&
+          toks_[i + 2].kind == TokenKind::kIdentifier) {
+        const std::string& fn_name = toks_[i + 2].text;
+        if (fn_name == "subspan" || fn_name == "first" || fn_name == "last" ||
+            fn_name == "substr") {
+          state.is_byte_buffer = true;
+        }
+      }
+    }
+    env[name] = state;
+  }
+
+  void declare_without_assign(std::size_t b, std::size_t e, Env& env) {
+    if (b >= e) return;
+    // `Type name;` — at least two tokens, all type-ish, last an identifier.
+    const Token& last = toks_[e - 1];
+    if (last.kind == TokenKind::kIdentifier && e - b >= 2 &&
+        !is_keyword(last.text)) {
+      bool type_like = true;
+      for (std::size_t i = b; i + 1 < e; ++i) {
+        const Token& t = toks_[i];
+        if (t.kind == TokenKind::kIdentifier || is_type_ish_punct(t)) continue;
+        type_like = false;
+        break;
+      }
+      if (type_like && toks_[b].kind == TokenKind::kIdentifier &&
+          env.find(toks_[b].text) == env.end()) {
+        VarState state;
+        std::string type_text;
+        for (std::size_t i = b; i + 1 < e; ++i) {
+          type_text += toks_[i].text;
+          type_text.push_back(' ');
+        }
+        state.is_optional = optional_like_type(type_text);
+        state.is_byte_buffer = byte_buffer_type(type_text);
+        if (policy_.name_seeds_taint && policy_.name_seeds_taint(last.text) &&
+            !state.is_byte_buffer) {
+          state.tainted = true;  // uninitialised + wire-named: assume hostile
+        }
+        env[last.text] = state;
+        return;
+      }
+    }
+    // `Type name(args);` / `Type name{args};` ctor-style declaration: the
+    // name is the identifier right before '(' or '{' whose predecessor is
+    // type-ish (never `.`/`->`/`::` — those are calls).
+    for (std::size_t i = b + 1; i + 1 < e; ++i) {
+      if (toks_[i].kind != TokenKind::kIdentifier) continue;
+      if (!is_punct(toks_[i + 1], "(") && !is_punct(toks_[i + 1], "{")) {
+        continue;
+      }
+      const Token& prev = toks_[i - 1];
+      if (is_punct(prev, ".") || is_punct(prev, "->") ||
+          is_punct(prev, "::")) {
+        continue;
+      }
+      const bool prev_type_ish =
+          (prev.kind == TokenKind::kIdentifier && !is_keyword(prev.text)) ||
+          is_punct(prev, ">") || is_punct(prev, "*") || is_punct(prev, "&");
+      if (!prev_type_ish) continue;
+      const std::size_t close = find_matching_paren(toks_, i + 1);
+      if (close >= e) return;
+      const EvalResult init = eval(i + 2, close, env);
+      VarState state;
+      state.tainted = init.tainted;
+      state.bounded = !init.tainted && init.bounded;
+      env[toks_[i].text] = state;
+      return;
+    }
+  }
+
+  const std::vector<Token>& toks_;
+  const FunctionInfo& fn_;
+  const TaintPolicy& policy_;
+  const StatementHook* hook_;
+  FunctionAnalysisResult result_;
+  std::set<std::string> validated_;
+  std::set<std::string> asserted_;
+  // Set by the most recent exiting statement: guards that exit by throwing
+  // assert their bound (usable unconditionally at call sites).
+  bool guard_exit_was_throw_ = false;
+};
+
+}  // namespace
+
+FunctionAnalysisResult analyze_function(const std::vector<Token>& tokens,
+                                        const FunctionInfo& fn,
+                                        const TaintPolicy& policy,
+                                        const StatementHook* hook) {
+  if (fn.body_begin >= fn.body_end || fn.body_end >= tokens.size()) {
+    return {};
+  }
+  Analyzer analyzer(tokens, fn, policy, hook);
+  return analyzer.run();
+}
+
+}  // namespace updp2p::lint

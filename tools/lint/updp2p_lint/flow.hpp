@@ -1,0 +1,122 @@
+// Flow analysis for updp2p-lint: function extraction, a structured
+// statement walker, and an intra-procedural taint dataflow over it.
+//
+// There is no libclang here. The repo's own style rules (clang-format,
+// no macros hiding braces, early-exit guards) keep the code structured
+// enough that a token-level statement tree is faithful: `if`/`else`,
+// loops and `switch` are walked as a tree, everything else is a simple
+// statement. Dataflow facts are per-variable-name: Clean, Tainted
+// (wire/disk-derived hostile input) and Bounded (a dominating comparison
+// against a recognised cap or `bytes.size()` was passed on this path).
+//
+// Rules parameterise the analysis with a TaintPolicy (what seeds taint,
+// what bounds it, what cleanses it) and observe every simple statement
+// through a hook that can ask "is this token range tainted right now?".
+// Cross-call facts (returns-wire-derived, bounds-its-argument) come from
+// the ProjectIndex via the policy callbacks.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "updp2p_lint/lexer.hpp"
+
+namespace updp2p::lint {
+
+struct FunctionParam {
+  std::string name;
+  std::string type_text;  // declaration tokens minus the name, space-joined
+};
+
+/// A lambda nested in a function body (token indices into the same stream).
+struct LambdaInfo {
+  std::vector<FunctionParam> params;
+  std::size_t body_begin = 0;  // index of '{'
+  std::size_t body_end = 0;    // index of matching '}'
+};
+
+struct FunctionInfo {
+  std::string name;        // unqualified
+  std::string class_name;  // `Foo` for Foo::bar definitions / in-class defs
+  bool is_ctor_or_dtor = false;
+  std::vector<FunctionParam> params;
+  std::size_t body_begin = 0;  // token index of the body '{'
+  std::size_t body_end = 0;    // token index of the matching '}'
+  int line = 0;                // line of the function name token
+  int body_end_line = 0;
+  std::vector<LambdaInfo> lambdas;  // all lambdas in the body, any depth
+};
+
+/// Extracts every function definition (free, member, qualified member)
+/// from a lexed token stream. Heuristic but tuned for this repo's style;
+/// a missed function is an unanalysed function, never a crash.
+std::vector<FunctionInfo> find_functions(const std::vector<Token>& tokens);
+
+/// What a rule plugs into the dataflow. Any callback may be null (= no).
+struct TaintPolicy {
+  // Parameter / uninitialised-local names that are born tainted
+  // (the wire vocabulary: count, cardinality, chunk, probe, len, record).
+  std::function<bool(const std::string& name)> name_seeds_taint;
+  // Calls whose result is hostile input (per-function summaries:
+  // decode_varint & friends, probe_frame).
+  std::function<bool(const std::string& callee)> call_returns_taint;
+  // Calls whose result is trusted AND whose arguments do not leak taint
+  // into the result (read-only bookkeeping: contains/count/knows_*).
+  std::function<bool(const std::string& callee)> call_result_clean;
+  // Calls that are a *full decode*: once their result is null-checked with
+  // an early exit, all taint in scope is considered validated.
+  std::function<bool(const std::string& callee)> call_is_cleansing_decode;
+  // f(x) returns truthy only when arg k passed a bound check (summary).
+  std::function<bool(const std::string& callee, std::size_t arg)>
+      call_validates_arg;
+  // f(x) aborts/throws unless arg k is in bounds (UPDP2P_ENSURE guards).
+  std::function<bool(const std::string& callee, std::size_t arg)>
+      call_asserts_arg;
+  // Identifiers accepted as a bound in comparisons (kMaxWirePeerId, ...).
+  // `.size()` calls and identifiers containing "max"/"remaining" are
+  // always accepted in addition to this.
+  std::function<bool(const Token& t)> is_bound_token;
+  // `*opt` where `opt` has an optional-ish declared type is a source.
+  bool deref_optional_is_source = false;
+  // `bytes[i]` where `bytes` is a byte-buffer is a source.
+  bool byte_buffer_subscript_is_source = false;
+  // `v.field` with `v` tainted stays tainted only if this returns true
+  // (null = every field carries the taint).
+  std::function<bool(const std::string& field)> field_carries_taint;
+};
+
+/// Passed to the statement hook: the statement's token range plus an
+/// oracle over the *current* dataflow environment.
+struct StatementContext {
+  const std::vector<Token>& tokens;
+  std::size_t begin;  // first token of the statement
+  std::size_t end;    // one past the last token (excludes the ';')
+  // True when any value in tokens[b, e) is tainted and not bounded here.
+  std::function<bool(std::size_t b, std::size_t e)> range_tainted;
+};
+
+using StatementHook = std::function<void(const StatementContext&)>;
+
+/// Per-function summary facts computed as a by-product of the walk.
+struct FunctionAnalysisResult {
+  bool returns_tainted = false;          // some `return expr;` was tainted
+  std::vector<std::size_t> validated_params;  // bounded via early-exit guard
+  std::vector<std::size_t> asserted_params;   // bounded via ENSURE/throw
+};
+
+/// Runs the taint walk over one function body. `hook` (nullable) fires
+/// once per simple statement, guards already applied.
+FunctionAnalysisResult analyze_function(const std::vector<Token>& tokens,
+                                        const FunctionInfo& fn,
+                                        const TaintPolicy& policy,
+                                        const StatementHook* hook);
+
+/// Shared vocabulary helpers.
+std::string to_lower(std::string_view text);
+bool wire_vocab_name(std::string_view name);  // count/cardinality/chunk/...
+bool optional_like_type(std::string_view type_text);
+bool byte_buffer_type(std::string_view type_text);
+
+}  // namespace updp2p::lint

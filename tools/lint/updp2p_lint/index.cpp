@@ -1,0 +1,200 @@
+#include "updp2p_lint/index.hpp"
+
+#include <utility>
+
+#include "updp2p_lint/flow.hpp"
+#include "updp2p_lint/token_match.hpp"
+
+namespace updp2p::lint {
+namespace {
+
+/// Wire bound identifiers recognised project-wide (the caps the codec,
+/// WAL and snapshot formats define). Shared with the wire-taint rule.
+bool wire_bound_token(const Token& t) {
+  return is_ident(t, "kMaxWirePeerId") || is_ident(t, "kMaxWireChunkKey") ||
+         is_ident(t, "kArrayChunkMax") || is_ident(t, "kChunkSpan") ||
+         is_ident(t, "kMaxWalRecordBytes") || is_ident(t, "kMaxSnapshotBytes");
+}
+
+/// Extracts `name(args...)` out of an annotation comment's text at `at`
+/// (just past the marker). Returns the parenthesised payload, or "".
+std::string paren_payload(std::string_view text, std::size_t at) {
+  std::size_t p = at;
+  while (p < text.size() && (text[p] == ' ' || text[p] == '\t')) ++p;
+  if (p >= text.size() || text[p] != '(') return {};
+  const std::size_t close = text.find(')', p);
+  if (close == std::string_view::npos) return {};
+  std::string payload(text.substr(p + 1, close - p - 1));
+  while (!payload.empty() && payload.front() == ' ') payload.erase(0, 1);
+  while (!payload.empty() && payload.back() == ' ') payload.pop_back();
+  return payload;
+}
+
+/// The field name of the declaration at/after `line`: last identifier
+/// before the first of `;` / `=` / `{` / `[` among tokens on that line
+/// (trailing annotation) or the first following line with tokens.
+std::string field_name_at(const std::vector<Token>& tokens, int line) {
+  // Prefer tokens on the annotation's own line (trailing comment).
+  for (const int target : {line, 0}) {
+    std::string name;
+    bool on_line = false;
+    for (const Token& t : tokens) {
+      if (target != 0) {
+        if (t.line != target) continue;
+      } else {
+        if (t.line <= line) continue;  // the next declaration below
+      }
+      on_line = true;
+      if (t.kind == TokenKind::kPunct &&
+          (t.text == ";" || t.text == "=" || t.text == "{" ||
+           t.text == "[")) {
+        return name;
+      }
+      if (t.kind == TokenKind::kIdentifier) name = t.text;
+    }
+    if (on_line && !name.empty()) return name;
+    if (target == 0) break;
+  }
+  return {};
+}
+
+}  // namespace
+
+ProjectIndex ProjectIndex::build(const std::vector<FileContext>& files) {
+  ProjectIndex index;
+
+  // --- annotation tables ---------------------------------------------------
+  for (const FileContext& file : files) {
+    for (const Comment& comment : file.lexed.comments) {
+      const std::string_view text = comment.text;
+      std::size_t at = text.find("guarded-by");
+      if (at != std::string_view::npos) {
+        const std::string ctx =
+            paren_payload(text, at + std::string_view("guarded-by").size());
+        if (!ctx.empty()) {
+          const std::string field =
+              field_name_at(file.tokens(), comment.line);
+          if (!field.empty()) {
+            index.guarded_fields_.push_back(
+                GuardedField{field, ctx, file.path, comment.line});
+          }
+        }
+      }
+      at = text.find("holds");
+      if (at != std::string_view::npos) {
+        const std::string ctx =
+            paren_payload(text, at + std::string_view("holds").size());
+        if (!ctx.empty()) {
+          std::string reason;
+          const std::size_t close = text.find(')', at);
+          if (close != std::string_view::npos) {
+            std::size_t r = close + 1;
+            while (r < text.size() && (text[r] == ' ' || text[r] == '\t')) {
+              ++r;
+            }
+            if (r < text.size() && text[r] == ':') {
+              ++r;
+              while (r < text.size() &&
+                     (text[r] == ' ' || text[r] == '\t')) {
+                ++r;
+              }
+              reason = std::string(text.substr(r));
+              while (!reason.empty() &&
+                     (reason.back() == ' ' || reason.back() == '\r')) {
+                reason.pop_back();
+              }
+            }
+          }
+          index.holds_by_path_[file.path].push_back(
+              HoldsAssertion{ctx, reason, comment.line});
+        }
+      }
+    }
+  }
+
+  // --- function summaries (fixpoint) ---------------------------------------
+  struct Indexed {
+    const FileContext* file;
+    FunctionInfo fn;
+  };
+  std::vector<Indexed> functions;
+  for (const FileContext& file : files) {
+    for (FunctionInfo& fn : find_functions(file.tokens())) {
+      if (fn.name == "main" || fn.is_ctor_or_dtor) continue;
+      functions.push_back(Indexed{&file, std::move(fn)});
+    }
+  }
+
+  // The summary policy deliberately does NOT name-seed parameters: a
+  // helper taking a `count` is only wire-derived if hostile bytes
+  // actually flow into its return value, otherwise every call site with
+  // a clean argument would be poisoned.
+  for (int round = 0; round < 6; ++round) {
+    bool changed = false;
+    for (const Indexed& entry : functions) {
+      TaintPolicy policy;
+      policy.byte_buffer_subscript_is_source = true;
+      policy.is_bound_token = wire_bound_token;
+      policy.call_returns_taint = [&index](const std::string& callee) {
+        return index.returns_wire_derived(callee);
+      };
+      policy.call_validates_arg = [&index](const std::string& callee,
+                                           std::size_t arg) {
+        return index.validates_arg(callee, arg);
+      };
+      policy.call_asserts_arg = [&index](const std::string& callee,
+                                         std::size_t arg) {
+        return index.asserts_arg(callee, arg);
+      };
+
+      const FunctionAnalysisResult result =
+          analyze_function(entry.file->tokens(), entry.fn, policy, nullptr);
+      FunctionSummary& summary = index.summaries_[entry.fn.name];
+      if (result.returns_tainted && !summary.returns_wire_derived) {
+        summary.returns_wire_derived = true;
+        changed = true;
+      }
+      for (const std::size_t k : result.validated_params) {
+        changed |= summary.validated_params.insert(k).second;
+      }
+      for (const std::size_t k : result.asserted_params) {
+        changed |= summary.asserted_params.insert(k).second;
+      }
+    }
+    if (!changed) break;
+  }
+  return index;
+}
+
+bool ProjectIndex::returns_wire_derived(const std::string& fn) const {
+  const auto it = summaries_.find(fn);
+  return it != summaries_.end() && it->second.returns_wire_derived;
+}
+
+bool ProjectIndex::validates_arg(const std::string& fn,
+                                 std::size_t arg) const {
+  const auto it = summaries_.find(fn);
+  return it != summaries_.end() && it->second.validated_params.count(arg) > 0;
+}
+
+bool ProjectIndex::asserts_arg(const std::string& fn, std::size_t arg) const {
+  const auto it = summaries_.find(fn);
+  return it != summaries_.end() && it->second.asserted_params.count(arg) > 0;
+}
+
+std::vector<const GuardedField*> ProjectIndex::guards_for(
+    const std::string& field) const {
+  std::vector<const GuardedField*> out;
+  for (const GuardedField& g : guarded_fields_) {
+    if (g.field == field) out.push_back(&g);
+  }
+  return out;
+}
+
+const std::vector<HoldsAssertion>* ProjectIndex::holds_in(
+    const std::string& path) const {
+  const auto it = holds_by_path_.find(path);
+  return it == holds_by_path_.end() ? nullptr : &it->second;
+}
+
+}  // namespace updp2p::lint

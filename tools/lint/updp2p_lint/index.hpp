@@ -1,0 +1,75 @@
+// Cross-file symbol index for updp2p-lint.
+//
+// Built once per run over every scanned file, before rules fire. Holds:
+//   - per-function taint summaries, computed to a fixpoint with the flow
+//     engine: "returns wire-derived data" (reads raw bytes out of a
+//     byte-buffer parameter, or returns the result of a function that
+//     does — this is how taint survives `decode_varint` -> `resize`),
+//     and "validates/asserts its argument" (guards a parameter against a
+//     recognised bound with an early exit or UPDP2P_ENSURE);
+//   - the shard-guard annotation tables: `// guarded-by(ctx)` fields and
+//     `// holds(ctx): reason` function assertions, so a field annotated
+//     in a header is enforced in every translation unit that touches it.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "updp2p_lint/rule.hpp"
+
+namespace updp2p::lint {
+
+struct FunctionSummary {
+  bool returns_wire_derived = false;
+  std::set<std::size_t> validated_params;  // in-bounds iff call returns truthy
+  std::set<std::size_t> asserted_params;   // in-bounds after any call
+};
+
+/// A `// guarded-by(ctx)` annotation bound to the field it precedes (or
+/// trails on the same line).
+struct GuardedField {
+  std::string field;    // field identifier, e.g. "aware_" or "job"
+  std::string context;  // "shard" or a mutex/lock variable name
+  std::string path;     // file that declares (and annotates) the field
+  int line = 0;         // line of the field declaration
+};
+
+/// A `// holds(ctx): reason` capability assertion bound to a function.
+struct HoldsAssertion {
+  std::string context;
+  std::string reason;  // empty = malformed (shard-guard flags it)
+  int line = 0;
+};
+
+class ProjectIndex {
+ public:
+  /// Builds the index over all scanned files. Summaries iterate to a
+  /// fixpoint so taint flows through call chains of any depth.
+  static ProjectIndex build(const std::vector<FileContext>& files);
+
+  [[nodiscard]] bool returns_wire_derived(const std::string& fn) const;
+  [[nodiscard]] bool validates_arg(const std::string& fn,
+                                   std::size_t arg) const;
+  [[nodiscard]] bool asserts_arg(const std::string& fn, std::size_t arg) const;
+
+  [[nodiscard]] const std::vector<GuardedField>& guarded_fields() const {
+    return guarded_fields_;
+  }
+  /// Guard contexts for a field name ("" when the field is unannotated).
+  [[nodiscard]] std::vector<const GuardedField*> guards_for(
+      const std::string& field) const;
+
+  /// holds() assertions declared in `path` (keyed by comment line).
+  [[nodiscard]] const std::vector<HoldsAssertion>* holds_in(
+      const std::string& path) const;
+
+ private:
+  std::map<std::string, FunctionSummary> summaries_;
+  std::vector<GuardedField> guarded_fields_;
+  std::map<std::string, std::vector<HoldsAssertion>> holds_by_path_;
+};
+
+}  // namespace updp2p::lint

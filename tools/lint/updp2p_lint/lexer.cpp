@@ -14,6 +14,20 @@ bool is_ident_char(char c) {
 }
 bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
 
+/// True when the newline at `at` is spliced away by a preceding backslash
+/// (translation phase 2). Tolerates the `\<whitespace><newline>` and
+/// `\<CR><LF>` forms GCC and Clang accept: a continuation that shifted the
+/// following lines' diagnostics (or dropped their preproc flag) would make
+/// every downstream rule report the wrong place.
+bool is_spliced_newline(std::string_view source, std::size_t at) {
+  std::size_t b = at;
+  while (b > 0 && (source[b - 1] == '\r' || source[b - 1] == ' ' ||
+                   source[b - 1] == '\t')) {
+    --b;
+  }
+  return b > 0 && source[b - 1] == '\\';
+}
+
 /// Multi-character punctuators we keep intact. Only the ones rules care
 /// about need to be exact; everything else may split into single chars.
 /// `::` matters most: if it split into two `:` tokens the range-for rule
@@ -53,7 +67,7 @@ LexResult lex(std::string_view source) {
 
     if (c == '\n') {
       // Line continuations keep preprocessor state alive across lines.
-      const bool continued = i > 0 && source[i - 1] == '\\';
+      const bool continued = is_spliced_newline(source, i);
       if (!continued) preproc_line = false;
       advance_newline();
       ++i;
@@ -64,12 +78,22 @@ LexResult lex(std::string_view source) {
       continue;
     }
 
-    // Comments.
+    // Comments. A `//` comment whose line ends in a backslash splices into
+    // the next physical line (phase-2 splicing happens before comment
+    // recognition), so keep consuming — and keep counting lines — or every
+    // diagnostic after it lands one line early and the spliced code line is
+    // wrongly lexed as tokens.
     if (c == '/' && i + 1 < n && source[i + 1] == '/') {
       const int start_line = line;
       i += 2;
       std::size_t begin = i;
-      while (i < n && source[i] != '\n') ++i;
+      while (i < n) {
+        if (source[i] == '\n') {
+          if (!is_spliced_newline(source, i)) break;
+          advance_newline();
+        }
+        ++i;
+      }
       result.comments.push_back(
           Comment{std::string(source.substr(begin, i - begin)), start_line});
       at_line_start = false;
@@ -113,7 +137,10 @@ LexResult lex(std::string_view source) {
         const int start_line = line;
         p += 2;  // past R"
         std::size_t d_begin = p;
-        while (p < n && source[p] != '(') ++p;
+        while (p < n && source[p] != '(') {
+          if (source[p] == '\n') advance_newline();  // malformed delimiter
+          ++p;
+        }
         std::string delim;
         delim.reserve(p - d_begin + 2);
         delim.push_back(')');
@@ -150,6 +177,15 @@ LexResult lex(std::string_view source) {
       while (p < n && source[p] != quote) {
         if (source[p] == '\\' && p + 1 < n) {
           ++p;  // skip escaped char
+          // A backslash-newline splice inside a literal (long #define
+          // strings) is still a physical line: count it or every
+          // diagnostic below the literal shifts up.
+          if (source[p] == '\n') {
+            advance_newline();
+          } else if (source[p] == '\r' && p + 1 < n && source[p + 1] == '\n') {
+            ++p;
+            advance_newline();
+          }
         } else if (source[p] == '\n') {
           advance_newline();  // unterminated; be forgiving
         }
@@ -177,7 +213,12 @@ LexResult lex(std::string_view source) {
       const int start_line = line;
       std::size_t p = i + 1;
       while (p < n && source[p] != quote) {
-        if (source[p] == '\\' && p + 1 < n) ++p;
+        if (source[p] == '\\' && p + 1 < n) {
+          ++p;
+          if (source[p] == '\n') advance_newline();
+        } else if (source[p] == '\n') {
+          advance_newline();
+        }
         ++p;
       }
       p = (p < n) ? p + 1 : n;

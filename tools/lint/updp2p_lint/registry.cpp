@@ -64,7 +64,9 @@ std::vector<std::unique_ptr<Rule>> make_all_rules() {
   rules.push_back(make_determinism_rule());
   rules.push_back(make_rng_discipline_rule());
   rules.push_back(make_iteration_order_rule());
-  rules.push_back(make_wire_bounds_rule());
+  rules.push_back(make_wire_taint_rule());
+  rules.push_back(make_probe_trust_rule());
+  rules.push_back(make_shard_guard_rule());
   rules.push_back(make_assert_discipline_rule());
 
   std::vector<std::string> ids;

@@ -36,6 +36,8 @@ struct Suppression {
   int line = 0;
 };
 
+class ProjectIndex;  // cross-file summaries + annotations (index.hpp)
+
 struct FileContext {
   std::string path;   // repo-relative, forward slashes (scoping key)
   LexResult lexed;    // tokens + comments of the file itself
@@ -45,6 +47,11 @@ struct FileContext {
   // exists. Rules that need declarations — iteration-order resolves member
   // names declared in the header — look here; everything else ignores it.
   std::vector<Token> companion_tokens;
+
+  // Set by the engine after every file is lexed, before rules run. The
+  // flow-aware rules (wire-taint, probe-trust, shard-guard) read their
+  // cross-file facts here; token-window rules ignore it.
+  const ProjectIndex* index = nullptr;
 
   [[nodiscard]] const std::vector<Token>& tokens() const {
     return lexed.tokens;
@@ -72,7 +79,9 @@ std::vector<Suppression> parse_suppressions(
 std::unique_ptr<Rule> make_determinism_rule();
 std::unique_ptr<Rule> make_rng_discipline_rule();
 std::unique_ptr<Rule> make_iteration_order_rule();
-std::unique_ptr<Rule> make_wire_bounds_rule();
+std::unique_ptr<Rule> make_wire_taint_rule();
+std::unique_ptr<Rule> make_probe_trust_rule();
+std::unique_ptr<Rule> make_shard_guard_rule();
 std::unique_ptr<Rule> make_assert_discipline_rule();
 /// Validates suppression syntax; needs the registry's ids to spot typos.
 std::unique_ptr<Rule> make_suppression_reason_rule(

@@ -1,0 +1,176 @@
+// Rule: probe-trust
+//
+// The PR-7 lazy-decode contract (docs/protocol.md): `probe_frame(...)`
+// parses just enough of a frame to route it — its result is trusted for
+// monotone bookkeeping only. Counters, dedup lookups and routing may read
+// probe fields freely; replica state mutation, store appends and encode
+// paths must be dominated by a *full* decode (whose result is
+// null-checked with an early exit) before any probe-derived value
+// reaches them. A probe that skips the checksummed tail could otherwise
+// install a corrupt version id into seen_versions_ or the WAL.
+//
+// Mechanically: the probe result variable (and everything read out of
+// it) is tainted; a checked full decode (`auto push = decode_*(...); if
+// (!push) return ...;`) cleanses the scope; findings fire when a still-
+// tainted value is passed to a mutation-vocabulary call (handle_*,
+// apply*, append*, absorb*, import*, insert, emplace, push_back, encode*,
+// intern*, write*, put_*, merge*, store*) or assigned into a member
+// (trailing-underscore or this->).
+
+#include "updp2p_lint/flow.hpp"
+#include "updp2p_lint/rule.hpp"
+#include "updp2p_lint/token_match.hpp"
+
+namespace updp2p::lint {
+namespace {
+
+/// Read-only bookkeeping: results are trusted and the arguments do not
+/// escape. Matches by prefix/substring over the call name.
+bool bookkeeping_call(const std::string& name) {
+  const std::string lower = to_lower(name);
+  return lower.find("contains") != std::string::npos ||
+         lower.find("count") != std::string::npos ||
+         lower.find("find") != std::string::npos ||
+         lower.find("knows") != std::string::npos ||
+         lower.starts_with("note_") || lower.starts_with("has_") ||
+         lower.starts_with("is_") || lower.starts_with("cancel") ||
+         lower == "min" || lower == "max";
+}
+
+bool full_decode_call(const std::string& name) {
+  const std::string lower = to_lower(name);
+  return lower.starts_with("decode");
+}
+
+/// State-mutating vocabulary a probe-derived value must never reach
+/// without a dominating full decode.
+bool mutation_call(const std::string& name) {
+  const std::string lower = to_lower(name);
+  return lower.starts_with("handle_") || lower.starts_with("apply") ||
+         lower.starts_with("append") || lower.starts_with("absorb") ||
+         lower.starts_with("import") || lower.starts_with("encode") ||
+         lower.starts_with("intern") || lower.starts_with("write") ||
+         lower.starts_with("put_") || lower.starts_with("merge") ||
+         lower.starts_with("store") || lower.starts_with("record_push") ||
+         lower == "insert" || lower == "emplace" || lower == "push_back" ||
+         lower == "emplace_back" || lower == "assign";
+}
+
+class ProbeTrustRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "probe-trust"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "probe_frame results may feed counters/dedup/routing only; "
+           "state mutation, store appends and encode paths need a full "
+           "decode dominating them";
+  }
+
+  void check(const FileContext& file, std::vector<Finding>& out) const override {
+    if (!path_starts_with_any(file.path, {"src/"})) return;
+    const auto& tokens = file.tokens();
+
+    // Fast path: files that never call probe_frame have nothing to check.
+    bool calls_probe = false;
+    for (const Token& t : tokens) {
+      if (is_ident(t, "probe_frame")) {
+        calls_probe = true;
+        break;
+      }
+    }
+    if (!calls_probe) return;
+
+    TaintPolicy policy;
+    policy.call_returns_taint = [](const std::string& callee) {
+      return callee == "probe_frame";
+    };
+    policy.call_result_clean = [](const std::string& callee) {
+      return bookkeeping_call(callee);
+    };
+    policy.call_is_cleansing_decode = [](const std::string& callee) {
+      return full_decode_call(callee);
+    };
+    // Every probe field is hostile until the full decode runs.
+    policy.field_carries_taint = nullptr;
+
+    for (const FunctionInfo& fn : find_functions(tokens)) {
+      // probe_frame's own definition builds the probe; skip it.
+      if (fn.name == "probe_frame") continue;
+      StatementHook hook = [this, &tokens, &file, &out](
+                               const StatementContext& stmt) {
+        scan_sinks(stmt, tokens, file.path, out);
+      };
+      analyze_function(tokens, fn, policy, &hook);
+    }
+  }
+
+ private:
+  void scan_sinks(const StatementContext& stmt,
+                  const std::vector<Token>& tokens, const std::string& path,
+                  std::vector<Finding>& out) const {
+    // Member assignment: `field_ = <probe-derived>` or `this->f = ...`.
+    std::size_t eq = tokens.size();
+    int depth = 0;
+    for (std::size_t i = stmt.begin; i < stmt.end; ++i) {
+      const Token& t = tokens[i];
+      if (t.kind != TokenKind::kPunct) continue;
+      if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+      if (t.text == ")" || t.text == "]" || t.text == "}") --depth;
+      if (depth == 0 && t.text == "=") {
+        eq = i;
+        break;
+      }
+    }
+    if (eq < stmt.end && eq > stmt.begin) {
+      bool member_lhs = false;
+      for (std::size_t i = stmt.begin; i < eq; ++i) {
+        if (is_ident(tokens[i], "this") ||
+            (tokens[i].kind == TokenKind::kIdentifier &&
+             tokens[i].text.size() > 1 && tokens[i].text.back() == '_')) {
+          member_lhs = true;
+          break;
+        }
+      }
+      if (member_lhs && stmt.range_tainted(eq + 1, stmt.end)) {
+        report(path, tokens[stmt.begin].line,
+               "a probe_frame-derived value is stored into replica state",
+               out);
+      }
+    }
+
+    // Mutation calls taking a probe-derived argument.
+    for (std::size_t i = stmt.begin; i < stmt.end; ++i) {
+      const Token& t = tokens[i];
+      if (t.kind != TokenKind::kIdentifier || i + 1 >= stmt.end ||
+          !is_punct(tokens[i + 1], "(")) {
+        continue;
+      }
+      if (!mutation_call(t.text)) continue;
+      const std::size_t close = find_matching_paren(tokens, i + 1);
+      if (close < stmt.end && close > i + 2 &&
+          stmt.range_tainted(i + 2, close)) {
+        report(path, t.line,
+               "a probe_frame-derived value reaches '" + t.text + "'", out);
+      }
+    }
+  }
+
+  void report(const std::string& path, int line, const std::string& what,
+              std::vector<Finding>& out) const {
+    for (const Finding& f : out) {
+      if (f.path == path && f.line == line && f.rule_id == id()) return;
+    }
+    out.push_back(
+        {path, line, std::string(id()),
+         what + " without a dominating full decode; probe results are "
+                "bookkeeping-only (docs/protocol.md) — decode the frame "
+                "and null-check the result before mutating state"});
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_probe_trust_rule() {
+  return std::make_unique<ProbeTrustRule>();
+}
+
+}  // namespace updp2p::lint

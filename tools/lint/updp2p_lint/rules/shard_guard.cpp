@@ -1,0 +1,243 @@
+// Rule: shard-guard
+//
+// DESIGN.md §6's bit-identical-at-any-thread-count guarantee rests on
+// shard-partitioned state being touched only from its owning shard (or
+// under the documented lock). The PR-1 SweepPool stale-claim bug was
+// exactly a cross-context access no compiler could see. This rule gives
+// the convention teeth with a tiny annotation vocabulary:
+//
+//   // guarded-by(shard)        on a field: only functions that take the
+//                               owning shard index may touch it
+//   // guarded-by(mutex)        on a field: only functions that lock the
+//                               named mutex (std::lock_guard/unique_lock/
+//                               scoped_lock naming it) may touch it
+//   // holds(shard): reason     on a function: asserts the context is
+//                               held structurally (e.g. the sequential
+//                               phase between rounds); the reason is
+//                               mandatory, like lint-allow
+//
+// Annotations are collected project-wide (a header's annotation binds in
+// every .cpp), accesses are checked in src/sim/ and src/net/. An access
+// is in-context when the innermost function (or enclosing lambda chain)
+// has a parameter matching the context (`shard`, `src_shard`,
+// `shard_index`, ...), a lock statement naming the mutex appears in the
+// body, a holds() assertion covers the function, or the function is a
+// constructor/destructor (objects under construction are unshared).
+// Bare names shadowed by a local or parameter are not field accesses.
+
+#include <set>
+
+#include "updp2p_lint/flow.hpp"
+#include "updp2p_lint/index.hpp"
+#include "updp2p_lint/rule.hpp"
+#include "updp2p_lint/token_match.hpp"
+
+namespace updp2p::lint {
+namespace {
+
+bool in_shard_scope(std::string_view path) {
+  return path_starts_with_any(path, {"src/sim/", "src/net/"});
+}
+
+bool param_matches_context(const std::string& name,
+                           const std::string& context) {
+  if (name == context) return true;
+  if (name.size() > context.size() + 1 &&
+      name.compare(name.size() - context.size() - 1, context.size() + 1,
+                   "_" + context) == 0) {
+    return true;  // src_shard, dst_shard, owner_shard
+  }
+  return name == context + "_index" || name == context + "_id";
+}
+
+bool is_lock_decl_ident(const Token& t) {
+  return is_ident(t, "lock_guard") || is_ident(t, "unique_lock") ||
+         is_ident(t, "scoped_lock") || is_ident(t, "shared_lock");
+}
+
+class ShardGuardRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "shard-guard"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "fields annotated // guarded-by(shard|mutex-name) may only be "
+           "accessed from functions holding the matching shard index or "
+           "lock (or carrying // holds(ctx): reason)";
+  }
+
+  void check(const FileContext& file, std::vector<Finding>& out) const override {
+    if (!in_shard_scope(file.path) || file.index == nullptr) return;
+    const auto& tokens = file.tokens();
+    const ProjectIndex& index = *file.index;
+
+    // Malformed holds() assertions are findings wherever they appear.
+    const std::vector<HoldsAssertion>* holds = index.holds_in(file.path);
+    if (holds != nullptr) {
+      for (const HoldsAssertion& h : *holds) {
+        if (h.reason.empty()) {
+          out.push_back({file.path, h.line, std::string(id()),
+                         "holds(" + h.context +
+                             ") assertion without a reason; write "
+                             "`// holds(" +
+                             h.context + "): why the context is held`"});
+        }
+      }
+    }
+
+    if (index.guarded_fields().empty()) return;
+
+    for (const FunctionInfo& fn : find_functions(tokens)) {
+      if (fn.is_ctor_or_dtor) continue;
+      check_function(file, index, tokens, fn, holds, out);
+    }
+  }
+
+ private:
+  void check_function(const FileContext& file, const ProjectIndex& index,
+                      const std::vector<Token>& tokens,
+                      const FunctionInfo& fn,
+                      const std::vector<HoldsAssertion>* holds,
+                      std::vector<Finding>& out) const {
+    // Contexts asserted for the whole function by holds() comments (those
+    // whose line falls just above the header or inside the body).
+    std::set<std::string> asserted;
+    if (holds != nullptr) {
+      for (const HoldsAssertion& h : *holds) {
+        if (h.reason.empty()) continue;
+        if (h.line >= fn.line - 3 && h.line <= fn.body_end_line) {
+          asserted.insert(h.context);
+        }
+      }
+    }
+
+    // Locks taken anywhere in the body (coarse: whole-function).
+    std::set<std::string> locked;
+    for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+      if (!is_lock_decl_ident(tokens[i])) continue;
+      // `std::lock_guard<std::mutex> lock(impl_->mutex);` — the guarded
+      // mutex names appear inside the constructor parens.
+      std::size_t j = i + 1;
+      int angle = 0;
+      while (j < fn.body_end && !is_punct(tokens[j], "(")) {
+        if (is_punct(tokens[j], "<")) ++angle;
+        if (is_punct(tokens[j], ";")) break;
+        ++j;
+      }
+      (void)angle;
+      if (j >= fn.body_end || !is_punct(tokens[j], "(")) continue;
+      const std::size_t close = find_matching_paren(tokens, j);
+      for (std::size_t k = j + 1; k < close && k < fn.body_end; ++k) {
+        if (tokens[k].kind == TokenKind::kIdentifier) {
+          locked.insert(tokens[k].text);
+        }
+      }
+    }
+
+    // Names shadowed by locals/parameters: a bare `job` next to a local
+    // `auto job = ...` is not the field.
+    std::set<std::string> shadowed;
+    for (const FunctionParam& p : fn.params) shadowed.insert(p.name);
+    for (const LambdaInfo& lambda : fn.lambdas) {
+      for (const FunctionParam& p : lambda.params) shadowed.insert(p.name);
+    }
+    for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+      const Token& t = tokens[i];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      const Token& prev = tokens[i - 1];
+      const bool decl_prefix =
+          (prev.kind == TokenKind::kIdentifier && prev.text != "return") ||
+          is_punct(prev, ">") || is_punct(prev, "*") || is_punct(prev, "&");
+      if (!decl_prefix) continue;
+      if (i >= 2 && (is_punct(tokens[i - 2], ".") ||
+                     is_punct(tokens[i - 2], "->") ||
+                     is_punct(tokens[i - 2], "::"))) {
+        continue;
+      }
+      const Token* nxt = next_token(tokens, i);
+      if (nxt == nullptr) continue;
+      if (is_punct(*nxt, "=") || is_punct(*nxt, ";") || is_punct(*nxt, "{") ||
+          is_punct(*nxt, ":") || is_punct(*nxt, "(")) {
+        shadowed.insert(t.text);
+      }
+    }
+
+    // Walk every identifier in the body against the guarded-field table.
+    for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+      const Token& t = tokens[i];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      const auto guards = index.guards_for(t.text);
+      if (guards.empty()) continue;
+
+      const Token& prev = tokens[i - 1];
+      const bool member_access =
+          is_punct(prev, ".") || is_punct(prev, "->");
+      if (is_punct(prev, "::")) continue;  // qualified: not a field access
+      if (!member_access && shadowed.count(t.text) > 0) continue;
+      // A declaration of a same-named local: `auto job = ...` is shadow
+      // creation, not a field access.
+      if (!member_access &&
+          ((prev.kind == TokenKind::kIdentifier && !member_access) ||
+           is_punct(prev, ">") || is_punct(prev, "*") || is_punct(prev, "&"))) {
+        const Token* nxt = next_token(tokens, i);
+        if (nxt != nullptr &&
+            (is_punct(*nxt, "=") || is_punct(*nxt, ";") ||
+             is_punct(*nxt, "{") || is_punct(*nxt, "("))) {
+          continue;
+        }
+      }
+
+      bool ok = false;
+      std::string wanted;
+      for (const GuardedField* g : guards) {
+        if (!wanted.empty()) wanted += "|";
+        wanted += g->context;
+        if (asserted.count(g->context) > 0 || locked.count(g->context) > 0) {
+          ok = true;
+          break;
+        }
+        // Parameter of the function or of any enclosing lambda.
+        for (const FunctionParam& p : fn.params) {
+          if (param_matches_context(p.name, g->context)) {
+            ok = true;
+            break;
+          }
+        }
+        for (const LambdaInfo& lambda : fn.lambdas) {
+          if (ok) break;
+          if (i <= lambda.body_begin || i >= lambda.body_end) continue;
+          for (const FunctionParam& p : lambda.params) {
+            if (param_matches_context(p.name, g->context)) {
+              ok = true;
+              break;
+            }
+          }
+        }
+        if (ok) break;
+      }
+      if (ok) continue;
+
+      report(file.path, t.line, t.text, wanted, out);
+    }
+  }
+
+  void report(const std::string& path, int line, const std::string& field,
+              const std::string& context, std::vector<Finding>& out) const {
+    for (const Finding& f : out) {
+      if (f.path == path && f.line == line && f.rule_id == id()) return;
+    }
+    out.push_back(
+        {path, line, std::string(id()),
+         "field '" + field + "' is guarded-by(" + context +
+             ") but this function holds no matching shard index/lock; "
+             "pass the owning shard (or take the lock), or assert the "
+             "phase with `// holds(" +
+             context + "): reason`"});
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_shard_guard_rule() {
+  return std::make_unique<ShardGuardRule>();
+}
+
+}  // namespace updp2p::lint

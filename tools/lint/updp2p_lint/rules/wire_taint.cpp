@@ -1,0 +1,174 @@
+// Rule: wire-taint
+//
+// Flow-aware successor to the old wire-bounds ±12-line window heuristic.
+// A hostile varint must never command a multi-GB allocation: any value
+// originating from wire or disk decode must pass a recognised bound check
+// on every path before it sizes a container.
+//
+// Sources (per the TaintPolicy in flow.hpp):
+//   - calls to functions the project index summarises as wire-derived
+//     (get_varint, decode_*, probe_frame, ... — computed to a fixpoint,
+//     so taint survives helper-call chains);
+//   - subscript reads of byte-buffer parameters (`bytes[offset]`);
+//   - derefs of unvalidated optionals (`*count`, the codec decode idiom);
+//   - parameters and uninitialised locals named in the wire vocabulary
+//     (count/cardinality/chunk/probe/len/record — same list the window
+//     heuristic used, kept so the decode surface stays conservative).
+//
+// Bounds: a dominating comparison with early exit against kMaxWirePeerId,
+// kMaxWireChunkKey, kArrayChunkMax, kChunkSpan, kMaxWalRecordBytes,
+// kMaxSnapshotBytes, any identifier containing max/remaining/limit, or a
+// `.size()` expression (`*count > bytes.size() - offset`); UPDP2P_ENSURE
+// of the same shape; or a call whose summary says it validates/asserts
+// the argument.
+//
+// Sinks: `.resize(x)` / `.reserve(x)`, `new T[x]`, and container
+// subscripts `c[x]` where x is tainted-and-unbounded at that point.
+//
+// Scope is the decode surface: src/net/, src/gossip/codec.* and
+// src/store/ (disk is hostile input too — bit rot and torn writes
+// produce exactly the adversarial lengths a malicious datagram would).
+
+#include "updp2p_lint/flow.hpp"
+#include "updp2p_lint/index.hpp"
+#include "updp2p_lint/rule.hpp"
+#include "updp2p_lint/token_match.hpp"
+
+namespace updp2p::lint {
+namespace {
+
+bool in_wire_scope(std::string_view path) {
+  return path_starts_with_any(path,
+                              {"src/net/", "src/gossip/codec.", "src/store/"});
+}
+
+bool wire_bound_token(const Token& t) {
+  return is_ident(t, "kMaxWirePeerId") || is_ident(t, "kMaxWireChunkKey") ||
+         is_ident(t, "kArrayChunkMax") || is_ident(t, "kChunkSpan") ||
+         is_ident(t, "kMaxWalRecordBytes") || is_ident(t, "kMaxSnapshotBytes");
+}
+
+class WireTaintRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "wire-taint"; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "wire/disk-decoded values must pass a recognised bound check "
+           "(kMax* caps or a dominating bytes.size() comparison) on every "
+           "path before resize/reserve/new[]/subscript";
+  }
+
+  void check(const FileContext& file, std::vector<Finding>& out) const override {
+    if (!in_wire_scope(file.path) || file.index == nullptr) return;
+    const auto& tokens = file.tokens();
+    const ProjectIndex& index = *file.index;
+
+    TaintPolicy policy;
+    policy.name_seeds_taint = [](const std::string& name) {
+      return wire_vocab_name(name);
+    };
+    policy.call_returns_taint = [&index](const std::string& callee) {
+      return index.returns_wire_derived(callee);
+    };
+    policy.call_validates_arg = [&index](const std::string& callee,
+                                         std::size_t arg) {
+      return index.validates_arg(callee, arg);
+    };
+    policy.call_asserts_arg = [&index](const std::string& callee,
+                                       std::size_t arg) {
+      return index.asserts_arg(callee, arg);
+    };
+    policy.is_bound_token = wire_bound_token;
+    policy.deref_optional_is_source = true;
+    policy.byte_buffer_subscript_is_source = true;
+    // A tainted struct poisons only its wire-named fields: `scan.count`
+    // is hostile, `scan.valid_bytes` (a validated prefix length the
+    // scanner itself computed) is not.
+    policy.field_carries_taint = [](const std::string& field) {
+      return wire_vocab_name(field);
+    };
+
+    for (const FunctionInfo& fn : find_functions(tokens)) {
+      StatementHook hook = [this, &tokens, &file, &out](
+                               const StatementContext& stmt) {
+        scan_sinks(stmt, tokens, file.path, out);
+      };
+      analyze_function(tokens, fn, policy, &hook);
+    }
+  }
+
+ private:
+  void scan_sinks(const StatementContext& stmt,
+                  const std::vector<Token>& tokens, const std::string& path,
+                  std::vector<Finding>& out) const {
+    for (std::size_t i = stmt.begin; i < stmt.end; ++i) {
+      const Token& t = tokens[i];
+
+      // `.resize(x)` / `.reserve(x)` member calls.
+      if (t.kind == TokenKind::kIdentifier &&
+          (t.text == "resize" || t.text == "reserve") &&
+          is_member_access(tokens, i) && i + 1 < stmt.end &&
+          is_punct(tokens[i + 1], "(")) {
+        const std::size_t close = find_matching_paren(tokens, i + 1);
+        if (close < stmt.end && stmt.range_tainted(i + 2, close)) {
+          report(path, t.line, t.text + " sized by", out);
+        }
+        continue;
+      }
+
+      // `new T[x]`.
+      if (is_ident(t, "new")) {
+        std::size_t j = i + 1;
+        while (j < stmt.end && !is_punct(tokens[j], "[") &&
+               !is_punct(tokens[j], "(") && !is_punct(tokens[j], ";")) {
+          ++j;
+        }
+        if (j < stmt.end && is_punct(tokens[j], "[")) {
+          const std::size_t close = find_matching_paren(tokens, j);
+          if (close < stmt.end && stmt.range_tainted(j + 1, close)) {
+            report(path, t.line, "array new sized by", out);
+          }
+        }
+        continue;
+      }
+
+      // Container subscript with a tainted index. Subscripts *of* the
+      // byte buffer itself are reads (sources), not sinks — they are
+      // bounded by the decode loop's `offset < bytes.size()` guard and
+      // flagged here only if the index expression is itself tainted.
+      if (is_punct(t, "[") && i > stmt.begin &&
+          tokens[i - 1].kind == TokenKind::kIdentifier &&
+          !tokens[i - 1].preproc) {
+        const std::size_t close = find_matching_paren(tokens, i);
+        if (close < stmt.end && stmt.range_tainted(i + 1, close)) {
+          report(path, t.line, "subscript indexed by", out);
+        }
+        continue;
+      }
+    }
+  }
+
+  void report(const std::string& path, int line, const std::string& what,
+              std::vector<Finding>& out) const {
+    // One finding per line: the same tainted value often appears twice in
+    // a statement (e.g. resize + fill).
+    for (const Finding& f : out) {
+      if (f.path == path && f.line == line && f.rule_id == id()) return;
+    }
+    out.push_back(
+        {path, line, std::string(id()),
+         what + " a wire-decoded value with no dominating bound check "
+                "(kMaxWirePeerId / kMaxWireChunkKey / kArrayChunkMax / "
+                "kChunkSpan / kMaxWalRecordBytes / kMaxSnapshotBytes or a "
+                "bytes.size() comparison) on this path; bounds-check the "
+                "decoded count/cardinality/length before it sizes anything, "
+                "or lint-allow stating what bounds it"});
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_wire_taint_rule() {
+  return std::make_unique<WireTaintRule>();
+}
+
+}  // namespace updp2p::lint

@@ -1,0 +1,110 @@
+#include "updp2p_lint/sarif.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace updp2p::lint {
+namespace {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SarifRule> sarif_rule_catalogue() {
+  std::vector<SarifRule> rules;
+  for (const auto& rule : make_all_rules()) {
+    rules.push_back(
+        SarifRule{std::string(rule->id()), std::string(rule->summary())});
+  }
+  return rules;
+}
+
+std::string to_sarif(const std::vector<Finding>& findings,
+                     const std::vector<SarifRule>& rules) {
+  std::ostringstream out;
+  out << "{\n"
+         "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+         "  \"version\": \"2.1.0\",\n"
+         "  \"runs\": [\n"
+         "    {\n"
+         "      \"tool\": {\n"
+         "        \"driver\": {\n"
+         "          \"name\": \"updp2p-lint\",\n"
+         "          \"informationUri\": \"docs/static-analysis.md\",\n"
+         "          \"rules\": [\n";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out << "            {\"id\": \"" << json_escape(rules[i].id)
+        << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(rules[i].summary) << "\"}}"
+        << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+         "        }\n"
+         "      },\n"
+         "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "        {\n"
+           "          \"ruleId\": \""
+        << json_escape(f.rule_id)
+        << "\",\n"
+           "          \"level\": \"error\",\n"
+           "          \"message\": {\"text\": \""
+        << json_escape(f.message)
+        << "\"},\n"
+           "          \"locations\": [\n"
+           "            {\n"
+           "              \"physicalLocation\": {\n"
+           "                \"artifactLocation\": {\"uri\": \""
+        << json_escape(f.path)
+        << "\", \"uriBaseId\": \"SRCROOT\"},\n"
+           "                \"region\": {\"startLine\": "
+        << f.line
+        << "}\n"
+           "              }\n"
+           "            }\n"
+           "          ]\n"
+           "        }"
+        << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+         "    }\n"
+         "  ]\n"
+         "}\n";
+  return out.str();
+}
+
+}  // namespace updp2p::lint

@@ -1,0 +1,29 @@
+// SARIF 2.1.0 emitter for updp2p-lint findings.
+//
+// Hand-rolled JSON (the repo has no JSON dependency): one run, one tool
+// driver carrying the full rule catalogue, one result per finding with
+// ruleId / level / message.text / physicalLocation{artifactLocation.uri,
+// region.startLine}. scripts/check_lint_baseline.py validates the shape
+// in the verify lint leg.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "updp2p_lint/engine.hpp"
+
+namespace updp2p::lint {
+
+struct SarifRule {
+  std::string id;
+  std::string summary;
+};
+
+/// Serialises findings as a SARIF 2.1.0 document (UTF-8, trailing \n).
+std::string to_sarif(const std::vector<Finding>& findings,
+                     const std::vector<SarifRule>& rules);
+
+/// The registered rule catalogue as SARIF rule descriptors.
+std::vector<SarifRule> sarif_rule_catalogue();
+
+}  // namespace updp2p::lint
