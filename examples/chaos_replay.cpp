@@ -1,0 +1,145 @@
+// updp2p-chaos — run, sweep, shrink and replay chaos scenarios.
+//
+// Usage:
+//   updp2p-chaos --list
+//   updp2p-chaos --scenario partition-heal --seed 7
+//   updp2p-chaos --scenario repro.chaos --seed 7 --mutate drop-pull-responses
+//   updp2p-chaos --scenario combined-storm --sweep-seeds 16 --threads 8
+//   updp2p-chaos --scenario canary-pull-recovery --seed 3
+//       --mutate drop-pull-responses --shrink minimized.chaos
+//
+// --scenario names a builtin (see --list) or a script file path. Exit
+// status: 0 when every run passed its property checks, 1 otherwise —
+// which is what lets the shrinker's printed repro command double as a CI
+// assertion.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos/engine.hpp"
+#include "chaos/scenarios.hpp"
+#include "chaos/shrink.hpp"
+#include "common/args.hpp"
+
+namespace {
+
+using namespace updp2p;
+
+std::optional<chaos::Scenario> load_scenario(const std::string& name) {
+  if (auto builtin = chaos::find_scenario(name)) return builtin;
+  std::ifstream in(name);
+  if (!in) {
+    std::fprintf(stderr, "updp2p-chaos: '%s' is neither a builtin scenario "
+                 "nor a readable file (try --list)\n", name.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::string error;
+  auto scenario = chaos::parse_scenario(text.str(), &error);
+  if (!scenario) {
+    std::fprintf(stderr, "updp2p-chaos: %s: %s\n", name.c_str(),
+                 error.c_str());
+  }
+  return scenario;
+}
+
+void print_report(const chaos::ChaosReport& report, bool verbose) {
+  std::printf("scenario %-24s seed %-6llu digest %s  %s\n",
+              report.scenario.c_str(),
+              static_cast<unsigned long long>(report.seed),
+              report.trace_digest.to_hex().c_str(),
+              report.passed() ? "PASS" : "FAIL");
+  if (verbose) {
+    for (const std::string& line : report.trace) {
+      std::printf("  %s\n", line.c_str());
+    }
+    std::printf("  published=%zu delivered=%llu dropped{loss=%llu "
+                "policy=%llu offline=%llu} duplicated=%llu\n",
+                report.published,
+                static_cast<unsigned long long>(
+                    report.network.datagrams_delivered),
+                static_cast<unsigned long long>(report.network.dropped_loss),
+                static_cast<unsigned long long>(
+                    report.network.dropped_policy),
+                static_cast<unsigned long long>(
+                    report.network.dropped_offline),
+                static_cast<unsigned long long>(
+                    report.network.datagrams_duplicated));
+  }
+  for (const std::string& violation : report.violations) {
+    std::printf("  VIOLATION: %s\n", violation.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::Args args(argc, argv);
+
+  if (args.get_bool("list", false)) {
+    for (const chaos::Scenario& scenario : chaos::builtin_scenarios()) {
+      std::printf("%-24s population=%zu phases=%zu duration=%.1fs%s\n",
+                  scenario.name.c_str(), scenario.population,
+                  scenario.phases.size(), scenario.total_duration(),
+                  scenario.durable.empty() ? "" : " durable");
+    }
+    return 0;
+  }
+
+  const std::string name = args.get_string("scenario", "");
+  if (name.empty()) {
+    std::fprintf(stderr,
+                 "usage: updp2p-chaos --scenario <name|file> [--seed N] "
+                 "[--mutate <name>] [--sweep-seeds N] [--threads N] "
+                 "[--shrink <out-file>] [--trace] [--data-root DIR] "
+                 "| --list\n");
+    return 2;
+  }
+  const auto scenario = load_scenario(name);
+  if (!scenario) return 2;
+
+  chaos::ChaosOptions options;
+  options.data_root = args.get_string(
+      "data-root", "/tmp/updp2p-chaos-" + scenario->name);
+  options.mutation = chaos::mutation_from_string(
+      args.get_string("mutate", "none"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  const auto sweep = static_cast<std::size_t>(args.get_int("sweep-seeds", 0));
+  if (sweep > 0) {
+    std::vector<std::uint64_t> seeds;
+    for (std::size_t i = 0; i < sweep; ++i) seeds.push_back(seed + i);
+    const auto threads =
+        static_cast<unsigned>(args.get_int("threads", 1));
+    options.keep_trace = false;
+    const auto reports =
+        chaos::run_seed_sweep(*scenario, seeds, options, threads);
+    bool all_passed = true;
+    for (const chaos::ChaosReport& report : reports) {
+      print_report(report, false);
+      all_passed = all_passed && report.passed();
+    }
+    return all_passed ? 0 : 1;
+  }
+
+  options.keep_trace = true;
+  const chaos::ChaosReport report =
+      chaos::run_scenario(*scenario, seed, options);
+  print_report(report, args.get_bool("trace", false));
+  if (report.passed()) return 0;
+
+  if (const std::string out = args.get_string("shrink", ""); !out.empty()) {
+    const chaos::ShrinkResult shrunk =
+        chaos::shrink_scenario(*scenario, seed, options);
+    std::ofstream file(out);
+    file << chaos::to_text(shrunk.minimized);
+    file.close();
+    std::printf("shrunk to %zu phases in %zu runs; repro:\n  %s\n",
+                shrunk.minimized.phases.size(), shrunk.runs,
+                chaos::repro_command(out, seed, options.mutation).c_str());
+  }
+  return 1;
+}

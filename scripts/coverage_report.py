@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Line-coverage summary for the protocol core (src/gossip, src/store).
+
+Workflow (docs/testing.md):
+
+    cmake --preset coverage
+    cmake --build --preset coverage -j --target gossip_tests store_tests
+    ctest --preset coverage
+    python3 scripts/coverage_report.py
+
+Walks the coverage build tree for .gcda files, asks gcov for JSON
+intelligence per translation unit, and aggregates executed/executable
+lines per source file under the watched prefixes. A line is counted
+covered if ANY translation unit executed it (headers are hit from many
+TUs). Exits 1 when --min-line-coverage is given and the aggregate falls
+short, so the report can gate a CI leg.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir: str) -> list[str]:
+    found = []
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                found.append(os.path.join(root, name))
+    return sorted(found)
+
+
+def gcov_json(gcda: str, build_dir: str) -> dict | None:
+    # -t streams uncompressed JSON to stdout; run inside the object dir so
+    # gcov finds the .gcno next to the .gcda.
+    result = subprocess.run(
+        ["gcov", "-t", "--json-format", os.path.basename(gcda)],
+        cwd=os.path.dirname(gcda),
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if result.returncode != 0:
+        print(f"warning: gcov failed for {gcda}: {result.stderr.strip()}",
+              file=sys.stderr)
+        return None
+    try:
+        return json.loads(result.stdout)
+    except json.JSONDecodeError:
+        print(f"warning: unparseable gcov output for {gcda}", file=sys.stderr)
+        return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build-cov",
+                        help="coverage build tree (default: build-cov)")
+    parser.add_argument("--prefix", action="append", default=None,
+                        help="watched source prefix, repeatable "
+                             "(default: src/gossip src/store)")
+    parser.add_argument("--min-line-coverage", type=float, default=None,
+                        help="fail (exit 1) when aggregate %% falls below")
+    args = parser.parse_args()
+    prefixes = args.prefix or ["src/gossip", "src/store"]
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+    gcda_files = find_gcda(args.build_dir)
+    if not gcda_files:
+        print(f"no .gcda files under {args.build_dir}; build the coverage "
+              "preset and run the tests first", file=sys.stderr)
+        return 2
+
+    # path -> {line_no -> executed?}; OR across translation units.
+    lines_by_file: dict[str, dict[int, bool]] = {}
+    for gcda in gcda_files:
+        data = gcov_json(gcda, args.build_dir)
+        if data is None:
+            continue
+        for unit in data.get("files", []):
+            path = os.path.normpath(
+                os.path.relpath(os.path.join(repo_root, unit["file"]),
+                                repo_root))
+            if not any(path.startswith(prefix + os.sep) or path == prefix
+                       for prefix in prefixes):
+                continue
+            per_line = lines_by_file.setdefault(path, {})
+            for line in unit.get("lines", []):
+                number = line["line_number"]
+                per_line[number] = per_line.get(number, False) or \
+                    line.get("count", 0) > 0
+    if not lines_by_file:
+        print("no instrumented sources matched "
+              f"{', '.join(prefixes)}", file=sys.stderr)
+        return 2
+
+    width = max(len(path) for path in lines_by_file) + 2
+    print(f"{'file':<{width}} {'lines':>7} {'hit':>7} {'cover':>7}")
+    total_lines = 0
+    total_hit = 0
+    for path in sorted(lines_by_file):
+        per_line = lines_by_file[path]
+        executable = len(per_line)
+        hit = sum(1 for covered in per_line.values() if covered)
+        total_lines += executable
+        total_hit += hit
+        pct = 100.0 * hit / executable if executable else 100.0
+        print(f"{path:<{width}} {executable:>7} {hit:>7} {pct:>6.1f}%")
+    aggregate = 100.0 * total_hit / total_lines if total_lines else 100.0
+    print(f"{'TOTAL':<{width}} {total_lines:>7} {total_hit:>7} "
+          f"{aggregate:>6.1f}%")
+
+    if args.min_line_coverage is not None and \
+            aggregate < args.min_line_coverage:
+        print(f"FAIL: aggregate line coverage {aggregate:.1f}% is below "
+              f"the required {args.min_line_coverage:.1f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,8 +19,15 @@
 # crash-recovery replay pipeline. Opt out with --skip-bench-guard on busy
 # or differently-provisioned machines.
 #
+# The deterministic chaos harness (docs/testing.md) runs its test suite as
+# part of tier-1 (ctest label `chaos`). --chaos-seeds N adds a deeper leg:
+# an N-seed sweep of every builtin scenario through the real updp2p-chaos
+# binary, with the sweep parallelised across cores — any property
+# violation fails the verify and prints the failing (scenario, seed) pair
+# to replay.
+#
 # Usage: scripts/verify.sh [--skip-sanitizers] [--skip-bench-guard]
-#                          [--update-lint-baseline]
+#                          [--update-lint-baseline] [--chaos-seeds N]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,13 +35,17 @@ JOBS="$(nproc)"
 SKIP_SAN=0
 SKIP_BENCH_GUARD=0
 UPDATE_LINT_BASELINE=0
-for arg in "$@"; do
-  case "${arg}" in
+CHAOS_SEEDS=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
     --skip-sanitizers) SKIP_SAN=1 ;;
     --skip-bench-guard) SKIP_BENCH_GUARD=1 ;;
     --update-lint-baseline) UPDATE_LINT_BASELINE=1 ;;
-    *) echo "unknown option: ${arg}" >&2; exit 2 ;;
+    --chaos-seeds) shift; CHAOS_SEEDS="${1:?--chaos-seeds needs a count}" ;;
+    --chaos-seeds=*) CHAOS_SEEDS="${1#*=}" ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
+  shift
 done
 
 echo "==> tier-1: Release build"
@@ -77,6 +88,15 @@ fi
 echo "==> tier-1: Release ctest"
 ctest --preset release -j "${JOBS}"
 
+if [[ "${CHAOS_SEEDS}" -gt 0 ]]; then
+  echo "==> chaos: ${CHAOS_SEEDS}-seed sweep over every builtin scenario"
+  while read -r scenario _; do
+    ./build/examples/updp2p-chaos --scenario "${scenario}" \
+      --sweep-seeds "${CHAOS_SEEDS}" --threads "${JOBS}" \
+      --data-root "build/chaos-sweep/${scenario}"
+  done < <(./build/examples/updp2p-chaos --list)
+fi
+
 if [[ "${SKIP_BENCH_GUARD}" == "1" ]]; then
   echo "==> bench guard skipped (--skip-bench-guard)"
 else
@@ -113,7 +133,7 @@ echo "==> sanitizers: TSan build + concurrency suites"
 # all three sanitizer legs).
 cmake --preset tsan
 cmake --build --preset tsan -j "${JOBS}" \
-  --target sim_tests net_tests runtime_tests store_tests
+  --target sim_tests net_tests runtime_tests store_tests chaos_tests
 ctest --preset tsan -j "${JOBS}"
 
 echo "==> verify OK"

@@ -1,0 +1,125 @@
+#include "chaos/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+#include "gossip/codec.hpp"
+
+namespace updp2p::chaos {
+
+const char* to_string(Mutation mutation) noexcept {
+  switch (mutation) {
+    case Mutation::kNone: return "none";
+    case Mutation::kDropPullResponses: return "drop-pull-responses";
+  }
+  return "none";
+}
+
+Mutation mutation_from_string(std::string_view name) noexcept {
+  if (name == "drop-pull-responses") return Mutation::kDropPullResponses;
+  return Mutation::kNone;
+}
+
+FaultInjector::FaultInjector(std::size_t population)
+    : population_(population),
+      group_(population, -1),
+      links_(population * population) {}
+
+void FaultInjector::clear_network_faults() {
+  std::fill(group_.begin(), group_.end(), -1);
+  std::fill(links_.begin(), links_.end(), LinkOverride{});
+  dup_p_ = 0.0;
+  reorder_p_ = 0.0;
+  reorder_extra_ = 0.0;
+}
+
+void FaultInjector::set_partition(
+    const std::vector<std::vector<common::PeerId>>& groups) {
+  // Unassigned peers keep -1 and thus share the implicit extra group.
+  std::fill(group_.begin(), group_.end(), -1);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (const common::PeerId id : groups[g]) {
+      UPDP2P_ENSURE(id.value() < population_, "partition peer out of range");
+      group_[id.value()] = static_cast<int>(g);
+    }
+  }
+}
+
+void FaultInjector::set_link_loss(common::PeerId from, common::PeerId to,
+                                  double p) {
+  link(from, to).loss = p;
+}
+
+void FaultInjector::set_link_delay(common::PeerId from, common::PeerId to,
+                                   common::SimTime delay) {
+  link(from, to).delay = delay;
+}
+
+void FaultInjector::fold(std::vector<std::uint64_t>& words) const {
+  words.push_back(stats_.partition_drops);
+  words.push_back(stats_.loss_drops);
+  words.push_back(stats_.mutation_drops);
+  words.push_back(stats_.duplicated);
+  words.push_back(stats_.delayed);
+}
+
+net::LinkFaultPolicy::Decision FaultInjector::on_submit(
+    common::PeerId from, common::PeerId to,
+    std::span<const std::byte> payload, common::StreamRng& rng) {
+  Decision decision;
+
+  // 1. Seeded mutation — consulted first so the canary's breakage is
+  // independent of whatever faults the scenario also runs. The probe is
+  // used for classification only (field comparisons, no state absorbed).
+  if (mutation_ == Mutation::kDropPullResponses) {
+    const auto probe = gossip::probe_frame(payload);
+    const bool is_pull_response =
+        probe.has_value() && probe->kind == gossip::WireKind::kPullResponse;
+    if (is_pull_response) {
+      ++stats_.mutation_drops;
+      decision.drop = true;
+      return decision;
+    }
+  }
+
+  // 2. Partition: cross-group traffic dies at the switch.
+  if (group_[from.value()] != group_[to.value()]) {
+    ++stats_.partition_drops;
+    decision.drop = true;
+    return decision;
+  }
+
+  const LinkOverride& over = links_[from.value() * population_ + to.value()];
+
+  // 3. Directional loss override (draws only on lossy links, so installing
+  // an override on link A never shifts link B's stream).
+  if (over.loss > 0.0 && rng.bernoulli(over.loss)) {
+    ++stats_.loss_drops;
+    decision.drop = true;
+    return decision;
+  }
+
+  // 4. Directional fixed extra delay.
+  if (over.delay > 0.0) {
+    decision.extra_delay += over.delay;
+    ++stats_.delayed;
+  }
+
+  // 5. Reorder window: with probability p, hold this datagram back by a
+  // uniform extra delay so later submissions overtake it.
+  if (reorder_p_ > 0.0 && rng.bernoulli(reorder_p_)) {
+    decision.extra_delay += rng.uniform01() * reorder_extra_;
+    ++stats_.delayed;
+  }
+
+  // 6. Duplicate window: fan the datagram out as two copies, each with an
+  // independently sampled latency.
+  if (dup_p_ > 0.0 && rng.bernoulli(dup_p_)) {
+    decision.copies = 2;
+    ++stats_.duplicated;
+  }
+
+  return decision;
+}
+
+}  // namespace updp2p::chaos

@@ -1,0 +1,95 @@
+// FaultInjector — the chaos engine's net::LinkFaultPolicy.
+//
+// Holds the network-facing fault state a scenario phase installs:
+// partition groups, directional per-link loss/delay overrides, and
+// cluster-wide duplicate/reorder windows, plus an optional seeded
+// mutation used by the canary tests to prove the property checker can
+// fail. All randomness draws from the per-link chaos StreamRng the switch
+// hands in, and the draw ORDER per datagram is fixed (mutation check,
+// partition check, override loss, reorder, duplicate), so a given
+// (scenario, seed) replays bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "net/inproc_transport.hpp"
+
+namespace updp2p::chaos {
+
+/// Seeded protocol mutations: deliberately broken behaviours the property
+/// checker must catch. Used by the canary tests and `--mutate`.
+enum class Mutation : std::uint8_t {
+  kNone = 0,
+  /// Silently swallow every pull response: offline recovery (§5 pull
+  /// phase) stops working, so peers that missed a push never converge.
+  kDropPullResponses,
+};
+
+[[nodiscard]] const char* to_string(Mutation mutation) noexcept;
+/// nullopt-free lookup: unknown names map to kNone (callers validate).
+[[nodiscard]] Mutation mutation_from_string(std::string_view name) noexcept;
+
+struct InjectorStats {
+  std::uint64_t partition_drops = 0;
+  std::uint64_t loss_drops = 0;      ///< directional override losses
+  std::uint64_t mutation_drops = 0;
+  std::uint64_t duplicated = 0;      ///< datagrams fanned out as 2 copies
+  std::uint64_t delayed = 0;         ///< datagrams given extra delay
+};
+
+class FaultInjector final : public net::LinkFaultPolicy {
+ public:
+  explicit FaultInjector(std::size_t population);
+
+  /// heal: drop partition, link overrides and dup/reorder windows (the
+  /// mutation, being part of the run's identity, survives).
+  void clear_network_faults();
+
+  /// Installs a partition. Peers absent from every group share one
+  /// implicit extra group. Cross-group datagrams are dropped.
+  void set_partition(
+      const std::vector<std::vector<common::PeerId>>& groups);
+
+  void set_link_loss(common::PeerId from, common::PeerId to, double p);
+  void set_link_delay(common::PeerId from, common::PeerId to,
+                      common::SimTime delay);
+  void set_duplicate(double p) noexcept { dup_p_ = p; }
+  void set_reorder(double p, common::SimTime max_extra) noexcept {
+    reorder_p_ = p;
+    reorder_extra_ = max_extra;
+  }
+  void set_mutation(Mutation mutation) noexcept { mutation_ = mutation; }
+
+  [[nodiscard]] const InjectorStats& stats() const noexcept { return stats_; }
+
+  /// Folds the injector counters into a digest word stream.
+  void fold(std::vector<std::uint64_t>& words) const;
+
+  Decision on_submit(common::PeerId from, common::PeerId to,
+                     std::span<const std::byte> payload,
+                     common::StreamRng& rng) override;
+
+ private:
+  struct LinkOverride {
+    double loss = 0.0;
+    common::SimTime delay = 0.0;
+  };
+
+  [[nodiscard]] LinkOverride& link(common::PeerId from, common::PeerId to) {
+    return links_[from.value() * population_ + to.value()];
+  }
+
+  std::size_t population_;
+  std::vector<int> group_;           ///< per-peer partition group; -1 default
+  std::vector<LinkOverride> links_;  ///< dense population² directional table
+  double dup_p_ = 0.0;
+  double reorder_p_ = 0.0;
+  common::SimTime reorder_extra_ = 0.0;
+  Mutation mutation_ = Mutation::kNone;
+  InjectorStats stats_;
+};
+
+}  // namespace updp2p::chaos

@@ -1,0 +1,508 @@
+#include "chaos/scenario.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+namespace updp2p::chaos {
+
+namespace {
+
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[nodiscard]] std::vector<std::string_view> split_words(std::string_view s) {
+  std::vector<std::string_view> words;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+    std::size_t start = i;
+    while (i < s.size() && s[i] != ' ' && s[i] != '\t') ++i;
+    if (i > start) words.push_back(s.substr(start, i - start));
+  }
+  return words;
+}
+
+/// Shortest round-trip decimal for a double (std::to_chars general form).
+[[nodiscard]] std::string format_double(double value) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  return ec == std::errc() ? std::string(buf, ptr) : std::string("0");
+}
+
+/// Parse state shared by the line handlers.
+struct Parser {
+  Scenario scenario;
+  std::string* error = nullptr;
+  int line_no = 0;
+  bool failed = false;
+  bool in_phases = false;
+
+  bool fail(const std::string& reason) {
+    if (error != nullptr && !failed) {
+      *error = "line " + std::to_string(line_no) + ": " + reason;
+    }
+    failed = true;
+    return false;
+  }
+
+  bool parse_double(std::string_view word, double* out) {
+    const auto [ptr, ec] =
+        std::from_chars(word.data(), word.data() + word.size(), *out);
+    if (ec != std::errc() || ptr != word.data() + word.size()) {
+      return fail("expected a number, got '" + std::string(word) + "'");
+    }
+    return true;
+  }
+
+  bool parse_u64(std::string_view word, std::uint64_t* out) {
+    const auto [ptr, ec] =
+        std::from_chars(word.data(), word.data() + word.size(), *out);
+    if (ec != std::errc() || ptr != word.data() + word.size()) {
+      return fail("expected an integer, got '" + std::string(word) + "'");
+    }
+    return true;
+  }
+
+  bool parse_peer(std::string_view word, common::PeerId* out) {
+    std::uint64_t id = 0;
+    if (!parse_u64(word, &id)) return false;
+    if (id >= scenario.population) {
+      return fail("peer " + std::to_string(id) + " outside population " +
+                  std::to_string(scenario.population));
+    }
+    *out = common::PeerId(static_cast<common::PeerId::rep_type>(id));
+    return true;
+  }
+
+  /// `*` or comma list of ids and inclusive ranges (`1,3,7-9`), returned
+  /// sorted and deduplicated.
+  bool parse_set(std::string_view word, std::vector<common::PeerId>* out) {
+    out->clear();
+    if (word == "*") {
+      for (std::size_t i = 0; i < scenario.population; ++i) {
+        out->emplace_back(static_cast<common::PeerId::rep_type>(i));
+      }
+      return true;
+    }
+    std::size_t pos = 0;
+    while (pos < word.size()) {
+      std::size_t comma = word.find(',', pos);
+      if (comma == std::string_view::npos) comma = word.size();
+      const std::string_view item = word.substr(pos, comma - pos);
+      pos = comma + 1;
+      if (item.empty()) return fail("empty entry in peer set");
+      const std::size_t dash = item.find('-');
+      if (dash == std::string_view::npos) {
+        common::PeerId id;
+        if (!parse_peer(item, &id)) return false;
+        out->push_back(id);
+      } else {
+        common::PeerId lo;
+        common::PeerId hi;
+        if (!parse_peer(item.substr(0, dash), &lo)) return false;
+        if (!parse_peer(item.substr(dash + 1), &hi)) return false;
+        if (hi < lo) return fail("descending range in peer set");
+        for (auto v = lo.value(); v <= hi.value(); ++v) {
+          out->emplace_back(v);
+        }
+      }
+    }
+    std::sort(out->begin(), out->end());
+    out->erase(std::unique(out->begin(), out->end()), out->end());
+    if (out->empty()) return fail("empty peer set");
+    return true;
+  }
+
+  bool parse_probability(std::string_view word, double* out) {
+    if (!parse_double(word, out)) return false;
+    if (*out < 0.0 || *out > 1.0) return fail("probability outside [0,1]");
+    return true;
+  }
+
+  bool wrong_arity(std::string_view op) {
+    return fail("wrong number of arguments for '" + std::string(op) + "'");
+  }
+
+  bool header_line(const std::vector<std::string_view>& words);
+  bool op_line(std::string_view rest,
+               const std::vector<std::string_view>& words);
+};
+
+bool Parser::header_line(const std::vector<std::string_view>& words) {
+  const std::string_view kw = words[0];
+  if (kw == "name") {
+    if (words.size() != 2) return wrong_arity(kw);
+    scenario.name = std::string(words[1]);
+    return true;
+  }
+  if (kw == "population") {
+    std::uint64_t n = 0;
+    if (words.size() != 2 || !parse_u64(words[1], &n)) return wrong_arity(kw);
+    if (n == 0 || n > 256) return fail("population must be in [1,256]");
+    scenario.population = static_cast<std::size_t>(n);
+    return true;
+  }
+  if (kw == "durable") {
+    if (words.size() != 2) return wrong_arity(kw);
+    if (words[1] == "none") {
+      scenario.durable.clear();
+      return true;
+    }
+    return parse_set(words[1], &scenario.durable);
+  }
+  if (kw == "round" || kw == "tick" || kw == "retry-initial") {
+    double v = 0.0;
+    if (words.size() != 2 || !parse_double(words[1], &v)) return false;
+    if (v <= 0.0) return fail("duration must be positive");
+    if (kw == "round") {
+      scenario.round = v;
+    } else if (kw == "tick") {
+      scenario.tick = v;
+    } else {
+      scenario.retry_initial = v;
+    }
+    return true;
+  }
+  if (kw == "loss") {
+    if (words.size() != 2) return wrong_arity(kw);
+    return parse_probability(words[1], &scenario.base_loss);
+  }
+  if (kw == "latency") {
+    if (words.size() != 3) return wrong_arity(kw);
+    if (!parse_double(words[1], &scenario.latency_lo) ||
+        !parse_double(words[2], &scenario.latency_hi)) {
+      return false;
+    }
+    if (scenario.latency_lo < 0.0 ||
+        scenario.latency_hi < scenario.latency_lo) {
+      return fail("latency bounds must satisfy 0 <= lo <= hi");
+    }
+    return true;
+  }
+  if (kw == "fanout") {
+    if (words.size() != 2) return wrong_arity(kw);
+    double v = 0.0;
+    if (!parse_double(words[1], &v)) return false;
+    if (v <= 0.0 || v > 1.0) return fail("fanout must be in (0,1]");
+    scenario.fanout = v;
+    return true;
+  }
+  if (kw == "acks") {
+    if (words.size() != 2 || (words[1] != "on" && words[1] != "off")) {
+      return fail("acks takes 'on' or 'off'");
+    }
+    scenario.acks = words[1] == "on";
+    return true;
+  }
+  if (kw == "retry-attempts") {
+    std::uint64_t n = 0;
+    if (words.size() != 2 || !parse_u64(words[1], &n)) return wrong_arity(kw);
+    scenario.retry_attempts = static_cast<unsigned>(n);
+    return true;
+  }
+  if (kw == "snapshot-every") {
+    std::uint64_t n = 0;
+    if (words.size() != 2 || !parse_u64(words[1], &n)) return wrong_arity(kw);
+    scenario.snapshot_every = n;
+    return true;
+  }
+  if (kw == "view") {
+    std::uint64_t n = 0;
+    if (words.size() != 2 || !parse_u64(words[1], &n)) return wrong_arity(kw);
+    scenario.view = static_cast<std::size_t>(n);
+    return true;
+  }
+  return fail("unknown header directive '" + std::string(kw) + "'");
+}
+
+bool Parser::op_line(std::string_view rest,
+                     const std::vector<std::string_view>& words) {
+  Op op;
+  const std::string_view kw = words[0];
+  if (kw == "partition") {
+    op.kind = OpKind::kPartition;
+    // Groups are '|'-separated; each group is a peer set.
+    std::size_t pos = 0;
+    std::vector<bool> seen(scenario.population, false);
+    while (pos <= rest.size()) {
+      std::size_t bar = rest.find('|', pos);
+      if (bar == std::string_view::npos) bar = rest.size();
+      const std::string_view group_text = trim(rest.substr(pos, bar - pos));
+      pos = bar + 1;
+      if (group_text.empty()) return fail("empty partition group");
+      std::vector<common::PeerId> group;
+      if (!parse_set(group_text, &group)) return false;
+      for (const common::PeerId id : group) {
+        if (seen[id.value()]) {
+          return fail("peer " + std::to_string(id.value()) +
+                      " in two partition groups");
+        }
+        seen[id.value()] = true;
+      }
+      op.groups.push_back(std::move(group));
+      if (bar == rest.size()) break;
+    }
+    if (op.groups.size() < 2) return fail("partition needs >= 2 groups");
+  } else if (kw == "heal") {
+    if (words.size() != 1) return wrong_arity(kw);
+    op.kind = OpKind::kHeal;
+  } else if (kw == "linkloss" || kw == "linkdelay") {
+    if (words.size() != 4) return wrong_arity(kw);
+    op.kind = kw == "linkloss" ? OpKind::kLinkLoss : OpKind::kLinkDelay;
+    if (!parse_set(words[1], &op.peers) || !parse_set(words[2], &op.dst)) {
+      return false;
+    }
+    if (op.kind == OpKind::kLinkLoss) {
+      if (!parse_probability(words[3], &op.a)) return false;
+    } else {
+      if (!parse_double(words[3], &op.a)) return false;
+      if (op.a < 0.0) return fail("delay must be non-negative");
+    }
+  } else if (kw == "dup") {
+    if (words.size() != 2) return wrong_arity(kw);
+    op.kind = OpKind::kDuplicate;
+    if (!parse_probability(words[1], &op.a)) return false;
+  } else if (kw == "reorder") {
+    if (words.size() != 3) return wrong_arity(kw);
+    op.kind = OpKind::kReorder;
+    if (!parse_probability(words[1], &op.a)) return false;
+    if (!parse_double(words[2], &op.b)) return false;
+    if (op.b < 0.0) return fail("reorder extra delay must be non-negative");
+  } else if (kw == "offline" || kw == "online" || kw == "restart" ||
+             kw == "disk-ok" || kw == "snapshot") {
+    if (words.size() != 2) return wrong_arity(kw);
+    op.kind = kw == "offline"   ? OpKind::kOffline
+              : kw == "online"  ? OpKind::kOnline
+              : kw == "restart" ? OpKind::kRestart
+              : kw == "disk-ok" ? OpKind::kDiskOk
+                                : OpKind::kSnapshot;
+    if (!parse_set(words[1], &op.peers)) return false;
+  } else if (kw == "skew") {
+    if (words.size() != 3) return wrong_arity(kw);
+    op.kind = OpKind::kSkew;
+    if (!parse_set(words[1], &op.peers)) return false;
+    if (!parse_double(words[2], &op.a)) return false;
+    if (op.a < 0.0) return fail("skew factor must be non-negative");
+  } else if (kw == "kill") {
+    if (words.size() != 2 && !(words.size() == 3 && words[2] == "wipe")) {
+      return fail("kill takes '<set>' or '<set> wipe'");
+    }
+    op.kind = OpKind::kKill;
+    op.wipe = words.size() == 3;
+    if (!parse_set(words[1], &op.peers)) return false;
+  } else if (kw == "disk-fault") {
+    if (words.size() != 3) return wrong_arity(kw);
+    op.kind = OpKind::kDiskFault;
+    if (!parse_set(words[1], &op.peers)) return false;
+    if (words[2] == "appends") {
+      op.disk = DiskFaultMode::kAppends;
+    } else if (words[2] == "snapshots") {
+      op.disk = DiskFaultMode::kSnapshots;
+    } else if (words[2] == "torn") {
+      op.disk = DiskFaultMode::kTorn;
+    } else if (words[2] == "all") {
+      op.disk = DiskFaultMode::kAll;
+    } else {
+      return fail("disk-fault mode must be appends|snapshots|torn|all");
+    }
+  } else if (kw == "publish") {
+    if (words.size() != 3) return wrong_arity(kw);
+    op.kind = OpKind::kPublish;
+    if (!parse_peer(words[1], &op.peer)) return false;
+    op.key = std::string(words[2]);
+  } else {
+    return fail("unknown op '" + std::string(kw) + "'");
+  }
+  scenario.phases.back().ops.push_back(std::move(op));
+  return true;
+}
+
+[[nodiscard]] std::string format_set(const std::vector<common::PeerId>& set,
+                                     std::size_t population) {
+  if (set.size() == population) return "*";
+  // Compress sorted ids into `a-b` ranges.
+  std::string out;
+  std::size_t i = 0;
+  while (i < set.size()) {
+    std::size_t j = i;
+    while (j + 1 < set.size() &&
+           set[j + 1].value() == set[j].value() + 1) {
+      ++j;
+    }
+    if (!out.empty()) out += ',';
+    out += std::to_string(set[i].value());
+    if (j > i) {
+      out += '-';
+      out += std::to_string(set[j].value());
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::kPartition: return "partition";
+    case OpKind::kHeal: return "heal";
+    case OpKind::kLinkLoss: return "linkloss";
+    case OpKind::kLinkDelay: return "linkdelay";
+    case OpKind::kDuplicate: return "dup";
+    case OpKind::kReorder: return "reorder";
+    case OpKind::kOffline: return "offline";
+    case OpKind::kOnline: return "online";
+    case OpKind::kSkew: return "skew";
+    case OpKind::kKill: return "kill";
+    case OpKind::kRestart: return "restart";
+    case OpKind::kDiskFault: return "disk-fault";
+    case OpKind::kDiskOk: return "disk-ok";
+    case OpKind::kSnapshot: return "snapshot";
+    case OpKind::kPublish: return "publish";
+  }
+  return "unknown";
+}
+
+std::optional<Scenario> parse_scenario(std::string_view text,
+                                       std::string* error) {
+  Parser p;
+  p.error = error;
+  std::size_t pos = 0;
+  while (pos <= text.size() && !p.failed) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view raw = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++p.line_no;
+    std::string_view line = raw;
+    if (const std::size_t hash = line.find('#');
+        hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) {
+      if (eol == text.size()) break;
+      continue;
+    }
+    const std::vector<std::string_view> words = split_words(line);
+    if (words[0] == "phase") {
+      double duration = 0.0;
+      if (words.size() != 2 || !p.parse_double(words[1], &duration)) {
+        p.fail("phase takes one duration argument");
+        break;
+      }
+      if (duration <= 0.0) {
+        p.fail("phase duration must be positive");
+        break;
+      }
+      p.in_phases = true;
+      p.scenario.phases.push_back(Phase{duration, {}});
+    } else if (!p.in_phases) {
+      if (!p.header_line(words)) break;
+    } else {
+      if (!p.op_line(line.substr(words[0].size()), words)) break;
+    }
+    if (eol == text.size()) break;
+  }
+  if (p.failed) return std::nullopt;
+  if (p.scenario.phases.empty()) {
+    if (error != nullptr) *error = "scenario has no phases";
+    return std::nullopt;
+  }
+  for (const common::PeerId id : p.scenario.durable) {
+    if (id.value() >= p.scenario.population) {
+      if (error != nullptr) *error = "durable peer outside population";
+      return std::nullopt;
+    }
+  }
+  return p.scenario;
+}
+
+std::string to_text(const Scenario& scenario) {
+  std::ostringstream out;
+  out << "name " << scenario.name << '\n';
+  out << "population " << scenario.population << '\n';
+  if (!scenario.durable.empty()) {
+    out << "durable " << format_set(scenario.durable, scenario.population)
+        << '\n';
+  }
+  out << "round " << format_double(scenario.round) << '\n';
+  out << "tick " << format_double(scenario.tick) << '\n';
+  if (scenario.base_loss > 0.0) {
+    out << "loss " << format_double(scenario.base_loss) << '\n';
+  }
+  out << "latency " << format_double(scenario.latency_lo) << ' '
+      << format_double(scenario.latency_hi) << '\n';
+  out << "fanout " << format_double(scenario.fanout) << '\n';
+  out << "acks " << (scenario.acks ? "on" : "off") << '\n';
+  out << "retry-attempts " << scenario.retry_attempts << '\n';
+  out << "retry-initial " << format_double(scenario.retry_initial) << '\n';
+  out << "snapshot-every " << scenario.snapshot_every << '\n';
+  if (scenario.view != 0) out << "view " << scenario.view << '\n';
+  for (const Phase& phase : scenario.phases) {
+    out << "phase " << format_double(phase.duration) << '\n';
+    for (const Op& op : phase.ops) {
+      out << "  " << to_string(op.kind);
+      switch (op.kind) {
+        case OpKind::kPartition:
+          for (std::size_t g = 0; g < op.groups.size(); ++g) {
+            out << (g == 0 ? " " : " | ")
+                << format_set(op.groups[g], scenario.population);
+          }
+          break;
+        case OpKind::kHeal:
+          break;
+        case OpKind::kLinkLoss:
+        case OpKind::kLinkDelay:
+          out << ' ' << format_set(op.peers, scenario.population) << ' '
+              << format_set(op.dst, scenario.population) << ' '
+              << format_double(op.a);
+          break;
+        case OpKind::kDuplicate:
+          out << ' ' << format_double(op.a);
+          break;
+        case OpKind::kReorder:
+          out << ' ' << format_double(op.a) << ' ' << format_double(op.b);
+          break;
+        case OpKind::kOffline:
+        case OpKind::kOnline:
+        case OpKind::kRestart:
+        case OpKind::kDiskOk:
+        case OpKind::kSnapshot:
+          out << ' ' << format_set(op.peers, scenario.population);
+          break;
+        case OpKind::kSkew:
+          out << ' ' << format_set(op.peers, scenario.population) << ' '
+              << format_double(op.a);
+          break;
+        case OpKind::kKill:
+          out << ' ' << format_set(op.peers, scenario.population);
+          if (op.wipe) out << " wipe";
+          break;
+        case OpKind::kDiskFault:
+          out << ' ' << format_set(op.peers, scenario.population) << ' '
+              << (op.disk == DiskFaultMode::kAppends     ? "appends"
+                  : op.disk == DiskFaultMode::kSnapshots ? "snapshots"
+                  : op.disk == DiskFaultMode::kTorn      ? "torn"
+                                                         : "all");
+          break;
+        case OpKind::kPublish:
+          out << ' ' << op.peer.value() << ' ' << op.key;
+          break;
+      }
+      out << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace updp2p::chaos

@@ -1,0 +1,24 @@
+// Builtin chaos scenario corpus.
+//
+// Each scenario is authored as script text and parsed at load, so the
+// corpus doubles as parser coverage. Every scenario ends healed with a
+// settle window long enough for the §3/§6 pull machinery to converge —
+// the eventual-delivery check assumes a fair final window, not a cluster
+// abandoned mid-partition.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "chaos/scenario.hpp"
+
+namespace updp2p::chaos {
+
+/// All builtin scenarios (parsed fresh on every call; cheap).
+[[nodiscard]] std::vector<Scenario> builtin_scenarios();
+
+/// Lookup by Scenario::name. nullopt when unknown.
+[[nodiscard]] std::optional<Scenario> find_scenario(std::string_view name);
+
+}  // namespace updp2p::chaos

@@ -1,0 +1,166 @@
+#include "chaos/shrink.hpp"
+
+#include <utility>
+
+namespace updp2p::chaos {
+
+namespace {
+
+/// Every candidate runs with this healed settle window appended, and the
+/// shrinker never deletes it: without a guaranteed convergence window,
+/// greedy deletion would happily "minimize" any failure down to a
+/// schedule that fails only because nothing had time to propagate.
+[[nodiscard]] Phase settle_phase(const Scenario& scenario) {
+  Phase settle;
+  settle.duration = 60.0 * scenario.round;
+  Op heal;
+  heal.kind = OpKind::kHeal;
+  settle.ops.push_back(std::move(heal));
+  return settle;
+}
+
+class Shrinker {
+ public:
+  Shrinker(const Scenario& scenario, std::uint64_t seed,
+           const ChaosOptions& options, std::size_t max_runs)
+      : base_(scenario),
+        settle_(settle_phase(scenario)),
+        seed_(seed),
+        options_(options),
+        max_runs_(max_runs) {}
+
+  /// Runs `base_` with `core` as the phase list plus the settle window.
+  [[nodiscard]] bool fails_with(const std::vector<Phase>& core) {
+    Scenario candidate = base_;
+    candidate.phases = core;
+    candidate.phases.push_back(settle_);
+    return fails(candidate);
+  }
+
+  [[nodiscard]] bool fails(const Scenario& candidate) {
+    ChaosOptions run_options = options_;
+    if (!options_.data_root.empty()) {
+      run_options.data_root =
+          options_.data_root + "/shrink-" + std::to_string(runs_);
+    }
+    run_options.keep_trace = false;
+    const ChaosReport report = run_scenario(candidate, seed_, run_options);
+    ++runs_;
+    last_violations_ = report.violations;
+    return !report.passed();
+  }
+
+  [[nodiscard]] Scenario with_settle(std::vector<Phase> core) const {
+    Scenario out = base_;
+    out.phases = std::move(core);
+    out.phases.push_back(settle_);
+    out.name = base_.name + "-min";
+    return out;
+  }
+
+  [[nodiscard]] bool budget_left() const noexcept {
+    return runs_ < max_runs_;
+  }
+  [[nodiscard]] std::size_t runs() const noexcept { return runs_; }
+  [[nodiscard]] const std::vector<std::string>& last_violations()
+      const noexcept {
+    return last_violations_;
+  }
+
+ private:
+  const Scenario& base_;
+  Phase settle_;
+  std::uint64_t seed_;
+  const ChaosOptions& options_;
+  std::size_t max_runs_;
+  std::size_t runs_ = 0;
+  std::vector<std::string> last_violations_;
+};
+
+}  // namespace
+
+ShrinkResult shrink_scenario(const Scenario& scenario, std::uint64_t seed,
+                             const ChaosOptions& options,
+                             std::size_t max_runs) {
+  Shrinker shrinker(scenario, seed, options, max_runs);
+  ShrinkResult result;
+  result.minimized = scenario;
+
+  if (!shrinker.fails(scenario)) {
+    result.runs = shrinker.runs();
+    return result;  // nothing to shrink
+  }
+  result.reproduced = true;
+  result.violations = shrinker.last_violations();
+
+  // The settle window must not itself mask the failure; if it does, the
+  // verbatim scenario is already the best repro we can offer.
+  if (!shrinker.fails_with(scenario.phases)) {
+    result.runs = shrinker.runs();
+    return result;
+  }
+  result.violations = shrinker.last_violations();
+  std::vector<Phase> core = scenario.phases;
+
+  // 1. Shortest failing prefix.
+  for (std::size_t k = 1; k < core.size() && shrinker.budget_left(); ++k) {
+    std::vector<Phase> prefix(core.begin(),
+                              core.begin() + static_cast<std::ptrdiff_t>(k));
+    if (shrinker.fails_with(prefix)) {
+      core = std::move(prefix);
+      result.violations = shrinker.last_violations();
+      break;
+    }
+  }
+
+  // 2. Greedy deletion to fixpoint: whole phases first, then single ops.
+  bool shrunk = true;
+  while (shrunk && shrinker.budget_left()) {
+    shrunk = false;
+    for (std::size_t p = 0;
+         p < core.size() && core.size() > 1 && shrinker.budget_left();) {
+      std::vector<Phase> candidate = core;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(p));
+      if (shrinker.fails_with(candidate)) {
+        core = std::move(candidate);
+        result.violations = shrinker.last_violations();
+        shrunk = true;
+      } else {
+        ++p;
+      }
+    }
+    for (std::size_t p = 0; p < core.size() && shrinker.budget_left(); ++p) {
+      for (std::size_t o = 0;
+           o < core[p].ops.size() && shrinker.budget_left();) {
+        std::vector<Phase> candidate = core;
+        auto& ops = candidate[p].ops;
+        ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(o));
+        if (shrinker.fails_with(candidate)) {
+          core = std::move(candidate);
+          result.violations = shrinker.last_violations();
+          shrunk = true;
+        } else {
+          ++o;
+        }
+      }
+    }
+  }
+
+  result.minimized = shrinker.with_settle(std::move(core));
+  result.runs = shrinker.runs();
+  return result;
+}
+
+std::string repro_command(const std::string& scenario_path,
+                          std::uint64_t seed, Mutation mutation) {
+  std::string command =
+      "updp2p-chaos --scenario " + scenario_path + " --seed " +
+      std::to_string(seed);
+  if (mutation != Mutation::kNone) {
+    command += " --mutate ";
+    command += to_string(mutation);
+  }
+  return command;
+}
+
+}  // namespace updp2p::chaos

@@ -1,0 +1,50 @@
+// Schedule shrinking — minimize a failing (scenario, seed) pair.
+//
+// A chaos failure found under a big scripted schedule is rarely about the
+// whole schedule. The shrinker re-runs the scenario under the SAME seed
+// and mutation with progressively smaller schedules — first cutting the
+// phase list to the shortest failing prefix (with a healed settle phase
+// appended so the eventual-delivery check still has a fair chance to
+// pass), then greedily deleting whole phases, then individual ops — and
+// keeps every cut that still fails. Determinism makes this sound: a
+// candidate either reproduces the violation exactly or it does not; there
+// is no flake dimension.
+//
+// The minimized scenario serializes (chaos/scenario.hpp round-trip) into
+// a script the repro command can replay:
+//
+//   updp2p-chaos --scenario minimized.chaos --seed 42
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/engine.hpp"
+#include "chaos/scenario.hpp"
+
+namespace updp2p::chaos {
+
+struct ShrinkResult {
+  Scenario minimized;
+  /// False when the full scenario already passes under this seed (nothing
+  /// to shrink; `minimized` is then the input scenario).
+  bool reproduced = false;
+  std::size_t runs = 0;  ///< engine runs spent (bounded by max_runs)
+  /// Violations of the final minimized schedule.
+  std::vector<std::string> violations;
+};
+
+/// Shrinks `scenario` under `seed`. Every candidate runs in its own
+/// subdirectory of options.data_root. `max_runs` bounds total engine runs.
+[[nodiscard]] ShrinkResult shrink_scenario(const Scenario& scenario,
+                                           std::uint64_t seed,
+                                           const ChaosOptions& options,
+                                           std::size_t max_runs = 200);
+
+/// The command line that replays a (scenario file, seed, mutation) triple.
+[[nodiscard]] std::string repro_command(const std::string& scenario_path,
+                                        std::uint64_t seed,
+                                        Mutation mutation);
+
+}  // namespace updp2p::chaos

@@ -10,6 +10,11 @@ namespace {
 /// links), so live-transport draws never collide with simulator draws.
 constexpr std::uint64_t kLossPurpose = 0x1055;
 constexpr std::uint64_t kLatencyPurpose = 0x1A7E;
+constexpr std::uint64_t kChaosPurpose = 0xC405;
+
+/// Upper bound on policy fan-out; a duplication window doubling every
+/// datagram is chaos, 2^32 copies is a bug.
+constexpr unsigned kMaxPolicyCopies = 16;
 
 [[nodiscard]] std::uint64_t link_key(common::PeerId from,
                                      common::PeerId to) noexcept {
@@ -56,6 +61,7 @@ InprocNetwork::LinkRngs& InprocNetwork::link_rngs(common::PeerId from,
                       LinkRngs{
                           common::StreamRng(config_.seed, key, kLossPurpose),
                           common::StreamRng(config_.seed, key, kLatencyPurpose),
+                          common::StreamRng(config_.seed, key, kChaosPurpose),
                       })
              .first;
   }
@@ -67,14 +73,32 @@ bool InprocNetwork::submit(common::PeerId from, common::PeerId to,
   if (!endpoints_.contains(to)) return false;
   ++stats_.datagrams_submitted;
   LinkRngs& rngs = link_rngs(from, to);
+  LinkFaultPolicy::Decision decision;
+  if (policy_ != nullptr) {
+    decision = policy_->on_submit(from, to, payload, rngs.chaos);
+    UPDP2P_ENSURE(decision.copies <= kMaxPolicyCopies,
+                  "link policy fan-out exceeds the copy cap");
+    UPDP2P_ENSURE(decision.extra_delay >= 0.0,
+                  "link policy extra delay must be non-negative");
+  }
+  if (decision.drop || decision.copies == 0) {
+    ++stats_.dropped_policy;
+    return true;  // handed to the network; the policy ate it
+  }
   if (config_.loss_probability > 0.0 &&
       rngs.loss.bernoulli(config_.loss_probability)) {
     ++stats_.dropped_loss;
     return true;  // handed to the network; the network ate it
   }
-  const common::SimTime delay = latency_->sample(rngs.latency);
-  flights_.push(Flight{now_ + delay, next_seq_++, from, to,
-                       DatagramBytes(payload.begin(), payload.end())});
+  // Every copy samples its own latency: duplicates land at independent
+  // times, which is what makes a duplication window also a reorder source.
+  for (unsigned copy = 0; copy < decision.copies; ++copy) {
+    const common::SimTime delay =
+        latency_->sample(rngs.latency) + decision.extra_delay;
+    flights_.push(Flight{now_ + delay, next_seq_++, from, to,
+                         DatagramBytes(payload.begin(), payload.end())});
+  }
+  stats_.datagrams_duplicated += decision.copies - 1;
   return true;
 }
 

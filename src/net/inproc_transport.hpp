@@ -30,6 +30,35 @@ namespace updp2p::net {
 
 class InprocTransport;
 
+/// Chaos-layer hook consulted on every submitted datagram, before the base
+/// per-link loss draw. A policy can swallow the datagram, fan it out as
+/// duplicates, or add directional delay on top of the sampled latency —
+/// enough to express partitions, asymmetric links and reorder/duplication
+/// windows without touching the switch itself (src/chaos builds on this).
+///
+/// Determinism contract: the only randomness a policy may use is the
+/// per-directed-link StreamRng handed in (its draw index advances only for
+/// links the policy actually draws on), so installing a policy never
+/// perturbs the loss/latency streams and a null policy leaves the schedule
+/// bit-identical to a hook-less build.
+class LinkFaultPolicy {
+ public:
+  struct Decision {
+    bool drop = false;      ///< swallow the datagram (counted dropped_policy)
+    unsigned copies = 1;    ///< deliveries to schedule; 2+ means duplicates
+    common::SimTime extra_delay = 0.0;  ///< added to every copy's latency
+  };
+
+  virtual ~LinkFaultPolicy() = default;
+
+  /// Called once per submit on a link with an attached destination. `rng`
+  /// is the link's dedicated chaos stream (purpose-separated from the
+  /// loss/latency streams).
+  virtual Decision on_submit(common::PeerId from, common::PeerId to,
+                             std::span<const std::byte> payload,
+                             common::StreamRng& rng) = 0;
+};
+
 struct InprocNetworkConfig {
   /// Root seed; per-link streams are keyed (seed, from||to, purpose).
   std::uint64_t seed = 0x11fe;
@@ -46,6 +75,8 @@ struct InprocNetworkStats {
   std::uint64_t dropped_loss = 0;
   std::uint64_t dropped_offline = 0;  ///< destination attached but not listening
   std::uint64_t dropped_detached = 0; ///< destination endpoint gone at delivery
+  std::uint64_t dropped_policy = 0;   ///< swallowed by the LinkFaultPolicy
+  std::uint64_t datagrams_duplicated = 0;  ///< extra copies a policy fanned out
 };
 
 class InprocNetwork {
@@ -72,6 +103,11 @@ class InprocNetwork {
     return stats_;
   }
 
+  /// Installs (or clears, with nullptr) the chaos hook. Borrowed pointer:
+  /// the policy must outlive the network or be cleared first. Swapping the
+  /// policy mid-run is allowed — scenario phases do exactly that.
+  void set_link_policy(LinkFaultPolicy* policy) noexcept { policy_ = policy; }
+
  private:
   friend class InprocTransport;
 
@@ -92,6 +128,7 @@ class InprocNetwork {
   struct LinkRngs {
     common::StreamRng loss;
     common::StreamRng latency;
+    common::StreamRng chaos;  ///< handed to the LinkFaultPolicy, never drawn here
   };
 
   /// Called by the sending endpoint. Returns false when `to` has no
@@ -106,6 +143,7 @@ class InprocNetwork {
   std::priority_queue<Flight, std::vector<Flight>, std::greater<>> flights_;
   std::unordered_map<common::PeerId, InprocTransport*> endpoints_;
   std::unordered_map<std::uint64_t, LinkRngs> links_;
+  LinkFaultPolicy* policy_ = nullptr;  ///< borrowed; nullptr = no chaos
   std::uint64_t next_seq_ = 0;
   common::SimTime now_ = 0.0;
   InprocNetworkStats stats_;

@@ -42,6 +42,7 @@ struct TransportStats {
   std::uint64_t bytes_received = 0;
   std::uint64_t send_no_route = 0;    ///< destination not in the directory
   std::uint64_t send_errors = 0;      ///< OS-level send failure
+  std::uint64_t send_short_writes = 0;  ///< kernel truncated the datagram
   std::uint64_t frames_rejected = 0;  ///< inbound framing parse failures
   std::uint64_t dropped_offline = 0;  ///< received while not listening
 };

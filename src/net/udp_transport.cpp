@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "net/frame.hpp"
@@ -99,11 +100,19 @@ bool UdpTransport::send(common::PeerId to, std::span<const std::byte> payload) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = route->second.ipv4_be;
   addr.sin_port = route->second.port_be;
-  const ssize_t sent =
-      ::sendto(fd_, frame_scratch_.data(), frame_scratch_.size(), 0,
-               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
-  if (sent < 0 || static_cast<std::size_t>(sent) != frame_scratch_.size()) {
+  ssize_t sent = -1;
+  do {
+    sent = ::sendto(fd_, frame_scratch_.data(), frame_scratch_.size(), 0,
+                    reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (sent < 0 && errno == EINTR);
+  if (sent < 0) {
     ++stats_.send_errors;
+    return false;
+  }
+  if (static_cast<std::size_t>(sent) != frame_scratch_.size()) {
+    // The kernel accepted a truncated datagram; the receiver's frame
+    // parser will reject whatever arrives. A drop, not an OS error.
+    ++stats_.send_short_writes;
     return false;
   }
   ++stats_.datagrams_sent;
@@ -117,9 +126,9 @@ std::size_t UdpTransport::drain(std::vector<InboundDatagram>& out) {
     const ssize_t received =
         ::recv(fd_, recv_scratch_.data(), recv_scratch_.size(), 0);
     if (received < 0) {
-      // EAGAIN/EWOULDBLOCK: drained. Anything else (e.g. ECONNREFUSED
-      // bounced back from a dead peer's port) is not a received datagram;
-      // swallow and keep draining until the queue is empty.
+      // EAGAIN/EWOULDBLOCK: drained. Anything else (EINTR from a signal,
+      // ECONNREFUSED bounced back from a dead peer's port) is not a
+      // received datagram; swallow and keep draining until empty.
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       continue;
     }
@@ -155,9 +164,28 @@ void UdpTransport::recycle(DatagramBytes&& bytes) {
 }
 
 bool UdpTransport::wait_readable(int timeout_ms) {
-  pollfd pfd{fd_, POLLIN, 0};
-  const int ready = ::poll(&pfd, 1, timeout_ms < 0 ? 0 : timeout_ms);
-  return ready > 0 && (pfd.revents & POLLIN) != 0;
+  // A signal (SIGCHLD from a harness reaping daemons, SIGALRM from a
+  // profiler) must not turn the remainder of the wait into a spurious
+  // timeout: on EINTR, recompute the remaining budget and park again.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+  int remaining_ms = timeout_ms < 0 ? 0 : timeout_ms;
+  for (;;) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, remaining_ms);
+    if (ready < 0 && errno == EINTR) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return false;
+      remaining_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                now)
+              .count() +
+          1);
+      continue;
+    }
+    return ready > 0 && (pfd.revents & POLLIN) != 0;
+  }
 }
 
 }  // namespace updp2p::net

@@ -41,6 +41,14 @@ PeerRuntime::PeerRuntime(RuntimeConfig config, net::Transport& transport)
   config_.retry.validate();
   UPDP2P_ENSURE(config_.round_duration > 0.0,
                 "round duration must be positive");
+  UPDP2P_ENSURE(config_.start_time >= 0.0, "start time must be non-negative");
+  // A restarted peer rejoins at the cluster's current time: position the
+  // clock, the wheel and the round counter there before any timer is
+  // armed, so the first round tick fires for the *next* round rather than
+  // replaying rounds 1..now in one poll.
+  now_ = config_.start_time;
+  last_ticked_round_ = round_of(now_);
+  wheel_.advance(now_);
   // Recovery runs to completion before the transport can deliver a single
   // live datagram: the node first stands exactly where it died, then
   // rejoins the protocol.

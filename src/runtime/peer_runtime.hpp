@@ -56,6 +56,13 @@ struct RuntimeConfig {
   /// purpose.
   std::uint64_t seed = 0x5eed;
   bool start_online = true;
+  /// Epoch of this runtime's clock. A freshly booted peer starts at 0; a
+  /// peer *restarted into a running cluster* (crash/recovery harnesses)
+  /// passes the current cluster time so its round counter resumes at the
+  /// current round — without this, the first round timer would replay
+  /// every round since 0 in one poll. The first poll(now) must satisfy
+  /// now >= start_time.
+  common::SimTime start_time = 0.0;
   /// Durable replica store (WAL + snapshots). Disabled while
   /// store.data_dir is empty — the runtime then runs fully volatile,
   /// exactly as before the store existed.

@@ -106,6 +106,10 @@ void ReplicaStore::replay(
 std::optional<std::uint64_t> ReplicaStore::append_frame(
     common::PeerId from, common::Round round,
     std::span<const std::byte> frame) {
+  if (config_.faults && config_.faults->fail_appends) {
+    ++config_.faults->appends_failed;
+    return std::nullopt;  // indistinguishable from a real write failure
+  }
   const auto seq = wal_.append(from, round, frame);
   if (!seq) return std::nullopt;
   ++stats_.records_appended;
@@ -123,11 +127,26 @@ bool ReplicaStore::snapshot_due() const noexcept {
 bool ReplicaStore::write_snapshot(
     const common::ChunkedPeerSet& membership,
     std::vector<version::VersionedValue> values, std::string* error) {
+  if (config_.faults && config_.faults->fail_snapshots) {
+    ++config_.faults->snapshots_failed;
+    if (error != nullptr) *error = snapshot_path_ + ": injected snapshot fault";
+    return false;
+  }
   SnapshotData data;
   data.last_seq = wal_.next_seq() - 1;
   data.membership = membership;
   data.values = std::move(values);
   if (!write_snapshot_file(snapshot_path_, data, error)) return false;
+  if (config_.faults && config_.faults->torn_snapshots) {
+    // Injected crash point: the snapshot is durably in place but the log
+    // keeps its (now entirely superseded) records. Recovery must discard
+    // that stale tail via the bad-sequence check and stand on the snapshot.
+    ++config_.faults->snapshots_torn;
+    if (error != nullptr) {
+      *error = wal_path_ + ": injected crash before log truncation";
+    }
+    return false;
+  }
   // Snapshot is durably in place (rename + dir fsync): every log record is
   // now superseded, so the log can drop to empty. If THIS truncation is
   // what a crash interrupts, recovery replays the stale records through

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -36,6 +37,28 @@
 #include "store/wal.hpp"
 
 namespace updp2p::store {
+
+/// Fault-injection switchboard for crash/chaos harnesses. A harness shares
+/// one instance with the store through StoreConfig::faults and flips the
+/// flags mid-run; the store consults them at its two write points and
+/// counts what actually fired. The same instance survives a simulated
+/// restart (the harness passes it into the reopened store's config), so a
+/// "broken disk" stays broken across process lifetimes. Never set in
+/// production configs.
+struct StoreFaults {
+  bool fail_appends = false;    ///< append_frame reports I/O failure
+  bool fail_snapshots = false;  ///< write_snapshot fails before writing
+  /// Simulated crash between snapshot write and log truncation: the new
+  /// snapshot lands durably but the stale log survives — the interleaving
+  /// recovery's bad-sequence salvage path exists to absorb. write_snapshot
+  /// reports failure (as a crashed process would never report at all);
+  /// pair it with an immediate kill, before further appends extend the
+  /// stale log.
+  bool torn_snapshots = false;
+  std::uint64_t appends_failed = 0;
+  std::uint64_t snapshots_failed = 0;
+  std::uint64_t snapshots_torn = 0;
+};
 
 struct StoreConfig {
   /// Data directory for this peer. Empty = durability disabled.
@@ -51,6 +74,10 @@ struct StoreConfig {
   /// model is process death (SIGKILL), against which a completed write(2)
   /// already survives; power-loss durability costs an fsync per receipt.
   bool fsync_appends = false;
+  /// Optional fault injection (chaos/crash tests only). nullptr in every
+  /// production path; shared so a harness can flip faults mid-run and
+  /// carry them across simulated restarts.
+  std::shared_ptr<StoreFaults> faults;
 
   [[nodiscard]] bool enabled() const noexcept { return !data_dir.empty(); }
 };

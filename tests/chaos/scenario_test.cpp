@@ -1,0 +1,205 @@
+// Chaos scenario DSL: parsing, validation and round-trip serialization.
+#include "chaos/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chaos/scenarios.hpp"
+
+namespace updp2p::chaos {
+namespace {
+
+common::PeerId peer(std::uint32_t id) { return common::PeerId(id); }
+
+TEST(ScenarioParser, ParsesHeaderAndOps) {
+  const char* script = R"(
+# comment line
+name storm
+population 12
+durable 0-3,7
+round 0.25
+tick 0.01
+loss 0.1
+latency 0.02 0.08
+fanout 0.5
+acks off
+retry-attempts 6
+retry-initial 0.3
+snapshot-every 32
+view 4
+phase 2
+  publish 0 alpha     # trailing comment
+  partition 0-5 | 6-11
+phase 4.5
+  heal
+  linkloss 0,1 6-8 0.4
+  linkdelay * 11 0.2
+  dup 0.25
+  reorder 0.5 0.75
+  offline 9-11
+  online 9-11
+  skew 2 1.5
+  kill 3 wipe
+  restart 3
+  disk-fault 0-1 torn
+  disk-ok 0-1
+  snapshot 7
+)";
+  std::string error;
+  const auto scenario = parse_scenario(script, &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+
+  EXPECT_EQ(scenario->name, "storm");
+  EXPECT_EQ(scenario->population, 12u);
+  EXPECT_EQ(scenario->durable,
+            (std::vector<common::PeerId>{peer(0), peer(1), peer(2), peer(3),
+                                         peer(7)}));
+  EXPECT_DOUBLE_EQ(scenario->round, 0.25);
+  EXPECT_DOUBLE_EQ(scenario->tick, 0.01);
+  EXPECT_DOUBLE_EQ(scenario->base_loss, 0.1);
+  EXPECT_DOUBLE_EQ(scenario->latency_lo, 0.02);
+  EXPECT_DOUBLE_EQ(scenario->latency_hi, 0.08);
+  EXPECT_DOUBLE_EQ(scenario->fanout, 0.5);
+  EXPECT_FALSE(scenario->acks);
+  EXPECT_EQ(scenario->retry_attempts, 6u);
+  EXPECT_DOUBLE_EQ(scenario->retry_initial, 0.3);
+  EXPECT_EQ(scenario->snapshot_every, 32u);
+  EXPECT_EQ(scenario->view, 4u);
+
+  ASSERT_EQ(scenario->phases.size(), 2u);
+  EXPECT_DOUBLE_EQ(scenario->phases[0].duration, 2.0);
+  ASSERT_EQ(scenario->phases[0].ops.size(), 2u);
+  EXPECT_EQ(scenario->phases[0].ops[0].kind, OpKind::kPublish);
+  EXPECT_EQ(scenario->phases[0].ops[0].peer, peer(0));
+  EXPECT_EQ(scenario->phases[0].ops[0].key, "alpha");
+  const Op& split = scenario->phases[0].ops[1];
+  EXPECT_EQ(split.kind, OpKind::kPartition);
+  ASSERT_EQ(split.groups.size(), 2u);
+  EXPECT_EQ(split.groups[0].size(), 6u);
+  EXPECT_EQ(split.groups[1].size(), 6u);
+
+  const std::vector<Op>& ops = scenario->phases[1].ops;
+  ASSERT_EQ(ops.size(), 13u);
+  EXPECT_EQ(ops[0].kind, OpKind::kHeal);
+  EXPECT_EQ(ops[1].kind, OpKind::kLinkLoss);
+  EXPECT_EQ(ops[1].peers, (std::vector<common::PeerId>{peer(0), peer(1)}));
+  EXPECT_EQ(ops[1].dst,
+            (std::vector<common::PeerId>{peer(6), peer(7), peer(8)}));
+  EXPECT_DOUBLE_EQ(ops[1].a, 0.4);
+  EXPECT_EQ(ops[2].kind, OpKind::kLinkDelay);
+  EXPECT_EQ(ops[2].peers.size(), 12u);  // `*` expands to everyone
+  EXPECT_EQ(ops[3].kind, OpKind::kDuplicate);
+  EXPECT_EQ(ops[4].kind, OpKind::kReorder);
+  EXPECT_DOUBLE_EQ(ops[4].b, 0.75);
+  EXPECT_EQ(ops[5].kind, OpKind::kOffline);
+  EXPECT_EQ(ops[6].kind, OpKind::kOnline);
+  EXPECT_EQ(ops[7].kind, OpKind::kSkew);
+  EXPECT_DOUBLE_EQ(ops[7].a, 1.5);
+  EXPECT_EQ(ops[8].kind, OpKind::kKill);
+  EXPECT_TRUE(ops[8].wipe);
+  EXPECT_EQ(ops[9].kind, OpKind::kRestart);
+  EXPECT_EQ(ops[10].kind, OpKind::kDiskFault);
+  EXPECT_EQ(ops[10].disk, DiskFaultMode::kTorn);
+  EXPECT_EQ(ops[11].kind, OpKind::kDiskOk);
+  EXPECT_EQ(ops[12].kind, OpKind::kSnapshot);
+}
+
+TEST(ScenarioParser, PeerSetsDeduplicateAndSort) {
+  std::string error;
+  const auto scenario = parse_scenario(
+      "population 10\nphase 1\n  offline 7,1,3-5,4\n", &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  EXPECT_EQ(scenario->phases[0].ops[0].peers,
+            (std::vector<common::PeerId>{peer(1), peer(3), peer(4), peer(5),
+                                         peer(7)}));
+}
+
+TEST(ScenarioParser, RejectsMalformedScripts) {
+  const char* bad[] = {
+      "phase 1\n  offline 3\nname late\n",   // header after phases
+      "population 4\nphase 1\n  offline 9\n",  // peer out of range
+      "population 0\nphase 1\n  heal\n",       // empty population
+      "loss 1.5\nphase 1\n  heal\n",           // probability > 1
+      "phase 1\n  partition 0-3\n",            // single partition group
+      "population 8\nphase 1\n  partition 0-4 | 3-7\n",  // overlap
+      "phase 1\n  explode *\n",                // unknown op
+      "phase 0\n  heal\n",                     // non-positive duration
+      "population 8\nphase 1\n  offline 5-2\n",  // descending range
+      "latency 0.2 0.1\nphase 1\n  heal\n",    // hi < lo
+      "name only\n",                           // no phases
+      "population 8\nphase 1\n  kill 1 wippe\n",  // bad kill modifier
+      "population 8\nphase 1\n  disk-fault 1 sometimes\n",  // bad mode
+  };
+  for (const char* script : bad) {
+    std::string error;
+    EXPECT_FALSE(parse_scenario(script, &error).has_value()) << script;
+    EXPECT_FALSE(error.empty()) << script;
+  }
+}
+
+TEST(ScenarioParser, ReportsLineNumbers) {
+  std::string error;
+  ASSERT_FALSE(
+      parse_scenario("population 8\nphase 1\n  offline 9\n", &error)
+          .has_value());
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+}
+
+TEST(ScenarioRoundTrip, ExactForHandWrittenScenario) {
+  const char* script = R"(population 9
+durable 0-2
+round 0.125
+phase 1.5
+  publish 8 config
+  partition 0-4 | 5-8
+phase 3
+  heal
+  kill 1 wipe
+)";
+  std::string error;
+  const auto scenario = parse_scenario(script, &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  const std::string text = to_text(*scenario);
+  const auto reparsed = parse_scenario(text, &error);
+  ASSERT_TRUE(reparsed.has_value()) << error << "\n" << text;
+  EXPECT_EQ(*scenario, *reparsed) << text;
+}
+
+TEST(ScenarioRoundTrip, ExactForEveryBuiltin) {
+  const std::vector<Scenario> corpus = builtin_scenarios();
+  ASSERT_GE(corpus.size(), 10u);
+  for (const Scenario& scenario : corpus) {
+    std::string error;
+    const auto reparsed = parse_scenario(to_text(scenario), &error);
+    ASSERT_TRUE(reparsed.has_value()) << scenario.name << ": " << error;
+    EXPECT_EQ(scenario, *reparsed) << scenario.name;
+  }
+}
+
+TEST(ScenarioCorpus, NamesAreUniqueAndFindable) {
+  const std::vector<Scenario> corpus = builtin_scenarios();
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    for (std::size_t j = i + 1; j < corpus.size(); ++j) {
+      EXPECT_NE(corpus[i].name, corpus[j].name);
+    }
+    const auto found = find_scenario(corpus[i].name);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, corpus[i]);
+  }
+  EXPECT_FALSE(find_scenario("no-such-scenario").has_value());
+}
+
+TEST(ScenarioCorpus, EveryScenarioEndsHealed) {
+  // The eventual-delivery check assumes a fair final window: the last
+  // phase of every builtin must heal the network and run for a while.
+  for (const Scenario& scenario : builtin_scenarios()) {
+    ASSERT_FALSE(scenario.phases.empty());
+    const Phase& last = scenario.phases.back();
+    bool heals = false;
+    for (const Op& op : last.ops) heals = heals || op.kind == OpKind::kHeal;
+    EXPECT_TRUE(heals) << scenario.name;
+    EXPECT_GE(last.duration, 10.0) << scenario.name;
+  }
+}
+
+}  // namespace
+}  // namespace updp2p::chaos

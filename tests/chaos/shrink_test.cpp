@@ -1,0 +1,133 @@
+// Canary + schedule shrinking: the seeded mutation MUST fail the property
+// checker, and the shrinker must reduce the failing schedule to a tiny,
+// runnable repro.
+#include "chaos/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "chaos/scenarios.hpp"
+
+namespace updp2p::chaos {
+namespace {
+
+constexpr std::uint64_t kCanarySeed = 3;
+
+std::string test_root(const std::string& leaf) {
+  return ::testing::TempDir() + "updp2p-chaos-shrink-" + leaf;
+}
+
+Scenario canary() {
+  auto scenario = find_scenario("canary-pull-recovery");
+  EXPECT_TRUE(scenario.has_value());
+  return *scenario;
+}
+
+TEST(ChaosCanary, MutationDefeatsTheChecker) {
+  ChaosOptions options;
+  options.data_root = test_root("canary");
+  options.mutation = Mutation::kDropPullResponses;
+  const ChaosReport report = run_scenario(canary(), kCanarySeed, options);
+  ASSERT_FALSE(report.passed())
+      << "the drop-pull-responses canary must fail — if it passes, the "
+         "property checker has lost its teeth";
+  bool mentions_delivery = false;
+  for (const std::string& violation : report.violations) {
+    mentions_delivery = mentions_delivery ||
+                        violation.find("eventual delivery") !=
+                            std::string::npos;
+  }
+  EXPECT_TRUE(mentions_delivery);
+}
+
+TEST(ChaosShrink, PassingScenarioDoesNotReproduce) {
+  ChaosOptions options;
+  options.data_root = test_root("noop");
+  const ShrinkResult result =
+      shrink_scenario(canary(), kCanarySeed, options);
+  EXPECT_FALSE(result.reproduced);
+  EXPECT_EQ(result.runs, 1u);
+  EXPECT_EQ(result.minimized, canary());
+}
+
+TEST(ChaosShrink, MinimizesCanaryToTinyRepro) {
+  const Scenario scenario = canary();
+  ChaosOptions options;
+  options.data_root = test_root("minimize");
+  options.mutation = Mutation::kDropPullResponses;
+  const ShrinkResult result =
+      shrink_scenario(scenario, kCanarySeed, options);
+
+  ASSERT_TRUE(result.reproduced);
+  EXPECT_LE(result.minimized.phases.size(), 3u);
+  EXPECT_LT(result.minimized.phases.size(), scenario.phases.size());
+  EXPECT_LE(result.runs, 200u);
+  EXPECT_FALSE(result.violations.empty());
+
+  // The minimized schedule still fails under the mutation...
+  ChaosOptions verify_options;
+  verify_options.data_root = test_root("verify-fail");
+  verify_options.mutation = Mutation::kDropPullResponses;
+  EXPECT_FALSE(
+      run_scenario(result.minimized, kCanarySeed, verify_options).passed());
+
+  // ...and passes without it, so it reproduces the BUG, not a schedule
+  // that is merely too short to converge.
+  ChaosOptions clean_options;
+  clean_options.data_root = test_root("verify-clean");
+  EXPECT_TRUE(
+      run_scenario(result.minimized, kCanarySeed, clean_options).passed());
+
+  // The minimized scenario serializes to a script the parser accepts
+  // verbatim — that file is what the repro command replays.
+  std::string error;
+  const auto reparsed = parse_scenario(to_text(result.minimized), &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(*reparsed, result.minimized);
+}
+
+TEST(ChaosShrink, ReproCommandNamesTheTriple) {
+  const std::string command =
+      repro_command("minimized.chaos", 42, Mutation::kDropPullResponses);
+  EXPECT_EQ(command,
+            "updp2p-chaos --scenario minimized.chaos --seed 42 "
+            "--mutate drop-pull-responses");
+  EXPECT_EQ(repro_command("s.chaos", 7, Mutation::kNone),
+            "updp2p-chaos --scenario s.chaos --seed 7");
+}
+
+// End-to-end through the real binary: the command the shrinker prints is
+// the command CI can run; a canary invocation must exit nonzero and name
+// the violated property.
+TEST(ChaosCanary, BinaryExitsNonzeroUnderMutation) {
+  const std::string out_path = test_root("binary-out.txt");
+  const std::string command =
+      std::string(UPDP2P_CHAOS_BIN) +
+      " --scenario canary-pull-recovery --seed " +
+      std::to_string(kCanarySeed) +
+      " --mutate drop-pull-responses --data-root " +
+      test_root("binary-data") + " > " + out_path + " 2>&1";
+  const int status = std::system(command.c_str());
+  ASSERT_NE(status, -1);
+  EXPECT_NE(status, 0) << "canary run must fail the process";
+
+  std::ifstream in(out_path);
+  const std::string output((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+  EXPECT_NE(output.find("VIOLATION"), std::string::npos) << output;
+  EXPECT_NE(output.find("FAIL"), std::string::npos) << output;
+
+  // The same invocation without the mutation passes.
+  const std::string clean_command =
+      std::string(UPDP2P_CHAOS_BIN) +
+      " --scenario canary-pull-recovery --seed " +
+      std::to_string(kCanarySeed) + " --data-root " +
+      test_root("binary-clean") + " > /dev/null 2>&1";
+  EXPECT_EQ(std::system(clean_command.c_str()), 0);
+}
+
+}  // namespace
+}  // namespace updp2p::chaos

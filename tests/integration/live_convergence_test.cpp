@@ -10,246 +10,38 @@
 //
 // Synchronisation is status-file based: daemons append flushed lines
 // (READY/PUBLISHED/HAVE) which the harness polls with a deadline — no
-// fixed sleeps anywhere on the assertion path.
+// fixed sleeps anywhere on the assertion path. The process mechanics live
+// in tests/support/live_harness.
 #include <gtest/gtest.h>
 
-#include <sys/socket.h>
-#include <sys/wait.h>
-
-#include <csignal>
 #include <cstdio>
-#include <cstdlib>
-#include <fstream>
-#include <netinet/in.h>
-#include <optional>
 #include <sstream>
 #include <string>
-#include <thread>
-#include <unistd.h>
-#include <vector>
+
+#include "support/live_harness.hpp"
 
 namespace {
 
-constexpr int kPeerCount = 7;
+using updp2p::testsupport::find_line;
+using updp2p::testsupport::LiveHarness;
+using updp2p::testsupport::PeerSpec;
+
 constexpr const char* kKey = "live-key";
-// Generous wall-clock bound; the loop exits the moment the condition holds.
-constexpr auto kDeadline = std::chrono::seconds(90);
-constexpr auto kPollInterval = std::chrono::milliseconds(50);
 
-/// Reserves a free loopback UDP port by binding port 0 and closing the
-/// socket. Racy in principle; the spawn path retries on bind failure.
-std::optional<std::uint16_t> reserve_udp_port() {
-  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
-  if (fd < 0) return std::nullopt;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    ::close(fd);
-    return std::nullopt;
-  }
-  socklen_t len = sizeof(addr);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
-    ::close(fd);
-    return std::nullopt;
-  }
-  const std::uint16_t port = ntohs(addr.sin_port);
-  ::close(fd);
-  return port;
-}
-
-struct PeerSpec {
-  int id = 0;
-  std::uint16_t port = 0;
-  std::string status_path;
-  bool publisher = false;
-};
-
-class Harness : public ::testing::Test {
+class Harness : public LiveHarness {
  protected:
   void SetUp() override {
-    char tmpl[] = "/tmp/updp2p-live-XXXXXX";
-    ASSERT_NE(::mkdtemp(tmpl), nullptr);
-    dir_ = tmpl;
+    LiveHarness::SetUp();
+    options_.peerd_path = UPDP2P_PEERD_PATH;
+    options_.watch_key = kKey;
+    options_.seed = 424242;
+    options_.publish_value = "live-payload";
   }
-
-  void TearDown() override {
-    for (const pid_t pid : pids_) {
-      if (pid > 0) {
-        ::kill(pid, SIGKILL);
-        int status = 0;
-        ::waitpid(pid, &status, 0);
-      }
-    }
-    // Best-effort scrub of the scratch dir.
-    for (const PeerSpec& peer : specs_) {
-      (void)std::remove(peer.status_path.c_str());
-    }
-    (void)::rmdir(dir_.c_str());
-  }
-
-  void make_specs() {
-    specs_.clear();
-    for (int i = 0; i < kPeerCount; ++i) {
-      const auto port = reserve_udp_port();
-      ASSERT_TRUE(port.has_value()) << "could not reserve a loopback port";
-      PeerSpec spec;
-      spec.id = i;
-      spec.port = *port;
-      spec.status_path = dir_ + "/peer-" + std::to_string(i) + ".status";
-      spec.publisher = (i == 0);
-      specs_.push_back(spec);
-    }
-  }
-
-  [[nodiscard]] std::string peers_flag(int self) const {
-    std::string flag;
-    for (const PeerSpec& peer : specs_) {
-      if (peer.id == self) continue;
-      if (!flag.empty()) flag += ',';
-      flag += std::to_string(peer.id) + ':' + std::to_string(peer.port);
-    }
-    return flag;
-  }
-
-  /// fork+exec one daemon; stores the pid at index `spec.id`.
-  void spawn(const PeerSpec& spec) {
-    std::vector<std::string> argv_storage = {
-        UPDP2P_PEERD_PATH,
-        "--self",          std::to_string(spec.id),
-        "--port",          std::to_string(spec.port),
-        "--peers",         peers_flag(spec.id),
-        "--status",        spec.status_path,
-        "--watch",         kKey,
-        "--round-ms",      "150",
-        "--retry-initial-ms", "80",
-        "--population",    std::to_string(kPeerCount),
-        "--seed",          "424242",
-    };
-    if (spec.publisher) {
-      argv_storage.insert(argv_storage.end(),
-                          {"--publish-key", kKey, "--publish-value",
-                           "live-payload", "--publish-at-ms", "400"});
-    }
-    std::vector<char*> argv;
-    argv.reserve(argv_storage.size() + 1);
-    for (std::string& arg : argv_storage) argv.push_back(arg.data());
-    argv.push_back(nullptr);
-
-    const pid_t pid = ::fork();
-    ASSERT_GE(pid, 0) << "fork failed";
-    if (pid == 0) {
-      // Child: silence stdout so gtest output stays readable.
-      std::freopen("/dev/null", "w", stdout);
-      ::execv(argv[0], argv.data());
-      std::perror("execv updp2p-peerd");
-      std::_Exit(127);
-    }
-    if (pids_.size() <= static_cast<std::size_t>(spec.id)) {
-      pids_.resize(static_cast<std::size_t>(spec.id) + 1, -1);
-    }
-    pids_[static_cast<std::size_t>(spec.id)] = pid;
-  }
-
-  void kill_peer(int id) {
-    const pid_t pid = pids_.at(static_cast<std::size_t>(id));
-    ASSERT_GT(pid, 0);
-    ASSERT_EQ(::kill(pid, SIGKILL), 0);
-    int status = 0;
-    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
-    pids_[static_cast<std::size_t>(id)] = -1;
-  }
-
-  [[nodiscard]] static std::vector<std::string> read_lines(
-      const std::string& path) {
-    std::vector<std::string> lines;
-    std::ifstream in(path);
-    std::string line;
-    while (std::getline(in, line)) {
-      if (!line.empty()) lines.push_back(line);
-    }
-    return lines;
-  }
-
-  /// Last status line for `prefix` (e.g. "HAVE live-key "), if any.
-  [[nodiscard]] static std::optional<std::string> find_line(
-      const std::string& path, const std::string& prefix) {
-    std::optional<std::string> found;
-    for (const std::string& line : read_lines(path)) {
-      if (line.rfind(prefix, 0) == 0) found = line;
-    }
-    return found;
-  }
-
-  /// Polls `condition` until true or the deadline passes.
-  template <typename Condition>
-  [[nodiscard]] static bool poll_until(Condition&& condition) {
-    const auto deadline = std::chrono::steady_clock::now() + kDeadline;
-    while (!condition()) {
-      if (std::chrono::steady_clock::now() >= deadline) return false;
-      std::this_thread::sleep_for(kPollInterval);
-    }
-    return true;
-  }
-
-  /// Spawns peer `id`, retrying on a fresh port only for the initial
-  /// bring-up (`allow_reassign`); restarted victims must keep their port
-  /// because the other peers' directories already point at it.
-  void spawn_with_retry(int id, bool allow_reassign = true) {
-    for (int attempt = 0; attempt < 3; ++attempt) {
-      spawn(specs_[static_cast<std::size_t>(id)]);
-      if (poll_ready(id)) return;
-      const bool child_died = pids_.at(static_cast<std::size_t>(id)) == -1;
-      if (child_died && allow_reassign) {
-        // Lost the reserve/bind race: re-reserve and try again.
-        const auto port = reserve_udp_port();
-        ASSERT_TRUE(port.has_value());
-        specs_[static_cast<std::size_t>(id)].port = *port;
-        continue;
-      }
-      if (child_died) {
-        // Port was just freed by SIGKILL+waitpid, so a conflict here is a
-        // real failure, not a race worth retrying on a different port.
-        FAIL() << "restarted peer " << id << " exited before READY";
-      }
-      FAIL() << "peer " << id << " alive but never wrote READY";
-    }
-    FAIL() << "peer " << id << " failed to bind after 3 attempts";
-  }
-
-  /// Waits for the READY line; reaps (and marks pids_[id] = -1) if the
-  /// child exits first.
-  [[nodiscard]] bool poll_ready(int id) {
-    const std::string& path =
-        specs_[static_cast<std::size_t>(id)].status_path;
-    const std::string want =
-        "READY " +
-        std::to_string(specs_[static_cast<std::size_t>(id)].port);
-    // Shorter per-spawn deadline so bind-race retries stay cheap.
-    const auto deadline =
-        std::chrono::steady_clock::now() + std::chrono::seconds(10);
-    while (std::chrono::steady_clock::now() < deadline) {
-      if (find_line(path, want).has_value()) return true;
-      const pid_t pid = pids_.at(static_cast<std::size_t>(id));
-      int status = 0;
-      if (::waitpid(pid, &status, WNOHANG) == pid) {
-        pids_[static_cast<std::size_t>(id)] = -1;
-        return false;
-      }
-      std::this_thread::sleep_for(kPollInterval);
-    }
-    return false;
-  }
-
-  std::string dir_;
-  std::vector<PeerSpec> specs_;
-  std::vector<pid_t> pids_;
 };
 
 TEST_F(Harness, KilledPeersRecoverThroughPull) {
   make_specs();
+  if (HasFatalFailure()) return;
   for (const PeerSpec& spec : specs_) {
     spawn_with_retry(spec.id);
     if (HasFatalFailure()) return;
@@ -258,13 +50,8 @@ TEST_F(Harness, KilledPeersRecoverThroughPull) {
   // Wait for the publish to actually happen, then immediately take two
   // non-publisher peers down — the push phase is still in flight (retry
   // timers on the publisher side are still live at this point).
-  const std::string& publisher_status = specs_[0].status_path;
-  ASSERT_TRUE(poll_until([&] {
-    return find_line(publisher_status, std::string("PUBLISHED ") + kKey)
-        .has_value();
-  })) << "publisher never wrote PUBLISHED";
-  const std::string published =
-      *find_line(publisher_status, std::string("PUBLISHED ") + kKey);
+  const std::string published = wait_published();
+  ASSERT_FALSE(published.empty()) << "publisher never wrote PUBLISHED";
   std::istringstream parse(published);
   std::string tag, key, digest;
   parse >> tag >> key >> digest;
@@ -272,25 +59,15 @@ TEST_F(Harness, KilledPeersRecoverThroughPull) {
   ASSERT_EQ(key, kKey);
   ASSERT_FALSE(digest.empty());
 
-  const int victims[] = {3, 5};
+  const std::vector<int> victims{3, 5};
   for (const int victim : victims) {
     kill_peer(victim);
     if (HasFatalFailure()) return;
   }
 
   // Survivors converge through the remaining push wave (+ retries).
-  ASSERT_TRUE(poll_until([&] {
-    for (const PeerSpec& spec : specs_) {
-      if (spec.publisher) continue;
-      const bool killed = spec.id == victims[0] || spec.id == victims[1];
-      if (killed) continue;
-      if (!find_line(spec.status_path, std::string("HAVE ") + kKey)
-               .has_value()) {
-        return false;
-      }
-    }
-    return true;
-  })) << "surviving peers never converged";
+  ASSERT_TRUE(wait_have_all_except(victims))
+      << "surviving peers never converged";
 
   // Restart the victims with EMPTY stores on the same identities/ports.
   // They missed the push entirely; only the pull phase can save them.
@@ -301,16 +78,11 @@ TEST_F(Harness, KilledPeersRecoverThroughPull) {
     if (HasFatalFailure()) return;
   }
 
-  ASSERT_TRUE(poll_until([&] {
-    for (const int victim : victims) {
-      if (!find_line(specs_[static_cast<std::size_t>(victim)].status_path,
-                     std::string("HAVE ") + kKey)
-               .has_value()) {
-        return false;
-      }
-    }
-    return true;
-  })) << "restarted peers never recovered the update via pull";
+  for (const int victim : victims) {
+    ASSERT_TRUE(wait_have(victim))
+        << "restarted peer " << victim
+        << " never recovered the update via pull";
+  }
 
   // Every HAVE digest matches the published version id exactly.
   for (const PeerSpec& spec : specs_) {

@@ -20,289 +20,53 @@
 // the reconnect pull from a full state transfer into (at most) an empty
 // summary exchange.
 //
-// Synchronisation is status-file based like live_convergence_test; the
-// only fixed sleep is a settle window on the setup path (never on an
-// assertion path) that lets in-flight push retries exhaust before a
-// victim restarts, so phase A's baseline cannot be contaminated by a late
+// Synchronisation is status-file based like live_convergence_test (the
+// process mechanics live in tests/support/live_harness); the only fixed
+// sleep is a settle window on the setup path (never on an assertion
+// path) that lets in-flight push retries exhaust before a victim
+// restarts, so phase A's baseline cannot be contaminated by a late
 // retransmit.
 #include <gtest/gtest.h>
 
-#include <sys/socket.h>
-#include <sys/wait.h>
-
-#include <csignal>
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
-#include <cstdlib>
-#include <fstream>
-#include <netinet/in.h>
-#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
-#include <unistd.h>
 #include <vector>
+
+#include "support/live_harness.hpp"
 
 namespace {
 
+using updp2p::testsupport::find_line;
+using updp2p::testsupport::line_value;
+using updp2p::testsupport::LiveHarness;
+using updp2p::testsupport::PeerSpec;
+
 constexpr int kPeerCount = 7;
-constexpr int kVictims[] = {3, 5};
+const std::vector<int> kVictims{3, 5};
 constexpr const char* kKey = "durable-key";
-constexpr auto kDeadline = std::chrono::seconds(90);
-constexpr auto kPollInterval = std::chrono::milliseconds(50);
 // Push retries: 5 attempts, 80 ms initial, doubling — every in-flight
 // retransmit to a dead victim is exhausted well within this window.
 constexpr auto kRetrySettle = std::chrono::seconds(3);
 
-std::optional<std::uint16_t> reserve_udp_port() {
-  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
-  if (fd < 0) return std::nullopt;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    ::close(fd);
-    return std::nullopt;
-  }
-  socklen_t len = sizeof(addr);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
-    ::close(fd);
-    return std::nullopt;
-  }
-  const std::uint16_t port = ntohs(addr.sin_port);
-  ::close(fd);
-  return port;
-}
-
-bool is_victim(int id) {
-  return id == kVictims[0] || id == kVictims[1];
-}
-
-struct PeerSpec {
-  int id = 0;
-  std::uint16_t port = 0;
-  std::string status_path;
-  std::string data_dir;  ///< empty = volatile peer
-  bool publisher = false;
-};
-
-class RecoveryHarness : public ::testing::Test {
+class RecoveryHarness : public LiveHarness {
  protected:
   void SetUp() override {
-    char tmpl[] = "/tmp/updp2p-recovery-XXXXXX";
-    ASSERT_NE(::mkdtemp(tmpl), nullptr);
-    dir_ = tmpl;
-  }
-
-  void TearDown() override {
-    kill_all();
-    // Best-effort scrub (data dirs may hold wal.log/snapshot.bin).
-    for (const PeerSpec& peer : specs_) {
-      (void)std::remove(peer.status_path.c_str());
-      if (!peer.data_dir.empty()) {
-        (void)std::remove((peer.data_dir + "/wal.log").c_str());
-        (void)std::remove((peer.data_dir + "/snapshot.bin").c_str());
-        (void)::rmdir(peer.data_dir.c_str());
-      }
-    }
-    (void)::rmdir(dir_.c_str());
-  }
-
-  void kill_all() {
-    for (pid_t& pid : pids_) {
-      if (pid > 0) {
-        ::kill(pid, SIGKILL);
-        int status = 0;
-        ::waitpid(pid, &status, 0);
-        pid = -1;
-      }
-    }
-  }
-
-  /// Fresh specs (new ports, clean status files) for one phase.
-  /// `durable_victims` gives the victims a --data-dir.
-  void make_specs(const std::string& phase, bool durable_victims) {
-    kill_all();
-    specs_.clear();
-    pids_.assign(kPeerCount, -1);
-    for (int i = 0; i < kPeerCount; ++i) {
-      const auto port = reserve_udp_port();
-      ASSERT_TRUE(port.has_value()) << "could not reserve a loopback port";
-      PeerSpec spec;
-      spec.id = i;
-      spec.port = *port;
-      spec.status_path =
-          dir_ + "/" + phase + "-peer-" + std::to_string(i) + ".status";
-      (void)std::remove(spec.status_path.c_str());
-      if (durable_victims && is_victim(i)) {
-        spec.data_dir = dir_ + "/" + phase + "-data-" + std::to_string(i);
-      }
-      spec.publisher = (i == 0);
-      specs_.push_back(spec);
-    }
-  }
-
-  [[nodiscard]] std::string peers_flag(int self) const {
-    std::string flag;
-    for (const PeerSpec& peer : specs_) {
-      if (peer.id == self) continue;
-      if (!flag.empty()) flag += ',';
-      flag += std::to_string(peer.id) + ':' + std::to_string(peer.port);
-    }
-    return flag;
-  }
-
-  void spawn(const PeerSpec& spec) {
-    std::vector<std::string> argv_storage = {
-        UPDP2P_PEERD_PATH,
-        "--self",          std::to_string(spec.id),
-        "--port",          std::to_string(spec.port),
-        "--peers",         peers_flag(spec.id),
-        "--status",        spec.status_path,
-        "--watch",         kKey,
-        "--round-ms",      "150",
-        "--retry-initial-ms", "80",
-        "--population",    std::to_string(kPeerCount),
-        "--seed",          "777777",
-    };
-    if (!spec.data_dir.empty()) {
-      argv_storage.insert(argv_storage.end(), {"--data-dir", spec.data_dir});
-    }
-    if (spec.publisher) {
-      // A fat payload so a pull response carrying the value dwarfs an
-      // empty summary exchange — the strict byte comparison below has a
-      // wide margin.
-      argv_storage.insert(argv_storage.end(),
-                          {"--publish-key", kKey, "--publish-value",
-                           std::string(240, 'x'), "--publish-at-ms", "400"});
-    }
-    std::vector<char*> argv;
-    argv.reserve(argv_storage.size() + 1);
-    for (std::string& arg : argv_storage) argv.push_back(arg.data());
-    argv.push_back(nullptr);
-
-    const pid_t pid = ::fork();
-    ASSERT_GE(pid, 0) << "fork failed";
-    if (pid == 0) {
-      std::freopen("/dev/null", "w", stdout);
-      ::execv(argv[0], argv.data());
-      std::perror("execv updp2p-peerd");
-      std::_Exit(127);
-    }
-    pids_[static_cast<std::size_t>(spec.id)] = pid;
-  }
-
-  void kill_peer(int id) {
-    const pid_t pid = pids_.at(static_cast<std::size_t>(id));
-    ASSERT_GT(pid, 0);
-    ASSERT_EQ(::kill(pid, SIGKILL), 0);
-    int status = 0;
-    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
-    pids_[static_cast<std::size_t>(id)] = -1;
-  }
-
-  [[nodiscard]] static std::vector<std::string> read_lines(
-      const std::string& path) {
-    std::vector<std::string> lines;
-    std::ifstream in(path);
-    std::string line;
-    while (std::getline(in, line)) {
-      if (!line.empty()) lines.push_back(line);
-    }
-    return lines;
-  }
-
-  [[nodiscard]] static std::optional<std::string> find_line(
-      const std::string& path, const std::string& prefix) {
-    std::optional<std::string> found;
-    for (const std::string& line : read_lines(path)) {
-      if (line.rfind(prefix, 0) == 0) found = line;
-    }
-    return found;
-  }
-
-  /// Second whitespace-separated token of the status line with `prefix`.
-  [[nodiscard]] static std::optional<std::string> line_value(
-      const std::string& path, const std::string& prefix) {
-    const auto line = find_line(path, prefix);
-    if (!line) return std::nullopt;
-    std::istringstream parse(*line);
-    std::string tag, value;
-    parse >> tag >> value;
-    if (value.empty()) return std::nullopt;
-    return value;
-  }
-
-  template <typename Condition>
-  [[nodiscard]] static bool poll_until(Condition&& condition) {
-    const auto deadline = std::chrono::steady_clock::now() + kDeadline;
-    while (!condition()) {
-      if (std::chrono::steady_clock::now() >= deadline) return false;
-      std::this_thread::sleep_for(kPollInterval);
-    }
-    return true;
-  }
-
-  void spawn_with_retry(int id, bool allow_reassign = true) {
-    for (int attempt = 0; attempt < 3; ++attempt) {
-      spawn(specs_[static_cast<std::size_t>(id)]);
-      if (poll_ready(id)) return;
-      const bool child_died = pids_.at(static_cast<std::size_t>(id)) == -1;
-      if (child_died && allow_reassign) {
-        const auto port = reserve_udp_port();
-        ASSERT_TRUE(port.has_value());
-        specs_[static_cast<std::size_t>(id)].port = *port;
-        continue;
-      }
-      if (child_died) {
-        FAIL() << "restarted peer " << id << " exited before READY";
-      }
-      FAIL() << "peer " << id << " alive but never wrote READY";
-    }
-    FAIL() << "peer " << id << " failed to bind after 3 attempts";
-  }
-
-  [[nodiscard]] bool poll_ready(int id) {
-    const std::string& path =
-        specs_[static_cast<std::size_t>(id)].status_path;
-    const std::string want =
-        "READY " +
-        std::to_string(specs_[static_cast<std::size_t>(id)].port);
-    const auto deadline =
-        std::chrono::steady_clock::now() + std::chrono::seconds(10);
-    while (std::chrono::steady_clock::now() < deadline) {
-      if (find_line(path, want).has_value()) return true;
-      const pid_t pid = pids_.at(static_cast<std::size_t>(id));
-      int status = 0;
-      if (::waitpid(pid, &status, WNOHANG) == pid) {
-        pids_[static_cast<std::size_t>(id)] = -1;
-        return false;
-      }
-      std::this_thread::sleep_for(kPollInterval);
-    }
-    return false;
-  }
-
-  [[nodiscard]] bool wait_have(int id) {
-    return poll_until([&] {
-      return find_line(specs_[static_cast<std::size_t>(id)].status_path,
-                       std::string("HAVE ") + kKey)
-          .has_value();
-    });
+    LiveHarness::SetUp();
+    options_.peerd_path = UPDP2P_PEERD_PATH;
+    options_.watch_key = kKey;
+    options_.seed = 777777;
+    // A fat payload so a pull response carrying the value dwarfs an
+    // empty summary exchange — the strict byte comparison below has a
+    // wide margin.
+    options_.publish_value = std::string(240, 'x');
   }
 
   [[nodiscard]] bool wait_survivors_have() {
-    return poll_until([&] {
-      for (const PeerSpec& spec : specs_) {
-        if (spec.publisher || is_victim(spec.id)) continue;
-        if (!find_line(spec.status_path, std::string("HAVE ") + kKey)
-                 .has_value()) {
-          return false;
-        }
-      }
-      return true;
-    });
+    return wait_have_all_except(kVictims);
   }
 
   [[nodiscard]] std::uint64_t pull_bytes(int id) const {
@@ -311,15 +75,12 @@ class RecoveryHarness : public ::testing::Test {
     EXPECT_TRUE(value.has_value()) << "peer " << id << " wrote no PULLBYTES";
     return value ? std::stoull(*value) : 0;
   }
-
-  std::string dir_;
-  std::vector<PeerSpec> specs_;
-  std::vector<pid_t> pids_;
 };
 
 TEST_F(RecoveryHarness, DiskRecoveryBeatsPullFromZero) {
   // ---- Phase A: pull-from-zero baseline (victims volatile) ---------------
-  make_specs("a", /*durable_victims=*/false);
+  make_specs("a");
+  if (HasFatalFailure()) return;
   for (const PeerSpec& spec : specs_) {
     spawn_with_retry(spec.id);
     if (HasFatalFailure()) return;
@@ -331,10 +92,8 @@ TEST_F(RecoveryHarness, DiskRecoveryBeatsPullFromZero) {
     kill_peer(victim);
     if (HasFatalFailure()) return;
   }
-  ASSERT_TRUE(poll_until([&] {
-    return find_line(specs_[0].status_path, std::string("PUBLISHED ") + kKey)
-        .has_value();
-  })) << "phase A publisher never wrote PUBLISHED";
+  ASSERT_FALSE(wait_published().empty())
+      << "phase A publisher never wrote PUBLISHED";
   ASSERT_TRUE(wait_survivors_have()) << "phase A survivors never converged";
   // Let every in-flight retransmit aimed at the dead victims exhaust so a
   // late push cannot subsidise the restarted peers' recovery.
@@ -358,15 +117,14 @@ TEST_F(RecoveryHarness, DiskRecoveryBeatsPullFromZero) {
   }
 
   // ---- Phase B: victims durable, killed mid-life, recovered from disk ----
-  make_specs("b", /*durable_victims=*/true);
+  make_specs("b", /*durable=*/kVictims);
+  if (HasFatalFailure()) return;
   for (const PeerSpec& spec : specs_) {
     spawn_with_retry(spec.id);
     if (HasFatalFailure()) return;
   }
-  ASSERT_TRUE(poll_until([&] {
-    return find_line(specs_[0].status_path, std::string("PUBLISHED ") + kKey)
-        .has_value();
-  })) << "phase B publisher never wrote PUBLISHED";
+  ASSERT_FALSE(wait_published().empty())
+      << "phase B publisher never wrote PUBLISHED";
   // Victims must HAVE the update live — at which point it is already in
   // their WAL (append-before-ack) — before the SIGKILL.
   std::vector<std::string> live_state(kPeerCount);

@@ -8,7 +8,10 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 
+#include <chrono>
+#include <csignal>
 #include <string>
 
 #include "net/frame.hpp"
@@ -156,6 +159,89 @@ TEST(UdpTransport, WaitReadableTimesOutQuietly) {
   ASSERT_TRUE(a);
   EXPECT_FALSE(a->wait_readable(1));
   EXPECT_FALSE(a->wait_readable(0));
+}
+
+/// RAII SIGALRM storm: an interval timer interrupting every blocking
+/// syscall every few milliseconds, installed WITHOUT SA_RESTART so
+/// poll/sendto/recv actually return EINTR. Restores the previous
+/// disposition on destruction.
+class SignalStorm {
+ public:
+  SignalStorm() {
+    struct sigaction action{};
+    action.sa_handler = [](int) {};
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // deliberately no SA_RESTART
+    sigaction(SIGALRM, &action, &previous_);
+    itimerval interval{};
+    interval.it_interval.tv_usec = 2000;
+    interval.it_value.tv_usec = 2000;
+    setitimer(ITIMER_REAL, &interval, nullptr);
+  }
+  ~SignalStorm() {
+    itimerval off{};
+    setitimer(ITIMER_REAL, &off, nullptr);
+    sigaction(SIGALRM, &previous_, nullptr);
+  }
+
+ private:
+  struct sigaction previous_{};
+};
+
+// Regression: wait_readable used to treat poll()'s EINTR return as a
+// timeout, so any signal (a harness reaping a child, an interval timer)
+// silently cut the wait short. It must now hold the full deadline.
+TEST(UdpTransport, WaitReadableSurvivesSignalInterruptions) {
+  auto a = open_ephemeral(common::PeerId(1));
+  ASSERT_TRUE(a);
+  SignalStorm storm;
+
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(a->wait_readable(250));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  // ~125 interruptions landed inside this window; without the EINTR
+  // retry the wait returns after the FIRST one (~2ms).
+  EXPECT_GE(elapsed.count(), 200);
+
+  // And a datagram still wakes the waiter under the storm.
+  auto b = open_ephemeral(common::PeerId(2));
+  ASSERT_TRUE(b);
+  b->add_route({common::PeerId(1), "127.0.0.1", a->bound_port()});
+  ASSERT_TRUE(b->send(common::PeerId(1), bytes_of("wake")));
+  EXPECT_TRUE(a->wait_readable(2000));
+  std::vector<InboundDatagram> inbox;
+  ASSERT_EQ(drain_some(*a, inbox, 1), 1u);
+  EXPECT_EQ(text_of(inbox[0].bytes), "wake");
+}
+
+// Regression: sendto is retried on EINTR and a kernel short write counts
+// as send_short_writes (a drop), never as a silent success. Under the
+// storm every datagram must still go out whole.
+TEST(UdpTransport, SendDeliversEverythingUnderSignalStorm) {
+  auto a = open_ephemeral(common::PeerId(1));
+  auto b = open_ephemeral(common::PeerId(2));
+  ASSERT_TRUE(a && b);
+  a->add_route({common::PeerId(2), "127.0.0.1", b->bound_port()});
+  SignalStorm storm;
+
+  constexpr std::size_t kCount = 200;
+  const std::vector<std::byte> payload = bytes_of(std::string(512, 'z'));
+  std::size_t accepted = 0;
+  std::vector<InboundDatagram> inbox;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    if (a->send(common::PeerId(2), payload)) ++accepted;
+    // Drain as we go so the receive buffer never overflows.
+    (void)b->drain(inbox);
+  }
+  EXPECT_EQ(accepted, kCount);
+  EXPECT_EQ(a->stats().send_errors, 0u);
+  EXPECT_EQ(a->stats().send_short_writes, 0u);
+  EXPECT_EQ(a->stats().datagrams_sent, kCount);
+  EXPECT_EQ(drain_some(*b, inbox, kCount), kCount);
+  for (const InboundDatagram& datagram : inbox) {
+    EXPECT_EQ(datagram.bytes.size(), payload.size());
+  }
 }
 
 }  // namespace

@@ -76,6 +76,68 @@ TEST(RetryPolicy, WorksWithBothRngEngines) {
   }
 }
 
+TEST(RetryPolicy, BackoffCapIsExactAtAndPastSaturation) {
+  RetryPolicy policy;
+  policy.initial_timeout = 0.3;
+  policy.multiplier = 2.0;
+  policy.max_timeout = 10.0;
+  // 0.3 · 2^5 = 9.6 is the last unsaturated wait; from attempt 6 on the
+  // base is pinned to the cap exactly — no drift, no overflow.
+  EXPECT_DOUBLE_EQ(policy.base_delay(5), 9.6);
+  for (unsigned attempt = 6; attempt < 80; ++attempt) {
+    EXPECT_DOUBLE_EQ(policy.base_delay(attempt), 10.0);
+  }
+}
+
+TEST(RetryPolicy, PropertyGridHoldsJitterBandAndMonotoneBase) {
+  // Property sweep over a policy grid, all draws pinned to one StreamRng
+  // stream: every sampled delay lies inside the symmetric jitter band
+  // around its base, and the base sequence is monotone up to the cap.
+  const double multipliers[] = {1.0, 1.5, 2.0, 3.0};
+  const double jitters[] = {0.0, 0.05, 0.2, 0.5, 0.9};
+  common::StreamRng rng(2026, 0, 0x7E57);
+  for (const double multiplier : multipliers) {
+    for (const double jitter : jitters) {
+      RetryPolicy policy;
+      policy.initial_timeout = 0.1;
+      policy.multiplier = multiplier;
+      policy.max_timeout = 2.5;
+      policy.jitter = jitter;
+      policy.validate();
+      for (unsigned attempt = 0; attempt < 48; ++attempt) {
+        const double base = policy.base_delay(attempt);
+        EXPECT_LE(base, policy.max_timeout);
+        if (attempt > 0) {
+          EXPECT_GE(base, policy.base_delay(attempt - 1));
+        }
+        for (int draw = 0; draw < 64; ++draw) {
+          const double d = policy.delay(attempt, rng);
+          EXPECT_GE(d, base * (1.0 - jitter) - 1e-12)
+              << "m=" << multiplier << " j=" << jitter << " a=" << attempt;
+          EXPECT_LE(d, base * (1.0 + jitter) + 1e-12)
+              << "m=" << multiplier << " j=" << jitter << " a=" << attempt;
+        }
+      }
+    }
+  }
+}
+
+TEST(RetryPolicy, DistinctStreamsProduceDistinctSchedules) {
+  // The purpose/stream split is what keeps per-destination retry jitter
+  // uncorrelated: two peers retrying the same attempt draw from different
+  // streams and must not march in lockstep.
+  RetryPolicy policy;
+  common::StreamRng stream_a(42, 1, 0xBACC);
+  common::StreamRng stream_b(42, 2, 0xBACC);
+  bool diverged = false;
+  for (unsigned attempt = 0; attempt < 16; ++attempt) {
+    diverged =
+        diverged || policy.delay(attempt, stream_a) !=
+                        policy.delay(attempt, stream_b);
+  }
+  EXPECT_TRUE(diverged);
+}
+
 TEST(RetryPolicy, ValidateRejectsBadConfigs) {
   RetryPolicy policy;
   policy.initial_timeout = 0.0;

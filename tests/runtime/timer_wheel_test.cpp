@@ -131,5 +131,104 @@ TEST(TimerWheel, ManyTimersAcrossSlots) {
   EXPECT_EQ(wheel.pending(), 0u);
 }
 
+TEST(TimerWheel, TickWrapAroundAcrossManyRevolutions) {
+  // 8 slots × 0.01s tick = 0.08s per revolution. One advance sweeps 200
+  // revolutions; every slot index wraps dozens of times in between fires,
+  // and the timers must still fire in absolute-deadline order.
+  TimerWheel wheel(0.01, 8);
+  std::vector<int> fired;
+  for (int i = 0; i < 64; ++i) {
+    (void)wheel.schedule_at(0.25 * (i + 1),
+                            [&fired, i](common::SimTime) { fired.push_back(i); });
+  }
+  wheel.advance(16.0);
+  ASSERT_EQ(fired.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+
+  // A fresh timer scheduled after the heavy wrap still lands exactly on
+  // its own tick, not on a stale revolution of the same slot.
+  int late = 0;
+  (void)wheel.schedule_after(0.05, [&](common::SimTime) { ++late; });
+  wheel.advance(16.03);
+  EXPECT_EQ(late, 0);
+  wheel.advance(16.06);
+  EXPECT_EQ(late, 1);
+}
+
+TEST(TimerWheel, CancelThenRearmSameDeadline) {
+  TimerWheel wheel(0.05);
+  int old_fired = 0;
+  int new_fired = 0;
+  const auto old_id =
+      wheel.schedule_at(0.2, [&](common::SimTime) { ++old_fired; });
+  ASSERT_TRUE(wheel.cancel(old_id));
+  const auto new_id =
+      wheel.schedule_at(0.2, [&](common::SimTime) { ++new_fired; });
+  EXPECT_NE(new_id, old_id);
+  // The stale id must not resurrect or hit the replacement timer.
+  EXPECT_FALSE(wheel.cancel(old_id));
+  wheel.advance(1.0);
+  EXPECT_EQ(old_fired, 0);
+  EXPECT_EQ(new_fired, 1);
+  EXPECT_FALSE(wheel.cancel(new_id));  // already fired
+}
+
+TEST(TimerWheel, CallbackMayRearmItselfAtFixedCadence) {
+  // The PeerRuntime round-tick pattern: each firing schedules the next.
+  TimerWheel wheel(0.05);
+  int rounds = 0;
+  std::function<void(common::SimTime)> tick =
+      [&](common::SimTime at) {
+        ++rounds;
+        if (rounds < 10) (void)wheel.schedule_at(at + 0.25, tick);
+      };
+  (void)wheel.schedule_at(0.25, tick);
+  wheel.advance(10.0);
+  EXPECT_EQ(rounds, 10);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, MassExpiryAtOneTickFiresInScheduleOrder) {
+  constexpr int kTimers = 5000;
+  TimerWheel wheel(0.05, 16);
+  std::vector<int> order;
+  order.reserve(kTimers);
+  for (int i = 0; i < kTimers; ++i) {
+    (void)wheel.schedule_at(0.1,
+                            [&order, i](common::SimTime) { order.push_back(i); });
+  }
+  EXPECT_EQ(wheel.pending(), static_cast<std::size_t>(kTimers));
+  wheel.advance(0.2);
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kTimers));
+  for (int i = 0; i < kTimers; ++i) {
+    if (order[static_cast<std::size_t>(i)] != i) {
+      FAIL() << "schedule order broken at index " << i;
+    }
+  }
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, MassExpiryWithMidFlightCancellations) {
+  // Every even timer cancels its odd successor from inside its callback
+  // while the same tick is still draining: the successor must not fire.
+  constexpr int kTimers = 1000;
+  TimerWheel wheel(0.05, 16);
+  std::vector<TimerWheel::TimerId> ids(kTimers, TimerWheel::kInvalidTimer);
+  std::vector<int> fired;
+  for (int i = 0; i < kTimers; ++i) {
+    ids[static_cast<std::size_t>(i)] =
+        wheel.schedule_at(0.1, [&, i](common::SimTime) {
+          fired.push_back(i);
+          if (i % 2 == 0) {
+            EXPECT_TRUE(wheel.cancel(ids[static_cast<std::size_t>(i) + 1]));
+          }
+        });
+  }
+  wheel.advance(0.2);
+  ASSERT_EQ(fired.size(), static_cast<std::size_t>(kTimers) / 2);
+  for (const int i : fired) EXPECT_EQ(i % 2, 0);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
 }  // namespace
 }  // namespace updp2p::runtime

@@ -1,0 +1,265 @@
+#include "support/live_harness.hpp"
+
+#include <sys/socket.h>
+#include <sys/wait.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <netinet/in.h>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+
+namespace updp2p::testsupport {
+
+std::optional<std::uint16_t> reserve_udp_port() {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const std::uint16_t port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+std::optional<std::string> find_line(const std::string& path,
+                                     const std::string& prefix) {
+  std::optional<std::string> found;
+  for (const std::string& line : read_lines(path)) {
+    if (line.rfind(prefix, 0) == 0) found = line;
+  }
+  return found;
+}
+
+std::optional<std::string> line_value(const std::string& path,
+                                      const std::string& prefix) {
+  const auto line = find_line(path, prefix);
+  if (!line) return std::nullopt;
+  std::istringstream parse(*line);
+  std::string tag, value;
+  parse >> tag >> value;
+  if (value.empty()) return std::nullopt;
+  return value;
+}
+
+void LiveHarness::SetUp() {
+  char tmpl[] = "/tmp/updp2p-live-XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  dir_ = tmpl;
+}
+
+void LiveHarness::TearDown() {
+  kill_all();
+  // Best-effort scrub (data dirs may hold wal.log/snapshot.bin).
+  for (const PeerSpec& peer : specs_) {
+    (void)std::remove(peer.status_path.c_str());
+    if (!peer.data_dir.empty()) {
+      (void)std::remove((peer.data_dir + "/wal.log").c_str());
+      (void)std::remove((peer.data_dir + "/snapshot.bin").c_str());
+      (void)::rmdir(peer.data_dir.c_str());
+    }
+  }
+  (void)::rmdir(dir_.c_str());
+}
+
+void LiveHarness::kill_all() {
+  for (pid_t& pid : pids_) {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+      pid = -1;
+    }
+  }
+}
+
+void LiveHarness::make_specs(const std::string& prefix,
+                             const std::vector<int>& durable) {
+  kill_all();
+  specs_.clear();
+  pids_.assign(static_cast<std::size_t>(options_.peer_count), -1);
+  for (int i = 0; i < options_.peer_count; ++i) {
+    const auto port = reserve_udp_port();
+    ASSERT_TRUE(port.has_value()) << "could not reserve a loopback port";
+    PeerSpec spec;
+    spec.id = i;
+    spec.port = *port;
+    spec.status_path =
+        dir_ + "/" + prefix + "-" + std::to_string(i) + ".status";
+    (void)std::remove(spec.status_path.c_str());
+    for (const int durable_id : durable) {
+      if (durable_id == i) {
+        spec.data_dir = dir_ + "/" + prefix + "-data-" + std::to_string(i);
+      }
+    }
+    spec.publisher = (i == 0);
+    specs_.push_back(spec);
+  }
+}
+
+std::string LiveHarness::peers_flag(int self) const {
+  std::string flag;
+  for (const PeerSpec& peer : specs_) {
+    if (peer.id == self) continue;
+    if (!flag.empty()) flag += ',';
+    flag += std::to_string(peer.id) + ':' + std::to_string(peer.port);
+  }
+  return flag;
+}
+
+void LiveHarness::spawn(const PeerSpec& spec) {
+  std::vector<std::string> argv_storage = {
+      options_.peerd_path,
+      "--self",          std::to_string(spec.id),
+      "--port",          std::to_string(spec.port),
+      "--peers",         peers_flag(spec.id),
+      "--status",        spec.status_path,
+      "--watch",         options_.watch_key,
+      "--round-ms",      std::to_string(options_.round_ms),
+      "--retry-initial-ms", std::to_string(options_.retry_initial_ms),
+      "--population",    std::to_string(options_.peer_count),
+      "--seed",          std::to_string(options_.seed),
+  };
+  if (!spec.data_dir.empty()) {
+    argv_storage.insert(argv_storage.end(), {"--data-dir", spec.data_dir});
+  }
+  if (spec.publisher) {
+    argv_storage.insert(
+        argv_storage.end(),
+        {"--publish-key", options_.watch_key, "--publish-value",
+         options_.publish_value, "--publish-at-ms",
+         std::to_string(options_.publish_at_ms)});
+  }
+  std::vector<char*> argv;
+  argv.reserve(argv_storage.size() + 1);
+  for (std::string& arg : argv_storage) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    // Child: silence stdout so gtest output stays readable.
+    std::freopen("/dev/null", "w", stdout);
+    ::execv(argv[0], argv.data());
+    std::perror("execv updp2p-peerd");
+    std::_Exit(127);
+  }
+  if (pids_.size() <= static_cast<std::size_t>(spec.id)) {
+    pids_.resize(static_cast<std::size_t>(spec.id) + 1, -1);
+  }
+  pids_[static_cast<std::size_t>(spec.id)] = pid;
+}
+
+void LiveHarness::kill_peer(int id) {
+  const pid_t pid = pids_.at(static_cast<std::size_t>(id));
+  ASSERT_GT(pid, 0);
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  pids_[static_cast<std::size_t>(id)] = -1;
+}
+
+void LiveHarness::spawn_with_retry(int id, bool allow_reassign) {
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    spawn(specs_[static_cast<std::size_t>(id)]);
+    if (poll_ready(id)) return;
+    const bool child_died = pids_.at(static_cast<std::size_t>(id)) == -1;
+    if (child_died && allow_reassign) {
+      // Lost the reserve/bind race: re-reserve and try again.
+      const auto port = reserve_udp_port();
+      ASSERT_TRUE(port.has_value());
+      specs_[static_cast<std::size_t>(id)].port = *port;
+      continue;
+    }
+    if (child_died) {
+      // Port was just freed by SIGKILL+waitpid, so a conflict here is a
+      // real failure, not a race worth retrying on a different port.
+      FAIL() << "restarted peer " << id << " exited before READY";
+    }
+    FAIL() << "peer " << id << " alive but never wrote READY";
+  }
+  FAIL() << "peer " << id << " failed to bind after 3 attempts";
+}
+
+bool LiveHarness::poll_ready(int id) {
+  const std::string& path = specs_[static_cast<std::size_t>(id)].status_path;
+  const std::string want =
+      "READY " + std::to_string(specs_[static_cast<std::size_t>(id)].port);
+  // Shorter per-spawn deadline so bind-race retries stay cheap.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (find_line(path, want).has_value()) return true;
+    const pid_t pid = pids_.at(static_cast<std::size_t>(id));
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) {
+      pids_[static_cast<std::size_t>(id)] = -1;
+      return false;
+    }
+    sleep_poll_interval();
+  }
+  return false;
+}
+
+bool LiveHarness::wait_have(int id) {
+  return poll_until([&] {
+    return find_line(specs_[static_cast<std::size_t>(id)].status_path,
+                     "HAVE " + options_.watch_key)
+        .has_value();
+  });
+}
+
+bool LiveHarness::wait_have_all_except(const std::vector<int>& except) {
+  return poll_until([&] {
+    for (const PeerSpec& spec : specs_) {
+      if (spec.publisher) continue;
+      bool skipped = false;
+      for (const int id : except) skipped = skipped || id == spec.id;
+      if (skipped) continue;
+      if (!find_line(spec.status_path, "HAVE " + options_.watch_key)
+               .has_value()) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+std::string LiveHarness::wait_published() {
+  const std::string prefix = "PUBLISHED " + options_.watch_key;
+  const std::string& status = specs_[0].status_path;
+  if (!poll_until([&] { return find_line(status, prefix).has_value(); })) {
+    return {};
+  }
+  return *find_line(status, prefix);
+}
+
+void LiveHarness::sleep_poll_interval() {
+  std::this_thread::sleep_for(kPollInterval);
+}
+
+}  // namespace updp2p::testsupport

@@ -1,0 +1,136 @@
+// Shared multi-process live-test harness.
+//
+// live_convergence_test and live_recovery_test both spawn real
+// updp2p-peerd daemons on loopback UDP ports and synchronise on the
+// daemons' status files. The mechanics — port reservation, fork/exec,
+// READY polling with bind-race retries, SIGKILL + reap, deadline
+// polling — are identical between them and live here once.
+//
+// Usage: derive a fixture from LiveHarness, fill `options_` (daemon
+// binary path, watch key, seed, publish payload) before the first
+// make_specs() call, then drive the cluster with spawn_with_retry /
+// kill_peer / poll_until. All helpers use gtest assertions, so fatal
+// failures propagate exactly as they would from a local helper; guard
+// call sites with `if (HasFatalFailure()) return;` as before.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace updp2p::testsupport {
+
+/// Reserves a free loopback UDP port by binding port 0 and closing the
+/// socket. Racy in principle; spawn_with_retry retries on bind failure.
+[[nodiscard]] std::optional<std::uint16_t> reserve_udp_port();
+
+/// Non-empty lines of `path`, in file order. Missing file = empty.
+[[nodiscard]] std::vector<std::string> read_lines(const std::string& path);
+
+/// Last status line starting with `prefix` (e.g. "HAVE live-key"), if any.
+[[nodiscard]] std::optional<std::string> find_line(const std::string& path,
+                                                   const std::string& prefix);
+
+/// Second whitespace-separated token of the last line with `prefix`.
+[[nodiscard]] std::optional<std::string> line_value(const std::string& path,
+                                                    const std::string& prefix);
+
+/// One daemon's identity within a cluster phase.
+struct PeerSpec {
+  int id = 0;
+  std::uint16_t port = 0;
+  std::string status_path;
+  std::string data_dir;  ///< empty = volatile peer (no --data-dir)
+  bool publisher = false;
+};
+
+/// Knobs shared by every daemon the harness spawns. Fill before the
+/// first make_specs(); peerd_path and watch_key are mandatory.
+struct ClusterOptions {
+  std::string peerd_path;
+  std::string watch_key;
+  int peer_count = 7;
+  std::uint64_t seed = 0;
+  int round_ms = 150;
+  int retry_initial_ms = 80;
+  std::string publish_value;
+  int publish_at_ms = 400;
+};
+
+class LiveHarness : public ::testing::Test {
+ protected:
+  /// Generous wall-clock bound; poll loops exit the moment the
+  /// condition holds.
+  static constexpr std::chrono::seconds kDeadline{90};
+  static constexpr std::chrono::milliseconds kPollInterval{50};
+
+  void SetUp() override;
+
+  /// SIGKILLs every child, scrubs status files and data dirs.
+  void TearDown() override;
+
+  /// SIGKILL + reap every live child (idempotent).
+  void kill_all();
+
+  /// Fresh specs (new ports, clean status files) for one cluster
+  /// phase. Peer 0 publishes. `prefix` namespaces the status/data
+  /// files so sequential phases never read each other's leftovers;
+  /// peers listed in `durable` get a --data-dir.
+  void make_specs(const std::string& prefix = "peer",
+                  const std::vector<int>& durable = {});
+
+  /// "id:port,..." for every peer except `self`.
+  [[nodiscard]] std::string peers_flag(int self) const;
+
+  /// fork+exec one daemon; stores the pid at index `spec.id`.
+  void spawn(const PeerSpec& spec);
+
+  /// SIGKILL + reap one peer; marks its pid slot free.
+  void kill_peer(int id);
+
+  /// Polls `condition` until true or kDeadline passes.
+  template <typename Condition>
+  [[nodiscard]] static bool poll_until(Condition&& condition) {
+    const auto deadline = std::chrono::steady_clock::now() + kDeadline;
+    while (!condition()) {
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      sleep_poll_interval();
+    }
+    return true;
+  }
+
+  /// Spawns peer `id`, retrying on a fresh port only for the initial
+  /// bring-up (`allow_reassign`); restarted victims must keep their
+  /// port because the other peers' directories already point at it.
+  void spawn_with_retry(int id, bool allow_reassign = true);
+
+  /// Waits for the READY line; reaps (and marks pids_[id] = -1) if the
+  /// child exits first.
+  [[nodiscard]] bool poll_ready(int id);
+
+  /// True once peer `id` reports "HAVE <watch_key>".
+  [[nodiscard]] bool wait_have(int id);
+
+  /// True once every non-publisher peer NOT in `except` reports HAVE.
+  [[nodiscard]] bool wait_have_all_except(const std::vector<int>& except);
+
+  /// Blocks until peer 0 writes "PUBLISHED <watch_key>"; returns that
+  /// line (empty string on deadline — assert on .empty() at the call
+  /// site).
+  [[nodiscard]] std::string wait_published();
+
+  ClusterOptions options_;
+  std::string dir_;
+  std::vector<PeerSpec> specs_;
+  std::vector<pid_t> pids_;
+
+ private:
+  static void sleep_poll_interval();
+};
+
+}  // namespace updp2p::testsupport

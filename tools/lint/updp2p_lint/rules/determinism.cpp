@@ -24,6 +24,7 @@ namespace {
 constexpr std::string_view kDeterministicDirs[] = {
     "src/sim/",  "src/gossip/", "src/analysis/", "src/baselines/",
     "src/churn/", "src/version/", "src/pgrid/",  "src/common/",
+    "src/chaos/",
 };
 
 bool in_deterministic_scope(std::string_view path) {
